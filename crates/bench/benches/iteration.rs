@@ -1,0 +1,63 @@
+//! Criterion benchmark of one full validation iteration (Alg. 1), the
+//! quantity Fig. 2/3 report as the user's wait time `Δt`, for each dataset
+//! preset and guidance variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crf::entropy::EntropyMode;
+use evalkit::{fast_icrf, fast_ig};
+use factcheck::{ProcessConfig, ValidationProcess};
+use factdb::DatasetPreset;
+use guidance::{HybridStrategy, InfoGainConfig};
+use oracle::GroundTruthUser;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg1_iteration");
+    group.sample_size(10);
+    for preset in DatasetPreset::minis() {
+        for (variant, mode, threads) in [
+            ("origin", EntropyMode::Exact { max_component: 12 }, 1usize),
+            ("scalable", EntropyMode::Approximate, 1),
+            ("parallel", EntropyMode::Approximate, 4),
+        ] {
+            let ds = preset.generate();
+            let model = Arc::new(ds.db.to_crf_model());
+            group.bench_with_input(
+                BenchmarkId::new(preset.name(), variant),
+                &(),
+                |b, _| {
+                    b.iter_batched(
+                        || {
+                            ValidationProcess::new(
+                                model.clone(),
+                                HybridStrategy::new(
+                                    InfoGainConfig {
+                                        threads,
+                                        ..fast_ig()
+                                    },
+                                    1,
+                                ),
+                                GroundTruthUser::new(ds.truth.clone()),
+                                ProcessConfig {
+                                    icrf: fast_icrf(),
+                                    entropy_mode: mode,
+                                    ..Default::default()
+                                },
+                            )
+                        },
+                        |mut p| {
+                            p.step();
+                            black_box(p.effort())
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Figure 10: effects of a static batch size — precision degradation vs
+//! cost saving for batch sizes k ∈ {1, 2, 5, 10, 20} under the cost model
+//! `CS(k) = 1 − 1/k^α` with α ∈ {1/4, 1/2, 1}.
+//!
+//! Paper shape: larger batches save more set-up cost but lose precision;
+//! medium batches (k = 5, 10) give large savings at graceful degradation.
+
+use crf::entropy::EntropyMode;
+use evalkit::metrics::precision;
+use evalkit::{fast_icrf, fast_ig, Table};
+use factcheck::{ProcessConfig, ValidationProcess};
+use guidance::{BatchConfig, BatchSelector, GuidanceContext, UncertaintyStrategy};
+use oracle::GroundTruthUser;
+
+/// Run batched validation to completion, sampling (effort, precision).
+fn batch_run(
+    model: std::sync::Arc<crf::CrfModel>,
+    truth: &[bool],
+    k: usize,
+) -> Vec<(f64, f64)> {
+    let selector = BatchSelector::new(BatchConfig {
+        k,
+        w: 4.0,
+        ig: fast_ig(),
+    });
+    let mut process = ValidationProcess::new(
+        model,
+        UncertaintyStrategy::new(),
+        GroundTruthUser::new(truth.to_vec()),
+        ProcessConfig {
+            icrf: fast_icrf(),
+            ..Default::default()
+        },
+    );
+    let mut curve = Vec::new();
+    loop {
+        let batch = {
+            let ctx = GuidanceContext {
+                icrf: process.icrf(),
+                grounding: process.grounding(),
+                entropy_mode: EntropyMode::Approximate,
+            };
+            selector.select(&ctx)
+        };
+        if batch.is_empty() || process.validate_batch(&batch) == 0 {
+            break;
+        }
+        curve.push((
+            process.effort_ratio(),
+            precision(process.grounding(), truth),
+        ));
+    }
+    curve
+}
+
+fn precision_at(curve: &[(f64, f64)], effort: f64) -> f64 {
+    curve
+        .iter()
+        .filter(|(e, _)| *e <= effort + 1e-9)
+        .next_back()
+        .map(|&(_, p)| p)
+        .unwrap_or(0.5)
+}
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let ks = [1usize, 2, 5, 10, 20];
+    let alphas = [0.25, 0.5, 1.0];
+    let checkpoint = 0.5; // measure degradation at 50% label effort
+
+    for preset in bench::presets(scale) {
+        let (ds, model) = bench::load(preset);
+        let mut curves = Vec::new();
+        for &k in &ks {
+            curves.push(batch_run(model.clone(), &ds.truth, k));
+        }
+        let p_base = precision_at(&curves[0], checkpoint);
+
+        let mut table = Table::new(
+            format!(
+                "Figure 10: precision degradation vs cost saving ({}, @{:.0}% effort)",
+                preset.name(),
+                checkpoint * 100.0
+            ),
+            &["k", "CS α=1/4 (%)", "CS α=1/2 (%)", "CS α=1 (%)", "prec. degradation (%)"],
+        );
+        for (ki, &k) in ks.iter().enumerate() {
+            let p_k = precision_at(&curves[ki], checkpoint);
+            let degradation = 100.0 * (p_base - p_k).max(0.0) / p_base.max(1e-9);
+            let mut cells = vec![k.to_string()];
+            for &a in &alphas {
+                cells.push(format!("{:.1}", 100.0 * (1.0 - 1.0 / (k as f64).powf(a))));
+            }
+            cells.push(format!("{degradation:.1}"));
+            table.row(&cells);
+        }
+        println!("{table}");
+    }
+    println!("shape check: degradation grows with k while cost saving saturates; k=5..10 is the sweet spot");
+}

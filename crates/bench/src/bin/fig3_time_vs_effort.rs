@@ -1,0 +1,61 @@
+//! Figure 3: response time `Δt` over the course of validation on the
+//! largest dataset (snopes), averaged over equal bins of relative user
+//! effort, for the same three variants as Fig. 2.
+//!
+//! Paper shape: the response time peaks between 40% and 60% of user effort,
+//! where user input enables the most credibility conclusions.
+
+use crf::entropy::EntropyMode;
+use evalkit::{run_curve, CurveConfig, StrategyKind, Table};
+use guidance::InfoGainConfig;
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let preset = bench::presets(scale)[2]; // snopes
+    let (ds, model) = bench::load(preset);
+    let n = model.n_claims();
+
+    let mut table = Table::new(
+        format!("Figure 3: Δt (s) vs label effort ({})", preset.name()),
+        &["effort", "origin", "scalable", "parallel+partition"],
+    );
+
+    let variants: [(&str, EntropyMode, usize); 3] = [
+        ("origin", EntropyMode::Exact { max_component: 14 }, 1),
+        ("scalable", EntropyMode::Approximate, 1),
+        ("parallel+partition", EntropyMode::Approximate, 4),
+    ];
+
+    // One full run per variant; bin Δt by effort decile.
+    let mut binned: Vec<Vec<f64>> = Vec::new();
+    for (_, mode, threads) in variants {
+        let cfg = CurveConfig {
+            ig: InfoGainConfig {
+                pool_size: 6,
+                hypothetical_em_iters: 1,
+                threads,
+            },
+            budget: n,
+            entropy_mode: mode,
+            ..Default::default()
+        };
+        let r = run_curve(model.clone(), &ds.truth, StrategyKind::Info, &cfg);
+        let mut bins = vec![Vec::new(); 10];
+        for p in &r.points {
+            let b = ((p.effort * 10.0) as usize).min(9);
+            bins[b].push(p.elapsed.as_secs_f64());
+        }
+        binned.push(bins.iter().map(|b| bench::mean(b)).collect());
+    }
+
+    for decile in 0..10 {
+        table.row(&[
+            format!("{}%", (decile + 1) * 10),
+            format!("{:.3}", binned[0][decile]),
+            format!("{:.3}", binned[1][decile]),
+            format!("{:.3}", binned[2][decile]),
+        ]);
+    }
+    println!("{table}");
+    println!("shape check: Δt peaks in the middle effort range (40-60%)");
+}

@@ -1,0 +1,48 @@
+//! Figure 5: the relation between normalised uncertainty and grounding
+//! precision under information-driven guidance.
+//!
+//! Paper shape: a strongly negative correlation (Pearson's coefficient
+//! −0.8523) — uncertainty is a truthful indicator of correctness.
+
+use evalkit::{pearson, run_curve, CurveConfig, StrategyKind, Table};
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let runs_per_dataset = 5u64;
+    let mut xs = Vec::new(); // normalised uncertainty
+    let mut ys = Vec::new(); // precision
+
+    for preset in bench::presets(scale) {
+        let (ds, model) = bench::load(preset);
+        for seed in 0..runs_per_dataset {
+            let cfg = CurveConfig {
+                target_precision: Some(1.0),
+                seed: 0x515 + seed,
+                ..Default::default()
+            };
+            let r = run_curve(model.clone(), &ds.truth, StrategyKind::Info, &cfg);
+            let max_h = r
+                .points
+                .iter()
+                .map(|p| p.entropy)
+                .fold(f64::MIN_POSITIVE, f64::max);
+            for p in &r.points {
+                xs.push(p.entropy / max_h);
+                ys.push(p.precision);
+            }
+        }
+    }
+
+    let rho = pearson(&xs, &ys);
+    let mut table = Table::new(
+        "Figure 5: uncertainty vs precision",
+        &["statistic", "value"],
+    );
+    table.row(&["observations".into(), xs.len().to_string()]);
+    table.row(&["Pearson coefficient".into(), format!("{rho:.4}")]);
+    table.row(&["paper reference".into(), "-0.8523".into()]);
+    println!("{table}");
+    println!(
+        "shape check: strong negative correlation (rho = {rho:.4} < -0.5 expected)"
+    );
+}

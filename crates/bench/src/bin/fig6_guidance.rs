@@ -1,0 +1,55 @@
+//! Figure 6: effectiveness of user guidance — precision vs label effort for
+//! the five strategies (random, uncertainty, info, source, hybrid) on all
+//! three datasets, running until precision 1.0.
+//!
+//! Paper shape: hybrid dominates; on snopes it reaches precision > 0.9 with
+//! ~31% of claims validated while baselines need ≥ 67%.
+
+use evalkit::{effort_to_reach, run_curve, CurveConfig, StrategyKind, Table};
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let efforts = [0.2, 0.4, 0.6, 0.8, 1.0];
+
+    for preset in bench::presets(scale) {
+        let (ds, model) = bench::load(preset);
+        let mut table = Table::new(
+            format!("Figure 6: precision vs label effort ({})", preset.name()),
+            &[
+                "strategy", "20%", "40%", "60%", "80%", "100%", "effort@p>=0.9",
+            ],
+        );
+        let seeds: [u64; 3] = [0xf16, 0xf17, 0xf18];
+        for kind in StrategyKind::all() {
+            // Average over runs, as the paper does.
+            let mut prec_sum = vec![0.0; efforts.len()];
+            let mut effort_sum = 0.0;
+            for &seed in &seeds {
+                let cfg = CurveConfig {
+                    target_precision: Some(1.0),
+                    seed,
+                    ..Default::default()
+                };
+                let r = run_curve(model.clone(), &ds.truth, kind, &cfg);
+                for (i, s) in bench::sample_at_efforts(&r.points, &efforts)
+                    .iter()
+                    .enumerate()
+                {
+                    prec_sum[i] += s
+                        .as_ref()
+                        .map(|p| p.precision)
+                        .unwrap_or(r.initial_precision);
+                }
+                effort_sum += effort_to_reach(&r.points, 0.9).unwrap_or(1.0);
+            }
+            let mut cells = vec![kind.name().to_string()];
+            for p in &prec_sum {
+                cells.push(format!("{:.3}", p / seeds.len() as f64));
+            }
+            cells.push(format!("{:.0}%", 100.0 * effort_sum / seeds.len() as f64));
+            table.row(&cells);
+        }
+        println!("{table}");
+    }
+    println!("shape check: hybrid reaches 0.9 precision with the least effort in each dataset");
+}

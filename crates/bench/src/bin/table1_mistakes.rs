@@ -1,0 +1,79 @@
+//! Table 1: detected mistakes (%) when user input is flipped with
+//! probability p ∈ {0.15, 0.20, 0.25, 0.30}, with the confirmation check
+//! (§5.2) triggered periodically.
+//!
+//! Paper shape: the majority of injected mistakes is detected everywhere;
+//! detection degrades gracefully as p grows (100% → ~79% on snopes).
+
+use evalkit::{fast_icrf, fast_ig, Table};
+use factcheck::{ProcessConfig, ValidationProcess};
+use guidance::HybridStrategy;
+use oracle::{GroundTruthUser, NoisyUser};
+
+fn detection_rate(
+    model: std::sync::Arc<crf::CrfModel>,
+    truth: &[bool],
+    p: f64,
+) -> Option<f64> {
+    let n = model.n_claims();
+    let user = NoisyUser::new(GroundTruthUser::new(truth.to_vec()), p, 0x7ab1e);
+    let mut process = ValidationProcess::new(
+        model,
+        HybridStrategy::new(fast_ig(), 0x7ab1e),
+        user,
+        ProcessConfig {
+            icrf: fast_icrf(),
+            // "triggered after each 1% of total validations" — at mini
+            // scale this rounds up to every few iterations.
+            confirmation_check_every: Some((n / 100).max(2)),
+            ..Default::default()
+        },
+    );
+    process.run();
+    // Final audit sweep so mistakes made in the last few iterations also
+    // get a detection chance (the paper's periodic trigger covers them
+    // because its runs are two orders of magnitude longer).
+    process.run_confirmation_check();
+
+    // A mistake counts as detected when the check flagged it at some point
+    // or the erroneous label did not survive to the end.
+    let mut mistaken: Vec<usize> = process.user().mistakes_made().to_vec();
+    mistaken.sort_unstable();
+    mistaken.dedup();
+    if mistaken.is_empty() {
+        return None;
+    }
+    let flagged: std::collections::HashSet<usize> = process
+        .flagged_claims()
+        .iter()
+        .map(|v| v.idx())
+        .collect();
+    let detected = mistaken
+        .iter()
+        .filter(|&&c| flagged.contains(&c) || process.icrf().labels()[c] == Some(truth[c]))
+        .count();
+    Some(100.0 * detected as f64 / mistaken.len() as f64)
+}
+
+fn main() {
+    let scale = bench::scale_from_args();
+    let ps = [0.15, 0.20, 0.25, 0.30];
+    let mut table = Table::new(
+        "Table 1: detected mistakes (%)",
+        &["dataset", "p=0.15", "p=0.20", "p=0.25", "p=0.30"],
+    );
+    for preset in bench::presets(scale) {
+        let (ds, model) = bench::load(preset);
+        let mut cells = vec![preset.name().to_string()];
+        for &p in &ps {
+            cells.push(match detection_rate(model.clone(), &ds.truth, p) {
+                Some(rate) => format!("{rate:.0}"),
+                None => "n/a".into(),
+            });
+        }
+        table.row(&cells);
+    }
+    println!("{table}");
+    println!("paper reference: wiki 100/100/96/89, health 100/100/94/86, snopes 100/95/87/79");
+    println!("shape check: detection decreases with p but stays majority everywhere");
+}

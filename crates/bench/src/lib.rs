@@ -1,0 +1,113 @@
+//! Shared plumbing for the experiment binaries (one per table/figure of the
+//! paper's evaluation, see DESIGN.md §5).
+//!
+//! Every binary accepts `--full` to run on the paper-scale presets instead
+//! of the mini presets (the guided sweeps are quadratic in the claim count,
+//! so minis are the default; DESIGN.md §3 documents why curve shapes are
+//! preserved). Output is printed as fixed-width tables/series matching the
+//! rows the paper reports; EXPERIMENTS.md records paper-vs-measured values.
+
+use factdb::{DatasetPreset, SynthDataset};
+
+/// Which scale to run an experiment at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Mini presets (default): minutes, preserves curve shapes.
+    Mini,
+    /// Paper-scale presets: hours for the guided sweeps.
+    Full,
+}
+
+/// Parse the common CLI flags (`--full`).
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Mini
+    }
+}
+
+/// The three datasets at the requested scale, in the paper's order.
+pub fn presets(scale: Scale) -> [DatasetPreset; 3] {
+    match scale {
+        Scale::Mini => DatasetPreset::minis(),
+        Scale::Full => DatasetPreset::full_scale(),
+    }
+}
+
+/// Generate a preset's dataset together with its converted CRF model.
+pub fn load(preset: DatasetPreset) -> (SynthDataset, std::sync::Arc<crf::CrfModel>) {
+    let ds = preset.generate();
+    let model = std::sync::Arc::new(ds.db.to_crf_model());
+    (ds, model)
+}
+
+/// Mean of a non-empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample a curve at fixed effort fractions (nearest preceding point).
+pub fn sample_at_efforts(
+    points: &[evalkit::CurvePoint],
+    efforts: &[f64],
+) -> Vec<Option<evalkit::CurvePoint>> {
+    efforts
+        .iter()
+        .map(|&e| {
+            points
+                .iter()
+                .filter(|p| p.effort <= e + 1e-9)
+                .next_back()
+                .cloned()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_scale() {
+        let mini = presets(Scale::Mini);
+        assert_eq!(mini[0].name(), "wiki-mini");
+        let full = presets(Scale::Full);
+        assert_eq!(full[2].name(), "snopes");
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+    }
+
+    #[test]
+    fn load_produces_consistent_model() {
+        let (ds, model) = load(DatasetPreset::WikiMini);
+        assert_eq!(ds.db.n_claims(), model.n_claims());
+    }
+
+    #[test]
+    fn sample_at_efforts_picks_preceding_points() {
+        use std::time::Duration;
+        let mk = |effort: f64| evalkit::CurvePoint {
+            iteration: 1,
+            effort,
+            precision: effort,
+            entropy: 0.0,
+            elapsed: Duration::ZERO,
+            grounding_changes: 0,
+            prediction_matched: false,
+        };
+        let pts = vec![mk(0.1), mk(0.2), mk(0.3)];
+        let s = sample_at_efforts(&pts, &[0.05, 0.25, 0.9]);
+        assert!(s[0].is_none());
+        assert!((s[1].as_ref().unwrap().effort - 0.2).abs() < 1e-12);
+        assert!((s[2].as_ref().unwrap().effort - 0.3).abs() < 1e-12);
+    }
+}

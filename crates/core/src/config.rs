@@ -1,0 +1,99 @@
+//! Configuration of the validation process: effort budget and goal.
+
+use crf::entropy::EntropyMode;
+use crf::IcrfConfig;
+
+/// The validation goal `Δ` of Problem 1. The process halts when the goal is
+/// satisfied, even with budget remaining.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Goal {
+    /// Run until the effort budget alone stops the process.
+    None,
+    /// Stop once the database entropy `H_C(Q)` falls below the threshold
+    /// (the "estimated credibility of the grounding" reading of §2.2 —
+    /// uncertainty is the paper's truthful proxy for precision, Fig. 5).
+    EntropyBelow(f64),
+    /// Stop once every claim's probability is at least this far from 1/2.
+    MarginAtLeast(f64),
+}
+
+impl Goal {
+    /// Whether the goal is satisfied by the given state.
+    pub fn satisfied(&self, entropy: f64, probs: &[f64]) -> bool {
+        match *self {
+            Goal::None => false,
+            Goal::EntropyBelow(t) => entropy < t,
+            Goal::MarginAtLeast(m) => probs.iter().all(|&p| (p - 0.5).abs() >= m),
+        }
+    }
+}
+
+/// Full configuration of [`crate::ValidationProcess`].
+#[derive(Debug, Clone)]
+pub struct ProcessConfig {
+    /// Effort budget `b`: the maximum number of user validations
+    /// (including repairs triggered by the confirmation check).
+    pub budget: usize,
+    /// Validation goal `Δ`.
+    pub goal: Goal,
+    /// Entropy estimator used for goal checks and strategy context.
+    pub entropy_mode: EntropyMode,
+    /// Inference engine settings.
+    pub icrf: IcrfConfig,
+    /// Run the confirmation check of §5.2 every `n` validations
+    /// (`None` disables it). The paper triggers it "after each 1% of total
+    /// validations".
+    pub confirmation_check_every: Option<usize>,
+    /// EM budget for each leave-one-out inference inside the confirmation
+    /// check.
+    pub confirmation_em_iters: usize,
+    /// How many fallback candidates to try when the user skips a claim
+    /// (Fig. 8 validates the second-best claim on a skip).
+    pub skip_fallbacks: usize,
+}
+
+impl Default for ProcessConfig {
+    fn default() -> Self {
+        ProcessConfig {
+            budget: usize::MAX,
+            goal: Goal::None,
+            entropy_mode: EntropyMode::Approximate,
+            icrf: IcrfConfig::default(),
+            confirmation_check_every: None,
+            confirmation_em_iters: 1,
+            skip_fallbacks: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn goal_none_never_satisfied() {
+        assert!(!Goal::None.satisfied(0.0, &[]));
+    }
+
+    #[test]
+    fn goal_entropy_threshold() {
+        assert!(Goal::EntropyBelow(1.0).satisfied(0.5, &[0.5]));
+        assert!(!Goal::EntropyBelow(1.0).satisfied(1.5, &[0.5]));
+    }
+
+    #[test]
+    fn goal_margin() {
+        assert!(Goal::MarginAtLeast(0.4).satisfied(9.9, &[0.95, 0.05, 0.1]));
+        assert!(!Goal::MarginAtLeast(0.4).satisfied(9.9, &[0.95, 0.6]));
+        // Empty database trivially satisfies the margin.
+        assert!(Goal::MarginAtLeast(0.4).satisfied(0.0, &[]));
+    }
+
+    #[test]
+    fn default_config_is_unbounded() {
+        let c = ProcessConfig::default();
+        assert_eq!(c.budget, usize::MAX);
+        assert_eq!(c.goal, Goal::None);
+        assert!(c.confirmation_check_every.is_none());
+    }
+}

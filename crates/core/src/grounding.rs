@@ -1,0 +1,76 @@
+//! Instantiation of a grounding — the trusted set of facts (§3.3).
+//!
+//! The maximum-joint-probability configuration of Eq. 9 reduces to a
+//! Boolean-satisfiability-like search, so, following Eq. 10, the grounding
+//! is instantiated from the most recent Gibbs samples `Ω*`: per connected
+//! component the most frequent sampled configuration wins, and labelled
+//! claims keep their user-given value by construction (the sampler pins
+//! them).
+
+use crf::bitset::Bitset;
+use crf::gibbs::mode_configuration;
+use crf::Icrf;
+
+/// The `decide` function of Eq. 10 over the engine's last sample set.
+///
+/// Falls back to thresholding the marginals at 1/2 when no samples exist
+/// yet (before the first inference call).
+pub fn instantiate_grounding(icrf: &Icrf) -> Bitset {
+    if icrf.last_samples().is_empty() {
+        return Bitset::from_bools(
+            &icrf.probs().iter().map(|&p| p >= 0.5).collect::<Vec<_>>(),
+        );
+    }
+    mode_configuration(icrf.last_samples(), icrf.partition())
+}
+
+/// Number of claims on which two groundings disagree — the "amount of
+/// changes" indicator of §6.1.
+pub fn grounding_changes(a: &Bitset, b: &Bitset) -> usize {
+    a.hamming(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crf::{IcrfConfig, VarId};
+    use std::sync::Arc;
+
+    fn engine() -> Icrf {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = Arc::new(ds.db.to_crf_model());
+        Icrf::new(model, IcrfConfig::default())
+    }
+
+    #[test]
+    fn pre_inference_grounding_thresholds_marginals() {
+        let mut icrf = engine();
+        icrf.set_label(VarId(0), true);
+        icrf.set_label(VarId(1), false);
+        let g = instantiate_grounding(&icrf);
+        assert!(g.get(0));
+        assert!(!g.get(1));
+        // Unlabelled claims at exactly 0.5 round up.
+        assert!(g.get(2));
+    }
+
+    #[test]
+    fn post_inference_grounding_respects_labels() {
+        let mut icrf = engine();
+        icrf.set_label(VarId(0), true);
+        icrf.set_label(VarId(1), false);
+        icrf.run();
+        let g = instantiate_grounding(&icrf);
+        assert!(g.get(0), "confirmed claim must be in the trusted set");
+        assert!(!g.get(1), "refuted claim must be excluded");
+        assert_eq!(g.len(), icrf.model().n_claims());
+    }
+
+    #[test]
+    fn changes_counts_flips() {
+        let a = Bitset::from_bools(&[true, false, true]);
+        let b = Bitset::from_bools(&[true, true, false]);
+        assert_eq!(grounding_changes(&a, &b), 2);
+        assert_eq!(grounding_changes(&a, &a), 0);
+    }
+}

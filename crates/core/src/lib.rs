@@ -1,0 +1,30 @@
+//! The complete validation process for guided fact checking (§5).
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrates: the iterative pay-as-you-go loop of Alg. 1 that
+//!
+//! 1. **selects** a claim via a pluggable guidance strategy (`guidance`
+//!    crate),
+//! 2. **elicits** user input from a pluggable validator (`oracle` crate),
+//! 3. **infers** the implications with the incremental `iCRF` engine
+//!    (`crf` crate), and
+//! 4. **decides** on a grounding — the trusted set of facts — from the most
+//!    recent Gibbs samples.
+//!
+//! On top of the loop it provides the validation goal / effort budget
+//! termination semantics of Problem 1 ([`config`]), the confirmation check
+//! against erroneous user input of §5.2 ([`robust`]), and the per-iteration
+//! telemetry (error rate, entropy, grounding churn, prediction agreement)
+//! that the early-termination indicators of §6.1 consume.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod grounding;
+pub mod process;
+pub mod robust;
+
+pub use config::{Goal, ProcessConfig};
+pub use grounding::instantiate_grounding;
+pub use process::{IterationRecord, ValidationProcess};
+pub use robust::{confirmation_check, RepairReport};

@@ -1,0 +1,218 @@
+//! A compact fixed-length bitset used to store sampled credibility
+//! configurations.
+//!
+//! A configuration assigns `0`/`1` to every claim variable; Gibbs sampling
+//! produces thousands of them per E-step, so the representation matters.
+//! [`Bitset`] packs 64 claims per machine word and implements `Hash`/`Eq`
+//! so configurations can be counted when instantiating a grounding via the
+//! most-frequent-sample rule (Eq. 10 of the paper).
+
+use std::fmt;
+
+/// A fixed-length sequence of bits, one per claim variable.
+#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Bitset {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitset {
+    /// Create an all-zeros bitset holding `len` bits.
+    pub fn zeros(len: usize) -> Self {
+        Bitset {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Build a bitset from a boolean slice.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut bs = Bitset::zeros(bits.len());
+        for (i, &b) in bits.iter().enumerate() {
+            if b {
+                bs.set(i, true);
+            }
+        }
+        bs
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitset holds zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Read bit `i`. Panics when out of range.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Write bit `i`. Panics when out of range.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Project the bitset onto a subset of positions, producing a new bitset
+    /// of length `positions.len()` whose bit `j` equals `self[positions[j]]`.
+    ///
+    /// Used to restrict a full configuration to one connected component so
+    /// that per-component mode configurations can be counted.
+    pub fn project(&self, positions: &[usize]) -> Bitset {
+        let mut out = Bitset::zeros(positions.len());
+        for (j, &p) in positions.iter().enumerate() {
+            if self.get(p) {
+                out.set(j, true);
+            }
+        }
+        out
+    }
+
+    /// Iterate over the bits as booleans.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Convert to a `Vec<bool>`.
+    pub fn to_bools(&self) -> Vec<bool> {
+        self.iter().collect()
+    }
+
+    /// Hamming distance to another bitset of the same length.
+    pub fn hamming(&self, other: &Bitset) -> usize {
+        assert_eq!(self.len, other.len, "length mismatch in hamming distance");
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones() as usize)
+            .sum()
+    }
+}
+
+impl fmt::Debug for Bitset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitset[")?;
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn zeros_and_set_get_roundtrip() {
+        let mut bs = Bitset::zeros(130);
+        assert_eq!(bs.len(), 130);
+        assert_eq!(bs.count_ones(), 0);
+        bs.set(0, true);
+        bs.set(64, true);
+        bs.set(129, true);
+        assert!(bs.get(0) && bs.get(64) && bs.get(129));
+        assert!(!bs.get(1) && !bs.get(63) && !bs.get(128));
+        assert_eq!(bs.count_ones(), 3);
+        bs.set(64, false);
+        assert!(!bs.get(64));
+        assert_eq!(bs.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        Bitset::zeros(10).get(10);
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bits = vec![true, false, true, true, false];
+        let bs = Bitset::from_bools(&bits);
+        assert_eq!(bs.to_bools(), bits);
+    }
+
+    #[test]
+    fn equal_configurations_hash_equal() {
+        use std::collections::HashMap;
+        let a = Bitset::from_bools(&[true, false, true]);
+        let b = Bitset::from_bools(&[true, false, true]);
+        let c = Bitset::from_bools(&[true, true, true]);
+        let mut counts: HashMap<Bitset, u32> = HashMap::new();
+        *counts.entry(a).or_insert(0) += 1;
+        *counts.entry(b).or_insert(0) += 1;
+        *counts.entry(c).or_insert(0) += 1;
+        assert_eq!(counts.len(), 2);
+        assert_eq!(
+            counts[&Bitset::from_bools(&[true, false, true])],
+            2,
+            "identical configurations must collapse into one bucket"
+        );
+    }
+
+    #[test]
+    fn project_selects_positions() {
+        let bs = Bitset::from_bools(&[true, false, true, false, true]);
+        let p = bs.project(&[4, 0, 1]);
+        assert_eq!(p.to_bools(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn hamming_distance() {
+        let a = Bitset::from_bools(&[true, false, true, false]);
+        let b = Bitset::from_bools(&[false, false, true, true]);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+            let bs = Bitset::from_bools(&bits);
+            prop_assert_eq!(bs.to_bools(), bits.clone());
+            prop_assert_eq!(bs.count_ones(), bits.iter().filter(|&&b| b).count());
+        }
+
+        #[test]
+        fn prop_hamming_is_metric(
+            a in proptest::collection::vec(any::<bool>(), 64..200),
+        ) {
+            let n = a.len();
+            let x = Bitset::from_bools(&a);
+            // distance to self is zero
+            prop_assert_eq!(x.hamming(&x), 0);
+            // flipping k bits yields distance k
+            let mut flipped = a.clone();
+            let k = n / 3;
+            for bit in flipped.iter_mut().take(k) { *bit = !*bit; }
+            let y = Bitset::from_bools(&flipped);
+            prop_assert_eq!(x.hamming(&y), k);
+            prop_assert_eq!(y.hamming(&x), k);
+        }
+
+        #[test]
+        fn prop_project_identity(bits in proptest::collection::vec(any::<bool>(), 1..128)) {
+            let bs = Bitset::from_bools(&bits);
+            let idx: Vec<usize> = (0..bits.len()).collect();
+            prop_assert_eq!(bs.project(&idx), bs);
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! The incremental `iCRF` inference algorithm (§3.2).
+//!
+//! `iCRF` adopts the Expectation–Maximisation principle: the E-step draws
+//! Gibbs samples of the unlabelled claim configuration under the current
+//! parameters (Eq. 6–7), and the M-step re-estimates the log-linear weights
+//! by maximising the expected complete-data log-likelihood (Eq. 8) with the
+//! trust-region Newton solver. The *incremental* aspect — the view-
+//! maintenance principle the paper highlights — is that an [`Icrf`] value is
+//! long-lived: each call to [`Icrf::run`] starts from the weights,
+//! probabilities, and sample set of the previous validation iteration
+//! instead of from scratch, so one new user label only perturbs an almost-
+//! converged state (typically 1–2 EM iterations instead of dozens).
+//!
+//! Cloning an [`Icrf`] is cheap (the model and partition are shared through
+//! `Arc`), which is what makes the information-gain guidance strategies
+//! affordable: they clone the state, pin a hypothetical label, and re-run
+//! inference without disturbing the real state.
+
+use crate::bitset::Bitset;
+use crate::gibbs::{GibbsConfig, GibbsResult, GibbsSampler};
+use crate::graph::{CrfModel, Stance, VarId};
+use crate::logistic::{Dataset, LogisticObjective};
+use crate::partition::Partition;
+use crate::potentials::{clique_features, Weights};
+use crate::tron::{self, TronConfig};
+use std::sync::Arc;
+
+/// Configuration of the EM loop.
+#[derive(Debug, Clone)]
+pub struct IcrfConfig {
+    /// Maximum EM iterations per inference call. The incremental design
+    /// means small values suffice after the first call.
+    pub max_em_iters: usize,
+    /// Converged when the weight vector moves less than this (Euclidean).
+    pub weight_tol: f64,
+    /// Converged when no claim probability moves more than this.
+    pub prob_tol: f64,
+    /// L2 regularisation strength of the M-step.
+    pub lambda: f64,
+    /// E-step sampler settings.
+    pub gibbs: GibbsConfig,
+    /// M-step solver settings.
+    pub tron: TronConfig,
+}
+
+impl Default for IcrfConfig {
+    fn default() -> Self {
+        IcrfConfig {
+            max_em_iters: 4,
+            weight_tol: 1e-3,
+            prob_tol: 5e-3,
+            lambda: 1.0,
+            gibbs: GibbsConfig::default(),
+            tron: TronConfig::default(),
+        }
+    }
+}
+
+/// Aggregate statistics of one inference call.
+#[derive(Debug, Clone, Default)]
+pub struct IcrfStats {
+    /// EM iterations executed.
+    pub em_iterations: usize,
+    /// Total TRON outer iterations across all M-steps.
+    pub tron_iterations: usize,
+    /// Total Gibbs sweeps across all E-steps.
+    pub gibbs_sweeps: usize,
+    /// Whether the loop stopped on the tolerance criteria (vs. iteration cap).
+    pub converged: bool,
+}
+
+/// The incremental inference engine: owns the mutable model state
+/// (weights, probabilities, labels, last sample set).
+#[derive(Debug, Clone)]
+pub struct Icrf {
+    model: Arc<CrfModel>,
+    partition: Arc<Partition>,
+    config: IcrfConfig,
+    weights: Weights,
+    probs: Vec<f64>,
+    labels: Vec<Option<bool>>,
+    last_samples: Vec<Bitset>,
+    /// Distinct seed stream per inference call so successive calls do not
+    /// replay identical chains.
+    epoch: u64,
+}
+
+impl Icrf {
+    /// Fresh engine: weights zero, every claim at probability 0.5
+    /// (the maximum-entropy initialisation of §8.1).
+    pub fn new(model: Arc<CrfModel>, config: IcrfConfig) -> Self {
+        let n = model.n_claims();
+        let partition = Arc::new(Partition::of_model(&model));
+        Icrf {
+            model,
+            partition,
+            config,
+            weights: Weights::zeros(0),
+            probs: vec![0.5; n],
+            labels: vec![None; n],
+            last_samples: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &Arc<CrfModel> {
+        &self.model
+    }
+
+    /// The connected-component partition of the claim graph.
+    pub fn partition(&self) -> &Arc<Partition> {
+        &self.partition
+    }
+
+    /// Current credibility probabilities `P(c)` per claim.
+    pub fn probs(&self) -> &[f64] {
+        &self.probs
+    }
+
+    /// Current user labels (`None` = unvalidated).
+    pub fn labels(&self) -> &[Option<bool>] {
+        &self.labels
+    }
+
+    /// Current log-linear weights.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Replace the weights (used by the streaming algorithm to feed back
+    /// online-estimated parameters, Alg. 2 line 10).
+    pub fn set_weights(&mut self, weights: Weights) {
+        self.weights = weights;
+    }
+
+    /// Mutable access to the configuration.
+    pub fn config_mut(&mut self) -> &mut IcrfConfig {
+        &mut self.config
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &IcrfConfig {
+        &self.config
+    }
+
+    /// Samples `Ω*` of the most recent E-step (drives grounding, Eq. 10).
+    pub fn last_samples(&self) -> &[Bitset] {
+        &self.last_samples
+    }
+
+    /// Number of labelled claims `|C^L|`.
+    pub fn n_labelled(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Record user input on a claim: pins its probability to 0/1 and moves
+    /// it from `C^U` to `C^L`.
+    pub fn set_label(&mut self, claim: VarId, value: bool) {
+        self.labels[claim.idx()] = Some(value);
+        self.probs[claim.idx()] = if value { 1.0 } else { 0.0 };
+    }
+
+    /// Remove a label (used by k-fold cross-validation, §6.1, and the
+    /// confirmation check, §5.2). The probability reverts to 0.5 until the
+    /// next inference call.
+    pub fn clear_label(&mut self, claim: VarId) {
+        self.labels[claim.idx()] = None;
+        self.probs[claim.idx()] = 0.5;
+    }
+
+    /// Cheap hypothetical copy with one extra label pinned; the basis of the
+    /// information-gain computations (Eq. 14, 19).
+    pub fn hypothetical(&self, claim: VarId, value: bool) -> Icrf {
+        let mut h = self.clone();
+        h.set_label(claim, value);
+        h
+    }
+
+    /// Smoothed per-source trust values derived from the current claim
+    /// probabilities, used for the M-step feature assembly.
+    pub fn source_trust(&self) -> Vec<f64> {
+        source_trust_from_probs(&self.model, &self.probs, self.config.gibbs.trust_prior)
+    }
+
+    /// Run EM to convergence (bounded by `max_em_iters`), warm-starting from
+    /// the previous state. Returns aggregate statistics.
+    pub fn run(&mut self) -> IcrfStats {
+        let dim = self.model.feature_dim();
+        if self.weights.dim() != dim {
+            self.weights = Weights::zeros(dim);
+        }
+        let mut stats = IcrfStats::default();
+        let mut dataset = Dataset::new(dim);
+        self.epoch += 1;
+
+        for l in 0..self.config.max_em_iters {
+            stats.em_iterations += 1;
+
+            // ---- E-step: Gibbs sampling under current weights (Eq. 6–7).
+            let mut gcfg = self.config.gibbs.clone();
+            gcfg.seed = gcfg
+                .seed
+                .wrapping_add(self.epoch.wrapping_mul(0x9e37_79b9))
+                .wrapping_add(l as u64);
+            let sampler = GibbsSampler::new(&self.model, gcfg);
+            let GibbsResult {
+                samples,
+                marginals,
+                sweeps,
+            } = sampler.run(&self.weights, &self.labels, &self.probs);
+            stats.gibbs_sweeps += sweeps;
+
+            let max_prob_change = marginals
+                .iter()
+                .zip(&self.probs)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            self.probs = marginals;
+            self.last_samples = samples;
+
+            // ---- M-step: weighted logistic regression via TRON (Eq. 8).
+            dataset.clear();
+            let trust = self.source_trust();
+            let mut row = vec![0.0; dim];
+            for clique in self.model.cliques() {
+                clique_features(&self.model, clique, trust[clique.source as usize], &mut row);
+                // Unlabelled claims use *damped* marginals as targets: pure
+                // self-training targets let an early wrong guess reinforce
+                // itself into a confidently-wrong cluster; shrinking them
+                // towards 1/2 keeps the unlabelled contribution calibrated
+                // while labelled claims carry full-strength targets.
+                let p = match self.labels[clique.claim.idx()] {
+                    Some(_) => self.probs[clique.claim.idx()],
+                    None => 0.5 + 0.7 * (self.probs[clique.claim.idx()] - 0.5),
+                };
+                let target = match clique.stance {
+                    Stance::Support => p,
+                    Stance::Refute => 1.0 - p,
+                };
+                // Labelled claims anchor the regression with much more
+                // mass, making user input a first-class citizen of
+                // inference: without this, the self-training loop (targets
+                // are the model's own marginals) can lock into an inverted
+                // interpretation of the features early on.
+                let weight = if self.labels[clique.claim.idx()].is_some() {
+                    5.0
+                } else {
+                    1.0
+                };
+                dataset.push(&row, target, weight);
+            }
+            let prev_weights = self.weights.clone();
+            let obj = LogisticObjective::new(&dataset, self.config.lambda);
+            let res = tron::solve(&obj, self.weights.as_mut_slice(), &self.config.tron);
+            stats.tron_iterations += res.iterations;
+
+            let weight_change = self.weights.distance(&prev_weights);
+            if weight_change < self.config.weight_tol && max_prob_change < self.config.prob_tol {
+                stats.converged = true;
+                break;
+            }
+        }
+        stats
+    }
+}
+
+/// Smoothed fraction of each source's claims currently believed credible:
+/// `τ(s) = (a + Σ_{c∈C_s} P(c)) / (a + b + |C_s|)`.
+pub fn source_trust_from_probs(model: &CrfModel, probs: &[f64], prior: (f64, f64)) -> Vec<f64> {
+    (0..model.n_sources() as u32)
+        .map(|s| {
+            let claims = model.claims_of_source(s);
+            let sum: f64 = claims.iter().map(|&c| probs[c as usize]).sum();
+            (prior.0 + sum) / (prior.0 + prior.1 + claims.len() as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CrfModelBuilder, Stance};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// A model where source feature 0 is a perfect trustworthiness signal:
+    /// trustworthy sources support true claims, untrustworthy sources
+    /// support false claims.
+    fn signal_model(n_claims: usize, seed: u64) -> (Arc<CrfModel>, Vec<bool>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = CrfModelBuilder::new(1, 1);
+        let good = b.add_source(&[1.0]).unwrap();
+        let bad = b.add_source(&[-1.0]).unwrap();
+        let mut truth = Vec::new();
+        for i in 0..n_claims {
+            let c = b.add_claim();
+            let t = i % 2 == 0;
+            truth.push(t);
+            for _ in 0..2 {
+                let d = b.add_document(&[rng.gen::<f64>()]).unwrap();
+                // Trustworthy source supports true claims and refutes false
+                // ones; the bad source does the opposite.
+                let (s, stance) = if rng.gen_bool(0.9) {
+                    (good, if t { Stance::Support } else { Stance::Refute })
+                } else {
+                    (bad, if t { Stance::Refute } else { Stance::Support })
+                };
+                b.add_clique(c, d, s, stance);
+            }
+        }
+        (Arc::new(b.build().unwrap()), truth)
+    }
+
+    fn small_config() -> IcrfConfig {
+        IcrfConfig {
+            max_em_iters: 3,
+            gibbs: GibbsConfig {
+                burn_in: 10,
+                samples: 40,
+                thin: 1,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn initial_state_is_maximum_entropy() {
+        let (m, _) = signal_model(6, 1);
+        let icrf = Icrf::new(m, small_config());
+        assert!(icrf.probs().iter().all(|&p| p == 0.5));
+        assert_eq!(icrf.n_labelled(), 0);
+    }
+
+    #[test]
+    fn labels_pin_probabilities() {
+        let (m, _) = signal_model(6, 1);
+        let mut icrf = Icrf::new(m, small_config());
+        icrf.set_label(VarId(0), true);
+        icrf.set_label(VarId(1), false);
+        assert_eq!(icrf.probs()[0], 1.0);
+        assert_eq!(icrf.probs()[1], 0.0);
+        assert_eq!(icrf.n_labelled(), 2);
+        icrf.run();
+        assert_eq!(icrf.probs()[0], 1.0, "label must survive inference");
+        assert_eq!(icrf.probs()[1], 0.0);
+        icrf.clear_label(VarId(0));
+        assert_eq!(icrf.n_labelled(), 1);
+    }
+
+    /// After labelling a few claims, inference should predict the remaining
+    /// ones better than chance (the features are informative).
+    #[test]
+    fn inference_learns_from_labels() {
+        let (m, truth) = signal_model(20, 2);
+        let mut icrf = Icrf::new(m, small_config());
+        // Label 8 claims.
+        for i in 0..8 {
+            icrf.set_label(VarId(i), truth[i as usize]);
+        }
+        icrf.run();
+        let correct = (8..20)
+            .filter(|&i| (icrf.probs()[i] >= 0.5) == truth[i])
+            .count();
+        assert!(
+            correct >= 9,
+            "only {correct}/12 unlabelled claims recovered; probs={:?}",
+            &icrf.probs()[8..]
+        );
+    }
+
+    /// The incremental property: a second run after one new label converges
+    /// in no more EM iterations than the first run from scratch.
+    #[test]
+    fn warm_start_converges_quickly() {
+        let (m, truth) = signal_model(16, 3);
+        let mut icrf = Icrf::new(m.clone(), small_config());
+        for i in 0..4 {
+            icrf.set_label(VarId(i), truth[i as usize]);
+        }
+        icrf.run();
+        let w_before = icrf.weights().clone();
+        icrf.set_label(VarId(4), truth[4]);
+        icrf.run();
+        // The weights should move only slightly after a single new label.
+        assert!(
+            icrf.weights().distance(&w_before) < 2.0,
+            "weights jumped by {}",
+            icrf.weights().distance(&w_before)
+        );
+    }
+
+    #[test]
+    fn hypothetical_does_not_mutate_original() {
+        let (m, _) = signal_model(8, 4);
+        let mut icrf = Icrf::new(m, small_config());
+        icrf.run();
+        let probs_before = icrf.probs().to_vec();
+        let mut hyp = icrf.hypothetical(VarId(3), true);
+        hyp.run();
+        assert_eq!(icrf.probs(), probs_before.as_slice());
+        assert_eq!(hyp.probs()[3], 1.0);
+        assert_eq!(icrf.labels()[3], None);
+    }
+
+    #[test]
+    fn source_trust_reflects_probs() {
+        let (m, _) = signal_model(4, 5);
+        let icrf = Icrf::new(m.clone(), small_config());
+        let t = icrf.source_trust();
+        assert_eq!(t.len(), m.n_sources());
+        // All probs 0.5 with symmetric prior -> trust 0.5 exactly.
+        for &ti in &t {
+            assert!((ti - 0.5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let (m, truth) = signal_model(10, 6);
+        let mk = || {
+            let mut icrf = Icrf::new(m.clone(), small_config());
+            for i in 0..3 {
+                icrf.set_label(VarId(i), truth[i as usize]);
+            }
+            icrf.run();
+            icrf.probs().to_vec()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let (m, _) = signal_model(6, 7);
+        let mut icrf = Icrf::new(m, small_config());
+        let stats = icrf.run();
+        assert!(stats.em_iterations >= 1);
+        assert!(stats.gibbs_sweeps > 0);
+        assert!(!icrf.last_samples().is_empty());
+    }
+}

@@ -1,0 +1,532 @@
+//! Gibbs sampling over claim-credibility configurations (E-step, §3.2).
+//!
+//! The E-step of `iCRF` draws a sequence of samples `Ω` from the conditional
+//! distribution `q(C^U) ∝ Π_π Pr^{l−1}(c) · φ(o(c), d, s; W)` (Eq. 6):
+//! labelled claims are pinned to their user-given value, unlabelled claims
+//! are resampled one at a time from their full conditional. Three features
+//! of the paper's formulation are realised here:
+//!
+//! * **Anchoring to the previous iteration.** Eq. 6 multiplies each clique by
+//!   the claim's previous-round probability `Pr^{l−1}(c)`. We fold this in as
+//!   a prior logit term (one factor per claim rather than one per clique so
+//!   that high-degree claims are not drowned by their own history — the fixed
+//!   point is identical), scaled by [`GibbsConfig::anchor`].
+//! * **Mutual reinforcement.** The dynamic source-trust statistic `τ(s)`
+//!   (smoothed fraction of the source's *other* claims currently credible)
+//!   enters each clique's feature vector, so flipping one claim immediately
+//!   shifts the conditionals of all claims sharing a source. Per-source
+//!   credible-claim counts are maintained incrementally, keeping a sweep
+//!   linear in the number of cliques (Prop. 1).
+//! * **Non-equality constraints.** Refuting cliques score the flipped value
+//!   (see [`crate::potentials`]), so a claim and its opposing variable can
+//!   never agree — the constraint of Eq. 3 holds by construction rather than
+//!   by rejection, mirroring the factorised-constraint embedding of [61].
+
+use crate::bitset::Bitset;
+use crate::graph::{CliqueId, CrfModel, VarId};
+use crate::numerics;
+use crate::partition::Partition;
+use crate::potentials::{clique_logit_contribution, Weights};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Tuning knobs for the sampler.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GibbsConfig {
+    /// Full sweeps discarded before collecting samples.
+    pub burn_in: usize,
+    /// Number of configurations collected into `Ω`.
+    pub samples: usize,
+    /// Sweeps between consecutive collected samples (1 = every sweep).
+    pub thin: usize,
+    /// RNG seed; runs are fully deterministic given the seed.
+    pub seed: u64,
+    /// Beta pseudo-counts `(a, b)` smoothing the dynamic source trust
+    /// `τ(s) = (a + #credible) / (a + b + #claims)`.
+    pub trust_prior: (f64, f64),
+    /// Weight of the previous-round probability factor `Pr^{l−1}(c)` of
+    /// Eq. 6; `0` disables anchoring.
+    pub anchor: f64,
+}
+
+impl Default for GibbsConfig {
+    fn default() -> Self {
+        GibbsConfig {
+            burn_in: 20,
+            samples: 60,
+            thin: 2,
+            seed: 0x5eed,
+            trust_prior: (1.0, 1.0),
+            anchor: 0.5,
+        }
+    }
+}
+
+/// The outcome of one E-step: the sample sequence `Ω` and the per-claim
+/// marginals `Pr(c)` computed from it (Eq. 7).
+#[derive(Debug, Clone)]
+pub struct GibbsResult {
+    /// Thinned post-burn-in configurations over *all* claims (labelled claims
+    /// appear with their pinned value).
+    pub samples: Vec<Bitset>,
+    /// `Pr(c = 1)` per claim: the fraction of samples in which `c` is
+    /// credible; exactly the user label for labelled claims.
+    pub marginals: Vec<f64>,
+    /// Number of sweeps executed (burn-in + sampling).
+    pub sweeps: usize,
+}
+
+/// A deterministic single-site Gibbs sampler bound to a model.
+#[derive(Debug, Clone)]
+pub struct GibbsSampler<'a> {
+    model: &'a CrfModel,
+    config: GibbsConfig,
+}
+
+/// Mutable chain state, maintained incrementally across sweeps.
+struct ChainState {
+    values: Vec<bool>,
+    /// Per source: number of its distinct claims currently credible.
+    credible_per_source: Vec<u32>,
+}
+
+impl ChainState {
+    fn init(model: &CrfModel, labels: &[Option<bool>], probs: &[f64], rng: &mut SmallRng) -> Self {
+        let values: Vec<bool> = (0..model.n_claims())
+            .map(|c| match labels[c] {
+                Some(v) => v,
+                None => rng.gen_bool(numerics::clamp_prob(probs[c])),
+            })
+            .collect();
+        let mut credible_per_source = vec![0u32; model.n_sources()];
+        for s in 0..model.n_sources() as u32 {
+            credible_per_source[s as usize] = model
+                .claims_of_source(s)
+                .iter()
+                .filter(|&&c| values[c as usize])
+                .count() as u32;
+        }
+        ChainState {
+            values,
+            credible_per_source,
+        }
+    }
+
+    /// Smoothed trust of `source` excluding claim `excl` from the count.
+    #[inline]
+    fn trust_excluding(
+        &self,
+        model: &CrfModel,
+        prior: (f64, f64),
+        source: u32,
+        excl: usize,
+    ) -> f64 {
+        let claims = model.claims_of_source(source);
+        let total = claims.len();
+        let mut credible = self.credible_per_source[source as usize] as f64;
+        let mut n = total as f64;
+        // `claims` is sorted, membership via binary search.
+        if claims.binary_search(&(excl as u32)).is_ok() {
+            if self.values[excl] {
+                credible -= 1.0;
+            }
+            n -= 1.0;
+        }
+        (prior.0 + credible) / (prior.0 + prior.1 + n)
+    }
+
+    #[inline]
+    fn flip(&mut self, model: &CrfModel, claim: usize, new_value: bool) {
+        if self.values[claim] == new_value {
+            return;
+        }
+        self.values[claim] = new_value;
+        let delta: i64 = if new_value { 1 } else { -1 };
+        for &s in model.sources_of_claim(VarId(claim as u32)) {
+            let slot = &mut self.credible_per_source[s as usize];
+            *slot = (*slot as i64 + delta) as u32;
+        }
+    }
+}
+
+impl<'a> GibbsSampler<'a> {
+    /// Bind a sampler to a model with the given configuration.
+    pub fn new(model: &'a CrfModel, config: GibbsConfig) -> Self {
+        GibbsSampler { model, config }
+    }
+
+    /// The model this sampler is bound to.
+    pub fn model(&self) -> &CrfModel {
+        self.model
+    }
+
+    /// Conditional logit of `claim` being credible given the rest of the
+    /// chain state (all clique contributions + anchoring prior).
+    fn conditional_logit(
+        &self,
+        state: &ChainState,
+        weights: &Weights,
+        prev_probs: &[f64],
+        claim: usize,
+    ) -> f64 {
+        let model = self.model;
+        let mut logit = 0.0;
+        for &ci in model.cliques_of(VarId(claim as u32)) {
+            let cl = model.clique(CliqueId(ci));
+            let trust =
+                state.trust_excluding(model, self.config.trust_prior, cl.source, claim);
+            logit += clique_logit_contribution(model, weights, cl, trust);
+        }
+        if self.config.anchor > 0.0 {
+            // The anchor carries history, not evidence: bound its influence
+            // so a saturated marginal (p -> 0 or 1) from a previous round
+            // can never become an absorbing state that fresh evidence and
+            // user input cannot escape.
+            let p = prev_probs[claim].clamp(0.05, 0.95);
+            logit += self.config.anchor * (p / (1.0 - p)).ln();
+        }
+        logit
+    }
+
+    /// Run the chain: `labels[c]` pins claim `c`, `prev_probs` are the
+    /// previous-round probabilities `Pr^{l−1}` anchoring the chain (Eq. 6).
+    pub fn run(
+        &self,
+        weights: &Weights,
+        labels: &[Option<bool>],
+        prev_probs: &[f64],
+    ) -> GibbsResult {
+        let model = self.model;
+        let n = model.n_claims();
+        assert_eq!(labels.len(), n, "labels length mismatch");
+        assert_eq!(prev_probs.len(), n, "probs length mismatch");
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut state = ChainState::init(model, labels, prev_probs, &mut rng);
+
+        let unlabelled: Vec<usize> = (0..n).filter(|&c| labels[c].is_none()).collect();
+        let mut ones = vec![0u64; n];
+        let mut samples = Vec::with_capacity(self.config.samples);
+        let mut sweeps = 0;
+
+        let sweep = |state: &mut ChainState, rng: &mut SmallRng| {
+            for &c in &unlabelled {
+                let logit = self.conditional_logit(state, weights, prev_probs, c);
+                let p = numerics::sigmoid(logit);
+                let v = rng.gen_bool(numerics::clamp_prob(p));
+                state.flip(model, c, v);
+            }
+        };
+
+        for _ in 0..self.config.burn_in {
+            sweep(&mut state, &mut rng);
+            sweeps += 1;
+        }
+        for _ in 0..self.config.samples {
+            for _ in 0..self.config.thin.max(1) {
+                sweep(&mut state, &mut rng);
+                sweeps += 1;
+            }
+            for (c, &v) in state.values.iter().enumerate() {
+                if v {
+                    ones[c] += 1;
+                }
+            }
+            samples.push(Bitset::from_bools(&state.values));
+        }
+
+        let total = samples.len().max(1) as f64;
+        let marginals: Vec<f64> = (0..n)
+            .map(|c| match labels[c] {
+                Some(true) => 1.0,
+                Some(false) => 0.0,
+                None => ones[c] as f64 / total,
+            })
+            .collect();
+
+        GibbsResult {
+            samples,
+            marginals,
+            sweeps,
+        }
+    }
+}
+
+/// Instantiate the maximum-probability configuration from a sample sequence
+/// (the `decide` function of Eq. 10), component-wise.
+///
+/// The joint mode of a product distribution factorises over independent
+/// components, so we take the most frequent *projected* configuration within
+/// each connected component and stitch the winners together. Ties break
+/// towards the configuration observed first, matching "breaking ties
+/// randomly" with a deterministic chain.
+pub fn mode_configuration(samples: &[Bitset], partition: &Partition) -> Bitset {
+    assert!(!samples.is_empty(), "cannot decide from zero samples");
+    let n = samples[0].len();
+    let mut out = Bitset::zeros(n);
+    for comp in partition.iter() {
+        let mut counts: HashMap<Bitset, (u32, usize)> = HashMap::new();
+        for (order, s) in samples.iter().enumerate() {
+            let proj = s.project(comp);
+            let e = counts.entry(proj).or_insert((0, order));
+            e.0 += 1;
+        }
+        let (best, _) = counts
+            .into_iter()
+            .max_by(|a, b| {
+                // Highest count wins; earliest observation breaks ties.
+                a.1 .0.cmp(&b.1 .0).then(b.1 .1.cmp(&a.1 .1))
+            })
+            .expect("component has at least one sample");
+        for (j, &claim) in comp.iter().enumerate() {
+            if best.get(j) {
+                out.set(claim, true);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CrfModelBuilder, Stance};
+
+    /// One claim, one strongly supporting clique, positive weights ->
+    /// marginal well above 1/2.
+    #[test]
+    fn strong_support_drives_marginal_up() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[1.0]).unwrap();
+        let c = b.add_claim();
+        let d = b.add_document(&[1.0]).unwrap();
+        b.add_clique(c, d, s, Stance::Support);
+        let m = b.build().unwrap();
+        let w = Weights::from_vec(vec![2.0, 0.0, 0.0, 0.0]);
+        let sampler = GibbsSampler::new(&m, GibbsConfig::default());
+        let r = sampler.run(&w, &[None], &[0.5]);
+        assert!(r.marginals[0] > 0.8, "marginal {}", r.marginals[0]);
+    }
+
+    /// Same setup but the document refutes the claim -> marginal below 1/2.
+    #[test]
+    fn strong_refute_drives_marginal_down() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[1.0]).unwrap();
+        let c = b.add_claim();
+        let d = b.add_document(&[1.0]).unwrap();
+        b.add_clique(c, d, s, Stance::Refute);
+        let m = b.build().unwrap();
+        let w = Weights::from_vec(vec![2.0, 0.0, 0.0, 0.0]);
+        let sampler = GibbsSampler::new(&m, GibbsConfig::default());
+        let r = sampler.run(&w, &[None], &[0.5]);
+        assert!(r.marginals[0] < 0.2, "marginal {}", r.marginals[0]);
+    }
+
+    /// Labelled claims are pinned in every sample and in the marginals.
+    #[test]
+    fn labels_are_pinned() {
+        let m = crate::graph::test_support::random_model(6, 3, 2, 7);
+        let w = Weights::zeros(m.feature_dim());
+        let mut labels = vec![None; 6];
+        labels[2] = Some(true);
+        labels[4] = Some(false);
+        let sampler = GibbsSampler::new(&m, GibbsConfig::default());
+        let r = sampler.run(&w, &labels, &vec![0.5; 6]);
+        assert_eq!(r.marginals[2], 1.0);
+        assert_eq!(r.marginals[4], 0.0);
+        for s in &r.samples {
+            assert!(s.get(2));
+            assert!(!s.get(4));
+        }
+    }
+
+    /// Determinism: the same seed reproduces the same samples.
+    #[test]
+    fn deterministic_given_seed() {
+        let m = crate::graph::test_support::random_model(10, 4, 2, 11);
+        let w = Weights::from_vec(vec![0.3; m.feature_dim()]);
+        let cfg = GibbsConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        let a = GibbsSampler::new(&m, cfg.clone()).run(&w, &vec![None; 10], &vec![0.5; 10]);
+        let b = GibbsSampler::new(&m, cfg).run(&w, &vec![None; 10], &vec![0.5; 10]);
+        assert_eq!(a.samples, b.samples);
+        assert_eq!(a.marginals, b.marginals);
+    }
+
+    /// With zero weights and no anchor the chain is a fair coin.
+    #[test]
+    fn zero_weights_give_half_marginals() {
+        let m = crate::graph::test_support::random_model(4, 2, 2, 3);
+        let w = Weights::zeros(m.feature_dim());
+        let cfg = GibbsConfig {
+            samples: 400,
+            burn_in: 10,
+            anchor: 0.0,
+            ..Default::default()
+        };
+        let r = GibbsSampler::new(&m, cfg).run(&w, &vec![None; 4], &vec![0.5; 4]);
+        for &p in &r.marginals {
+            assert!((p - 0.5).abs() < 0.1, "marginal {p} too far from 0.5");
+        }
+    }
+
+    /// Anchoring pulls marginals towards the previous-round probabilities.
+    #[test]
+    fn anchor_pulls_towards_previous_probs() {
+        let m = crate::graph::test_support::random_model(1, 1, 1, 5);
+        let w = Weights::zeros(m.feature_dim());
+        let cfg = GibbsConfig {
+            samples: 300,
+            anchor: 3.0,
+            ..Default::default()
+        };
+        let r = GibbsSampler::new(&m, cfg).run(&w, &[None], &[0.95]);
+        assert!(r.marginals[0] > 0.8, "marginal {}", r.marginals[0]);
+    }
+
+    /// Validating a claim shifts siblings through the shared-source trust.
+    #[test]
+    fn user_input_propagates_through_source() {
+        // One source with two claims; confirm one claim, observe the other's
+        // marginal rise (trust weight positive).
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[0.0]).unwrap();
+        let c0 = b.add_claim();
+        let c1 = b.add_claim();
+        for c in [c0, c1] {
+            let d = b.add_document(&[0.0]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let m = b.build().unwrap();
+        // Only the trust feature carries signal.
+        let w = Weights::from_vec(vec![0.0, 0.0, 0.0, 4.0]);
+        let cfg = GibbsConfig {
+            samples: 300,
+            anchor: 0.0,
+            ..Default::default()
+        };
+        let baseline = GibbsSampler::new(&m, cfg.clone())
+            .run(&w, &[None, None], &[0.5, 0.5])
+            .marginals[1];
+        let confirmed = GibbsSampler::new(&m, cfg.clone())
+            .run(&w, &[Some(true), None], &[1.0, 0.5])
+            .marginals[1];
+        let refuted = GibbsSampler::new(&m, cfg)
+            .run(&w, &[Some(false), None], &[0.0, 0.5])
+            .marginals[1];
+        assert!(
+            confirmed > baseline && baseline > refuted,
+            "confirmed={confirmed} baseline={baseline} refuted={refuted}"
+        );
+    }
+
+    #[test]
+    fn mode_configuration_picks_most_frequent_per_component() {
+        // 3 claims, all one component is wrong here: build a partition of
+        // two components {0,1} and {2} manually via a model.
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s0 = b.add_source(&[0.0]).unwrap();
+        let s1 = b.add_source(&[0.0]).unwrap();
+        let c0 = b.add_claim();
+        let c1 = b.add_claim();
+        let c2 = b.add_claim();
+        for (c, s) in [(c0, s0), (c1, s0), (c2, s1)] {
+            let d = b.add_document(&[0.0]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let m = b.build().unwrap();
+        let p = Partition::of_model(&m);
+        // Samples: component {0,1} sees [1,1] twice and [1,0] once;
+        // component {2} sees 0 twice and 1 once.
+        let samples = vec![
+            Bitset::from_bools(&[true, true, false]),
+            Bitset::from_bools(&[true, false, true]),
+            Bitset::from_bools(&[true, true, false]),
+        ];
+        let mode = mode_configuration(&samples, &p);
+        assert_eq!(mode.to_bools(), vec![true, true, false]);
+    }
+
+    /// The paper's worked example from §3.3: three claims, samples
+    /// [1,1,0], [1,0,0], [1,1,0] -> decide returns [1,1,0].
+    #[test]
+    fn paper_example_grounding() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[0.0]).unwrap();
+        for _ in 0..3 {
+            let c = b.add_claim();
+            let d = b.add_document(&[0.0]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let m = b.build().unwrap();
+        let p = Partition::of_model(&m);
+        let samples = vec![
+            Bitset::from_bools(&[true, true, false]),
+            Bitset::from_bools(&[true, false, false]),
+            Bitset::from_bools(&[true, true, false]),
+        ];
+        assert_eq!(
+            mode_configuration(&samples, &p).to_bools(),
+            vec![true, true, false]
+        );
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// Marginals are probabilities and labelled claims stay pinned in
+        /// every sample, for arbitrary random models and label patterns.
+        #[test]
+        fn prop_marginals_valid_and_labels_pinned(
+            seed in 0u64..200,
+            label_mask in proptest::collection::vec(proptest::option::of(any::<bool>()), 8),
+        ) {
+            let m = crate::graph::test_support::random_model(8, 4, 2, seed);
+            let w = Weights::from_vec(vec![0.3; m.feature_dim()]);
+            let cfg = GibbsConfig { burn_in: 3, samples: 10, thin: 1, ..Default::default() };
+            let r = GibbsSampler::new(&m, cfg).run(&w, &label_mask, &vec![0.5; 8]);
+            for (c, &p) in r.marginals.iter().enumerate() {
+                prop_assert!((0.0..=1.0).contains(&p), "marginal {p}");
+                if let Some(v) = label_mask[c] {
+                    prop_assert_eq!(p, if v { 1.0 } else { 0.0 });
+                    for s in &r.samples {
+                        prop_assert_eq!(s.get(c), v);
+                    }
+                }
+            }
+            prop_assert_eq!(r.samples.len(), 10);
+        }
+
+        /// The mode configuration always appears among the samples
+        /// (component-wise) and respects labels.
+        #[test]
+        fn prop_mode_configuration_is_consistent(seed in 0u64..100) {
+            let m = crate::graph::test_support::random_model(10, 3, 2, seed);
+            let w = Weights::from_vec(vec![0.2; m.feature_dim()]);
+            let mut labels = vec![None; 10];
+            labels[0] = Some(true);
+            let cfg = GibbsConfig { burn_in: 3, samples: 12, thin: 1, ..Default::default() };
+            let r = GibbsSampler::new(&m, cfg).run(&w, &labels, &vec![0.5; 10]);
+            let p = crate::partition::Partition::of_model(&m);
+            let mode = mode_configuration(&r.samples, &p);
+            prop_assert!(mode.get(0), "labelled claim must keep its value");
+            // Per component, the projected mode occurs in some sample.
+            for comp in p.iter() {
+                let proj = mode.project(comp);
+                prop_assert!(
+                    r.samples.iter().any(|s| s.project(comp) == proj),
+                    "mode projection never sampled"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,530 @@
+//! The factor-graph representation of a probabilistic fact database.
+//!
+//! Following §3.1 of the paper, the CRF is an undirected graph over three
+//! kinds of random variables — sources `S`, documents `D`, and claims `C` —
+//! where every *relation factor* (clique) joins exactly one claim, one
+//! document, and one source. Source and document variables are observed
+//! (their feature vectors are data); only the binary claim variables are
+//! latent. Opposing stances are handled per §3.1: a document that *refutes*
+//! a claim is attached to the claim's opposing variable `¬c`, which we encode
+//! by evaluating the clique potential with the claim's value flipped — this
+//! realises the non-equality constraint of Eq. 3 exactly (a claim and its
+//! opposing variable can never agree because they are two views of one bit).
+//!
+//! The mutual-reinforcement between claims of a shared source (the paper's
+//! *indirect relation*) is carried by a dynamic source-trust statistic
+//! appended to each clique's feature vector: the smoothed fraction of the
+//! source's *other* claims currently believed credible. Validating one claim
+//! therefore shifts the conditional distribution of all claims sharing one
+//! of its sources, which is exactly the propagation behaviour §3.2 requires
+//! of the Gibbs sampler ("we weight the influence of causal interactions by
+//! the credibility of their contained claims").
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a claim variable in the CRF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// The variable index as a usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Index of a clique (relation factor) in the CRF.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CliqueId(pub u32);
+
+impl CliqueId {
+    /// The clique index as a usize.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Whether a document supports or refutes the claim it references (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stance {
+    /// The document asserts the claim.
+    Support,
+    /// The document disputes the claim; the clique attaches to the opposing
+    /// variable `¬c`.
+    Refute,
+}
+
+impl Stance {
+    /// Apply the stance to a claim value: the effective label seen by the
+    /// clique potential.
+    #[inline]
+    pub fn effective(self, claim_value: bool) -> bool {
+        match self {
+            Stance::Support => claim_value,
+            Stance::Refute => !claim_value,
+        }
+    }
+}
+
+/// A relation factor joining one claim, one document, and one source.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Clique {
+    /// The latent claim variable.
+    pub claim: VarId,
+    /// Index of the source providing the document (into `source_features`).
+    pub source: u32,
+    /// Index of the document (into `doc_features`).
+    pub doc: u32,
+    /// Stance of the document towards the claim.
+    pub stance: Stance,
+}
+
+/// The full factor graph plus observed feature matrices.
+///
+/// Construct via [`CrfModelBuilder`]. The model is immutable during
+/// inference; all mutable state (weights, probabilities, labels) lives in
+/// [`crate::em::Icrf`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrfModel {
+    n_claims: usize,
+    n_sources: usize,
+    n_docs: usize,
+    m_source: usize,
+    m_doc: usize,
+    cliques: Vec<Clique>,
+    /// claim -> clique ids
+    claim_cliques: Vec<Vec<u32>>,
+    /// source -> distinct claim ids (the set `C_s` of Eq. 17)
+    source_claims: Vec<Vec<u32>>,
+    /// claim -> distinct source ids
+    claim_sources: Vec<Vec<u32>>,
+    /// row-major `n_docs x m_doc`
+    doc_features: Vec<f64>,
+    /// row-major `n_sources x m_source`
+    source_features: Vec<f64>,
+}
+
+impl CrfModel {
+    /// Number of claim variables.
+    pub fn n_claims(&self) -> usize {
+        self.n_claims
+    }
+
+    /// Number of sources.
+    pub fn n_sources(&self) -> usize {
+        self.n_sources
+    }
+
+    /// Number of documents.
+    pub fn n_docs(&self) -> usize {
+        self.n_docs
+    }
+
+    /// Dimensionality of the source feature vectors.
+    pub fn m_source(&self) -> usize {
+        self.m_source
+    }
+
+    /// Dimensionality of the document feature vectors.
+    pub fn m_doc(&self) -> usize {
+        self.m_doc
+    }
+
+    /// All cliques.
+    pub fn cliques(&self) -> &[Clique] {
+        &self.cliques
+    }
+
+    /// A single clique by id.
+    pub fn clique(&self, id: CliqueId) -> &Clique {
+        &self.cliques[id.idx()]
+    }
+
+    /// Ids of the cliques a claim participates in.
+    pub fn cliques_of(&self, claim: VarId) -> &[u32] {
+        &self.claim_cliques[claim.idx()]
+    }
+
+    /// The distinct claims connected to a source (`C_s`).
+    pub fn claims_of_source(&self, source: u32) -> &[u32] {
+        &self.source_claims[source as usize]
+    }
+
+    /// The distinct sources connected to a claim.
+    pub fn sources_of_claim(&self, claim: VarId) -> &[u32] {
+        &self.claim_sources[claim.idx()]
+    }
+
+    /// Feature row of a document.
+    #[inline]
+    pub fn doc_feature_row(&self, doc: u32) -> &[f64] {
+        let d = doc as usize;
+        &self.doc_features[d * self.m_doc..(d + 1) * self.m_doc]
+    }
+
+    /// Feature row of a source.
+    #[inline]
+    pub fn source_feature_row(&self, source: u32) -> &[f64] {
+        let s = source as usize;
+        &self.source_features[s * self.m_source..(s + 1) * self.m_source]
+    }
+
+    /// Total length of the per-configuration weight block:
+    /// bias + document features + source features + dynamic trust statistic.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        1 + self.m_doc + self.m_source + 1
+    }
+
+    /// Number of claims that share at least one source with `claim`
+    /// (excluding itself). A proxy for how strongly user input on this claim
+    /// propagates.
+    pub fn neighbourhood_size(&self, claim: VarId) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for &s in self.sources_of_claim(claim) {
+            for &c in self.claims_of_source(s) {
+                if c as usize != claim.idx() {
+                    seen.insert(c);
+                }
+            }
+        }
+        seen.len()
+    }
+}
+
+/// Builder for [`CrfModel`]; checks referential integrity at `build` time.
+#[derive(Debug, Default)]
+pub struct CrfModelBuilder {
+    m_source: usize,
+    m_doc: usize,
+    doc_features: Vec<f64>,
+    source_features: Vec<f64>,
+    cliques: Vec<Clique>,
+    n_claims: usize,
+}
+
+/// Errors produced while assembling a [`CrfModel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A feature row had the wrong dimensionality.
+    FeatureDim {
+        /// What kind of entity the row belonged to.
+        entity: &'static str,
+        /// Expected row width.
+        expected: usize,
+        /// Observed row width.
+        got: usize,
+    },
+    /// A clique referenced an out-of-range entity.
+    DanglingReference {
+        /// What kind of entity was referenced.
+        entity: &'static str,
+        /// The out-of-range index.
+        index: usize,
+        /// Number of entities of that kind.
+        len: usize,
+    },
+    /// The model contains no cliques.
+    Empty,
+}
+
+impl std::fmt::Display for ModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelError::FeatureDim {
+                entity,
+                expected,
+                got,
+            } => write!(f, "{entity} feature row has dim {got}, expected {expected}"),
+            ModelError::DanglingReference { entity, index, len } => {
+                write!(f, "clique references {entity} {index} but only {len} exist")
+            }
+            ModelError::Empty => write!(f, "model has no cliques"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl CrfModelBuilder {
+    /// Start a builder for models with the given feature dimensionalities.
+    pub fn new(m_source: usize, m_doc: usize) -> Self {
+        CrfModelBuilder {
+            m_source,
+            m_doc,
+            ..Default::default()
+        }
+    }
+
+    /// Register a source, returning its index. The feature slice must have
+    /// length `m_source`.
+    pub fn add_source(&mut self, features: &[f64]) -> Result<u32, ModelError> {
+        if features.len() != self.m_source {
+            return Err(ModelError::FeatureDim {
+                entity: "source",
+                expected: self.m_source,
+                got: features.len(),
+            });
+        }
+        self.source_features.extend_from_slice(features);
+        Ok((self.source_features.len() / self.m_source.max(1) - 1) as u32)
+    }
+
+    /// Register a document, returning its index. The feature slice must have
+    /// length `m_doc`.
+    pub fn add_document(&mut self, features: &[f64]) -> Result<u32, ModelError> {
+        if features.len() != self.m_doc {
+            return Err(ModelError::FeatureDim {
+                entity: "document",
+                expected: self.m_doc,
+                got: features.len(),
+            });
+        }
+        self.doc_features.extend_from_slice(features);
+        Ok((self.doc_features.len() / self.m_doc.max(1) - 1) as u32)
+    }
+
+    /// Register a claim variable, returning its id.
+    pub fn add_claim(&mut self) -> VarId {
+        let id = VarId(self.n_claims as u32);
+        self.n_claims += 1;
+        id
+    }
+
+    /// Add a relation factor joining `claim`, `doc`, and `source`.
+    pub fn add_clique(&mut self, claim: VarId, doc: u32, source: u32, stance: Stance) {
+        self.cliques.push(Clique {
+            claim,
+            doc,
+            source,
+            stance,
+        });
+    }
+
+    /// Current number of registered sources.
+    pub fn n_sources(&self) -> usize {
+        if self.m_source == 0 {
+            0
+        } else {
+            self.source_features.len() / self.m_source
+        }
+    }
+
+    /// Current number of registered documents.
+    pub fn n_docs(&self) -> usize {
+        if self.m_doc == 0 {
+            0
+        } else {
+            self.doc_features.len() / self.m_doc
+        }
+    }
+
+    /// Validate integrity and produce the immutable model.
+    pub fn build(self) -> Result<CrfModel, ModelError> {
+        if self.cliques.is_empty() {
+            return Err(ModelError::Empty);
+        }
+        let n_sources = self.n_sources();
+        let n_docs = self.n_docs();
+        let n_claims = self.n_claims;
+        for cl in &self.cliques {
+            if cl.claim.idx() >= n_claims {
+                return Err(ModelError::DanglingReference {
+                    entity: "claim",
+                    index: cl.claim.idx(),
+                    len: n_claims,
+                });
+            }
+            if cl.doc as usize >= n_docs {
+                return Err(ModelError::DanglingReference {
+                    entity: "document",
+                    index: cl.doc as usize,
+                    len: n_docs,
+                });
+            }
+            if cl.source as usize >= n_sources {
+                return Err(ModelError::DanglingReference {
+                    entity: "source",
+                    index: cl.source as usize,
+                    len: n_sources,
+                });
+            }
+        }
+
+        let mut claim_cliques = vec![Vec::new(); n_claims];
+        let mut source_claims: Vec<Vec<u32>> = vec![Vec::new(); n_sources];
+        let mut claim_sources: Vec<Vec<u32>> = vec![Vec::new(); n_claims];
+        for (i, cl) in self.cliques.iter().enumerate() {
+            claim_cliques[cl.claim.idx()].push(i as u32);
+            source_claims[cl.source as usize].push(cl.claim.0);
+            claim_sources[cl.claim.idx()].push(cl.source);
+        }
+        for v in source_claims.iter_mut().chain(claim_sources.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+
+        Ok(CrfModel {
+            n_claims,
+            n_sources,
+            n_docs,
+            m_source: self.m_source,
+            m_doc: self.m_doc,
+            cliques: self.cliques,
+            claim_cliques,
+            source_claims,
+            claim_sources,
+            doc_features: self.doc_features,
+            source_features: self.source_features,
+        })
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Build a small random but well-formed model: `n_claims` claims spread
+    /// over `n_sources` sources, `docs_per_claim` documents each.
+    pub fn random_model(
+        n_claims: usize,
+        n_sources: usize,
+        docs_per_claim: usize,
+        seed: u64,
+    ) -> CrfModel {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = CrfModelBuilder::new(2, 2);
+        for _ in 0..n_sources {
+            let f = [rng.gen::<f64>(), rng.gen::<f64>()];
+            b.add_source(&f).unwrap();
+        }
+        let claims: Vec<VarId> = (0..n_claims).map(|_| b.add_claim()).collect();
+        for &c in &claims {
+            for _ in 0..docs_per_claim {
+                let f = [rng.gen::<f64>(), rng.gen::<f64>()];
+                let d = b.add_document(&f).unwrap();
+                let s = rng.gen_range(0..n_sources) as u32;
+                let stance = if rng.gen_bool(0.8) {
+                    Stance::Support
+                } else {
+                    Stance::Refute
+                };
+                b.add_clique(c, d, s, stance);
+            }
+        }
+        b.build().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> CrfModel {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s0 = b.add_source(&[0.9]).unwrap();
+        let s1 = b.add_source(&[0.1]).unwrap();
+        let c0 = b.add_claim();
+        let c1 = b.add_claim();
+        let d0 = b.add_document(&[0.8]).unwrap();
+        let d1 = b.add_document(&[0.2]).unwrap();
+        let d2 = b.add_document(&[0.5]).unwrap();
+        b.add_clique(c0, d0, s0, Stance::Support);
+        b.add_clique(c0, d1, s1, Stance::Refute);
+        b.add_clique(c1, d2, s0, Stance::Support);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_assigns_sequential_ids() {
+        let mut b = CrfModelBuilder::new(2, 3);
+        assert_eq!(b.add_source(&[1.0, 2.0]).unwrap(), 0);
+        assert_eq!(b.add_source(&[3.0, 4.0]).unwrap(), 1);
+        assert_eq!(b.add_document(&[1.0, 2.0, 3.0]).unwrap(), 0);
+        assert_eq!(b.add_claim(), VarId(0));
+        assert_eq!(b.add_claim(), VarId(1));
+    }
+
+    #[test]
+    fn builder_rejects_wrong_feature_dims() {
+        let mut b = CrfModelBuilder::new(2, 2);
+        assert!(matches!(
+            b.add_source(&[1.0]),
+            Err(ModelError::FeatureDim { entity: "source", .. })
+        ));
+        assert!(matches!(
+            b.add_document(&[1.0, 2.0, 3.0]),
+            Err(ModelError::FeatureDim { entity: "document", .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_dangling_clique() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let c = b.add_claim();
+        let d = b.add_document(&[0.5]).unwrap();
+        b.add_clique(c, d, 7, Stance::Support); // source 7 does not exist
+        assert!(matches!(
+            b.build(),
+            Err(ModelError::DanglingReference { entity: "source", .. })
+        ));
+    }
+
+    #[test]
+    fn builder_rejects_empty_model() {
+        let b = CrfModelBuilder::new(1, 1);
+        assert_eq!(b.build().unwrap_err(), ModelError::Empty);
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let m = tiny_model();
+        assert_eq!(m.n_claims(), 2);
+        assert_eq!(m.n_sources(), 2);
+        assert_eq!(m.n_docs(), 3);
+        assert_eq!(m.cliques_of(VarId(0)).len(), 2);
+        assert_eq!(m.cliques_of(VarId(1)).len(), 1);
+        assert_eq!(m.claims_of_source(0), &[0, 1]);
+        assert_eq!(m.claims_of_source(1), &[0]);
+        assert_eq!(m.sources_of_claim(VarId(0)), &[0, 1]);
+        assert_eq!(m.sources_of_claim(VarId(1)), &[0]);
+    }
+
+    #[test]
+    fn neighbourhood_excludes_self() {
+        let m = tiny_model();
+        // c0 shares source 0 with c1.
+        assert_eq!(m.neighbourhood_size(VarId(0)), 1);
+        assert_eq!(m.neighbourhood_size(VarId(1)), 1);
+    }
+
+    #[test]
+    fn stance_effective_flips_for_refute() {
+        assert!(Stance::Support.effective(true));
+        assert!(!Stance::Support.effective(false));
+        assert!(!Stance::Refute.effective(true));
+        assert!(Stance::Refute.effective(false));
+    }
+
+    #[test]
+    fn feature_rows_are_correct() {
+        let m = tiny_model();
+        assert_eq!(m.source_feature_row(0), &[0.9]);
+        assert_eq!(m.source_feature_row(1), &[0.1]);
+        assert_eq!(m.doc_feature_row(2), &[0.5]);
+        assert_eq!(m.feature_dim(), 1 + 1 + 1 + 1);
+    }
+
+    #[test]
+    fn model_serde_roundtrip() {
+        let m = tiny_model();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CrfModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.n_claims(), m.n_claims());
+        assert_eq!(back.cliques().len(), m.cliques().len());
+    }
+}

@@ -1,0 +1,43 @@
+//! Conditional Random Field substrate for guided fact checking.
+//!
+//! This crate implements the probabilistic machinery underlying the paper
+//! *User Guidance for Efficient Fact Checking* (PVLDB 2019):
+//!
+//! * a factor-graph representation of the (source, document, claim) cliques
+//!   of the fact-checking CRF ([`graph`]),
+//! * log-linear clique potentials with per-configuration weights
+//!   ([`potentials`]),
+//! * a Gibbs sampler over claim-credibility configurations that honours
+//!   user-pinned labels and the non-equality constraint between a claim and
+//!   its opposing variable ([`gibbs`]),
+//! * an L2-regularised Trust-Region Newton Method (TRON) with a
+//!   conjugate-gradient inner solver for the M-step ([`tron`], [`logistic`]),
+//! * the incremental `iCRF` Expectation–Maximisation loop with warm-started
+//!   parameters ([`em`]),
+//! * exact (per connected component) and linear-time approximate entropy of
+//!   the probabilistic fact database ([`entropy`]), and
+//! * connected-component partitioning of the claim graph ([`partition`]).
+//!
+//! The crate is deliberately self-contained: it knows nothing about how
+//! sources, documents, and claims are produced (see the `factdb` crate) nor
+//! about validation strategies (see the `guidance` crate). Its unit of
+//! currency is the [`graph::CrfModel`].
+
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod em;
+pub mod entropy;
+pub mod gibbs;
+pub mod graph;
+pub mod logistic;
+pub mod numerics;
+pub mod partition;
+pub mod potentials;
+pub mod tron;
+
+pub use bitset::Bitset;
+pub use em::{Icrf, IcrfConfig, IcrfStats};
+pub use gibbs::{GibbsConfig, GibbsResult, GibbsSampler};
+pub use graph::{Clique, CliqueId, CrfModel, CrfModelBuilder, Stance, VarId};
+pub use partition::Partition;

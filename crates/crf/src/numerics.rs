@@ -1,0 +1,158 @@
+//! Numerically stable scalar helpers shared across the crate.
+
+/// Numerically stable logistic sigmoid `1 / (1 + e^{-x})`.
+///
+/// For large negative `x` the naive formula underflows to `0/0`; we branch on
+/// the sign so both tails are computed from a well-conditioned expression.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        let e = (-x).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Stable `log(1 + e^x)` (the softplus function).
+///
+/// Used by the logistic loss: `-log σ(x) = log1p_exp(-x)`.
+#[inline]
+pub fn log1p_exp(x: f64) -> f64 {
+    if x > 0.0 {
+        x + (-x).exp().ln_1p()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+/// `log Σ exp(x_i)` computed against the running maximum so that no
+/// intermediate exponential overflows.
+pub fn logsumexp(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if !m.is_finite() {
+        return m;
+    }
+    let sum: f64 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + sum.ln()
+}
+
+/// Binary Shannon entropy `H(p)` in nats; `0` at the endpoints by convention.
+#[inline]
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.ln() + (1.0 - p) * (1.0 - p).ln())
+}
+
+/// Euclidean norm of a vector.
+#[inline]
+pub fn norm2(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Dot product of two equal-length vectors.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x` (BLAS `axpy`).
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Clamp a probability into the open unit interval so that logs stay finite.
+#[inline]
+pub fn clamp_prob(p: f64) -> f64 {
+    p.clamp(1e-12, 1.0 - 1e-12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn sigmoid_midpoint_and_symmetry() {
+        assert!(close(sigmoid(0.0), 0.5));
+        for &x in &[0.1, 1.0, 5.0, 30.0, 700.0] {
+            assert!(close(sigmoid(x) + sigmoid(-x), 1.0), "x={x}");
+        }
+    }
+
+    #[test]
+    fn sigmoid_extreme_arguments_do_not_overflow() {
+        assert_eq!(sigmoid(1e4), 1.0);
+        assert_eq!(sigmoid(-1e4), 0.0);
+        assert!(sigmoid(f64::MAX).is_finite());
+        assert!(sigmoid(-f64::MAX).is_finite());
+    }
+
+    #[test]
+    fn log1p_exp_matches_naive_in_safe_range() {
+        for &x in &[-3.0, -0.5, 0.0, 0.5, 3.0] {
+            assert!(close(log1p_exp(x), (1.0 + x.exp()).ln()));
+        }
+    }
+
+    #[test]
+    fn log1p_exp_large_argument_is_linear() {
+        assert!(close(log1p_exp(1000.0), 1000.0));
+        assert!(close(log1p_exp(-1000.0), 0.0));
+    }
+
+    #[test]
+    fn logsumexp_basic() {
+        assert!(close(logsumexp(&[0.0, 0.0]), 2.0_f64.ln()));
+        assert!(close(logsumexp(&[1.0]), 1.0));
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn logsumexp_shift_invariance() {
+        let a = logsumexp(&[1.0, 2.0, 3.0]);
+        let b = logsumexp(&[1001.0, 1002.0, 1003.0]);
+        assert!(close(b - a, 1000.0));
+    }
+
+    #[test]
+    fn binary_entropy_bounds() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+        assert!(close(binary_entropy(0.5), 2.0_f64.ln()));
+        // Symmetric around 1/2.
+        assert!(close(binary_entropy(0.2), binary_entropy(0.8)));
+    }
+
+    #[test]
+    fn vector_helpers() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0, 6.0];
+        assert!(close(dot(&a, &b), 32.0));
+        assert!(close(norm2(&[3.0, 4.0]), 5.0));
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn clamp_prob_keeps_logs_finite() {
+        assert!(clamp_prob(0.0).ln().is_finite());
+        assert!((1.0 - clamp_prob(1.0)).ln().is_finite());
+        assert_eq!(clamp_prob(0.3), 0.3);
+    }
+}

@@ -1,0 +1,231 @@
+//! Connected-component partitioning of the claim graph (§5.1).
+//!
+//! Not all sources share the same claims: the CRF decomposes into
+//! independent sub-models, one per connected component of the graph whose
+//! nodes are claims and whose edges join claims sharing a source (the only
+//! coupling channel in the model — document variables are private to one
+//! clique). The paper exploits this for efficiency: entropy, Gibbs sampling,
+//! and information-gain computations can each be confined to the component
+//! touched by a candidate claim.
+
+use crate::graph::{CrfModel, VarId};
+
+/// Disjoint-set union (union–find) with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct Dsu {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl Dsu {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Dsu {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut x = x as u32;
+        while self.parent[x as usize] != x {
+            // Path halving: point to the grandparent.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x as usize
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra as u32;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r] as usize
+    }
+}
+
+/// A partition of the claim variables into connected components.
+#[derive(Debug, Clone)]
+pub struct Partition {
+    /// Component index per claim.
+    component_of: Vec<u32>,
+    /// Claim indices per component, sorted ascending.
+    components: Vec<Vec<usize>>,
+}
+
+impl Partition {
+    /// Compute the connected components of `model`'s claim graph.
+    pub fn of_model(model: &CrfModel) -> Self {
+        let n = model.n_claims();
+        let mut dsu = Dsu::new(n);
+        for s in 0..model.n_sources() as u32 {
+            let claims = model.claims_of_source(s);
+            if let Some(&first) = claims.first() {
+                for &c in &claims[1..] {
+                    dsu.union(first as usize, c as usize);
+                }
+            }
+        }
+        Self::from_dsu(dsu, n)
+    }
+
+    fn from_dsu(mut dsu: Dsu, n: usize) -> Self {
+        let mut root_to_comp = std::collections::HashMap::new();
+        let mut component_of = vec![0u32; n];
+        let mut components: Vec<Vec<usize>> = Vec::new();
+        for c in 0..n {
+            let r = dsu.find(c);
+            let next = components.len();
+            let comp = *root_to_comp.entry(r).or_insert_with(|| {
+                components.push(Vec::new());
+                next
+            });
+            component_of[c] = comp as u32;
+            components[comp].push(c);
+        }
+        Partition {
+            component_of,
+            components,
+        }
+    }
+
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether there are no components (empty model).
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Index of the component containing `claim`.
+    pub fn component_of(&self, claim: VarId) -> usize {
+        self.component_of[claim.idx()] as usize
+    }
+
+    /// The claims of component `i`, ascending.
+    pub fn component(&self, i: usize) -> &[usize] {
+        &self.components[i]
+    }
+
+    /// Iterate over all components.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.components.iter().map(|v| v.as_slice())
+    }
+
+    /// Size of the largest component.
+    pub fn max_component_size(&self) -> usize {
+        self.components.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CrfModelBuilder, Stance};
+    use proptest::prelude::*;
+
+    #[test]
+    fn dsu_union_find_basics() {
+        let mut d = Dsu::new(5);
+        assert_ne!(d.find(0), d.find(1));
+        assert!(d.union(0, 1));
+        assert!(!d.union(0, 1), "second union of same pair is a no-op");
+        assert_eq!(d.find(0), d.find(1));
+        assert_eq!(d.set_size(0), 2);
+        d.union(2, 3);
+        d.union(1, 3);
+        assert_eq!(d.set_size(4), 1);
+        assert_eq!(d.set_size(2), 4);
+    }
+
+    /// Two sources, each with its own pair of claims -> two components.
+    #[test]
+    fn partition_separates_independent_sources() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s0 = b.add_source(&[0.0]).unwrap();
+        let s1 = b.add_source(&[0.0]).unwrap();
+        let claims: Vec<_> = (0..4).map(|_| b.add_claim()).collect();
+        for (i, &c) in claims.iter().enumerate() {
+            let d = b.add_document(&[0.0]).unwrap();
+            let s = if i < 2 { s0 } else { s1 };
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let m = b.build().unwrap();
+        let p = Partition::of_model(&m);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.component_of(VarId(0)), p.component_of(VarId(1)));
+        assert_eq!(p.component_of(VarId(2)), p.component_of(VarId(3)));
+        assert_ne!(p.component_of(VarId(0)), p.component_of(VarId(2)));
+        assert_eq!(p.max_component_size(), 2);
+    }
+
+    /// A bridging claim shared by both sources merges everything.
+    #[test]
+    fn partition_merges_via_shared_claim() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s0 = b.add_source(&[0.0]).unwrap();
+        let s1 = b.add_source(&[0.0]).unwrap();
+        let c0 = b.add_claim();
+        let c1 = b.add_claim();
+        let bridge = b.add_claim();
+        for (c, s) in [(c0, s0), (c1, s1), (bridge, s0), (bridge, s1)] {
+            let d = b.add_document(&[0.0]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let m = b.build().unwrap();
+        let p = Partition::of_model(&m);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.component(0), &[0, 1, 2]);
+    }
+
+    proptest! {
+        /// Components form a partition: every claim in exactly one component,
+        /// and `component_of` agrees with the component listings.
+        #[test]
+        fn prop_components_partition_claims(seed in 0u64..500) {
+            let m = crate::graph::test_support::random_model(30, 8, 2, seed);
+            let p = Partition::of_model(&m);
+            let mut seen = vec![false; m.n_claims()];
+            for (i, comp) in p.iter().enumerate() {
+                for &c in comp {
+                    prop_assert!(!seen[c], "claim {c} in two components");
+                    seen[c] = true;
+                    prop_assert_eq!(p.component_of(VarId(c as u32)), i);
+                }
+            }
+            prop_assert!(seen.into_iter().all(|s| s));
+        }
+
+        /// Claims sharing a source are always co-located.
+        #[test]
+        fn prop_shared_source_implies_same_component(seed in 0u64..500) {
+            let m = crate::graph::test_support::random_model(25, 6, 2, seed);
+            let p = Partition::of_model(&m);
+            for s in 0..m.n_sources() as u32 {
+                let claims = m.claims_of_source(s);
+                for w in claims.windows(2) {
+                    prop_assert_eq!(
+                        p.component_of(VarId(w[0])),
+                        p.component_of(VarId(w[1]))
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Log-linear clique potentials (Eq. 2 of the paper).
+//!
+//! The paper instantiates each clique potential as a log-linear model with
+//! per-configuration weights `W_π = {w_{π,0}, w_{π,1}, w^D_{π,t}, w^S_{π,t}}`.
+//! Because only the *difference* between the two configurations matters for
+//! the conditional distribution of the binary claim variable, we learn the
+//! discriminative direction `β = W_1 − W_0` directly — this is the standard
+//! logistic-regression reduction of a binary log-linear CRF and is precisely
+//! what the paper's M-step (L2-regularised trust-region Newton logistic
+//! regression, [45]) estimates.
+//!
+//! The feature vector of a clique `π = {c, d, s}` is
+//! `x_π = [1, f^D(d), f^S(s), τ(s)]` where `τ(s)` is the dynamic
+//! source-trust statistic carrying the indirect relations (see
+//! [`crate::graph`] module docs). A refuting clique contributes with the
+//! claim value flipped, which realises the opposing variable `¬c` and its
+//! non-equality constraint (Eq. 3).
+
+use crate::graph::{Clique, CrfModel, Stance};
+use crate::numerics;
+use serde::{Deserialize, Serialize};
+
+/// The learned model parameters: one weight per clique-feature dimension.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Weights {
+    beta: Vec<f64>,
+}
+
+impl Weights {
+    /// All-zero weights of the given dimensionality (the maximum-entropy
+    /// initialisation the paper uses: every claim starts at probability 0.5).
+    pub fn zeros(dim: usize) -> Self {
+        Weights {
+            beta: vec![0.0; dim],
+        }
+    }
+
+    /// Weights from an explicit coefficient vector.
+    pub fn from_vec(beta: Vec<f64>) -> Self {
+        Weights { beta }
+    }
+
+    /// Dimensionality of the weight vector.
+    pub fn dim(&self) -> usize {
+        self.beta.len()
+    }
+
+    /// Immutable view of the coefficients.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.beta
+    }
+
+    /// Mutable view of the coefficients (used by the M-step optimiser).
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.beta
+    }
+
+    /// Euclidean distance to another weight vector; used by convergence
+    /// checks in the EM loop.
+    pub fn distance(&self, other: &Weights) -> f64 {
+        self.beta
+            .iter()
+            .zip(&other.beta)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Write the clique feature vector `x_π = [1, f^D(d), f^S(s), τ(s)]` into
+/// `out`, which must have length `model.feature_dim()`.
+#[inline]
+pub fn clique_features(model: &CrfModel, clique: &Clique, trust: f64, out: &mut [f64]) {
+    debug_assert_eq!(out.len(), model.feature_dim());
+    out[0] = 1.0;
+    let md = model.m_doc();
+    out[1..1 + md].copy_from_slice(model.doc_feature_row(clique.doc));
+    let ms = model.m_source();
+    out[1 + md..1 + md + ms].copy_from_slice(model.source_feature_row(clique.source));
+    // Centred so that a neutral source (τ = 1/2) contributes nothing: this
+    // keeps the trust coordinate from feeding a collective drift of
+    // unlabelled claims through the bias term.
+    out[1 + md + ms] = trust - 0.5;
+}
+
+/// The raw score `β · x_π` of a clique under the given dynamic trust.
+#[inline]
+pub fn clique_score(model: &CrfModel, weights: &Weights, clique: &Clique, trust: f64) -> f64 {
+    let beta = weights.as_slice();
+    let mut acc = beta[0]; // bias * 1
+    let md = model.m_doc();
+    let ms = model.m_source();
+    let df = model.doc_feature_row(clique.doc);
+    for t in 0..md {
+        acc += beta[1 + t] * df[t];
+    }
+    let sf = model.source_feature_row(clique.source);
+    for t in 0..ms {
+        acc += beta[1 + md + t] * sf[t];
+    }
+    acc + beta[1 + md + ms] * (trust - 0.5)
+}
+
+/// The signed contribution of a clique to the logit of *its claim being
+/// credible*: supporting cliques push with `+score`, refuting cliques with
+/// `-score` (they attach to the opposing variable).
+#[inline]
+pub fn clique_logit_contribution(
+    model: &CrfModel,
+    weights: &Weights,
+    clique: &Clique,
+    trust: f64,
+) -> f64 {
+    let s = clique_score(model, weights, clique, trust);
+    match clique.stance {
+        Stance::Support => s,
+        Stance::Refute => -s,
+    }
+}
+
+/// The full conditional logit of claim `c` given per-source trust values:
+/// the sum of its cliques' signed contributions.
+pub fn claim_logit(
+    model: &CrfModel,
+    weights: &Weights,
+    claim: crate::graph::VarId,
+    trust_of: impl Fn(u32) -> f64,
+) -> f64 {
+    model
+        .cliques_of(claim)
+        .iter()
+        .map(|&ci| {
+            let cl = model.clique(crate::graph::CliqueId(ci));
+            clique_logit_contribution(model, weights, cl, trust_of(cl.source))
+        })
+        .sum()
+}
+
+/// The conditional probability `P(c = 1 | rest)` induced by [`claim_logit`].
+pub fn claim_probability(
+    model: &CrfModel,
+    weights: &Weights,
+    claim: crate::graph::VarId,
+    trust_of: impl Fn(u32) -> f64,
+) -> f64 {
+    numerics::sigmoid(claim_logit(model, weights, claim, trust_of))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CrfModelBuilder, VarId};
+
+    fn model_one_claim(stance: Stance) -> CrfModel {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[0.5]).unwrap();
+        let c = b.add_claim();
+        let d = b.add_document(&[0.25]).unwrap();
+        b.add_clique(c, d, s, stance);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clique_features_layout() {
+        let m = model_one_claim(Stance::Support);
+        let mut x = vec![0.0; m.feature_dim()];
+        clique_features(&m, &m.cliques()[0], 0.7, &mut x);
+        // Trust is centred: 0.7 - 0.5 = 0.2 (up to float rounding).
+        let expect = [1.0, 0.25, 0.5, 0.2];
+        for (a, b) in x.iter().zip(expect.iter()) {
+            assert!((a - b).abs() < 1e-12, "{x:?}");
+        }
+    }
+
+    #[test]
+    fn clique_score_is_dot_product() {
+        let m = model_one_claim(Stance::Support);
+        let w = Weights::from_vec(vec![0.1, 1.0, 2.0, 3.0]);
+        let got = clique_score(&m, &w, &m.cliques()[0], 0.7);
+        let expect = 0.1 + 1.0 * 0.25 + 2.0 * 0.5 + 3.0 * (0.7 - 0.5);
+        assert!((got - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn refute_flips_the_sign() {
+        let msup = model_one_claim(Stance::Support);
+        let mref = model_one_claim(Stance::Refute);
+        let w = Weights::from_vec(vec![0.1, 1.0, 2.0, 3.0]);
+        let a = clique_logit_contribution(&msup, &w, &msup.cliques()[0], 0.7);
+        let b = clique_logit_contribution(&mref, &w, &mref.cliques()[0], 0.7);
+        assert!((a + b).abs() < 1e-12, "support and refute must be opposite");
+    }
+
+    #[test]
+    fn zero_weights_give_half_probability() {
+        let m = model_one_claim(Stance::Support);
+        let w = Weights::zeros(m.feature_dim());
+        let p = claim_probability(&m, &w, VarId(0), |_| 0.5);
+        assert!((p - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_cliques_sum_their_logits() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[1.0]).unwrap();
+        let c = b.add_claim();
+        for _ in 0..3 {
+            let d = b.add_document(&[1.0]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let m = b.build().unwrap();
+        let w = Weights::from_vec(vec![0.5, 0.0, 0.0, 0.0]);
+        let logit = claim_logit(&m, &w, VarId(0), |_| 0.0);
+        assert!((logit - 1.5).abs() < 1e-12, "3 cliques x bias 0.5");
+    }
+
+    #[test]
+    fn weights_distance() {
+        let a = Weights::from_vec(vec![0.0, 0.0]);
+        let b = Weights::from_vec(vec![3.0, 4.0]);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+}

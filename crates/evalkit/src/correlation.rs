@@ -1,0 +1,172 @@
+//! Correlation coefficients: Pearson (Fig. 5) and Kendall's τ_b (Table 2).
+
+/// Pearson's product-moment correlation of two equal-length samples.
+/// Returns 0 for degenerate (constant) inputs.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// Kendall's τ_b rank correlation with tie correction:
+/// `τ_b = (C − D) / sqrt((n0 − n1)(n0 − n2))` where `C`/`D` count
+/// concordant/discordant pairs, `n0 = n(n−1)/2`, and `n1`/`n2` count tied
+/// pairs in each sample. Ranges from −1 (reversed) to 1 (identical order);
+/// the statistic the paper uses to compare validation sequences (§8.8).
+pub fn kendall_tau_b(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "length mismatch");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    let mut ties_x = 0i64;
+    let mut ties_y = 0i64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let dx = xs[i].partial_cmp(&xs[j]).expect("finite values");
+            let dy = ys[i].partial_cmp(&ys[j]).expect("finite values");
+            use std::cmp::Ordering::*;
+            match (dx, dy) {
+                (Equal, Equal) => {} // tied in both: counted in neither denominator term
+                (Equal, _) => ties_x += 1,
+                (_, Equal) => ties_y += 1,
+                (a, b) if a == b => concordant += 1,
+                _ => discordant += 1,
+            }
+        }
+    }
+    let n0 = (n as i64) * (n as i64 - 1) / 2;
+    let denom = (((n0 - ties_x) as f64) * ((n0 - ties_y) as f64)).sqrt();
+    if denom == 0.0 {
+        return 0.0;
+    }
+    (concordant - discordant) as f64 / denom
+}
+
+/// Kendall's τ_b between two validation *sequences* of claim ids: each
+/// claim's rank is its position in the sequence; claims appearing in only
+/// one sequence are ranked after all common claims (the paper compares
+/// orderings over the same claim universe).
+pub fn sequence_tau(a: &[u32], b: &[u32]) -> f64 {
+    let common: Vec<u32> = a.iter().copied().filter(|c| b.contains(c)).collect();
+    if common.len() < 2 {
+        return 0.0;
+    }
+    let rank = |seq: &[u32], c: u32| seq.iter().position(|&x| x == c).unwrap() as f64;
+    let xs: Vec<f64> = common.iter().map(|&c| rank(a, c)).collect();
+    let ys: Vec<f64> = common.iter().map(|&c| rank(b, c)).collect();
+    kendall_tau_b(&xs, &ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pearson_perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = xs.iter().map(|x| 2.0 * x + 1.0).collect();
+        let down: Vec<f64> = xs.iter().map(|x| -0.5 * x).collect();
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_degenerate_inputs() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn tau_identical_and_reversed() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let rev = [5.0, 4.0, 3.0, 2.0, 1.0];
+        assert!((kendall_tau_b(&xs, &xs) - 1.0).abs() < 1e-12);
+        assert!((kendall_tau_b(&xs, &rev) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_handles_ties() {
+        // Known value: x = [1,2,2,3], y = [1,2,3,4].
+        // Pairs: 6 total; ties in x: (2,3). C=5, D=0, ties_x=1.
+        // tau_b = 5 / sqrt((6-1)*6) = 5/sqrt(30).
+        let xs = [1.0, 2.0, 2.0, 3.0];
+        let ys = [1.0, 2.0, 3.0, 4.0];
+        let expect = 5.0 / 30.0_f64.sqrt();
+        assert!((kendall_tau_b(&xs, &ys) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_tau_matching_order() {
+        assert!((sequence_tau(&[1, 2, 3, 4], &[1, 2, 3, 4]) - 1.0).abs() < 1e-12);
+        assert!((sequence_tau(&[1, 2, 3, 4], &[4, 3, 2, 1]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_tau_uses_common_claims_only() {
+        // Common claims {1,3} appear in the same relative order.
+        let t = sequence_tau(&[1, 7, 3], &[1, 3, 9]);
+        assert!((t - 1.0).abs() < 1e-12);
+        // Too little overlap.
+        assert_eq!(sequence_tau(&[1, 2], &[3, 4]), 0.0);
+    }
+
+    proptest! {
+        /// τ_b and Pearson both live in [-1, 1].
+        #[test]
+        fn prop_coefficients_bounded(
+            pairs in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..40)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            let r = pearson(&xs, &ys);
+            let t = kendall_tau_b(&xs, &ys);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r), "pearson {r}");
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&t), "tau {t}");
+        }
+
+        /// Both coefficients are symmetric in their arguments.
+        #[test]
+        fn prop_symmetry(
+            pairs in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 2..20)
+        ) {
+            let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            prop_assert!((pearson(&xs, &ys) - pearson(&ys, &xs)).abs() < 1e-12);
+            prop_assert!((kendall_tau_b(&xs, &ys) - kendall_tau_b(&ys, &xs)).abs() < 1e-12);
+        }
+
+        /// τ_b of a sequence against itself is 1 (when non-degenerate).
+        #[test]
+        fn prop_tau_reflexive(xs in proptest::collection::vec(-50.0f64..50.0, 2..30)) {
+            // De-duplicate to avoid the all-ties degenerate case.
+            let mut unique = xs.clone();
+            unique.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            unique.dedup();
+            if unique.len() >= 2 {
+                prop_assert!((kendall_tau_b(&unique, &unique) - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+}

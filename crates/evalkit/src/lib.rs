@@ -1,0 +1,30 @@
+//! Evaluation toolkit for the fact-checking experiments (§8).
+//!
+//! * [`metrics`] — user effort `E`, precision `P_i`, and precision
+//!   improvement `R_i` as defined in §8.1, plus histogram binning for
+//!   Fig. 4,
+//! * [`correlation`] — Pearson's coefficient (Fig. 5) and Kendall's τ_b
+//!   rank correlation with tie handling (Table 2),
+//! * [`termination`] — the four early-termination indicators of §6.1 (URR,
+//!   CNG, PRE, PIR) including k-fold cross-validated precision estimation,
+//!   and
+//! * [`sweep`] / [`report`] — experiment-runner helpers and fixed-width
+//!   table/series printing used by every figure- and table-reproducing
+//!   binary in the `bench` crate.
+
+#![warn(missing_docs)]
+
+pub mod correlation;
+pub mod metrics;
+pub mod report;
+pub mod sweep;
+pub mod termination;
+
+pub use correlation::{kendall_tau_b, pearson};
+pub use metrics::{histogram, precision, precision_improvement};
+pub use report::Table;
+pub use sweep::{
+    effort_to_reach, fast_icrf, fast_ig, run_curve, CurveConfig, CurvePoint, CurveResult,
+    StrategyKind,
+};
+pub use termination::{cv_precision, ChangesCriterion, PredictionsCriterion, UrrCriterion};

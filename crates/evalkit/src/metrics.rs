@@ -1,0 +1,119 @@
+//! The evaluation measures of §8.1.
+
+use crf::bitset::Bitset;
+
+/// Precision `P_i = |{c | g_i(c) = g*(c)}| / |C|`: the fraction of claims
+/// whose grounding matches the correct assignment. (This is the paper's
+/// definition — the correctness of the trusted set, not IR precision.)
+pub fn precision(grounding: &Bitset, truth: &[bool]) -> f64 {
+    assert_eq!(grounding.len(), truth.len(), "length mismatch");
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let correct = truth
+        .iter()
+        .enumerate()
+        .filter(|&(i, &t)| grounding.get(i) == t)
+        .count();
+    correct as f64 / truth.len() as f64
+}
+
+/// Precision improvement `R_i = (P_i − P_0) / (1 − P_0)`: relative progress
+/// from the initial precision towards 1.
+pub fn precision_improvement(p_i: f64, p_0: f64) -> f64 {
+    if (1.0 - p_0).abs() < 1e-12 {
+        return if p_i >= p_0 { 1.0 } else { 0.0 };
+    }
+    (p_i - p_0) / (1.0 - p_0)
+}
+
+/// User effort `E = |C^L| / |C|`.
+pub fn effort(n_labelled: usize, n_claims: usize) -> f64 {
+    if n_claims == 0 {
+        0.0
+    } else {
+        n_labelled as f64 / n_claims as f64
+    }
+}
+
+/// Bin values in `[0, 1]` into `bins` equal-width buckets (Fig. 4's
+/// probability histogram); the final bin is closed at 1.
+pub fn histogram(values: &[f64], bins: usize) -> Vec<usize> {
+    assert!(bins > 0);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let v = v.clamp(0.0, 1.0);
+        let b = ((v * bins as f64) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    counts
+}
+
+/// The probability assigned to the *correct* credibility value of each
+/// claim: `Pr(c=1)` where the claim is true, `Pr(c=0)` otherwise — the
+/// quantity plotted in Fig. 4.
+pub fn correct_assignment_probs(probs: &[f64], truth: &[bool]) -> Vec<f64> {
+    probs
+        .iter()
+        .zip(truth)
+        .map(|(&p, &t)| if t { p } else { 1.0 - p })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_counts_matches() {
+        let g = Bitset::from_bools(&[true, false, true, true]);
+        let truth = [true, false, false, true];
+        assert!((precision(&g, &truth) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_of_empty_db_is_one() {
+        let g = Bitset::zeros(0);
+        assert_eq!(precision(&g, &[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn precision_rejects_mismatched_lengths() {
+        precision(&Bitset::zeros(3), &[true]);
+    }
+
+    #[test]
+    fn improvement_normalises() {
+        assert!((precision_improvement(0.8, 0.6) - 0.5).abs() < 1e-12);
+        assert_eq!(precision_improvement(1.0, 0.5), 1.0);
+        assert_eq!(precision_improvement(0.5, 0.5), 0.0);
+        // Degenerate: already perfect at start.
+        assert_eq!(precision_improvement(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn effort_ratio() {
+        assert_eq!(effort(5, 20), 0.25);
+        assert_eq!(effort(0, 0), 0.0);
+    }
+
+    #[test]
+    fn histogram_bins_values() {
+        let h = histogram(&[0.05, 0.15, 0.95, 1.0, 0.5], 10);
+        assert_eq!(h[0], 1);
+        assert_eq!(h[1], 1);
+        assert_eq!(h[5], 1);
+        assert_eq!(h[9], 2, "1.0 belongs to the last bin");
+        assert_eq!(h.iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn correct_assignment_flips_for_false_claims() {
+        let probs = [0.9, 0.9];
+        let truth = [true, false];
+        let c = correct_assignment_probs(&probs, &truth);
+        assert!((c[0] - 0.9).abs() < 1e-12);
+        assert!((c[1] - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,276 @@
+//! Early-termination indicators (§6.1).
+//!
+//! Validation may converge before the goal is reached; further input then
+//! buys only marginal improvement. Four signals detect this, each consuming
+//! the per-iteration telemetry of [`factcheck::IterationRecord`]:
+//!
+//! * **URR** — uncertainty reduction rate `(H_i − H_{i+1})/H_i`,
+//! * **CNG** — the number of grounding flips per iteration,
+//! * **PRE** — consecutive iterations whose inference already agreed with
+//!   the user's verdict, and
+//! * **PIR** — the precision improvement rate estimated by k-fold
+//!   cross-validation over the labelled claims ([`cv_precision`]).
+
+use crf::{Icrf, VarId};
+use factcheck::instantiate_grounding;
+use factcheck::IterationRecord;
+
+/// Stop when the uncertainty reduction rate stays below `threshold` for
+/// `patience` consecutive iterations.
+#[derive(Debug, Clone)]
+pub struct UrrCriterion {
+    threshold: f64,
+    patience: usize,
+    last_entropy: Option<f64>,
+    below: usize,
+}
+
+impl UrrCriterion {
+    /// `threshold` is relative (e.g. 0.2 = 20%); `patience` in iterations.
+    pub fn new(threshold: f64, patience: usize) -> Self {
+        UrrCriterion {
+            threshold,
+            patience,
+            last_entropy: None,
+            below: 0,
+        }
+    }
+
+    /// The most recent uncertainty reduction rate, if computable.
+    pub fn rate(&self, record: &IterationRecord) -> Option<f64> {
+        self.last_entropy.map(|h| {
+            if h <= 1e-12 {
+                0.0
+            } else {
+                (h - record.entropy) / h
+            }
+        })
+    }
+
+    /// Feed one record; returns `true` when validation should stop.
+    pub fn update(&mut self, record: &IterationRecord) -> bool {
+        let rate = self.rate(record);
+        self.last_entropy = Some(record.entropy);
+        match rate {
+            Some(r) if r.abs() < self.threshold => {
+                self.below += 1;
+                self.below >= self.patience
+            }
+            Some(_) => {
+                self.below = 0;
+                false
+            }
+            None => false,
+        }
+    }
+}
+
+/// Stop when the number of grounding changes stays below `threshold` for
+/// `patience` consecutive iterations.
+#[derive(Debug, Clone)]
+pub struct ChangesCriterion {
+    threshold: usize,
+    patience: usize,
+    below: usize,
+}
+
+impl ChangesCriterion {
+    /// `threshold` in claims flipped; `patience` in iterations.
+    pub fn new(threshold: usize, patience: usize) -> Self {
+        ChangesCriterion {
+            threshold,
+            patience,
+            below: 0,
+        }
+    }
+
+    /// Feed one record; returns `true` when validation should stop.
+    pub fn update(&mut self, record: &IterationRecord) -> bool {
+        if record.grounding_changes <= self.threshold {
+            self.below += 1;
+        } else {
+            self.below = 0;
+        }
+        self.below >= self.patience
+    }
+}
+
+/// Stop after `patience` consecutive iterations in which the inference
+/// result already matched the user input ("amount of validated
+/// predictions").
+#[derive(Debug, Clone)]
+pub struct PredictionsCriterion {
+    patience: usize,
+    streak: usize,
+}
+
+impl PredictionsCriterion {
+    /// `patience` in consecutive agreeing iterations.
+    pub fn new(patience: usize) -> Self {
+        PredictionsCriterion {
+            patience,
+            streak: 0,
+        }
+    }
+
+    /// Feed one record; returns `true` when validation should stop.
+    pub fn update(&mut self, record: &IterationRecord) -> bool {
+        if record.prediction_matched {
+            self.streak += 1;
+        } else {
+            self.streak = 0;
+        }
+        self.streak >= self.patience
+    }
+
+    /// Current agreement streak.
+    pub fn streak(&self) -> usize {
+        self.streak
+    }
+}
+
+/// k-fold cross-validated precision estimate (the PIR indicator's `A_i`):
+/// partition the labelled claims into `k` folds; for each fold, re-infer
+/// without its labels and compare the resulting grounding against the
+/// held-out user input; average the per-fold agreement.
+pub fn cv_precision(icrf: &Icrf, k: usize, em_iters: usize) -> f64 {
+    assert!(k >= 2, "need at least 2 folds");
+    let labelled: Vec<(usize, bool)> = icrf
+        .labels()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| l.map(|v| (i, v)))
+        .collect();
+    if labelled.len() < k {
+        return 0.0;
+    }
+    let fold_of = |idx: usize| idx % k;
+    let mut total = 0.0;
+    for fold in 0..k {
+        let holdout: Vec<(usize, bool)> = labelled
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, &cv)| (fold_of(pos) == fold).then_some(cv))
+            .collect();
+        if holdout.is_empty() {
+            continue;
+        }
+        let mut scratch = icrf.clone();
+        for &(c, _) in &holdout {
+            scratch.clear_label(VarId(c as u32));
+        }
+        scratch.config_mut().max_em_iters = em_iters;
+        scratch.run();
+        let g = instantiate_grounding(&scratch);
+        let agree = holdout.iter().filter(|&&(c, v)| g.get(c) == v).count();
+        total += agree as f64 / holdout.len() as f64;
+    }
+    total / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crf::{GibbsConfig, IcrfConfig};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    fn record(entropy: f64, changes: usize, matched: bool) -> IterationRecord {
+        IterationRecord {
+            iteration: 1,
+            claim: VarId(0),
+            verdict: true,
+            skips: 0,
+            error_rate: 0.0,
+            prediction_matched: matched,
+            entropy,
+            unreliable_ratio: 0.0,
+            grounding_changes: changes,
+            repair_effort: 0,
+            elapsed: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn urr_fires_on_flat_entropy() {
+        let mut c = UrrCriterion::new(0.05, 2);
+        assert!(!c.update(&record(10.0, 0, true))); // no previous entropy
+        assert!(!c.update(&record(5.0, 0, true))); // 50% reduction: reset
+        assert!(!c.update(&record(4.9, 0, true))); // 2%: 1 below
+        assert!(c.update(&record(4.85, 0, true))); // ~1%: 2 below -> stop
+    }
+
+    #[test]
+    fn urr_resets_on_progress() {
+        let mut c = UrrCriterion::new(0.1, 2);
+        c.update(&record(10.0, 0, true));
+        assert!(!c.update(&record(9.95, 0, true))); // small
+        assert!(!c.update(&record(5.0, 0, true))); // big again: reset
+        assert!(!c.update(&record(4.99, 0, true)));
+        assert!(c.update(&record(4.98, 0, true)));
+    }
+
+    #[test]
+    fn changes_criterion_counts_patience() {
+        let mut c = ChangesCriterion::new(1, 3);
+        assert!(!c.update(&record(1.0, 0, true)));
+        assert!(!c.update(&record(1.0, 1, true)));
+        assert!(c.update(&record(1.0, 0, true)));
+        // Large change resets.
+        let mut c = ChangesCriterion::new(1, 2);
+        assert!(!c.update(&record(1.0, 0, true)));
+        assert!(!c.update(&record(1.0, 9, true)));
+        assert!(!c.update(&record(1.0, 0, true)));
+        assert!(c.update(&record(1.0, 1, true)));
+    }
+
+    #[test]
+    fn predictions_criterion_tracks_streak() {
+        let mut c = PredictionsCriterion::new(3);
+        assert!(!c.update(&record(1.0, 0, true)));
+        assert!(!c.update(&record(1.0, 0, true)));
+        assert!(!c.update(&record(1.0, 0, false)));
+        assert_eq!(c.streak(), 0);
+        assert!(!c.update(&record(1.0, 0, true)));
+        assert!(!c.update(&record(1.0, 0, true)));
+        assert!(c.update(&record(1.0, 0, true)));
+    }
+
+    #[test]
+    fn cv_precision_is_high_for_consistent_labels() {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = Arc::new(ds.db.to_crf_model());
+        let mut icrf = Icrf::new(
+            model,
+            IcrfConfig {
+                max_em_iters: 2,
+                gibbs: GibbsConfig {
+                    burn_in: 8,
+                    samples: 30,
+                    thin: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        // Label 70% of claims with the truth: the model should be able to
+        // recover most held-out labels.
+        let n = ds.truth.len();
+        for i in 0..(n * 7 / 10) {
+            icrf.set_label(VarId(i as u32), ds.truth[i]);
+        }
+        icrf.run();
+        let a = cv_precision(&icrf, 5, 1);
+        assert!(a > 0.6, "cross-validated precision {a}");
+        assert!(a <= 1.0);
+    }
+
+    #[test]
+    fn cv_precision_handles_few_labels() {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = Arc::new(ds.db.to_crf_model());
+        let icrf = Icrf::new(model, IcrfConfig::default());
+        // No labels at all: defined to be 0.
+        assert_eq!(cv_precision(&icrf, 5, 1), 0.0);
+    }
+}

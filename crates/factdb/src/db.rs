@@ -1,0 +1,339 @@
+//! The fact-database container and its conversion to a CRF model.
+
+use crate::features;
+use crate::model::{ClaimId, ClaimRecord, DocId, DocumentRecord, SourceId, SourceRecord};
+use crf::{CrfModel, CrfModelBuilder};
+use serde::{Deserialize, Serialize};
+
+/// The concrete `<S, D, C>` part of a probabilistic fact database; the
+/// credibility model `P` lives in the inference engine (`factcheck` crate).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FactDatabase {
+    sources: Vec<SourceRecord>,
+    documents: Vec<DocumentRecord>,
+    claims: Vec<ClaimRecord>,
+}
+
+/// Referential-integrity error when adding a document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// The document references a source that has not been added.
+    UnknownSource(SourceId),
+    /// The document references a claim that has not been added.
+    UnknownClaim(ClaimId),
+    /// The document references no claims at all.
+    NoClaims,
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::UnknownSource(s) => write!(f, "unknown source {:?}", s),
+            DbError::UnknownClaim(c) => write!(f, "unknown claim {:?}", c),
+            DbError::NoClaims => write!(f, "document references no claims"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Corpus statistics, comparable to the dataset table in §8.1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Number of sources.
+    pub n_sources: usize,
+    /// Number of documents.
+    pub n_documents: usize,
+    /// Number of claims.
+    pub n_claims: usize,
+    /// Mean number of documents referencing a claim.
+    pub docs_per_claim: f64,
+    /// Mean number of distinct claims per source.
+    pub claims_per_source: f64,
+    /// Fraction of document–claim links with a refuting stance.
+    pub refute_fraction: f64,
+    /// Fraction of claims whose ground truth is credible.
+    pub true_fraction: f64,
+}
+
+impl FactDatabase {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a source, returning its id.
+    pub fn add_source(&mut self, source: SourceRecord) -> SourceId {
+        self.sources.push(source);
+        SourceId(self.sources.len() as u32 - 1)
+    }
+
+    /// Register a claim, returning its id.
+    pub fn add_claim(&mut self, claim: ClaimRecord) -> ClaimId {
+        self.claims.push(claim);
+        ClaimId(self.claims.len() as u32 - 1)
+    }
+
+    /// Register a document; all referenced sources and claims must already
+    /// exist.
+    pub fn add_document(&mut self, doc: DocumentRecord) -> Result<DocId, DbError> {
+        if doc.source.idx() >= self.sources.len() {
+            return Err(DbError::UnknownSource(doc.source));
+        }
+        if doc.claims.is_empty() {
+            return Err(DbError::NoClaims);
+        }
+        for (c, _) in &doc.claims {
+            if c.idx() >= self.claims.len() {
+                return Err(DbError::UnknownClaim(*c));
+            }
+        }
+        self.documents.push(doc);
+        Ok(DocId(self.documents.len() as u32 - 1))
+    }
+
+    /// All sources.
+    pub fn sources(&self) -> &[SourceRecord] {
+        &self.sources
+    }
+
+    /// All documents.
+    pub fn documents(&self) -> &[DocumentRecord] {
+        &self.documents
+    }
+
+    /// All claims.
+    pub fn claims(&self) -> &[ClaimRecord] {
+        &self.claims
+    }
+
+    /// Number of sources.
+    pub fn n_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Number of documents.
+    pub fn n_documents(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Number of claims.
+    pub fn n_claims(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Ground-truth credibility per claim (None where unlabelled).
+    pub fn truth(&self) -> Vec<Option<bool>> {
+        self.claims.iter().map(|c| c.truth).collect()
+    }
+
+    /// Corpus statistics.
+    pub fn stats(&self) -> DatasetStats {
+        let mut links = 0usize;
+        let mut refutes = 0usize;
+        let mut claim_docs = vec![0u32; self.n_claims()];
+        let mut source_claims: Vec<std::collections::HashSet<u32>> =
+            vec![Default::default(); self.n_sources()];
+        for doc in &self.documents {
+            for (c, stance) in &doc.claims {
+                links += 1;
+                if *stance == crf::Stance::Refute {
+                    refutes += 1;
+                }
+                claim_docs[c.idx()] += 1;
+                source_claims[doc.source.idx()].insert(c.0);
+            }
+        }
+        let n_true = self.claims.iter().filter(|c| c.truth == Some(true)).count();
+        let n_labelled = self.claims.iter().filter(|c| c.truth.is_some()).count();
+        DatasetStats {
+            n_sources: self.n_sources(),
+            n_documents: self.n_documents(),
+            n_claims: self.n_claims(),
+            docs_per_claim: if self.n_claims() == 0 {
+                0.0
+            } else {
+                claim_docs.iter().map(|&x| x as f64).sum::<f64>() / self.n_claims() as f64
+            },
+            claims_per_source: if self.n_sources() == 0 {
+                0.0
+            } else {
+                source_claims.iter().map(|s| s.len() as f64).sum::<f64>()
+                    / self.n_sources() as f64
+            },
+            refute_fraction: if links == 0 {
+                0.0
+            } else {
+                refutes as f64 / links as f64
+            },
+            true_fraction: if n_labelled == 0 {
+                0.0
+            } else {
+                n_true as f64 / n_labelled as f64
+            },
+        }
+    }
+
+    /// Convert into the CRF factor graph: claim `i` becomes variable `i`,
+    /// every document–claim link becomes one clique, and feature matrices
+    /// are assembled and standardised by [`crate::features`].
+    pub fn to_crf_model(&self) -> CrfModel {
+        let sf = features::source_features(self);
+        let df = features::doc_features(self);
+        let mut b = CrfModelBuilder::new(features::N_SOURCE_FEATURES, features::N_DOC_FEATURES);
+        for i in 0..self.n_sources() {
+            b.add_source(&sf[i * features::N_SOURCE_FEATURES..(i + 1) * features::N_SOURCE_FEATURES])
+                .expect("source feature row has builder dimensionality");
+        }
+        for _ in 0..self.n_claims() {
+            b.add_claim();
+        }
+        for (i, doc) in self.documents.iter().enumerate() {
+            let d = b
+                .add_document(&df[i * features::N_DOC_FEATURES..(i + 1) * features::N_DOC_FEATURES])
+                .expect("document feature row has builder dimensionality");
+            for (c, stance) in &doc.claims {
+                b.add_clique(crf::VarId(c.0), d, doc.source.0, *stance);
+            }
+        }
+        b.build().expect("database integrity was checked on insert")
+    }
+
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("database serialises")
+    }
+
+    /// Deserialise from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceKind;
+    use crf::Stance;
+
+    fn source(name: &str) -> SourceRecord {
+        SourceRecord {
+            name: name.into(),
+            kind: SourceKind::Website,
+            age: None,
+            post_count: 0,
+        }
+    }
+
+    fn claim(text: &str, truth: bool) -> ClaimRecord {
+        ClaimRecord {
+            text: text.into(),
+            truth: Some(truth),
+        }
+    }
+
+    fn sample_db() -> FactDatabase {
+        let mut db = FactDatabase::new();
+        let s0 = db.add_source(source("a.org"));
+        let s1 = db.add_source(source("b.org"));
+        let c0 = db.add_claim(claim("claim zero", true));
+        let c1 = db.add_claim(claim("claim one", false));
+        db.add_document(DocumentRecord {
+            source: s0,
+            claims: vec![(c0, Stance::Support)],
+            tokens: vec!["verified".into()],
+        })
+        .unwrap();
+        db.add_document(DocumentRecord {
+            source: s1,
+            claims: vec![(c0, Stance::Support), (c1, Stance::Refute)],
+            tokens: vec!["hoax".into(), "debunked".into()],
+        })
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn add_document_checks_references() {
+        let mut db = FactDatabase::new();
+        let s = db.add_source(source("x.org"));
+        let err = db
+            .add_document(DocumentRecord {
+                source: SourceId(9),
+                claims: vec![(ClaimId(0), Stance::Support)],
+                tokens: vec![],
+            })
+            .unwrap_err();
+        assert_eq!(err, DbError::UnknownSource(SourceId(9)));
+
+        let err = db
+            .add_document(DocumentRecord {
+                source: s,
+                claims: vec![(ClaimId(3), Stance::Support)],
+                tokens: vec![],
+            })
+            .unwrap_err();
+        assert_eq!(err, DbError::UnknownClaim(ClaimId(3)));
+
+        let err = db
+            .add_document(DocumentRecord {
+                source: s,
+                claims: vec![],
+                tokens: vec![],
+            })
+            .unwrap_err();
+        assert_eq!(err, DbError::NoClaims);
+    }
+
+    #[test]
+    fn stats_are_correct() {
+        let db = sample_db();
+        let st = db.stats();
+        assert_eq!(st.n_sources, 2);
+        assert_eq!(st.n_documents, 2);
+        assert_eq!(st.n_claims, 2);
+        // Links: c0 twice, c1 once -> docs_per_claim = 1.5
+        assert!((st.docs_per_claim - 1.5).abs() < 1e-12);
+        // s0 has 1 claim, s1 has 2 -> 1.5
+        assert!((st.claims_per_source - 1.5).abs() < 1e-12);
+        // 1 refute of 3 links
+        assert!((st.refute_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!((st.true_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn to_crf_model_preserves_structure() {
+        let db = sample_db();
+        let m = db.to_crf_model();
+        assert_eq!(m.n_claims(), 2);
+        assert_eq!(m.n_sources(), 2);
+        assert_eq!(m.n_docs(), 2);
+        assert_eq!(m.cliques().len(), 3);
+        // Claim 0 appears in two cliques, claim 1 in one.
+        assert_eq!(m.cliques_of(crf::VarId(0)).len(), 2);
+        assert_eq!(m.cliques_of(crf::VarId(1)).len(), 1);
+        // The refuting stance survives the conversion.
+        let refutes = m
+            .cliques()
+            .iter()
+            .filter(|cl| cl.stance == Stance::Refute)
+            .count();
+        assert_eq!(refutes, 1);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let db = sample_db();
+        let json = db.to_json();
+        let back = FactDatabase::from_json(&json).unwrap();
+        assert_eq!(back.n_sources(), db.n_sources());
+        assert_eq!(back.n_documents(), db.n_documents());
+        assert_eq!(back.stats(), db.stats());
+    }
+
+    #[test]
+    fn truth_vector_matches_claims() {
+        let db = sample_db();
+        assert_eq!(db.truth(), vec![Some(true), Some(false)]);
+    }
+}

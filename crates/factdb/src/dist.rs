@@ -1,0 +1,169 @@
+//! Sampling from the distributions the generator needs (normal, gamma,
+//! beta, Zipf), implemented from scratch against the `rand` core traits.
+//!
+//! Implementations follow the standard constructions: Box–Muller for the
+//! normal, Marsaglia–Tsang squeeze for the gamma (with the Johnk-style
+//! boost for shape < 1), the gamma ratio for the beta, and inverse-CDF
+//! lookup over precomputed cumulative weights for the Zipf.
+
+use rand::Rng;
+
+/// One draw from `N(mean, sd²)` via Box–Muller.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    // Avoid u1 == 0 exactly; ln(0) would produce -inf.
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sd * z
+}
+
+/// One draw from `Gamma(shape, 1)` via Marsaglia–Tsang (2000).
+pub fn gamma<R: Rng + ?Sized>(rng: &mut R, shape: f64) -> f64 {
+    assert!(shape > 0.0, "gamma shape must be positive");
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = normal(rng, 0.0, 1.0);
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// One draw from `Beta(a, b)` as `X/(X+Y)` with independent gammas.
+pub fn beta<R: Rng + ?Sized>(rng: &mut R, a: f64, b: f64) -> f64 {
+    let x = gamma(rng, a);
+    let y = gamma(rng, b);
+    if x + y == 0.0 {
+        0.5
+    } else {
+        x / (x + y)
+    }
+}
+
+/// A Zipf-distributed sampler over `{0, .., n-1}` with exponent `s`:
+/// `P(k) ∝ (k+1)^{-s}`. Precomputes the CDF; sampling is a binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with exponent `s ≥ 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s >= 0.0, "Zipf exponent must be non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += (k as f64 + 1.0).powf(-s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for x in cdf.iter_mut() {
+            *x /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Sample a rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut r, 2.0, 3.0)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng();
+        for &shape in &[0.5, 1.0, 2.5, 7.0] {
+            let n = 30_000;
+            let mean = (0..n).map(|_| gamma(&mut r, shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_mean_and_support() {
+        let mut r = rng();
+        let n = 30_000;
+        let xs: Vec<f64> = (0..n).map(|_| beta(&mut r, 6.0, 2.0)).collect();
+        assert!(xs.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        assert!((mean - 0.75).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn zipf_is_monotone_decreasing() {
+        let mut r = rng();
+        let z = Zipf::new(20, 1.1);
+        let mut counts = vec![0u32; 20];
+        for _ in 0..60_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[5], "{counts:?}");
+        assert!(counts[1] > counts[10]);
+        assert!(counts[19] > 0, "tail ranks must still occur");
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let mut r = rng();
+        let z = Zipf::new(10, 0.0);
+        let mut counts = vec![0u32; 10];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut r)] += 1;
+        }
+        for &c in &counts {
+            let freq = c as f64 / n as f64;
+            assert!((freq - 0.1).abs() < 0.01, "{counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        Zipf::new(0, 1.0);
+    }
+}

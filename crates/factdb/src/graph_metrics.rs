@@ -1,0 +1,237 @@
+//! Centrality scores over the source graph: PageRank and HITS (§8.1).
+//!
+//! When a source is a website, the paper derives its trustworthiness
+//! features from "centrality scores such as PageRank and HITS". Crawled
+//! hyperlink graphs are not available for synthetic corpora, so the link
+//! structure is induced from the data itself: two sources are linked when
+//! their documents discuss a common claim (a co-citation edge), directed
+//! from the less to the more active source — active hubs accumulate rank,
+//! mirroring how aggregators link out to authorities on the Web.
+//!
+//! Both algorithms are implemented from scratch over a compact CSR-like
+//! adjacency; they are generic enough to reuse for any directed graph.
+
+/// A directed graph in adjacency-list form, nodes `0..n`.
+#[derive(Debug, Clone, Default)]
+pub struct DiGraph {
+    /// `out[u]` lists the successors of `u`.
+    out: Vec<Vec<u32>>,
+}
+
+impl DiGraph {
+    /// An edgeless graph with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DiGraph {
+            out: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty()
+    }
+
+    /// Add edge `u -> v` (parallel edges are kept; they weight the walk).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.len() && v < self.len(), "edge out of range");
+        self.out[u].push(v as u32);
+    }
+
+    /// Successors of `u`.
+    pub fn successors(&self, u: usize) -> &[u32] {
+        &self.out[u]
+    }
+
+    /// Total number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.out.iter().map(|v| v.len()).sum()
+    }
+}
+
+/// PageRank by power iteration with damping `d` and uniform teleport;
+/// dangling mass is redistributed uniformly. Returns scores summing to 1.
+pub fn pagerank(g: &DiGraph, damping: f64, iterations: usize) -> Vec<f64> {
+    let n = g.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0; n];
+    for _ in 0..iterations {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0;
+        for u in 0..n {
+            let succ = g.successors(u);
+            if succ.is_empty() {
+                dangling += rank[u];
+            } else {
+                let share = rank[u] / succ.len() as f64;
+                for &v in succ {
+                    next[v as usize] += share;
+                }
+            }
+        }
+        let teleport = (1.0 - damping) * uniform + damping * dangling * uniform;
+        for x in next.iter_mut() {
+            *x = damping * *x + teleport;
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// HITS hub/authority scores by mutual power iteration, L2-normalised.
+/// Returns `(hubs, authorities)`.
+pub fn hits(g: &DiGraph, iterations: usize) -> (Vec<f64>, Vec<f64>) {
+    let n = g.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut hub = vec![1.0; n];
+    let mut auth = vec![1.0; n];
+    for _ in 0..iterations {
+        // auth(v) = Σ_{u -> v} hub(u)
+        let mut new_auth = vec![0.0; n];
+        for u in 0..n {
+            for &v in g.successors(u) {
+                new_auth[v as usize] += hub[u];
+            }
+        }
+        normalise(&mut new_auth);
+        // hub(u) = Σ_{u -> v} auth(v)
+        let mut new_hub = vec![0.0; n];
+        for u in 0..n {
+            new_hub[u] = g.successors(u).iter().map(|&v| new_auth[v as usize]).sum();
+        }
+        normalise(&mut new_hub);
+        hub = new_hub;
+        auth = new_auth;
+    }
+    (hub, auth)
+}
+
+fn normalise(v: &mut [f64]) {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    } else {
+        // Degenerate graph: fall back to uniform mass.
+        let n = v.len() as f64;
+        for x in v.iter_mut() {
+            *x = 1.0 / n.sqrt();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A 3-cycle is symmetric: every node gets rank 1/3.
+    #[test]
+    fn pagerank_cycle_is_uniform() {
+        let mut g = DiGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
+        let r = pagerank(&g, 0.85, 100);
+        for &x in &r {
+            assert!((x - 1.0 / 3.0).abs() < 1e-9, "{r:?}");
+        }
+    }
+
+    /// A hub pointing at one sink: the sink outranks everything.
+    #[test]
+    fn pagerank_sink_accumulates() {
+        let mut g = DiGraph::new(4);
+        g.add_edge(0, 3);
+        g.add_edge(1, 3);
+        g.add_edge(2, 3);
+        let r = pagerank(&g, 0.85, 100);
+        assert!(r[3] > r[0] && r[3] > r[1] && r[3] > r[2], "{r:?}");
+    }
+
+    #[test]
+    fn pagerank_handles_dangling_nodes() {
+        let mut g = DiGraph::new(2);
+        g.add_edge(0, 1); // node 1 dangles
+        let r = pagerank(&g, 0.85, 200);
+        let sum: f64 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "mass leaked: {sum}");
+        assert!(r[1] > r[0]);
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        let g = DiGraph::new(0);
+        assert!(pagerank(&g, 0.85, 10).is_empty());
+    }
+
+    /// In a bipartite hub->authority pattern, HITS separates the roles.
+    #[test]
+    fn hits_separates_hubs_and_authorities() {
+        // Nodes 0,1 are hubs pointing at authorities 2,3.
+        let mut g = DiGraph::new(4);
+        for h in 0..2 {
+            for a in 2..4 {
+                g.add_edge(h, a);
+            }
+        }
+        let (hub, auth) = hits(&g, 50);
+        assert!(hub[0] > hub[2] && hub[1] > hub[3], "hubs {hub:?}");
+        assert!(auth[2] > auth[0] && auth[3] > auth[1], "auths {auth:?}");
+    }
+
+    #[test]
+    fn hits_edgeless_graph_is_uniform() {
+        let g = DiGraph::new(3);
+        let (hub, auth) = hits(&g, 10);
+        assert!(hub.iter().all(|&x| x.is_finite()));
+        assert!(auth.iter().all(|&x| x.is_finite()));
+    }
+
+    proptest! {
+        /// PageRank is a probability distribution on any graph.
+        #[test]
+        fn prop_pagerank_is_distribution(
+            n in 1usize..30,
+            edges in proptest::collection::vec((0usize..30, 0usize..30), 0..80),
+        ) {
+            let mut g = DiGraph::new(n);
+            for (u, v) in edges {
+                if u < n && v < n {
+                    g.add_edge(u, v);
+                }
+            }
+            let r = pagerank(&g, 0.85, 60);
+            let sum: f64 = r.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+            prop_assert!(r.iter().all(|&x| x >= 0.0));
+        }
+
+        /// HITS scores stay finite and non-negative.
+        #[test]
+        fn prop_hits_finite(
+            n in 1usize..20,
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..60),
+        ) {
+            let mut g = DiGraph::new(n);
+            for (u, v) in edges {
+                if u < n && v < n {
+                    g.add_edge(u, v);
+                }
+            }
+            let (hub, auth) = hits(&g, 30);
+            prop_assert!(hub.iter().chain(&auth).all(|&x| x.is_finite() && x >= 0.0));
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Lexicon-based linguistic quality features for documents (§8.1).
+//!
+//! The paper assesses the language quality of documents "using common
+//! linguistic features such as stylistic indicators (e.g., use of modals,
+//! inferential conjunction) and affective indicators (e.g., sentiments,
+//! thematic words)" following Olteanu et al. (ECIR 2013). This module
+//! implements that extraction over tokenised text with small built-in
+//! lexicons: it counts modal verbs, inferential conjunctions, hedges,
+//! positive/negative sentiment words, and subjective intensifiers, and
+//! normalises the counts by document length.
+
+/// Modal verbs — stylistic indicator.
+pub const MODALS: &[&str] = &[
+    "can", "could", "may", "might", "must", "shall", "should", "will", "would", "ought",
+];
+
+/// Inferential conjunctions — stylistic indicator of argumentative text.
+pub const INFERENTIAL: &[&str] = &[
+    "therefore",
+    "thus",
+    "hence",
+    "consequently",
+    "because",
+    "since",
+    "accordingly",
+    "so",
+];
+
+/// Hedging expressions — markers of low-commitment language.
+pub const HEDGES: &[&str] = &[
+    "maybe",
+    "perhaps",
+    "possibly",
+    "allegedly",
+    "reportedly",
+    "apparently",
+    "supposedly",
+    "rumored",
+    "seems",
+    "likely",
+];
+
+/// Positive sentiment words — affective indicator.
+pub const POSITIVE: &[&str] = &[
+    "good", "great", "true", "verified", "confirmed", "accurate", "reliable", "proven",
+    "excellent", "trustworthy",
+];
+
+/// Negative sentiment words — affective indicator.
+pub const NEGATIVE: &[&str] = &[
+    "bad", "false", "fake", "hoax", "wrong", "debunked", "misleading", "scam", "lie",
+    "fraud",
+];
+
+/// Subjective intensifiers — markers of emotive, low-quality style.
+pub const INTENSIFIERS: &[&str] = &[
+    "very",
+    "really",
+    "extremely",
+    "totally",
+    "absolutely",
+    "unbelievable",
+    "shocking",
+    "amazing",
+    "incredible",
+    "outrageous",
+];
+
+/// The extracted linguistic profile of one document.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LinguisticProfile {
+    /// Fraction of tokens that are modal verbs.
+    pub modality: f64,
+    /// Fraction of tokens that are inferential conjunctions.
+    pub inferential: f64,
+    /// Fraction of tokens that are hedges.
+    pub hedging: f64,
+    /// Net sentiment: (positive − negative) / tokens.
+    pub sentiment: f64,
+    /// Fraction of tokens that are subjective intensifiers.
+    pub subjectivity: f64,
+    /// Natural log of (1 + token count): a length indicator.
+    pub log_length: f64,
+}
+
+impl LinguisticProfile {
+    /// Objectivity proxy in `[0, 1]`: 1 minus the clamped sum of hedging and
+    /// subjectivity rates. High values indicate sober, factual style.
+    pub fn objectivity(&self) -> f64 {
+        (1.0 - (self.hedging + self.subjectivity)).clamp(0.0, 1.0)
+    }
+
+    /// Flatten into the document feature vector consumed by the CRF:
+    /// `[objectivity, modality, inferential, sentiment, log_length]`.
+    pub fn to_features(&self) -> [f64; 5] {
+        [
+            self.objectivity(),
+            self.modality,
+            self.inferential,
+            self.sentiment,
+            self.log_length,
+        ]
+    }
+}
+
+/// Number of document features produced by [`LinguisticProfile::to_features`].
+pub const N_DOC_FEATURES: usize = 5;
+
+fn rate(tokens: &[String], lexicon: &[&str]) -> f64 {
+    if tokens.is_empty() {
+        return 0.0;
+    }
+    let hits = tokens
+        .iter()
+        .filter(|t| lexicon.contains(&t.as_str()))
+        .count();
+    hits as f64 / tokens.len() as f64
+}
+
+/// Extract the linguistic profile of a tokenised document. Tokens are
+/// matched case-insensitively against the built-in lexicons.
+pub fn extract(tokens: &[String]) -> LinguisticProfile {
+    let lowered: Vec<String> = tokens.iter().map(|t| t.to_lowercase()).collect();
+    LinguisticProfile {
+        modality: rate(&lowered, MODALS),
+        inferential: rate(&lowered, INFERENTIAL),
+        hedging: rate(&lowered, HEDGES),
+        sentiment: rate(&lowered, POSITIVE) - rate(&lowered, NEGATIVE),
+        subjectivity: rate(&lowered, INTENSIFIERS),
+        log_length: (1.0 + tokens.len() as f64).ln(),
+    }
+}
+
+/// Tokenise raw text on whitespace and punctuation boundaries.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_string())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        tokenize(s)
+    }
+
+    #[test]
+    fn tokenize_splits_on_punctuation() {
+        assert_eq!(
+            toks("Hello, world! It's 2019."),
+            vec!["Hello", "world", "It", "s", "2019"]
+        );
+        assert!(toks("").is_empty());
+        assert!(toks("  ,,, ").is_empty());
+    }
+
+    #[test]
+    fn empty_document_has_zero_rates() {
+        let p = extract(&[]);
+        assert_eq!(p.modality, 0.0);
+        assert_eq!(p.sentiment, 0.0);
+        assert_eq!(p.log_length, 1.0f64.ln());
+        assert_eq!(p.objectivity(), 1.0);
+    }
+
+    #[test]
+    fn modal_rate_counts_modals() {
+        let p = extract(&toks("you should and you must but the cat sat"));
+        // 2 modals out of 9 tokens.
+        assert!((p.modality - 2.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matching_is_case_insensitive() {
+        let a = extract(&toks("MUST Should WOULD"));
+        assert!((a.modality - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sentiment_is_signed() {
+        let pos = extract(&toks("verified true accurate"));
+        let neg = extract(&toks("fake hoax debunked"));
+        assert!(pos.sentiment > 0.9);
+        assert!(neg.sentiment < -0.9);
+        let mixed = extract(&toks("true hoax"));
+        assert!(mixed.sentiment.abs() < 1e-12);
+    }
+
+    #[test]
+    fn subjective_text_lowers_objectivity() {
+        let sober = extract(&toks("the study therefore reports measured results"));
+        let hype = extract(&toks(
+            "absolutely shocking unbelievable allegedly maybe totally outrageous",
+        ));
+        assert!(sober.objectivity() > 0.9);
+        assert!(hype.objectivity() < 0.3);
+    }
+
+    #[test]
+    fn features_have_fixed_arity() {
+        let p = extract(&toks("therefore the result should hold"));
+        let f = p.to_features();
+        assert_eq!(f.len(), N_DOC_FEATURES);
+        assert!(f.iter().all(|x| x.is_finite()));
+        assert!((f[2] - 1.0 / 5.0).abs() < 1e-12, "inferential rate");
+    }
+
+    #[test]
+    fn log_length_grows_with_document() {
+        let short = extract(&toks("one two"));
+        let long = extract(&vec!["word".to_string(); 100]);
+        assert!(long.log_length > short.log_length);
+    }
+}

@@ -1,0 +1,107 @@
+//! Record types of the fact database: sources, documents, claims.
+
+use crf::Stance;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a source in a [`crate::FactDatabase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SourceId(pub u32);
+
+/// Identifier of a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DocId(pub u32);
+
+/// Identifier of a claim.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ClaimId(pub u32);
+
+impl SourceId {
+    /// Index form.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+impl DocId {
+    /// Index form.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+impl ClaimId {
+    /// Index form.
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What kind of entity a source is; determines which feature recipe applies
+/// (§8.1: centrality scores for websites, profile/activity data for forum
+/// authors).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SourceKind {
+    /// A website / domain (Wikipedia & Snopes datasets).
+    Website,
+    /// A forum user (healthcare dataset).
+    Author,
+}
+
+/// A data source: a website, news provider, or forum user.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SourceRecord {
+    /// Display name (domain or username).
+    pub name: String,
+    /// Website or author.
+    pub kind: SourceKind,
+    /// For authors: age in years (feature input).
+    pub age: Option<f64>,
+    /// For authors: number of posts in the activity log.
+    pub post_count: u32,
+}
+
+/// A document: a tweet, news item, forum posting, or web page. Documents
+/// reference the claims they discuss with a stance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DocumentRecord {
+    /// The providing source.
+    pub source: SourceId,
+    /// Claims discussed and the stance taken towards each.
+    pub claims: Vec<(ClaimId, Stance)>,
+    /// Tokenised text; the linguistic feature extractor consumes this.
+    pub tokens: Vec<String>,
+}
+
+/// A candidate fact awaiting credibility assessment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClaimRecord {
+    /// Natural-language rendering of the claim.
+    pub text: String,
+    /// Ground-truth credibility when known (labelled datasets); drives the
+    /// simulated user of the experiments, never the inference.
+    pub truth: Option<bool>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_indexable() {
+        assert!(SourceId(1) < SourceId(2));
+        assert_eq!(DocId(7).idx(), 7);
+        assert_eq!(ClaimId(0).idx(), 0);
+    }
+
+    #[test]
+    fn records_serde_roundtrip() {
+        let doc = DocumentRecord {
+            source: SourceId(3),
+            claims: vec![(ClaimId(0), Stance::Support), (ClaimId(1), Stance::Refute)],
+            tokens: vec!["the".into(), "moon".into(), "landing".into()],
+        };
+        let json = serde_json::to_string(&doc).unwrap();
+        let back: DocumentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.source, doc.source);
+        assert_eq!(back.claims, doc.claims);
+        assert_eq!(back.tokens, doc.tokens);
+    }
+}

@@ -1,0 +1,553 @@
+//! Synthetic dataset generation calibrated to the paper's corpora (§8.1).
+//!
+//! The three evaluation datasets (Wikipedia hoaxes, healthcare forum,
+//! Snopes) are not redistributable, so experiments run on synthetic corpora
+//! drawn from a generative model with the same mutual-reinforcement
+//! structure (DESIGN.md §3 documents the substitution argument):
+//!
+//! 1. each source has a latent trustworthiness `θ_s` drawn from a Beta
+//!    mixture (reliable vs. unreliable population),
+//! 2. each claim has a latent truth value,
+//! 3. each document belongs to a Zipf-popular source and takes a stance on
+//!    its claims — correct with probability `θ_s` (a trustworthy source
+//!    supports true claims and refutes hoaxes), flipped otherwise,
+//! 4. document text is sampled so that trustworthy sources write sober,
+//!    inferential prose and unreliable ones write hedged, sensational prose
+//!    (the signal the linguistic features of §8.1 pick up), and
+//! 5. stance-correlated sentiment words are mixed in.
+//!
+//! Presets reproduce the corpus statistics of the paper's datasets at full
+//! scale; `*Mini` presets shrink the corpus while preserving the
+//! docs-per-claim ratio and skew so that quadratic-cost guidance sweeps
+//! remain tractable (DESIGN.md §3).
+
+use crate::db::FactDatabase;
+use crate::dist::{self, Zipf};
+use crate::model::{ClaimRecord, DocumentRecord, SourceKind, SourceRecord};
+use crf::Stance;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of the generator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Number of sources.
+    pub n_sources: usize,
+    /// Number of documents.
+    pub n_docs: usize,
+    /// Number of claims.
+    pub n_claims: usize,
+    /// Fraction of sources drawn from the unreliable Beta component.
+    pub unreliable_fraction: f64,
+    /// Fraction of claims that are actually credible.
+    pub true_fraction: f64,
+    /// Zipf exponent of source activity (larger = more skew).
+    pub zipf_exponent: f64,
+    /// Extra stance noise applied on top of source trustworthiness.
+    pub assert_noise: f64,
+    /// Probability that a document references a second claim.
+    pub multi_claim_prob: f64,
+    /// Whether sources are forum authors (healthcare) or websites.
+    pub author_sources: bool,
+    /// RNG seed; generation is fully deterministic.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            n_sources: 100,
+            n_docs: 400,
+            n_claims: 50,
+            unreliable_fraction: 0.45,
+            true_fraction: 0.5,
+            zipf_exponent: 1.05,
+            assert_noise: 0.05,
+            multi_claim_prob: 0.15,
+            author_sources: false,
+            seed: 0xfac7,
+        }
+    }
+}
+
+/// Named presets mirroring the paper's datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetPreset {
+    /// Wikipedia hoaxes: 1955 sources, 3228 documents, 157 claims.
+    Wiki,
+    /// Healthcare forum: 11206 users, 48083 documents, 529 claims.
+    Health,
+    /// Snopes: 23260 sources, 80421 documents, 4856 claims.
+    Snopes,
+    /// Scaled-down Wikipedia preset for guidance sweeps.
+    WikiMini,
+    /// Scaled-down healthcare preset.
+    HealthMini,
+    /// Scaled-down Snopes preset.
+    SnopesMini,
+}
+
+impl DatasetPreset {
+    /// Human-readable name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetPreset::Wiki => "wiki",
+            DatasetPreset::Health => "health",
+            DatasetPreset::Snopes => "snopes",
+            DatasetPreset::WikiMini => "wiki-mini",
+            DatasetPreset::HealthMini => "health-mini",
+            DatasetPreset::SnopesMini => "snopes-mini",
+        }
+    }
+
+    /// The full-scale presets in the paper's order.
+    pub fn full_scale() -> [DatasetPreset; 3] {
+        [
+            DatasetPreset::Wiki,
+            DatasetPreset::Health,
+            DatasetPreset::Snopes,
+        ]
+    }
+
+    /// The mini presets in the paper's order.
+    pub fn minis() -> [DatasetPreset; 3] {
+        [
+            DatasetPreset::WikiMini,
+            DatasetPreset::HealthMini,
+            DatasetPreset::SnopesMini,
+        ]
+    }
+
+    /// Generator configuration for the preset.
+    pub fn config(self) -> SynthConfig {
+        match self {
+            DatasetPreset::Wiki => SynthConfig {
+                n_sources: 1955,
+                n_docs: 3228,
+                n_claims: 157,
+                // Hoaxes: most claims are actually false.
+                true_fraction: 0.4,
+                unreliable_fraction: 0.42,
+                author_sources: false,
+                seed: 0x1111,
+                ..Default::default()
+            },
+            DatasetPreset::Health => SynthConfig {
+                n_sources: 11_206,
+                n_docs: 48_083,
+                n_claims: 529,
+                true_fraction: 0.5,
+                unreliable_fraction: 0.45,
+                author_sources: true,
+                seed: 0x2222,
+                ..Default::default()
+            },
+            DatasetPreset::Snopes => SynthConfig {
+                n_sources: 23_260,
+                n_docs: 80_421,
+                n_claims: 4856,
+                true_fraction: 0.4,
+                unreliable_fraction: 0.45,
+                author_sources: false,
+                seed: 0x3333,
+                ..Default::default()
+            },
+            DatasetPreset::WikiMini => SynthConfig {
+                // Preserves the real corpus' ~20 docs-per-claim ratio.
+                n_sources: 160,
+                n_docs: 720,
+                n_claims: 36,
+                true_fraction: 0.4,
+                unreliable_fraction: 0.42,
+                author_sources: false,
+                seed: 0x1111,
+                ..Default::default()
+            },
+            DatasetPreset::HealthMini => SynthConfig {
+                n_sources: 200,
+                n_docs: 640,
+                n_claims: 48,
+                true_fraction: 0.5,
+                unreliable_fraction: 0.45,
+                author_sources: true,
+                seed: 0x2222,
+                ..Default::default()
+            },
+            DatasetPreset::SnopesMini => SynthConfig {
+                n_sources: 320,
+                n_docs: 1000,
+                n_claims: 60,
+                true_fraction: 0.4,
+                unreliable_fraction: 0.45,
+                author_sources: false,
+                seed: 0x3333,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Generate the preset's dataset.
+    pub fn generate(self) -> SynthDataset {
+        generate(&self.config())
+    }
+}
+
+/// A generated corpus: the database plus the latent ground truth the
+/// simulated user replays.
+#[derive(Debug, Clone)]
+pub struct SynthDataset {
+    /// The fact database (claims carry their truth labels).
+    pub db: FactDatabase,
+    /// Ground-truth credibility per claim.
+    pub truth: Vec<bool>,
+    /// Latent source trustworthiness `θ_s` (for diagnostics only).
+    pub source_trust: Vec<f64>,
+}
+
+// Neutral filler vocabulary for document bodies.
+const FILLER: &[&str] = &[
+    "the", "a", "report", "study", "people", "data", "news", "article", "page", "story",
+    "records", "claims", "according", "website", "post", "information", "week", "year",
+    "state", "public",
+];
+
+const SOBER: &[&str] = &[
+    "therefore", "thus", "because", "since", "confirmed", "verified", "accurate", "measured",
+    "documented", "evidence",
+];
+
+const SENSATIONAL: &[&str] = &[
+    "shocking", "unbelievable", "allegedly", "maybe", "supposedly", "outrageous", "amazing",
+    "totally", "rumored", "incredible",
+];
+
+const SUPPORT_WORDS: &[&str] = &["true", "proven", "reliable", "good", "trustworthy"];
+const REFUTE_WORDS: &[&str] = &["false", "hoax", "debunked", "fake", "misleading"];
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, words: &[&'a str]) -> &'a str {
+    words[rng.gen_range(0..words.len())]
+}
+
+fn doc_tokens<R: Rng + ?Sized>(rng: &mut R, trust: f64, stance: Stance) -> Vec<String> {
+    let len = rng.gen_range(10..28);
+    let mut tokens = Vec::with_capacity(len + 6);
+    for _ in 0..len {
+        tokens.push(pick(rng, FILLER).to_string());
+    }
+    // Style: trustworthy sources write sober prose, unreliable ones hype —
+    // but the separation is deliberately partial (0.6 strength): linguistic
+    // indicators are a noisy proxy for reliability, not a label.
+    let style_words = rng.gen_range(2..5);
+    let sober_prob = 0.5 + 0.4 * (trust - 0.5);
+    for _ in 0..style_words {
+        let lexicon = if rng.gen_bool(sober_prob.clamp(0.02, 0.98)) {
+            SOBER
+        } else {
+            SENSATIONAL
+        };
+        tokens.push(pick(rng, lexicon).to_string());
+    }
+    // Sentiment follows the stance.
+    let sentiment_words = rng.gen_range(1..3);
+    for _ in 0..sentiment_words {
+        let lexicon = match stance {
+            Stance::Support => SUPPORT_WORDS,
+            Stance::Refute => REFUTE_WORDS,
+        };
+        tokens.push(pick(rng, lexicon).to_string());
+    }
+    tokens
+}
+
+/// Run the generator.
+pub fn generate(cfg: &SynthConfig) -> SynthDataset {
+    assert!(cfg.n_sources > 0 && cfg.n_docs > 0 && cfg.n_claims > 0);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut db = FactDatabase::new();
+
+    // 1. Sources with latent trustworthiness.
+    let mut source_trust = Vec::with_capacity(cfg.n_sources);
+    for i in 0..cfg.n_sources {
+        let unreliable = rng.gen_bool(cfg.unreliable_fraction);
+        // Strongly bimodal reliability: sources are *consistently* right or
+        // wrong (the mutual-reinforcement premise of the paper — a source
+        // disagreeing with claims considered credible is itself suspect).
+        // The per-document features only hint at which mode a source is in;
+        // resolving it is what user input propagates.
+        let theta = if unreliable {
+            dist::beta(&mut rng, 1.5, 4.0)
+        } else {
+            dist::beta(&mut rng, 4.0, 1.5)
+        };
+        source_trust.push(theta);
+        let (kind, age, post_count) = if cfg.author_sources {
+            let age = dist::normal(&mut rng, 40.0, 12.0).clamp(16.0, 90.0);
+            // Active authors tend to be the reliable ones in the health
+            // community (long-standing members).
+            let posts = (dist::gamma(&mut rng, 1.5 + 3.0 * theta) * 40.0) as u32;
+            (SourceKind::Author, Some(age), posts)
+        } else {
+            (SourceKind::Website, None, 0)
+        };
+        db.add_source(SourceRecord {
+            name: if cfg.author_sources {
+                format!("user{i}")
+            } else {
+                format!("site{i}.example")
+            },
+            kind,
+            age,
+            post_count,
+        });
+    }
+
+    // 2. Claims with latent truth.
+    let mut truth = Vec::with_capacity(cfg.n_claims);
+    for i in 0..cfg.n_claims {
+        let t = rng.gen_bool(cfg.true_fraction);
+        truth.push(t);
+        db.add_claim(ClaimRecord {
+            text: format!("claim-{i}"),
+            truth: Some(t),
+        });
+    }
+
+    // 3. Documents: one primary claim each (round-robin so every claim is
+    // referenced), Zipf-popular source, stance from source trustworthiness.
+    //
+    // Popularity correlates with trustworthiness (noisily): on the real
+    // Web, high-centrality/high-activity sources skew reliable, which is
+    // exactly the signal the paper's PageRank/HITS/activity features carry.
+    // Rank sources for the Zipf draw by trust plus noise so the derived
+    // centrality features are informative rather than independent of the
+    // latent trust.
+    let mut popularity_order: Vec<usize> = (0..cfg.n_sources).collect();
+    let popularity_score: Vec<f64> = source_trust
+        .iter()
+        .map(|&t| t + dist::normal(&mut rng, 0.0, 0.6))
+        .collect();
+    popularity_order.sort_by(|&a, &b| {
+        popularity_score[b]
+            .partial_cmp(&popularity_score[a])
+            .expect("finite scores")
+    });
+    let zipf = Zipf::new(cfg.n_sources, cfg.zipf_exponent);
+    for d in 0..cfg.n_docs {
+        let primary = d % cfg.n_claims;
+        let source = popularity_order[zipf.sample(&mut rng)];
+        let theta = source_trust[source];
+
+        let mut claims = Vec::with_capacity(2);
+        let stance_for = |claim: usize, rng: &mut SmallRng| {
+            let correct = rng.gen_bool((theta * (1.0 - cfg.assert_noise)).clamp(0.01, 0.99));
+            let assert_true = if correct { truth[claim] } else { !truth[claim] };
+            if assert_true {
+                Stance::Support
+            } else {
+                Stance::Refute
+            }
+        };
+        let primary_stance = stance_for(primary, &mut rng);
+        claims.push((crate::model::ClaimId(primary as u32), primary_stance));
+        if cfg.n_claims > 1 && rng.gen_bool(cfg.multi_claim_prob) {
+            let mut secondary = rng.gen_range(0..cfg.n_claims);
+            if secondary == primary {
+                secondary = (secondary + 1) % cfg.n_claims;
+            }
+            let st = stance_for(secondary, &mut rng);
+            claims.push((crate::model::ClaimId(secondary as u32), st));
+        }
+
+        let tokens = doc_tokens(&mut rng, theta, primary_stance);
+        db.add_document(DocumentRecord {
+            source: crate::model::SourceId(source as u32),
+            claims,
+            tokens,
+        })
+        .expect("generator produces valid references");
+    }
+
+    SynthDataset {
+        db,
+        truth,
+        source_trust,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_matches_requested_sizes() {
+        let cfg = SynthConfig {
+            n_sources: 30,
+            n_docs: 100,
+            n_claims: 20,
+            ..Default::default()
+        };
+        let ds = generate(&cfg);
+        assert_eq!(ds.db.n_sources(), 30);
+        assert_eq!(ds.db.n_documents(), 100);
+        assert_eq!(ds.db.n_claims(), 20);
+        assert_eq!(ds.truth.len(), 20);
+        assert_eq!(ds.source_trust.len(), 30);
+    }
+
+    #[test]
+    fn every_claim_is_referenced() {
+        let ds = generate(&SynthConfig {
+            n_sources: 10,
+            n_docs: 60,
+            n_claims: 15,
+            ..Default::default()
+        });
+        let mut referenced = vec![false; 15];
+        for doc in ds.db.documents() {
+            for (c, _) in &doc.claims {
+                referenced[c.idx()] = true;
+            }
+        }
+        assert!(referenced.into_iter().all(|r| r));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::default();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.truth, b.truth);
+        assert_eq!(a.db.to_json(), b.db.to_json());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&SynthConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = generate(&SynthConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        assert_ne!(a.db.to_json(), b.db.to_json());
+    }
+
+    /// Trustworthy sources should mostly take the correct stance: support
+    /// true claims, refute false ones.
+    #[test]
+    fn stances_reflect_source_trust() {
+        let ds = generate(&SynthConfig {
+            n_sources: 40,
+            n_docs: 2000,
+            n_claims: 30,
+            ..Default::default()
+        });
+        let mut correct_by_good = (0u32, 0u32);
+        let mut correct_by_bad = (0u32, 0u32);
+        for doc in ds.db.documents() {
+            let theta = ds.source_trust[doc.source.idx()];
+            for (c, stance) in &doc.claims {
+                let asserted_true = *stance == Stance::Support;
+                let correct = asserted_true == ds.truth[c.idx()];
+                let slot = if theta > 0.5 {
+                    &mut correct_by_good
+                } else {
+                    &mut correct_by_bad
+                };
+                slot.0 += correct as u32;
+                slot.1 += 1;
+            }
+        }
+        let good_rate = correct_by_good.0 as f64 / correct_by_good.1.max(1) as f64;
+        let bad_rate = correct_by_bad.0 as f64 / correct_by_bad.1.max(1) as f64;
+        assert!(
+            good_rate > 0.65,
+            "trustworthy sources correct only {good_rate}"
+        );
+        assert!(good_rate > bad_rate + 0.2, "good {good_rate} bad {bad_rate}");
+    }
+
+    /// Source activity must be skewed (Zipf): the busiest source produces
+    /// many times the median activity.
+    #[test]
+    fn activity_is_skewed() {
+        let ds = generate(&SynthConfig {
+            n_sources: 100,
+            n_docs: 3000,
+            n_claims: 50,
+            ..Default::default()
+        });
+        let mut counts = vec![0u32; 100];
+        for doc in ds.db.documents() {
+            counts[doc.source.idx()] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            counts[0] as f64 > 4.0 * counts[50].max(1) as f64,
+            "top source {} vs median {}",
+            counts[0],
+            counts[50]
+        );
+    }
+
+    #[test]
+    fn presets_have_paper_statistics() {
+        let cfg = DatasetPreset::Wiki.config();
+        assert_eq!(
+            (cfg.n_sources, cfg.n_docs, cfg.n_claims),
+            (1955, 3228, 157)
+        );
+        let cfg = DatasetPreset::Health.config();
+        assert_eq!(
+            (cfg.n_sources, cfg.n_docs, cfg.n_claims),
+            (11_206, 48_083, 529)
+        );
+        assert!(cfg.author_sources);
+        let cfg = DatasetPreset::Snopes.config();
+        assert_eq!(
+            (cfg.n_sources, cfg.n_docs, cfg.n_claims),
+            (23_260, 80_421, 4856)
+        );
+    }
+
+    #[test]
+    fn mini_presets_preserve_docs_per_claim_ratios() {
+        // Real corpora: wiki 3228/157 ≈ 20.6, snopes 80421/4856 ≈ 16.6 —
+        // wiki is denser per claim. The minis preserve both the magnitudes
+        // and the ordering (health's 90.9 is deliberately reduced; its
+        // guidance experiments would otherwise be quadratic-cost dominated).
+        let wiki = DatasetPreset::WikiMini.config();
+        let snopes = DatasetPreset::SnopesMini.config();
+        let r_wiki = wiki.n_docs as f64 / wiki.n_claims as f64;
+        let r_snopes = snopes.n_docs as f64 / snopes.n_claims as f64;
+        assert!((r_wiki - 20.6).abs() < 2.0, "wiki ratio {r_wiki}");
+        assert!((r_snopes - 16.6).abs() < 2.0, "snopes ratio {r_snopes}");
+        assert!(r_wiki > r_snopes, "ordering must match the real corpora");
+    }
+
+    #[test]
+    fn generated_db_converts_to_crf_model() {
+        let ds = DatasetPreset::WikiMini.generate();
+        let m = ds.db.to_crf_model();
+        assert_eq!(m.n_claims(), 36);
+        assert!(m.cliques().len() >= ds.db.n_documents());
+    }
+
+    #[test]
+    fn author_preset_generates_author_sources() {
+        let ds = generate(&SynthConfig {
+            n_sources: 10,
+            n_docs: 30,
+            n_claims: 5,
+            author_sources: true,
+            ..Default::default()
+        });
+        assert!(ds
+            .db
+            .sources()
+            .iter()
+            .all(|s| s.kind == SourceKind::Author && s.age.is_some()));
+    }
+}

@@ -1,0 +1,416 @@
+//! Batch selection of claims (§6.2).
+//!
+//! Validating a batch per iteration amortises user set-up costs. The exact
+//! expected benefit (Eq. 24–25) is intractable, so the paper approximates it
+//! with a utility combining individual information gains with a redundancy
+//! penalty over a source-overlap correlation matrix:
+//!
+//! ```text
+//! F(B) = w·Σ_{c∈B} q(c)·IG(c) − Σ_{c≠c'∈B} IG(c)·M(c,c')·IG(c')
+//! ```
+//!
+//! where `M(c,c')` is the number of sources shared by `c` and `c'`
+//! normalised by the maximum (Eq. 26), and `q(c) = Σ_{c'} M(c,c')·IG(c')`
+//! weights claims by how strongly they propagate information (Eq. 27).
+//! Maximising `F` over size-`k` subsets is NP-complete (Theorem 1); the
+//! greedy algorithm implemented here enjoys the classic `(1 − 1/e)`
+//! guarantee for monotone submodular `F` and updates marginal gains
+//! incrementally: `Δ_{i+1}(c) = Δ_i(c) − 2·IG(c*_i)·M(c, c*_i)·IG(c)`.
+
+use crate::context::GuidanceContext;
+use crate::info_gain::{info_gains, InfoGainConfig};
+use crate::strategies::rank_by_uncertainty;
+use crf::VarId;
+
+/// Batch-selection configuration.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Batch size `k`.
+    pub k: usize,
+    /// Individual-benefit weight `w` of Eq. 27.
+    pub w: f64,
+    /// Information-gain evaluation settings (pool, EM budget, threads).
+    pub ig: InfoGainConfig,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            k: 5,
+            w: 4.0,
+            ig: InfoGainConfig::default(),
+        }
+    }
+}
+
+/// A dense symmetric correlation matrix over a candidate pool.
+#[derive(Debug, Clone)]
+pub struct CorrelationMatrix {
+    n: usize,
+    m: Vec<f64>,
+}
+
+impl CorrelationMatrix {
+    /// Build `M` over `pool`: shared-source counts normalised by the
+    /// maximum off-diagonal entry (Eq. 26). The diagonal is zero — a claim
+    /// is never redundant with itself in the pair sum.
+    pub fn build(model: &crf::CrfModel, pool: &[VarId]) -> Self {
+        let n = pool.len();
+        let mut raw = vec![0.0f64; n * n];
+        for i in 0..n {
+            let si = model.sources_of_claim(pool[i]);
+            for j in (i + 1)..n {
+                let sj = model.sources_of_claim(pool[j]);
+                // Both lists are sorted: merge-count the intersection.
+                let mut a = 0;
+                let mut b = 0;
+                let mut shared = 0usize;
+                while a < si.len() && b < sj.len() {
+                    match si[a].cmp(&sj[b]) {
+                        std::cmp::Ordering::Less => a += 1,
+                        std::cmp::Ordering::Greater => b += 1,
+                        std::cmp::Ordering::Equal => {
+                            shared += 1;
+                            a += 1;
+                            b += 1;
+                        }
+                    }
+                }
+                raw[i * n + j] = shared as f64;
+                raw[j * n + i] = shared as f64;
+            }
+        }
+        let z = raw.iter().cloned().fold(0.0, f64::max);
+        if z > 0.0 {
+            for x in raw.iter_mut() {
+                *x /= z;
+            }
+        }
+        CorrelationMatrix { n, m: raw }
+    }
+
+    /// `M(i, j)` by pool position.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.m[i * self.n + j]
+    }
+
+    /// Pool size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// The utility `F(B)` of Eq. 27 over pool positions.
+pub fn utility(batch: &[usize], gains: &[f64], q: &[f64], m: &CorrelationMatrix, w: f64) -> f64 {
+    let individual: f64 = batch.iter().map(|&c| q[c] * gains[c]).sum();
+    let mut redundancy = 0.0;
+    for (a, &c) in batch.iter().enumerate() {
+        for &c2 in &batch[a + 1..] {
+            redundancy += 2.0 * gains[c] * m.get(c, c2) * gains[c2];
+        }
+    }
+    w * individual - redundancy
+}
+
+/// Importance `q(c) = Σ_{c'} M(c,c')·IG(c')` (Eq. 27's weighting).
+pub fn importance(gains: &[f64], m: &CorrelationMatrix) -> Vec<f64> {
+    (0..gains.len())
+        .map(|c| {
+            (0..gains.len())
+                .filter(|&c2| c2 != c)
+                .map(|c2| m.get(c, c2) * gains[c2])
+                .sum()
+        })
+        .collect()
+}
+
+/// Greedy top-k selection with incremental gain updates. Returns pool
+/// positions, in pick order.
+pub fn greedy_select(
+    k: usize,
+    gains: &[f64],
+    q: &[f64],
+    m: &CorrelationMatrix,
+    w: f64,
+) -> Vec<usize> {
+    let n = gains.len();
+    let k = k.min(n);
+    let mut delta: Vec<f64> = (0..n).map(|c| w * q[c] * gains[c]).collect();
+    let mut picked = vec![false; n];
+    let mut batch = Vec::with_capacity(k);
+    for _ in 0..k {
+        let best = (0..n)
+            .filter(|&c| !picked[c])
+            .max_by(|&a, &b| delta[a].partial_cmp(&delta[b]).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("pool not exhausted");
+        picked[best] = true;
+        batch.push(best);
+        // Δ_{i+1}(c) = Δ_i(c) − 2·IG(c*)·M(c, c*)·IG(c)
+        for c in 0..n {
+            if !picked[c] {
+                delta[c] -= 2.0 * gains[best] * m.get(c, best) * gains[c];
+            }
+        }
+    }
+    batch
+}
+
+/// Exhaustive maximiser of `F` over size-`k` subsets — exponential; used to
+/// validate the greedy bound on small pools.
+pub fn exhaustive_select(
+    k: usize,
+    gains: &[f64],
+    q: &[f64],
+    m: &CorrelationMatrix,
+    w: f64,
+) -> Vec<usize> {
+    let n = gains.len();
+    let k = k.min(n);
+    assert!(n <= 20, "exhaustive selection is for test-sized pools");
+    let mut best: (f64, Vec<usize>) = (f64::NEG_INFINITY, Vec::new());
+    let mut subset = Vec::with_capacity(k);
+    fn recurse(
+        start: usize,
+        k: usize,
+        n: usize,
+        subset: &mut Vec<usize>,
+        best: &mut (f64, Vec<usize>),
+        gains: &[f64],
+        q: &[f64],
+        m: &CorrelationMatrix,
+        w: f64,
+    ) {
+        if subset.len() == k {
+            let f = utility(subset, gains, q, m, w);
+            if f > best.0 {
+                *best = (f, subset.clone());
+            }
+            return;
+        }
+        for c in start..n {
+            subset.push(c);
+            recurse(c + 1, k, n, subset, best, gains, q, m, w);
+            subset.pop();
+        }
+    }
+    recurse(0, k, n, &mut subset, &mut best, gains, q, m, w);
+    best.1
+}
+
+/// Batch selector: pools candidates, scores gains, and applies the greedy
+/// algorithm (implements `select_AB`, Eq. 28).
+#[derive(Debug, Clone)]
+pub struct BatchSelector {
+    config: BatchConfig,
+}
+
+impl BatchSelector {
+    /// Build with the given configuration.
+    pub fn new(config: BatchConfig) -> Self {
+        BatchSelector { config }
+    }
+
+    /// The configured batch size.
+    pub fn k(&self) -> usize {
+        self.config.k
+    }
+
+    /// Change the batch size (the dynamic-k policy of §8.7).
+    pub fn set_k(&mut self, k: usize) {
+        self.config.k = k;
+    }
+
+    /// Select up to `k` claims for joint validation.
+    pub fn select(&self, ctx: &GuidanceContext<'_>) -> Vec<VarId> {
+        let pool_size = self.config.ig.pool_size.max(2 * self.config.k);
+        let pool = rank_by_uncertainty(ctx, pool_size);
+        if pool.is_empty() {
+            return Vec::new();
+        }
+        let gains = info_gains(
+            ctx.icrf,
+            &pool,
+            ctx.entropy_mode,
+            self.config.ig.hypothetical_em_iters,
+            self.config.ig.threads,
+        );
+        let m = CorrelationMatrix::build(ctx.icrf.model(), &pool);
+        let q = importance(&gains, &m);
+        greedy_select(self.config.k, &gains, &q, &m, self.config.w)
+            .into_iter()
+            .map(|pos| pool[pos])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crf::bitset::Bitset;
+    use crf::entropy::EntropyMode;
+    use crf::{GibbsConfig, Icrf, IcrfConfig};
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn toy_matrix(n: usize, entries: &[(usize, usize, f64)]) -> CorrelationMatrix {
+        let mut m = vec![0.0; n * n];
+        for &(i, j, v) in entries {
+            m[i * n + j] = v;
+            m[j * n + i] = v;
+        }
+        CorrelationMatrix { n, m }
+    }
+
+    #[test]
+    fn correlation_matrix_counts_shared_sources() {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = ds.db.to_crf_model();
+        let pool: Vec<VarId> = (0..10).map(VarId).collect();
+        let m = CorrelationMatrix::build(&model, &pool);
+        assert_eq!(m.len(), 10);
+        for i in 0..10 {
+            assert_eq!(m.get(i, i), 0.0, "diagonal must be zero");
+            for j in 0..10 {
+                assert!((0.0..=1.0).contains(&m.get(i, j)));
+                assert_eq!(m.get(i, j), m.get(j, i), "symmetry");
+            }
+        }
+        // At least one pair shares a source in a mini dataset.
+        let any = (0..10).any(|i| (0..10).any(|j| m.get(i, j) > 0.0));
+        assert!(any, "no source overlap found at all");
+    }
+
+    #[test]
+    fn utility_rewards_gain_and_penalises_overlap() {
+        let m = toy_matrix(3, &[(0, 1, 1.0)]);
+        let gains = [1.0, 1.0, 0.4];
+        let q = importance(&gains, &m);
+        // {0,1} heavily correlated; {0,2} independent.
+        let f_corr = utility(&[0, 1], &gains, &q, &m, 1.0);
+        let f_indep = utility(&[0, 2], &gains, &q, &m, 1.0);
+        // With w=1 the redundancy term dominates the correlated pair.
+        assert!(f_indep > f_corr, "indep {f_indep} corr {f_corr}");
+    }
+
+    #[test]
+    fn greedy_avoids_redundant_pairs() {
+        // Claims 0 and 1 have the highest gains but full overlap; claim 2 is
+        // slightly weaker but independent.
+        let m = toy_matrix(3, &[(0, 1, 1.0)]);
+        let gains = [1.0, 0.95, 0.8];
+        let q = importance(&gains, &m);
+        let batch = greedy_select(2, &gains, &q, &m, 1.0);
+        assert!(batch.contains(&2), "independent claim skipped: {batch:?}");
+    }
+
+    #[test]
+    fn greedy_matches_exhaustive_on_small_instances() {
+        let m = toy_matrix(
+            5,
+            &[(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.2), (0, 4, 0.7)],
+        );
+        let gains = [0.9, 0.8, 0.7, 0.6, 0.5];
+        let q = importance(&gains, &m);
+        let w = 5.0;
+        let greedy = greedy_select(3, &gains, &q, &m, w);
+        let exact = exhaustive_select(3, &gains, &q, &m, w);
+        let fg = utility(&greedy, &gains, &q, &m, w);
+        let fe = utility(&exact, &gains, &q, &m, w);
+        assert!(
+            fg >= (1.0 - 1.0 / std::f64::consts::E) * fe - 1e-9,
+            "greedy {fg} below the (1-1/e) bound of exhaustive {fe}"
+        );
+    }
+
+    #[test]
+    fn selector_returns_requested_batch() {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = Arc::new(ds.db.to_crf_model());
+        let mut icrf = Icrf::new(
+            model,
+            IcrfConfig {
+                max_em_iters: 1,
+                gibbs: GibbsConfig {
+                    burn_in: 5,
+                    samples: 20,
+                    thin: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        icrf.run();
+        let g = Bitset::zeros(icrf.model().n_claims());
+        let ctx = GuidanceContext {
+            icrf: &icrf,
+            grounding: &g,
+            entropy_mode: EntropyMode::Approximate,
+        };
+        let selector = BatchSelector::new(BatchConfig {
+            k: 4,
+            w: 4.0,
+            ig: InfoGainConfig {
+                pool_size: 8,
+                ..Default::default()
+            },
+        });
+        let batch = selector.select(&ctx);
+        assert_eq!(batch.len(), 4);
+        let mut ids: Vec<u32> = batch.iter().map(|v| v.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "batch has duplicates");
+        for c in &batch {
+            assert!(icrf.labels()[c.idx()].is_none());
+        }
+    }
+
+    proptest! {
+        /// The greedy result always achieves at least (1−1/e) of the
+        /// exhaustive optimum when w is large enough for monotonicity.
+        #[test]
+        fn prop_greedy_bound(
+            gains in proptest::collection::vec(0.05f64..1.0, 4..8),
+            pairs in proptest::collection::vec((0usize..8, 0usize..8, 0.0f64..1.0), 0..10),
+            k in 1usize..4,
+        ) {
+            let n = gains.len();
+            let entries: Vec<(usize, usize, f64)> = pairs
+                .into_iter()
+                .filter(|&(i, j, _)| i < n && j < n && i != j)
+                .collect();
+            let m = toy_matrix(n, &entries);
+            let q = importance(&gains, &m);
+            let w = 50.0; // large w keeps F monotone
+            let greedy = greedy_select(k, &gains, &q, &m, w);
+            let exact = exhaustive_select(k, &gains, &q, &m, w);
+            let fg = utility(&greedy, &gains, &q, &m, w);
+            let fe = utility(&exact, &gains, &q, &m, w);
+            prop_assert!(fg >= (1.0 - 1.0 / std::f64::consts::E) * fe - 1e-9,
+                "greedy {fg} exhaustive {fe}");
+        }
+
+        /// Greedy never returns duplicates and respects k.
+        #[test]
+        fn prop_greedy_shape(
+            gains in proptest::collection::vec(0.0f64..1.0, 1..10),
+            k in 1usize..12,
+        ) {
+            let n = gains.len();
+            let m = toy_matrix(n, &[]);
+            let q = importance(&gains, &m);
+            let batch = greedy_select(k, &gains, &q, &m, 2.0);
+            prop_assert_eq!(batch.len(), k.min(n));
+            let mut sorted = batch.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), batch.len());
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The read-only view strategies operate on, and the strategy trait.
+
+use crf::bitset::Bitset;
+use crf::entropy::EntropyMode;
+use crf::{Icrf, VarId};
+
+/// Everything a selection strategy may inspect when ranking claims: the
+/// current inference state, the current grounding, and the entropy
+/// estimator to use for information-gain computations.
+pub struct GuidanceContext<'a> {
+    /// The incremental inference engine (probabilities, labels, weights).
+    pub icrf: &'a Icrf,
+    /// The grounding `g_i` instantiated after the last inference.
+    pub grounding: &'a Bitset,
+    /// Entropy estimator for `H_C`/`H_S` (approximate = the scalable
+    /// variant of §4.1).
+    pub entropy_mode: EntropyMode,
+}
+
+impl<'a> GuidanceContext<'a> {
+    /// Indices of the unlabelled claims `C^U`.
+    pub fn unlabelled(&self) -> Vec<usize> {
+        self.icrf
+            .labels()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, l)| l.is_none().then_some(i))
+            .collect()
+    }
+}
+
+/// Per-iteration feedback driving adaptive strategies (the hybrid roulette
+/// of Eq. 22–23 needs the error rate and the unreliable-source ratio).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IterationFeedback {
+    /// Error rate `ε_i` of the last validated claim (Eq. 22).
+    pub error_rate: f64,
+    /// Ratio of unreliable sources `r_i` (Alg. 1 line 17).
+    pub unreliable_ratio: f64,
+    /// Number of claims validated so far, `i`.
+    pub n_validated: usize,
+    /// Total number of claims, `|C|`.
+    pub n_claims: usize,
+}
+
+/// A strategy for choosing which claims to validate next.
+pub trait SelectionStrategy {
+    /// Short name matching the legend of Fig. 6.
+    fn name(&self) -> &'static str;
+
+    /// Rank the top-`k` unlabelled claims, best first. May return fewer if
+    /// fewer unlabelled claims remain.
+    fn rank(&mut self, ctx: &GuidanceContext<'_>, k: usize) -> Vec<VarId>;
+
+    /// Select the single best claim, if any remain.
+    fn select(&mut self, ctx: &GuidanceContext<'_>) -> Option<VarId> {
+        self.rank(ctx, 1).into_iter().next()
+    }
+
+    /// Receive feedback after a validation iteration (default: ignored).
+    fn observe(&mut self, _feedback: IterationFeedback) {}
+}
+
+impl SelectionStrategy for Box<dyn SelectionStrategy + Send> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+
+    fn rank(&mut self, ctx: &GuidanceContext<'_>, k: usize) -> Vec<VarId> {
+        self.as_mut().rank(ctx, k)
+    }
+
+    fn select(&mut self, ctx: &GuidanceContext<'_>) -> Option<VarId> {
+        self.as_mut().select(ctx)
+    }
+
+    fn observe(&mut self, feedback: IterationFeedback) {
+        self.as_mut().observe(feedback)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crf::{Icrf, IcrfConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn unlabelled_lists_only_unvalidated() {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = Arc::new(ds.db.to_crf_model());
+        let mut icrf = Icrf::new(model, IcrfConfig::default());
+        icrf.set_label(VarId(0), true);
+        icrf.set_label(VarId(5), false);
+        let grounding = Bitset::zeros(icrf.model().n_claims());
+        let ctx = GuidanceContext {
+            icrf: &icrf,
+            grounding: &grounding,
+            entropy_mode: EntropyMode::Approximate,
+        };
+        let u = ctx.unlabelled();
+        assert_eq!(u.len(), icrf.model().n_claims() - 2);
+        assert!(!u.contains(&0) && !u.contains(&5));
+    }
+}

@@ -1,0 +1,219 @@
+//! Hybrid user guidance (§4.4): a dynamic roulette between the
+//! information-driven and source-driven strategies.
+//!
+//! The choice is governed by the score of Eq. 23,
+//! `z_i = 1 − e^{−(ε_i(1−h_i) + r_i·h_i)}`, where `ε_i` is the error rate of
+//! the last grounding on the newly validated claim (Eq. 22), `r_i` the ratio
+//! of unreliable sources, and `h_i = i/|C|` the ratio of user input. Early
+//! on (`h_i` small) the error rate dominates; later the unreliable-source
+//! ratio takes over. Each selection draws a uniform number and picks the
+//! source-driven strategy when it falls below `z_{i−1}` (Alg. 1 line 8).
+
+use crate::context::{GuidanceContext, IterationFeedback, SelectionStrategy};
+use crate::info_gain::{InfoGainConfig, InfoGainStrategy};
+use crate::source_driven::SourceDrivenStrategy;
+use crf::VarId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// The `hybrid` strategy of Fig. 6.
+pub struct HybridStrategy {
+    info: InfoGainStrategy,
+    source: SourceDrivenStrategy,
+    z: f64,
+    rng: SmallRng,
+    last_pick_source: bool,
+}
+
+impl HybridStrategy {
+    /// Build from a shared information-gain configuration.
+    pub fn new(config: InfoGainConfig, seed: u64) -> Self {
+        HybridStrategy {
+            info: InfoGainStrategy::new(config.clone()),
+            source: SourceDrivenStrategy::new(config),
+            z: 0.0, // z_0 = 0: start purely information-driven.
+            rng: SmallRng::seed_from_u64(seed),
+            last_pick_source: false,
+        }
+    }
+
+    /// Current roulette score `z_i`.
+    pub fn z(&self) -> f64 {
+        self.z
+    }
+
+    /// Whether the most recent selection used the source-driven arm.
+    pub fn last_pick_was_source(&self) -> bool {
+        self.last_pick_source
+    }
+
+    /// The score update of Eq. 23.
+    pub fn score(error_rate: f64, unreliable_ratio: f64, input_ratio: f64) -> f64 {
+        let h = input_ratio.clamp(0.0, 1.0);
+        1.0 - (-(error_rate * (1.0 - h) + unreliable_ratio * h)).exp()
+    }
+}
+
+impl SelectionStrategy for HybridStrategy {
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+
+    fn rank(&mut self, ctx: &GuidanceContext<'_>, k: usize) -> Vec<VarId> {
+        let x: f64 = self.rng.gen();
+        if x < self.z {
+            self.last_pick_source = true;
+            self.source.rank(ctx, k)
+        } else {
+            self.last_pick_source = false;
+            self.info.rank(ctx, k)
+        }
+    }
+
+    fn observe(&mut self, fb: IterationFeedback) {
+        let h = if fb.n_claims == 0 {
+            0.0
+        } else {
+            fb.n_validated as f64 / fb.n_claims as f64
+        };
+        self.z = Self::score(fb.error_rate, fb.unreliable_ratio, h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crf::bitset::Bitset;
+    use crf::entropy::EntropyMode;
+    use crf::{GibbsConfig, Icrf, IcrfConfig};
+    use std::sync::Arc;
+
+    #[test]
+    fn score_formula_matches_eq23() {
+        // h=0: z = 1 - e^{-eps}
+        let z = HybridStrategy::score(0.5, 0.9, 0.0);
+        assert!((z - (1.0 - (-0.5f64).exp())).abs() < 1e-12);
+        // h=1: z = 1 - e^{-r}
+        let z = HybridStrategy::score(0.5, 0.9, 1.0);
+        assert!((z - (1.0 - (-0.9f64).exp())).abs() < 1e-12);
+        // Zero signals: never choose source-driven.
+        assert_eq!(HybridStrategy::score(0.0, 0.0, 0.3), 0.0);
+    }
+
+    #[test]
+    fn score_is_a_probability_and_monotone() {
+        for &e in &[0.0, 0.3, 0.9] {
+            for &r in &[0.0, 0.4, 1.0] {
+                for &h in &[0.0, 0.5, 1.0] {
+                    let z = HybridStrategy::score(e, r, h);
+                    assert!((0.0..1.0).contains(&z), "z={z}");
+                }
+            }
+        }
+        // More errors -> higher score (early phase).
+        assert!(
+            HybridStrategy::score(0.8, 0.2, 0.1) > HybridStrategy::score(0.1, 0.2, 0.1)
+        );
+        // More unreliable sources -> higher score (late phase).
+        assert!(
+            HybridStrategy::score(0.2, 0.9, 0.9) > HybridStrategy::score(0.2, 0.1, 0.9)
+        );
+    }
+
+    #[test]
+    fn observe_updates_z() {
+        let mut s = HybridStrategy::new(InfoGainConfig::default(), 1);
+        assert_eq!(s.z(), 0.0);
+        s.observe(IterationFeedback {
+            error_rate: 0.6,
+            unreliable_ratio: 0.3,
+            n_validated: 5,
+            n_claims: 50,
+        });
+        let expect = HybridStrategy::score(0.6, 0.3, 0.1);
+        assert!((s.z() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_zero_always_uses_info_arm() {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = Arc::new(ds.db.to_crf_model());
+        let mut icrf = Icrf::new(
+            model,
+            IcrfConfig {
+                max_em_iters: 1,
+                gibbs: GibbsConfig {
+                    burn_in: 5,
+                    samples: 20,
+                    thin: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        icrf.run();
+        let g = Bitset::zeros(icrf.model().n_claims());
+        let ctx = GuidanceContext {
+            icrf: &icrf,
+            grounding: &g,
+            entropy_mode: EntropyMode::Approximate,
+        };
+        let mut s = HybridStrategy::new(
+            InfoGainConfig {
+                pool_size: 4,
+                ..Default::default()
+            },
+            7,
+        );
+        for _ in 0..5 {
+            s.select(&ctx);
+            assert!(!s.last_pick_was_source(), "z=0 must stay info-driven");
+        }
+    }
+
+    #[test]
+    fn high_z_prefers_source_arm() {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = Arc::new(ds.db.to_crf_model());
+        let mut icrf = Icrf::new(
+            model,
+            IcrfConfig {
+                max_em_iters: 1,
+                gibbs: GibbsConfig {
+                    burn_in: 5,
+                    samples: 20,
+                    thin: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        icrf.run();
+        let g = Bitset::zeros(icrf.model().n_claims());
+        let ctx = GuidanceContext {
+            icrf: &icrf,
+            grounding: &g,
+            entropy_mode: EntropyMode::Approximate,
+        };
+        let mut s = HybridStrategy::new(
+            InfoGainConfig {
+                pool_size: 4,
+                ..Default::default()
+            },
+            7,
+        );
+        // Saturate the score.
+        s.observe(IterationFeedback {
+            error_rate: 1.0,
+            unreliable_ratio: 1.0,
+            n_validated: 10,
+            n_claims: 20,
+        });
+        let mut source_picks = 0;
+        for _ in 0..10 {
+            s.select(&ctx);
+            source_picks += s.last_pick_was_source() as u32;
+        }
+        assert!(source_picks >= 5, "source arm picked {source_picks}/10");
+    }
+}

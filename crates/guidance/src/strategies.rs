@@ -1,0 +1,190 @@
+//! Baseline strategies: random selection and marginal-entropy uncertainty
+//! sampling (the `random` and `uncertainty` baselines of Fig. 6).
+
+use crate::context::{GuidanceContext, SelectionStrategy};
+use crf::numerics::binary_entropy;
+use crf::VarId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Selects uniformly among the unlabelled claims.
+#[derive(Debug, Clone)]
+pub struct RandomStrategy {
+    rng: SmallRng,
+}
+
+impl RandomStrategy {
+    /// A random strategy with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        RandomStrategy {
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl SelectionStrategy for RandomStrategy {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn rank(&mut self, ctx: &GuidanceContext<'_>, k: usize) -> Vec<VarId> {
+        let mut pool = ctx.unlabelled();
+        // Partial Fisher–Yates for the first k positions.
+        let take = k.min(pool.len());
+        for i in 0..take {
+            let j = self.rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        pool.truncate(take);
+        pool.into_iter().map(|c| VarId(c as u32)).collect()
+    }
+}
+
+/// Selects the most "problematic" claim: the one whose marginal credibility
+/// probability has maximal binary entropy (closest to 1/2).
+#[derive(Debug, Clone, Default)]
+pub struct UncertaintyStrategy;
+
+impl UncertaintyStrategy {
+    /// Construct the strategy.
+    pub fn new() -> Self {
+        UncertaintyStrategy
+    }
+}
+
+impl SelectionStrategy for UncertaintyStrategy {
+    fn name(&self) -> &'static str {
+        "uncertainty"
+    }
+
+    fn rank(&mut self, ctx: &GuidanceContext<'_>, k: usize) -> Vec<VarId> {
+        rank_by_uncertainty(ctx, k)
+    }
+}
+
+/// Shared helper: the `k` unlabelled claims with the highest marginal
+/// entropy, descending. Also used to build candidate pools for the
+/// information-gain strategies (§5.1 optimisation).
+pub fn rank_by_uncertainty(ctx: &GuidanceContext<'_>, k: usize) -> Vec<VarId> {
+    let probs = ctx.icrf.probs();
+    let mut scored: Vec<(f64, usize)> = ctx
+        .unlabelled()
+        .into_iter()
+        .map(|c| (binary_entropy(probs[c]), c))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    scored
+        .into_iter()
+        .take(k)
+        .map(|(_, c)| VarId(c as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crf::bitset::Bitset;
+    use crf::entropy::EntropyMode;
+    use crf::{Icrf, IcrfConfig};
+    use std::sync::Arc;
+
+    fn ctx_fixture() -> (Icrf, Bitset) {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = Arc::new(ds.db.to_crf_model());
+        let n = model.n_claims();
+        let icrf = Icrf::new(model, IcrfConfig::default());
+        (icrf, Bitset::zeros(n))
+    }
+
+    #[test]
+    fn random_never_returns_labelled() {
+        let (mut icrf, g) = ctx_fixture();
+        for i in 0..10 {
+            icrf.set_label(VarId(i), true);
+        }
+        let ctx = GuidanceContext {
+            icrf: &icrf,
+            grounding: &g,
+            entropy_mode: EntropyMode::Approximate,
+        };
+        let mut s = RandomStrategy::new(3);
+        for _ in 0..50 {
+            let c = s.select(&ctx).unwrap();
+            assert!(c.0 >= 10, "selected labelled claim {c:?}");
+        }
+    }
+
+    #[test]
+    fn random_rank_returns_distinct_claims() {
+        let (icrf, g) = ctx_fixture();
+        let ctx = GuidanceContext {
+            icrf: &icrf,
+            grounding: &g,
+            entropy_mode: EntropyMode::Approximate,
+        };
+        let mut s = RandomStrategy::new(9);
+        let ranked = s.rank(&ctx, 10);
+        assert_eq!(ranked.len(), 10);
+        let mut ids: Vec<u32> = ranked.iter().map(|v| v.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10, "duplicates in ranking");
+    }
+
+    #[test]
+    fn random_exhausts_pool() {
+        let (mut icrf, g) = ctx_fixture();
+        let n = icrf.model().n_claims();
+        for i in 0..(n as u32 - 1) {
+            icrf.set_label(VarId(i), true);
+        }
+        let ctx = GuidanceContext {
+            icrf: &icrf,
+            grounding: &g,
+            entropy_mode: EntropyMode::Approximate,
+        };
+        let mut s = RandomStrategy::new(0);
+        assert_eq!(s.rank(&ctx, 5).len(), 1, "only one claim remains");
+    }
+
+    #[test]
+    fn uncertainty_prefers_probabilities_near_half() {
+        let (mut icrf, g) = ctx_fixture();
+        // Drive most probabilities away from 0.5 by labelling, then check
+        // that the selected claim is the one with prob closest to 0.5.
+        icrf.run();
+        let ctx = GuidanceContext {
+            icrf: &icrf,
+            grounding: &g,
+            entropy_mode: EntropyMode::Approximate,
+        };
+        let mut s = UncertaintyStrategy::new();
+        let best = s.select(&ctx).unwrap();
+        let probs = icrf.probs();
+        let best_dist = (probs[best.idx()] - 0.5).abs();
+        for c in ctx.unlabelled() {
+            assert!(
+                best_dist <= (probs[c] - 0.5).abs() + 1e-12,
+                "claim {c} closer to 0.5 than selected"
+            );
+        }
+    }
+
+    #[test]
+    fn uncertainty_ranking_is_sorted() {
+        let (mut icrf, g) = ctx_fixture();
+        icrf.run();
+        let ctx = GuidanceContext {
+            icrf: &icrf,
+            grounding: &g,
+            entropy_mode: EntropyMode::Approximate,
+        };
+        let ranked = rank_by_uncertainty(&ctx, 8);
+        let probs = icrf.probs();
+        for w in ranked.windows(2) {
+            let h0 = crf::numerics::binary_entropy(probs[w[0].idx()]);
+            let h1 = crf::numerics::binary_entropy(probs[w[1].idx()]);
+            assert!(h0 >= h1 - 1e-12, "ranking not descending");
+        }
+    }
+}

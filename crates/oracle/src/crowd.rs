@@ -1,0 +1,234 @@
+//! Crowd-worker simulation (§8.9).
+//!
+//! The paper deployed HITs on FigureEight with a 0.1$/HIT incentive and
+//! aggregated answers with a worker-reliability-aware consensus algorithm.
+//! This module simulates the crowd: a pool of workers with heterogeneous
+//! reliabilities drawn from a Beta distribution, each HIT answered by a
+//! fixed-size worker subset with log-normal response times (faster but less
+//! accurate than experts — Table 3's crowd columns). Consensus is computed
+//! by [`crate::dawid_skene`].
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a simulated crowd.
+#[derive(Debug, Clone)]
+pub struct CrowdConfig {
+    /// Number of workers in the pool.
+    pub pool_size: usize,
+    /// Workers assigned to each HIT.
+    pub workers_per_hit: usize,
+    /// Beta parameters of the reliability distribution.
+    pub reliability: (f64, f64),
+    /// Mean seconds per HIT (Table 3 `Cro. time`).
+    pub mean_seconds: f64,
+    /// Log-space standard deviation of response times.
+    pub sigma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl CrowdConfig {
+    /// Table 3 calibration by dataset name.
+    pub fn for_dataset(name: &str) -> Self {
+        let mean_seconds = match name {
+            n if n.starts_with("wiki") => 186.0,
+            n if n.starts_with("health") => 561.0,
+            _ => 336.0,
+        };
+        CrowdConfig {
+            pool_size: 30,
+            workers_per_hit: 5,
+            // Mean reliability ~0.78: crowd workers are decent but clearly
+            // noisier than experts (Table 3 crowd accuracy is 0.83-0.88).
+            reliability: (7.0, 2.0),
+            mean_seconds,
+            sigma: 0.6,
+            seed: 0xc40d,
+        }
+    }
+}
+
+/// One worker's answer to one HIT.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Answer {
+    /// Worker index in the pool.
+    pub worker: usize,
+    /// Claim index the HIT asked about.
+    pub claim: usize,
+    /// The worker's verdict.
+    pub verdict: bool,
+    /// Seconds the worker spent.
+    pub seconds: f64,
+}
+
+/// The simulated crowd: draws worker reliabilities once, then answers HITs.
+#[derive(Debug, Clone)]
+pub struct CrowdSimulator {
+    truth: Vec<bool>,
+    reliabilities: Vec<f64>,
+    config: CrowdConfig,
+    rng: SmallRng,
+}
+
+impl CrowdSimulator {
+    /// Build a crowd that knows `truth` and behaves per `config`.
+    pub fn new(truth: Vec<bool>, config: CrowdConfig) -> Self {
+        assert!(config.pool_size >= config.workers_per_hit);
+        let mut rng = SmallRng::seed_from_u64(config.seed);
+        let reliabilities = (0..config.pool_size)
+            .map(|_| sample_beta(&mut rng, config.reliability.0, config.reliability.1))
+            .collect();
+        CrowdSimulator {
+            truth,
+            reliabilities,
+            config,
+            rng,
+        }
+    }
+
+    /// The latent worker reliabilities (diagnostics / tests only).
+    pub fn reliabilities(&self) -> &[f64] {
+        &self.reliabilities
+    }
+
+    /// Post one HIT for `claim`: a random worker subset answers.
+    pub fn post_hit(&mut self, claim: usize) -> Vec<Answer> {
+        let truth = self.truth[claim];
+        // Sample `workers_per_hit` distinct workers (partial Fisher–Yates).
+        let mut pool: Vec<usize> = (0..self.config.pool_size).collect();
+        for i in 0..self.config.workers_per_hit {
+            let j = self.rng.gen_range(i..pool.len());
+            pool.swap(i, j);
+        }
+        let sigma = self.config.sigma;
+        let mu = self.config.mean_seconds.ln() - sigma * sigma / 2.0;
+        pool[..self.config.workers_per_hit]
+            .iter()
+            .map(|&worker| {
+                let correct = self.rng.gen_bool(self.reliabilities[worker]);
+                let verdict = if correct { truth } else { !truth };
+                let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+                let u2: f64 = self.rng.gen();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                Answer {
+                    worker,
+                    claim,
+                    verdict,
+                    seconds: (mu + sigma * z).exp(),
+                }
+            })
+            .collect()
+    }
+
+    /// Post HITs for a batch of claims and return all answers.
+    pub fn run_campaign(&mut self, claims: &[usize]) -> Vec<Answer> {
+        claims.iter().flat_map(|&c| self.post_hit(c)).collect()
+    }
+}
+
+fn sample_beta(rng: &mut SmallRng, a: f64, b: f64) -> f64 {
+    // Gamma-ratio construction; shapes here are > 1 in practice.
+    let ga = sample_gamma(rng, a);
+    let gb = sample_gamma(rng, b);
+    if ga + gb == 0.0 {
+        0.5
+    } else {
+        ga / (ga + gb)
+    }
+}
+
+fn sample_gamma(rng: &mut SmallRng, shape: f64) -> f64 {
+    if shape < 1.0 {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        return sample_gamma(rng, shape + 1.0) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen();
+        let x = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_has_requested_workers() {
+        let mut c = CrowdSimulator::new(vec![true; 10], CrowdConfig::for_dataset("wiki"));
+        let answers = c.post_hit(0);
+        assert_eq!(answers.len(), 5);
+        // Workers are distinct.
+        let mut workers: Vec<usize> = answers.iter().map(|a| a.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        assert_eq!(workers.len(), 5);
+        assert!(answers.iter().all(|a| a.claim == 0 && a.seconds > 0.0));
+    }
+
+    #[test]
+    fn reliable_crowd_is_mostly_right() {
+        let n = 400;
+        let mut c = CrowdSimulator::new(vec![true; n], CrowdConfig::for_dataset("snopes"));
+        let answers = c.run_campaign(&(0..n).collect::<Vec<_>>());
+        let correct = answers.iter().filter(|a| a.verdict).count();
+        let rate = correct as f64 / answers.len() as f64;
+        assert!(rate > 0.7, "crowd accuracy {rate}");
+        assert!(rate < 0.95, "crowd should not be expert-perfect: {rate}");
+    }
+
+    #[test]
+    fn reliabilities_are_heterogeneous_probabilities() {
+        let c = CrowdSimulator::new(vec![true], CrowdConfig::for_dataset("wiki"));
+        let r = c.reliabilities();
+        assert_eq!(r.len(), 30);
+        assert!(r.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let min = r.iter().cloned().fold(1.0, f64::min);
+        let max = r.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.05, "workers should differ: {min}..{max}");
+    }
+
+    #[test]
+    fn crowd_is_faster_than_experts_on_same_dataset() {
+        // Table 3: crowd mean times are below expert mean times everywhere.
+        for name in ["wiki", "health", "snopes"] {
+            let crowd = CrowdConfig::for_dataset(name).mean_seconds;
+            let expert = crate::expert::ExpertConfig::for_dataset(name).mean_seconds;
+            assert!(crowd < expert, "{name}: crowd {crowd} expert {expert}");
+        }
+    }
+
+    #[test]
+    fn campaign_covers_all_claims() {
+        let mut c = CrowdSimulator::new(vec![false; 20], CrowdConfig::for_dataset("health"));
+        let answers = c.run_campaign(&[3, 7, 11]);
+        assert_eq!(answers.len(), 15);
+        let mut claims: Vec<usize> = answers.iter().map(|a| a.claim).collect();
+        claims.sort_unstable();
+        claims.dedup();
+        assert_eq!(claims, vec![3, 7, 11]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut c = CrowdSimulator::new(vec![true; 5], CrowdConfig::for_dataset("wiki"));
+            c.run_campaign(&[0, 1, 2, 3, 4])
+                .iter()
+                .map(|a| (a.worker, a.verdict))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

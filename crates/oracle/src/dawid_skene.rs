@@ -1,0 +1,220 @@
+//! Dawid–Skene consensus over crowd answers (§8.9).
+//!
+//! The paper computes "the consensus of the answers among crowd workers
+//! using existing algorithms that include an evaluation of worker
+//! reliability [33]". The canonical such algorithm is Dawid & Skene (1979):
+//! an EM procedure that jointly estimates per-item truth posteriors and
+//! per-worker confusion parameters (sensitivity — the probability of
+//! answering `true` on a true item — and specificity, its complement on
+//! false items). This is a full from-scratch implementation for the binary
+//! case, initialised from majority vote.
+
+use crate::crowd::Answer;
+use std::collections::HashMap;
+
+/// Output of the consensus computation.
+#[derive(Debug, Clone)]
+pub struct DawidSkeneResult {
+    /// Posterior probability that each item is `true`, keyed by claim index.
+    pub posteriors: HashMap<usize, f64>,
+    /// Consensus labels (posterior ≥ 0.5).
+    pub labels: HashMap<usize, bool>,
+    /// Estimated sensitivity per worker (P(vote true | item true)).
+    pub sensitivity: Vec<f64>,
+    /// Estimated specificity per worker (P(vote false | item false)).
+    pub specificity: Vec<f64>,
+    /// EM iterations run.
+    pub iterations: usize,
+}
+
+const SMOOTH: f64 = 0.5; // Jeffreys-style smoothing of confusion counts.
+const EPS: f64 = 1e-6;
+
+/// Run binary Dawid–Skene EM over `answers` from `n_workers` workers.
+pub fn dawid_skene(answers: &[Answer], n_workers: usize, max_iter: usize) -> DawidSkeneResult {
+    // Group answers by claim.
+    let mut by_claim: HashMap<usize, Vec<(usize, bool)>> = HashMap::new();
+    for a in answers {
+        assert!(a.worker < n_workers, "worker index out of range");
+        by_claim.entry(a.claim).or_default().push((a.worker, a.verdict));
+    }
+
+    // Init: posteriors from majority vote.
+    let mut posteriors: HashMap<usize, f64> = by_claim
+        .iter()
+        .map(|(&c, votes)| {
+            let trues = votes.iter().filter(|(_, v)| *v).count();
+            (c, trues as f64 / votes.len() as f64)
+        })
+        .collect();
+
+    let mut sensitivity = vec![0.8; n_workers];
+    let mut specificity = vec![0.8; n_workers];
+    let mut iterations = 0;
+
+    for _ in 0..max_iter {
+        iterations += 1;
+
+        // M-step: confusion parameters from soft counts.
+        let mut sens_num = vec![SMOOTH; n_workers];
+        let mut sens_den = vec![2.0 * SMOOTH; n_workers];
+        let mut spec_num = vec![SMOOTH; n_workers];
+        let mut spec_den = vec![2.0 * SMOOTH; n_workers];
+        let mut prior_num = 0.0;
+        let mut prior_den = 0.0;
+        for (&c, votes) in &by_claim {
+            let p = posteriors[&c];
+            prior_num += p;
+            prior_den += 1.0;
+            for &(w, v) in votes {
+                sens_den[w] += p;
+                spec_den[w] += 1.0 - p;
+                if v {
+                    sens_num[w] += p;
+                } else {
+                    spec_num[w] += 1.0 - p;
+                }
+            }
+        }
+        for w in 0..n_workers {
+            sensitivity[w] = (sens_num[w] / sens_den[w]).clamp(EPS, 1.0 - EPS);
+            specificity[w] = (spec_num[w] / spec_den[w]).clamp(EPS, 1.0 - EPS);
+        }
+        let prior = if prior_den > 0.0 {
+            (prior_num / prior_den).clamp(EPS, 1.0 - EPS)
+        } else {
+            0.5
+        };
+
+        // E-step: item posteriors under the confusion model.
+        let mut max_change = 0.0f64;
+        for (&c, votes) in &by_claim {
+            let mut log_true = prior.ln();
+            let mut log_false = (1.0 - prior).ln();
+            for &(w, v) in votes {
+                if v {
+                    log_true += sensitivity[w].ln();
+                    log_false += (1.0 - specificity[w]).ln();
+                } else {
+                    log_true += (1.0 - sensitivity[w]).ln();
+                    log_false += specificity[w].ln();
+                }
+            }
+            let m = log_true.max(log_false);
+            let pt = (log_true - m).exp();
+            let pf = (log_false - m).exp();
+            let p = pt / (pt + pf);
+            let old = posteriors.insert(c, p).expect("claim present");
+            max_change = max_change.max((p - old).abs());
+        }
+        if max_change < 1e-6 {
+            break;
+        }
+    }
+
+    let labels = posteriors.iter().map(|(&c, &p)| (c, p >= 0.5)).collect();
+    DawidSkeneResult {
+        posteriors,
+        labels,
+        sensitivity,
+        specificity,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crowd::{CrowdConfig, CrowdSimulator};
+
+    fn answer(worker: usize, claim: usize, verdict: bool) -> Answer {
+        Answer {
+            worker,
+            claim,
+            verdict,
+            seconds: 1.0,
+        }
+    }
+
+    #[test]
+    fn unanimous_votes_are_respected() {
+        let answers = vec![
+            answer(0, 0, true),
+            answer(1, 0, true),
+            answer(2, 0, true),
+            answer(0, 1, false),
+            answer(1, 1, false),
+            answer(2, 1, false),
+        ];
+        let r = dawid_skene(&answers, 3, 50);
+        assert_eq!(r.labels[&0], true);
+        assert_eq!(r.labels[&1], false);
+        assert!(r.posteriors[&0] > 0.9);
+        assert!(r.posteriors[&1] < 0.1);
+    }
+
+    /// A consistently contrarian worker should be identified as unreliable
+    /// and outvoted even when majorities are thin.
+    #[test]
+    fn identifies_unreliable_worker() {
+        let mut answers = Vec::new();
+        // 10 items; workers 0 and 1 always correct, worker 2 always wrong.
+        for c in 0..10 {
+            let truth = c % 2 == 0;
+            answers.push(answer(0, c, truth));
+            answers.push(answer(1, c, truth));
+            answers.push(answer(2, c, !truth));
+        }
+        let r = dawid_skene(&answers, 3, 100);
+        for c in 0..10 {
+            assert_eq!(r.labels[&c], c % 2 == 0, "item {c}");
+        }
+        let good = (r.sensitivity[0] + r.specificity[0]) / 2.0;
+        let bad = (r.sensitivity[2] + r.specificity[2]) / 2.0;
+        assert!(
+            good > bad + 0.3,
+            "good worker {good} vs contrarian {bad}"
+        );
+    }
+
+    /// End-to-end with the crowd simulator: consensus accuracy exceeds the
+    /// mean individual accuracy.
+    #[test]
+    fn consensus_beats_individuals_on_simulated_crowd() {
+        let n = 120;
+        let truth: Vec<bool> = (0..n).map(|i| i % 3 != 0).collect();
+        let mut crowd = CrowdSimulator::new(truth.clone(), CrowdConfig::for_dataset("snopes"));
+        let answers = crowd.run_campaign(&(0..n).collect::<Vec<_>>());
+        let individual_acc = answers
+            .iter()
+            .filter(|a| a.verdict == truth[a.claim])
+            .count() as f64
+            / answers.len() as f64;
+        let r = dawid_skene(&answers, 30, 100);
+        let consensus_acc = (0..n)
+            .filter(|&c| r.labels[&c] == truth[c])
+            .count() as f64
+            / n as f64;
+        assert!(
+            consensus_acc >= individual_acc,
+            "consensus {consensus_acc} < individual {individual_acc}"
+        );
+        assert!(consensus_acc > 0.8, "consensus accuracy {consensus_acc}");
+    }
+
+    #[test]
+    fn posterior_probabilities_are_valid() {
+        let answers = vec![answer(0, 0, true), answer(1, 0, false)];
+        let r = dawid_skene(&answers, 2, 10);
+        let p = r.posteriors[&0];
+        assert!((0.0..=1.0).contains(&p));
+        assert!(r.iterations >= 1);
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let r = dawid_skene(&[], 5, 10);
+        assert!(r.labels.is_empty());
+        assert_eq!(r.sensitivity.len(), 5);
+    }
+}

@@ -1,0 +1,214 @@
+//! Expert validators with response-time and accuracy models (§8.9).
+//!
+//! The paper's deployment study asked three senior computer scientists to
+//! validate 50 claims per dataset against supporting documents, recording
+//! the time spent and the accuracy against ground truth (Table 3). Human
+//! experts are not reproducible assets, so this module simulates them:
+//! responses are correct with a configurable accuracy, and per-claim times
+//! are log-normal (the canonical model for human task-completion latency),
+//! calibrated per dataset to the mean seconds Table 3 reports.
+
+use crate::user::User;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Calibration of one expert population.
+#[derive(Debug, Clone)]
+pub struct ExpertConfig {
+    /// Probability that the verdict matches ground truth.
+    pub accuracy: f64,
+    /// Mean response time per claim, seconds (Table 3 `Exp. time`).
+    pub mean_seconds: f64,
+    /// Log-space standard deviation of the response time.
+    pub sigma: f64,
+    /// Number of experts on the panel.
+    pub panel_size: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl ExpertConfig {
+    /// Table 3 calibration for a dataset by name (`wiki`, `health`,
+    /// `snopes`); defaults to the snopes profile for unknown names.
+    pub fn for_dataset(name: &str) -> Self {
+        let (accuracy, mean_seconds) = match name {
+            n if n.starts_with("wiki") => (0.99, 268.0),
+            n if n.starts_with("health") => (0.94, 1579.0),
+            _ => (0.96, 559.0),
+        };
+        ExpertConfig {
+            accuracy,
+            mean_seconds,
+            sigma: 0.5,
+            panel_size: 3,
+            seed: 0xe4e7,
+        }
+    }
+}
+
+/// A panel of simulated experts; verdicts are majority votes, the recorded
+/// time is the mean individual time.
+#[derive(Debug, Clone)]
+pub struct ExpertPanel {
+    truth: Vec<bool>,
+    config: ExpertConfig,
+    rng: SmallRng,
+    total_seconds: f64,
+    validations: usize,
+}
+
+impl ExpertPanel {
+    /// Build a panel that knows `truth` and behaves per `config`.
+    pub fn new(truth: Vec<bool>, config: ExpertConfig) -> Self {
+        assert!(config.panel_size >= 1);
+        assert!((0.0..=1.0).contains(&config.accuracy));
+        let seed = config.seed;
+        ExpertPanel {
+            truth,
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            total_seconds: 0.0,
+            validations: 0,
+        }
+    }
+
+    /// Log-normal response time with the configured mean: if
+    /// `X = exp(N(μ, σ²))` then `E[X] = exp(μ + σ²/2)`, so
+    /// `μ = ln(mean) − σ²/2`.
+    fn draw_seconds(&mut self) -> f64 {
+        let sigma = self.config.sigma;
+        let mu = self.config.mean_seconds.ln() - sigma * sigma / 2.0;
+        let u1: f64 = self.rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = self.rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (mu + sigma * z).exp()
+    }
+
+    /// Validate a claim, returning the majority verdict and the elapsed
+    /// seconds (mean over panel members).
+    pub fn validate_timed(&mut self, claim: usize) -> (bool, f64) {
+        let truth = self.truth[claim];
+        let mut votes_true = 0usize;
+        let mut seconds = 0.0;
+        for _ in 0..self.config.panel_size {
+            let correct = self.rng.gen_bool(self.config.accuracy);
+            let vote = if correct { truth } else { !truth };
+            if vote {
+                votes_true += 1;
+            }
+            seconds += self.draw_seconds();
+        }
+        let verdict = votes_true * 2 > self.config.panel_size;
+        let mean_seconds = seconds / self.config.panel_size as f64;
+        self.total_seconds += mean_seconds;
+        self.validations += 1;
+        (verdict, mean_seconds)
+    }
+
+    /// Mean seconds per validated claim so far.
+    pub fn mean_seconds(&self) -> f64 {
+        if self.validations == 0 {
+            0.0
+        } else {
+            self.total_seconds / self.validations as f64
+        }
+    }
+
+    /// Number of claims validated so far.
+    pub fn validations(&self) -> usize {
+        self.validations
+    }
+}
+
+impl User for ExpertPanel {
+    fn validate(&mut self, claim: usize) -> Option<bool> {
+        Some(self.validate_timed(claim).0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_calibrations() {
+        let wiki = ExpertConfig::for_dataset("wiki");
+        assert_eq!(wiki.accuracy, 0.99);
+        assert_eq!(wiki.mean_seconds, 268.0);
+        let health = ExpertConfig::for_dataset("health-mini");
+        assert_eq!(health.mean_seconds, 1579.0);
+        let other = ExpertConfig::for_dataset("unknown");
+        assert_eq!(other.mean_seconds, 559.0);
+    }
+
+    #[test]
+    fn perfect_panel_is_always_right() {
+        let truth = vec![true, false, true];
+        let mut p = ExpertPanel::new(
+            truth.clone(),
+            ExpertConfig {
+                accuracy: 1.0,
+                mean_seconds: 100.0,
+                sigma: 0.3,
+                panel_size: 3,
+                seed: 1,
+            },
+        );
+        for (i, &t) in truth.iter().enumerate() {
+            assert_eq!(p.validate(i), Some(t));
+        }
+    }
+
+    #[test]
+    fn majority_vote_beats_individual_accuracy() {
+        // With accuracy 0.8 a 3-panel majority is right ~0.896 of the time.
+        let n = 4000;
+        let truth = vec![true; n];
+        let mut p = ExpertPanel::new(
+            truth,
+            ExpertConfig {
+                accuracy: 0.8,
+                mean_seconds: 10.0,
+                sigma: 0.3,
+                panel_size: 3,
+                seed: 2,
+            },
+        );
+        let correct = (0..n).filter(|&i| p.validate(i) == Some(true)).count();
+        let rate = correct as f64 / n as f64;
+        assert!(rate > 0.85, "majority accuracy {rate}");
+    }
+
+    #[test]
+    fn timing_mean_matches_calibration() {
+        let n = 3000;
+        let mut p = ExpertPanel::new(
+            vec![true; n],
+            ExpertConfig {
+                accuracy: 1.0,
+                mean_seconds: 268.0,
+                sigma: 0.5,
+                panel_size: 1,
+                seed: 3,
+            },
+        );
+        for i in 0..n {
+            p.validate_timed(i);
+        }
+        let mean = p.mean_seconds();
+        assert!(
+            (mean - 268.0).abs() < 268.0 * 0.1,
+            "mean response time {mean}"
+        );
+        assert_eq!(p.validations(), n);
+    }
+
+    #[test]
+    fn times_are_positive() {
+        let mut p = ExpertPanel::new(vec![false; 50], ExpertConfig::for_dataset("wiki"));
+        for i in 0..50 {
+            let (_, t) = p.validate_timed(i);
+            assert!(t > 0.0);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! Simulated validators for guided fact checking.
+//!
+//! The paper's experiments "follow common practice and use the ground truth
+//! of the datasets to simulate user input" (§8.1). This crate provides that
+//! simulation machinery:
+//!
+//! * [`user`] — the [`user::User`] trait and its implementations: exact
+//!   ground-truth replay, mistake injection with probability `p` (§8.5), and
+//!   claim skipping with probability `p_m` (Fig. 8),
+//! * [`expert`] — expert validators with response-time and accuracy models
+//!   calibrated to Table 3,
+//! * [`crowd`] — crowd workers of heterogeneous reliability answering HITs
+//!   (§8.9), and
+//! * [`dawid_skene`] — the worker-reliability-aware consensus algorithm
+//!   aggregating crowd answers (the "existing algorithms that include an
+//!   evaluation of worker reliability [33]" of §8.9).
+
+#![warn(missing_docs)]
+
+pub mod crowd;
+pub mod dawid_skene;
+pub mod expert;
+pub mod user;
+
+pub use crowd::{CrowdConfig, CrowdSimulator};
+pub use dawid_skene::{dawid_skene, DawidSkeneResult};
+pub use expert::{ExpertConfig, ExpertPanel};
+pub use user::{BiasedUser, GroundTruthUser, NoisyUser, SkippingUser, User};

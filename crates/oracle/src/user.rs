@@ -1,0 +1,296 @@
+//! The validator abstraction and its simulated implementations.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A validator asked for the credibility of one claim per interaction.
+///
+/// `validate` returns `Some(verdict)` or `None` when the user skips the
+/// claim (is unsure or prefers another claim first, Fig. 8); the validation
+/// process then falls back to its next-best candidate.
+pub trait User {
+    /// Elicit input on claim `claim` (an index into the claim set).
+    fn validate(&mut self, claim: usize) -> Option<bool>;
+}
+
+/// Replays the dataset's ground truth exactly — the baseline simulation
+/// protocol of §8.1.
+#[derive(Debug, Clone)]
+pub struct GroundTruthUser {
+    truth: Vec<bool>,
+}
+
+impl GroundTruthUser {
+    /// A user who knows `truth`.
+    pub fn new(truth: Vec<bool>) -> Self {
+        GroundTruthUser { truth }
+    }
+
+    /// The ground truth this user replays.
+    pub fn truth(&self) -> &[bool] {
+        &self.truth
+    }
+}
+
+impl User for GroundTruthUser {
+    fn validate(&mut self, claim: usize) -> Option<bool> {
+        Some(self.truth[claim])
+    }
+}
+
+/// Wraps a user and flips each verdict with probability `p` — the mistake
+/// model of §8.5 ("with a probability p, we transform correct user input
+/// into an incorrect assessment").
+#[derive(Debug, Clone)]
+pub struct NoisyUser<U> {
+    inner: U,
+    p_mistake: f64,
+    rng: SmallRng,
+    mistakes_made: Vec<usize>,
+}
+
+impl<U: User> NoisyUser<U> {
+    /// Wrap `inner` with mistake probability `p_mistake`.
+    pub fn new(inner: U, p_mistake: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_mistake));
+        NoisyUser {
+            inner,
+            p_mistake,
+            rng: SmallRng::seed_from_u64(seed),
+            mistakes_made: Vec::new(),
+        }
+    }
+
+    /// Claims on which this user gave a flipped verdict, in order.
+    pub fn mistakes_made(&self) -> &[usize] {
+        &self.mistakes_made
+    }
+}
+
+impl<U: User> User for NoisyUser<U> {
+    fn validate(&mut self, claim: usize) -> Option<bool> {
+        let v = self.inner.validate(claim)?;
+        if self.rng.gen_bool(self.p_mistake) {
+            self.mistakes_made.push(claim);
+            Some(!v)
+        } else {
+            Some(v)
+        }
+    }
+}
+
+/// Wraps a user and skips each claim with probability `p_m` (Fig. 8); a
+/// skipped claim yields `None` so the caller validates its second-best
+/// candidate instead.
+#[derive(Debug, Clone)]
+pub struct SkippingUser<U> {
+    inner: U,
+    p_skip: f64,
+    rng: SmallRng,
+    skips: usize,
+}
+
+impl<U: User> SkippingUser<U> {
+    /// Wrap `inner` with skip probability `p_skip`.
+    pub fn new(inner: U, p_skip: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p_skip));
+        SkippingUser {
+            inner,
+            p_skip,
+            rng: SmallRng::seed_from_u64(seed),
+            skips: 0,
+        }
+    }
+
+    /// Number of claims skipped so far.
+    pub fn skips(&self) -> usize {
+        self.skips
+    }
+}
+
+impl<U: User> User for SkippingUser<U> {
+    fn validate(&mut self, claim: usize) -> Option<bool> {
+        if self.rng.gen_bool(self.p_skip) {
+            self.skips += 1;
+            None
+        } else {
+            self.inner.validate(claim)
+        }
+    }
+}
+
+/// A validator with a systematic belief bias (the single-biased-expert
+/// scenario of the paper's §9 outlook): with probability `strength` the
+/// verdict follows the expert's prior belief instead of the ground truth.
+/// Validating with such a user shifts the grounding towards the belief —
+/// the effect the paper flags for recommender-style extensions.
+#[derive(Debug, Clone)]
+pub struct BiasedUser<U> {
+    inner: U,
+    belief: bool,
+    strength: f64,
+    rng: SmallRng,
+}
+
+impl<U: User> BiasedUser<U> {
+    /// Wrap `inner` with a prior `belief` applied with `strength` ∈ [0, 1].
+    pub fn new(inner: U, belief: bool, strength: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&strength));
+        BiasedUser {
+            inner,
+            belief,
+            strength,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<U: User> User for BiasedUser<U> {
+    fn validate(&mut self, claim: usize) -> Option<bool> {
+        let v = self.inner.validate(claim)?;
+        if self.rng.gen_bool(self.strength) {
+            Some(self.belief)
+        } else {
+            Some(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_user_replays_truth() {
+        let mut u = GroundTruthUser::new(vec![true, false, true]);
+        assert_eq!(u.validate(0), Some(true));
+        assert_eq!(u.validate(1), Some(false));
+        assert_eq!(u.validate(2), Some(true));
+    }
+
+    #[test]
+    fn noisy_user_zero_p_is_exact() {
+        let truth = vec![true, false, true, false];
+        let mut u = NoisyUser::new(GroundTruthUser::new(truth.clone()), 0.0, 7);
+        for (i, &t) in truth.iter().enumerate() {
+            assert_eq!(u.validate(i), Some(t));
+        }
+        assert!(u.mistakes_made().is_empty());
+    }
+
+    #[test]
+    fn noisy_user_one_p_always_flips() {
+        let truth = vec![true, false];
+        let mut u = NoisyUser::new(GroundTruthUser::new(truth.clone()), 1.0, 7);
+        assert_eq!(u.validate(0), Some(false));
+        assert_eq!(u.validate(1), Some(true));
+        assert_eq!(u.mistakes_made(), &[0, 1]);
+    }
+
+    #[test]
+    fn noisy_user_flip_rate_is_approximately_p() {
+        let truth = vec![true; 5000];
+        let mut u = NoisyUser::new(GroundTruthUser::new(truth), 0.25, 99);
+        let mut flips = 0;
+        for i in 0..5000 {
+            if u.validate(i) == Some(false) {
+                flips += 1;
+            }
+        }
+        let rate = flips as f64 / 5000.0;
+        assert!((rate - 0.25).abs() < 0.03, "flip rate {rate}");
+        assert_eq!(u.mistakes_made().len(), flips);
+    }
+
+    #[test]
+    fn skipping_user_skip_rate() {
+        let truth = vec![true; 4000];
+        let mut u = SkippingUser::new(GroundTruthUser::new(truth), 0.3, 5);
+        let mut skipped = 0;
+        for i in 0..4000 {
+            if u.validate(i).is_none() {
+                skipped += 1;
+            }
+        }
+        assert_eq!(u.skips(), skipped);
+        let rate = skipped as f64 / 4000.0;
+        assert!((rate - 0.3).abs() < 0.03, "skip rate {rate}");
+    }
+
+    #[test]
+    fn wrappers_compose() {
+        // A noisy skipping user: skips sometimes, errs sometimes.
+        let truth = vec![true; 2000];
+        let inner = NoisyUser::new(GroundTruthUser::new(truth), 0.2, 1);
+        let mut u = SkippingUser::new(inner, 0.5, 2);
+        let mut answered = 0;
+        let mut falses = 0;
+        for i in 0..2000 {
+            match u.validate(i) {
+                Some(v) => {
+                    answered += 1;
+                    if !v {
+                        falses += 1;
+                    }
+                }
+                None => {}
+            }
+        }
+        assert!(answered > 800 && answered < 1200, "answered {answered}");
+        let err_rate = falses as f64 / answered as f64;
+        assert!((err_rate - 0.2).abs() < 0.05, "error rate {err_rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mk = || {
+            let mut u = NoisyUser::new(GroundTruthUser::new(vec![true; 100]), 0.3, 42);
+            (0..100).map(|i| u.validate(i).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}
+
+#[cfg(test)]
+mod biased_tests {
+    use super::*;
+
+    #[test]
+    fn zero_strength_is_exact() {
+        let truth = vec![true, false, true];
+        let mut u = BiasedUser::new(GroundTruthUser::new(truth.clone()), false, 0.0, 1);
+        for (i, &t) in truth.iter().enumerate() {
+            assert_eq!(u.validate(i), Some(t));
+        }
+    }
+
+    #[test]
+    fn full_strength_always_answers_belief() {
+        let mut u = BiasedUser::new(GroundTruthUser::new(vec![true; 10]), false, 1.0, 1);
+        for i in 0..10 {
+            assert_eq!(u.validate(i), Some(false), "skeptic answers false");
+        }
+    }
+
+    #[test]
+    fn partial_strength_shifts_answer_distribution() {
+        let n = 4000;
+        let mut u = BiasedUser::new(GroundTruthUser::new(vec![true; n]), false, 0.3, 5);
+        let falses = (0..n).filter(|&i| u.validate(i) == Some(false)).count();
+        let rate = falses as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.03, "belief rate {rate}");
+    }
+
+    #[test]
+    fn bias_composes_with_skipping() {
+        let inner = BiasedUser::new(GroundTruthUser::new(vec![true; 1000]), false, 0.5, 2);
+        let mut u = SkippingUser::new(inner, 0.2, 3);
+        let mut answered = 0;
+        for i in 0..1000 {
+            if u.validate(i).is_some() {
+                answered += 1;
+            }
+        }
+        assert!(answered > 700 && answered < 900, "answered {answered}");
+    }
+}

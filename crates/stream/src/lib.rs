@@ -1,0 +1,28 @@
+//! Streaming fact checking (§7, Alg. 2).
+//!
+//! Instead of validating a fixed corpus, claims arrive continuously. The
+//! model parameters are maintained by an online EM algorithm with stochastic
+//! approximation (Eq. 29–30): upon each arrival the expected complete-data
+//! likelihood is blended into a running objective with a decreasing
+//! Robbins–Monro step size, and the parameters are re-estimated by the same
+//! L2-regularised trust-region Newton method as the offline M-step — reusing
+//! the previous solution as a warm start, which is what makes each update
+//! linear-time (Prop. 3).
+//!
+//! * [`online_em`] — the stochastic-approximation parameter maintenance,
+//! * [`stream`] — [`stream::StreamingChecker`], the Alg. 2 loop that tracks
+//!   arrivals, estimates the credibility of each new claim, and exchanges
+//!   parameters with the offline validation process (Alg. 1 / the
+//!   `factcheck` crate), and
+//! * [`interleave`] — running both algorithms side by side, producing the
+//!   validation sequences compared in Table 2.
+
+#![warn(missing_docs)]
+
+pub mod interleave;
+pub mod online_em;
+pub mod stream;
+
+pub use interleave::{offline_sequence, streaming_sequence, InterleaveConfig};
+pub use online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, StepSchedule};
+pub use stream::StreamingChecker;

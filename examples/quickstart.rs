@@ -1,0 +1,105 @@
+//! Quickstart: build a small fact database by hand, run guided validation
+//! with a simulated expert, and print the resulting trusted set of facts.
+//!
+//! ```sh
+//! cargo run -p veracity-examples --bin quickstart
+//! ```
+
+use crf::Stance;
+use evalkit::metrics::precision;
+use factcheck::{ProcessConfig, ValidationProcess};
+use factdb::{ClaimRecord, DocumentRecord, FactDatabase, SourceKind, SourceRecord};
+use guidance::{InfoGainConfig, InfoGainStrategy};
+use oracle::GroundTruthUser;
+use std::sync::Arc;
+
+fn website(name: &str) -> SourceRecord {
+    SourceRecord {
+        name: name.into(),
+        kind: SourceKind::Website,
+        age: None,
+        post_count: 0,
+    }
+}
+
+fn main() {
+    // 1. Assemble a probabilistic fact database: sources, claims, documents.
+    let mut db = FactDatabase::new();
+    let reliable = db.add_source(website("encyclopedia.example"));
+    let tabloid = db.add_source(website("clickbait.example"));
+
+    // Claims with a ground truth we will reveal through "user" input.
+    let truths = [true, false, true, false, true, false, true, false];
+    let claims: Vec<_> = truths
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            db.add_claim(ClaimRecord {
+                text: format!("claim #{i}"),
+                truth: Some(t),
+            })
+        })
+        .collect();
+
+    // The reliable source asserts correctly in sober prose; the tabloid
+    // asserts incorrectly in sensational prose.
+    for (i, &claim) in claims.iter().enumerate() {
+        let truth = truths[i];
+        for _ in 0..2 {
+            db.add_document(DocumentRecord {
+                source: reliable,
+                claims: vec![(claim, if truth { Stance::Support } else { Stance::Refute })],
+                tokens: factdb::linguistic::tokenize(
+                    "the study therefore reports verified and documented evidence",
+                ),
+            })
+            .expect("valid document");
+            db.add_document(DocumentRecord {
+                source: tabloid,
+                claims: vec![(claim, if truth { Stance::Refute } else { Stance::Support })],
+                tokens: factdb::linguistic::tokenize(
+                    "absolutely shocking unbelievable story allegedly totally true",
+                ),
+            })
+            .expect("valid document");
+        }
+    }
+    println!("database: {:#?}", db.stats());
+
+    // 2. Convert into the CRF model and start the guided validation process.
+    let model = Arc::new(db.to_crf_model());
+    let mut process = ValidationProcess::new(
+        model,
+        InfoGainStrategy::new(InfoGainConfig::default()),
+        GroundTruthUser::new(truths.to_vec()),
+        ProcessConfig {
+            budget: 3, // validate only 3 of the 8 claims
+            ..Default::default()
+        },
+    );
+
+    // 3. Step through the validation loop.
+    while let Some(rec) = process.step() {
+        println!(
+            "iteration {}: validated claim {:?} -> {} (entropy now {:.3})",
+            rec.iteration, rec.claim, rec.verdict, rec.entropy
+        );
+    }
+
+    // 4. Read off the trusted set of facts.
+    let grounding = process.grounding();
+    println!("\ntrusted set after {} validations:", process.effort());
+    for (i, claim) in db.claims().iter().enumerate() {
+        println!(
+            "  {} -> {}",
+            claim.text,
+            if grounding.get(i) { "credible" } else { "not credible" }
+        );
+    }
+    let truth: Vec<bool> = truths.to_vec();
+    println!(
+        "precision vs ground truth: {:.2} with only {:.0}% of claims validated",
+        precision(grounding, &truth),
+        100.0 * process.effort_ratio()
+    );
+}

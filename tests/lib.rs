@@ -1,0 +1,2 @@
+//! Anchor library for the cross-crate integration-test package; the tests
+//! live in the `tests/` subdirectory of this package.

@@ -1,0 +1,185 @@
+//! Integration tests for batch validation (§6.2) and robustness against
+//! erroneous input (§5.2) across crates.
+
+use crf::entropy::EntropyMode;
+use evalkit::metrics::precision;
+use evalkit::{fast_icrf, fast_ig};
+use factcheck::{ProcessConfig, ValidationProcess};
+use factdb::DatasetPreset;
+use guidance::{BatchConfig, BatchSelector, GuidanceContext, UncertaintyStrategy};
+use oracle::{GroundTruthUser, NoisyUser};
+use std::sync::Arc;
+
+/// Batched validation converges to the same trusted set as claim-by-claim
+/// validation once everything is labelled.
+#[test]
+fn batching_converges_to_same_grounding() {
+    let ds = DatasetPreset::WikiMini.generate();
+    let model = Arc::new(ds.db.to_crf_model());
+    let selector = BatchSelector::new(BatchConfig {
+        k: 6,
+        w: 4.0,
+        ig: fast_ig(),
+    });
+    let mut process = ValidationProcess::new(
+        model.clone(),
+        UncertaintyStrategy::new(),
+        GroundTruthUser::new(ds.truth.clone()),
+        ProcessConfig {
+            icrf: fast_icrf(),
+            ..Default::default()
+        },
+    );
+    loop {
+        let batch = {
+            let ctx = GuidanceContext {
+                icrf: process.icrf(),
+                grounding: process.grounding(),
+                entropy_mode: EntropyMode::Approximate,
+            };
+            selector.select(&ctx)
+        };
+        if batch.is_empty() || process.validate_batch(&batch) == 0 {
+            break;
+        }
+    }
+    assert_eq!(process.icrf().n_labelled(), model.n_claims());
+    assert_eq!(precision(process.grounding(), &ds.truth), 1.0);
+}
+
+/// Batch selection avoids duplicates across rounds: every selected claim is
+/// validated exactly once over the full run.
+#[test]
+fn batches_never_repeat_claims() {
+    let ds = DatasetPreset::WikiMini.generate();
+    let model = Arc::new(ds.db.to_crf_model());
+    let selector = BatchSelector::new(BatchConfig {
+        k: 5,
+        w: 4.0,
+        ig: fast_ig(),
+    });
+    let mut process = ValidationProcess::new(
+        model,
+        UncertaintyStrategy::new(),
+        GroundTruthUser::new(ds.truth.clone()),
+        ProcessConfig {
+            icrf: fast_icrf(),
+            ..Default::default()
+        },
+    );
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..4 {
+        let batch = {
+            let ctx = GuidanceContext {
+                icrf: process.icrf(),
+                grounding: process.grounding(),
+                entropy_mode: EntropyMode::Approximate,
+            };
+            selector.select(&ctx)
+        };
+        for c in &batch {
+            assert!(seen.insert(c.0), "claim {c:?} selected twice");
+        }
+        process.validate_batch(&batch);
+    }
+}
+
+/// The §5.2 guarantee at system level: with the confirmation check
+/// enabled, the majority of injected mistakes is *detected* (flagged or
+/// corrected by the end), the repairs cost extra effort, and precision does
+/// not degrade relative to running without the check.
+#[test]
+fn confirmation_check_detects_injected_mistakes() {
+    let ds = DatasetPreset::WikiMini.generate();
+    let model = Arc::new(ds.db.to_crf_model());
+
+    let run = |check: Option<usize>| {
+        let user = NoisyUser::new(GroundTruthUser::new(ds.truth.clone()), 0.2, 77);
+        let mut process = ValidationProcess::new(
+            model.clone(),
+            UncertaintyStrategy::new(),
+            user,
+            ProcessConfig {
+                confirmation_check_every: check,
+                icrf: fast_icrf(),
+                ..Default::default()
+            },
+        );
+        process.run();
+        if check.is_some() {
+            process.run_confirmation_check(); // final audit sweep
+        }
+        process
+    };
+
+    let with_check = run(Some(4));
+    let without_check = run(None);
+
+    // Detection: most mistaken claims were flagged or ended up corrected.
+    let mut mistaken: Vec<usize> = with_check.user().mistakes_made().to_vec();
+    mistaken.sort_unstable();
+    mistaken.dedup();
+    assert!(!mistaken.is_empty(), "p=0.2 must produce mistakes");
+    let flagged: std::collections::HashSet<usize> = with_check
+        .flagged_claims()
+        .iter()
+        .map(|v| v.idx())
+        .collect();
+    let detected = mistaken
+        .iter()
+        .filter(|&&c| {
+            flagged.contains(&c) || with_check.icrf().labels()[c] == Some(ds.truth[c])
+        })
+        .count();
+    assert!(
+        detected * 2 > mistaken.len(),
+        "only {detected}/{} mistakes detected",
+        mistaken.len()
+    );
+
+    // Cost and quality: repairs cost effort; precision is not harmed much.
+    assert!(with_check.effort() > without_check.effort());
+    let p_check = precision(with_check.grounding(), &ds.truth);
+    let p_plain = precision(without_check.grounding(), &ds.truth);
+    assert!(
+        p_check >= p_plain - 0.06,
+        "check precision {p_check} trails no-check {p_plain}"
+    );
+}
+
+/// The error-rate signal (Eq. 22) is informative: iterations where the
+/// model already agreed with the user carry lower error rates on average
+/// than disagreeing ones.
+#[test]
+fn error_rate_separates_agreement_from_disagreement() {
+    let ds = DatasetPreset::SnopesMini.generate();
+    let model = Arc::new(ds.db.to_crf_model());
+    let mut process = ValidationProcess::new(
+        model,
+        guidance::RandomStrategy::new(13),
+        GroundTruthUser::new(ds.truth.clone()),
+        ProcessConfig {
+            budget: 40,
+            icrf: fast_icrf(),
+            ..Default::default()
+        },
+    );
+    process.run();
+    let (mut agree, mut disagree) = (Vec::new(), Vec::new());
+    for rec in process.history() {
+        if rec.prediction_matched {
+            agree.push(rec.error_rate);
+        } else {
+            disagree.push(rec.error_rate);
+        }
+    }
+    if !agree.is_empty() && !disagree.is_empty() {
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            mean(&agree) <= mean(&disagree) + 0.1,
+            "agree ε {} vs disagree ε {}",
+            mean(&agree),
+            mean(&disagree)
+        );
+    }
+}

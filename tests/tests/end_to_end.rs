@@ -1,0 +1,147 @@
+//! End-to-end integration tests: the full pipeline from synthetic corpus
+//! generation through CRF conversion, guided validation, and evaluation.
+
+use evalkit::metrics::precision;
+use evalkit::{effort_to_reach, run_curve, CurveConfig, StrategyKind};
+use factdb::DatasetPreset;
+use std::sync::Arc;
+
+fn fixture(preset: DatasetPreset) -> (Arc<crf::CrfModel>, Vec<bool>) {
+    let ds = preset.generate();
+    (Arc::new(ds.db.to_crf_model()), ds.truth)
+}
+
+/// The paper's headline claim at mini scale: hybrid guidance reaches 90%
+/// precision with clearly less effort than random selection (Fig. 6).
+#[test]
+fn hybrid_beats_random_to_ninety_percent_precision() {
+    let (model, truth) = fixture(DatasetPreset::SnopesMini);
+    let seeds = [1u64, 2, 3];
+    let mut random_effort = 0.0;
+    let mut hybrid_effort = 0.0;
+    for &seed in &seeds {
+        let cfg = CurveConfig {
+            target_precision: Some(0.9),
+            seed,
+            ..Default::default()
+        };
+        let r = run_curve(model.clone(), &truth, StrategyKind::Random, &cfg);
+        let h = run_curve(model.clone(), &truth, StrategyKind::Hybrid, &cfg);
+        random_effort += effort_to_reach(&r.points, 0.9).unwrap_or(1.0);
+        hybrid_effort += effort_to_reach(&h.points, 0.9).unwrap_or(1.0);
+    }
+    assert!(
+        hybrid_effort < random_effort,
+        "hybrid total effort {hybrid_effort:.2} should beat random {random_effort:.2}"
+    );
+}
+
+/// Every strategy eventually reaches perfect precision when allowed to
+/// validate everything — the trusted set converges to the ground truth.
+#[test]
+fn all_strategies_converge_to_truth() {
+    let (model, truth) = fixture(DatasetPreset::WikiMini);
+    for kind in StrategyKind::all() {
+        let cfg = CurveConfig {
+            target_precision: Some(1.0),
+            seed: 5,
+            ..Default::default()
+        };
+        let r = run_curve(model.clone(), &truth, kind, &cfg);
+        let final_p = r.points.last().expect("at least one step").precision;
+        assert!(
+            (final_p - 1.0).abs() < 1e-12,
+            "{} stalled at {final_p}",
+            kind.name()
+        );
+    }
+}
+
+/// A fully validated database has zero claim-entropy and its grounding is
+/// exactly the user input.
+#[test]
+fn full_validation_pins_everything() {
+    let (model, truth) = fixture(DatasetPreset::WikiMini);
+    let mut process = factcheck::ValidationProcess::new(
+        model.clone(),
+        guidance::RandomStrategy::new(3),
+        oracle::GroundTruthUser::new(truth.clone()),
+        factcheck::ProcessConfig {
+            icrf: evalkit::fast_icrf(),
+            ..Default::default()
+        },
+    );
+    process.run();
+    assert_eq!(process.icrf().n_labelled(), model.n_claims());
+    assert_eq!(precision(process.grounding(), &truth), 1.0);
+    assert!(crf::entropy::claim_entropy(process.icrf().probs()) < 1e-9);
+}
+
+/// The uncertainty-precision relationship of Fig. 5 holds end-to-end:
+/// along a full validation run, the high-entropy phase has lower precision
+/// than the low-entropy phase (the quartile form of the negative
+/// correlation, robust to the flat post-convergence tail).
+#[test]
+fn entropy_high_phase_has_lower_precision() {
+    let (model, truth) = fixture(DatasetPreset::SnopesMini);
+    let cfg = CurveConfig {
+        target_precision: Some(1.0),
+        seed: 11,
+        ..Default::default()
+    };
+    let r = run_curve(model, &truth, StrategyKind::Random, &cfg);
+    assert!(r.points.len() >= 8, "run too short to compare phases");
+    let q = r.points.len() / 4;
+    let mean = |pts: &[evalkit::CurvePoint], f: fn(&evalkit::CurvePoint) -> f64| {
+        pts.iter().map(f).sum::<f64>() / pts.len() as f64
+    };
+    let early = &r.points[..q.max(1)];
+    let late = &r.points[r.points.len() - q.max(1)..];
+    assert!(
+        mean(early, |p| p.entropy) > mean(late, |p| p.entropy),
+        "entropy should fall over the run"
+    );
+    assert!(
+        mean(early, |p| p.precision) < mean(late, |p| p.precision),
+        "precision should rise over the run"
+    );
+}
+
+/// Dataset JSON roundtrip preserves inference behaviour exactly.
+#[test]
+fn serialized_dataset_reproduces_inference() {
+    let ds = DatasetPreset::WikiMini.generate();
+    let json = ds.db.to_json();
+    let restored = factdb::FactDatabase::from_json(&json).expect("roundtrip");
+
+    let run = |db: &factdb::FactDatabase| {
+        let model = Arc::new(db.to_crf_model());
+        let mut icrf = crf::Icrf::new(model, evalkit::fast_icrf());
+        icrf.set_label(crf::VarId(0), true);
+        icrf.run();
+        icrf.probs().to_vec()
+    };
+    assert_eq!(run(&ds.db), run(&restored));
+}
+
+/// Effort accounting: with a noisy user and confirmation checks, total
+/// effort equals validations plus repair re-elicitations.
+#[test]
+fn effort_accounts_for_repairs() {
+    let (model, truth) = fixture(DatasetPreset::WikiMini);
+    let user = oracle::NoisyUser::new(oracle::GroundTruthUser::new(truth), 0.25, 9);
+    let mut process = factcheck::ValidationProcess::new(
+        model,
+        guidance::UncertaintyStrategy::new(),
+        user,
+        factcheck::ProcessConfig {
+            budget: 25,
+            confirmation_check_every: Some(5),
+            icrf: evalkit::fast_icrf(),
+            ..Default::default()
+        },
+    );
+    process.run();
+    let repairs: usize = process.history().iter().map(|r| r.repair_effort).sum();
+    assert_eq!(process.effort(), process.history().len() + repairs);
+}
