@@ -1,0 +1,178 @@
+//! Gibbs E-step sweep-throughput benchmark: the tentpole measurement for
+//! the allocation-free, multi-chain sampler.
+//!
+//! Compares, on a 10k-claim synthetic graph:
+//!
+//! * **before** — [`GibbsSampler::run_reference`], the pre-optimisation
+//!   scalar sampler (nested adjacency walk semantics, full `β·x_π` dot
+//!   product per clique visit, single chain);
+//! * **after/1-chain** — the score-cache + CSR sampler with `chains: 1`,
+//!   which produces a bit-identical sample stream;
+//! * **after/K-chains** — the same sampler with one chain per core.
+//!
+//! Besides the criterion-style timing lines, the run writes
+//! `BENCH_gibbs.json` at the repository root with sweeps/sec for each
+//! variant, the chain and thread counts, and the speedups — the committed
+//! evidence for the ≥3× acceptance criterion.
+
+use crf::gibbs::{GibbsConfig, GibbsSampler};
+use crf::graph::{synthetic_model, CrfModel};
+use crf::potentials::Weights;
+use criterion::{black_box, Criterion};
+use std::time::Instant;
+
+/// The benchmark workload: 10k claims, 3 documents each (30k cliques),
+/// 500 sources, 32-dimensional document and source features — large enough
+/// that the feature matrices no longer fit in cache and the per-visit
+/// `β·x_π` dot product is representative of real extraction pipelines
+/// (bag-of-linguistic-cues document features, registration/alexa/social
+/// source features; cf. §4 of the paper).
+fn bench_model() -> CrfModel {
+    synthetic_model(10_000, 500, 3, 32, 32, 0xB16_5EED)
+}
+
+fn bench_weights(model: &CrfModel) -> Weights {
+    Weights::from_vec(
+        (0..model.feature_dim())
+            .map(|i| 0.05 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect(),
+    )
+}
+
+fn config(chains: usize) -> GibbsConfig {
+    GibbsConfig {
+        burn_in: 20,
+        samples: 100,
+        thin: 1,
+        chains,
+        ..Default::default()
+    }
+}
+
+/// One variant's best-of-5 throughput, in two honest units:
+/// `sweeps_per_sec` is raw aggregate sweep execution rate (total sweeps
+/// across chains / wall clock — the criterion's unit), and
+/// `samples_per_sec` is pooled samples / wall clock, which does *not*
+/// credit the per-chain replicated burn-in and is therefore the fair
+/// end-to-end number on multi-core runners.
+struct Throughput {
+    sweeps_per_sec: f64,
+    samples_per_sec: f64,
+}
+
+fn measure(model: &CrfModel, weights: &Weights, chains: usize, reference: bool) -> Throughput {
+    let labels = vec![None; model.n_claims()];
+    let probs = vec![0.5; model.n_claims()];
+    let sampler = GibbsSampler::new(model, config(chains));
+    let mut best = Throughput {
+        sweeps_per_sec: 0.0,
+        samples_per_sec: 0.0,
+    };
+    for _ in 0..5 {
+        let t = Instant::now();
+        let result = if reference {
+            sampler.run_reference(weights, &labels, &probs)
+        } else {
+            sampler.run(weights, &labels, &probs)
+        };
+        let secs = t.elapsed().as_secs_f64();
+        let result = black_box(result);
+        best.sweeps_per_sec = best.sweeps_per_sec.max(result.sweeps as f64 / secs);
+        best.samples_per_sec = best.samples_per_sec.max(result.samples.len() as f64 / secs);
+    }
+    best
+}
+
+fn main() {
+    let model = bench_model();
+    let weights = bench_weights(&model);
+    let threads = rayon::current_num_threads();
+    let auto_chains = config(0).effective_chains();
+
+    // Criterion-style per-variant timing (one full burn-in+sampling run per
+    // iteration) for the familiar `cargo bench` output.
+    let mut c = Criterion::default();
+    {
+        let mut g = c.benchmark_group("gibbs_10k");
+        g.sample_size(5);
+        let labels = vec![None; model.n_claims()];
+        let probs = vec![0.5; model.n_claims()];
+        g.bench_function("before_reference", |b| {
+            let s = GibbsSampler::new(&model, config(1));
+            b.iter(|| s.run_reference(&weights, &labels, &probs).sweeps)
+        });
+        g.bench_function("after_1_chain", |b| {
+            let s = GibbsSampler::new(&model, config(1));
+            b.iter(|| s.run(&weights, &labels, &probs).sweeps)
+        });
+        g.bench_function(format!("after_{auto_chains}_chains"), |b| {
+            let s = GibbsSampler::new(&model, config(0));
+            b.iter(|| s.run(&weights, &labels, &probs).sweeps)
+        });
+        g.finish();
+    }
+
+    // The committed before/after evidence.
+    let before = measure(&model, &weights, 1, true);
+    let after_single = measure(&model, &weights, 1, false);
+    let after_multi = measure(&model, &weights, 0, false);
+    let single_speedup = after_single.sweeps_per_sec / before.sweeps_per_sec;
+    let multi_speedup = after_multi.sweeps_per_sec / before.sweeps_per_sec;
+    let multi_sample_speedup = after_multi.samples_per_sec / before.samples_per_sec;
+
+    println!();
+    println!(
+        "graph: {} claims, {} cliques",
+        model.n_claims(),
+        model.cliques().len()
+    );
+    println!(
+        "before  (reference, 1 chain):  {:>10.1} sweeps/s",
+        before.sweeps_per_sec
+    );
+    println!(
+        "after   (cached,    1 chain):  {:>10.1} sweeps/s  ({single_speedup:.2}x)",
+        after_single.sweeps_per_sec
+    );
+    println!(
+        "after   (cached, {auto_chains:>2} chains):  {:>10.1} sweeps/s  ({multi_speedup:.2}x sweeps, {multi_sample_speedup:.2}x samples)",
+        after_multi.sweeps_per_sec
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"gibbs_sweep_throughput\",\n  \"graph\": {{ \"claims\": {}, \"cliques\": {}, \"sources\": {}, \"m_doc\": {}, \"m_source\": {} }},\n  \"config\": {{ \"burn_in\": 20, \"samples\": 100, \"thin\": 1 }},\n  \"threads\": {},\n  \"before\": {{ \"variant\": \"reference_scalar\", \"chains\": 1, \"sweeps_per_sec\": {:.1}, \"samples_per_sec\": {:.1} }},\n  \"after_single_chain\": {{ \"variant\": \"score_cache_csr\", \"chains\": 1, \"sweeps_per_sec\": {:.1}, \"samples_per_sec\": {:.1}, \"speedup\": {:.2} }},\n  \"after_multi_chain\": {{ \"variant\": \"score_cache_csr_parallel\", \"chains\": {}, \"sweeps_per_sec\": {:.1}, \"samples_per_sec\": {:.1}, \"speedup\": {:.2}, \"samples_speedup\": {:.2} }}\n}}\n",
+        model.n_claims(),
+        model.cliques().len(),
+        model.n_sources(),
+        model.m_doc(),
+        model.m_source(),
+        threads,
+        before.sweeps_per_sec,
+        before.samples_per_sec,
+        after_single.sweeps_per_sec,
+        after_single.samples_per_sec,
+        single_speedup,
+        auto_chains,
+        after_multi.sweeps_per_sec,
+        after_multi.samples_per_sec,
+        multi_speedup,
+        multi_sample_speedup,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_gibbs.json");
+    std::fs::write(path, &json).expect("write BENCH_gibbs.json");
+    println!("\nwrote {path}");
+
+    // The acceptance gate: >=3x aggregate sweep throughput over the pre-PR
+    // sampler from the best optimised variant. A clean diagnostic + nonzero
+    // exit (not a panic) so a regression reads as a failed measurement, and
+    // machines whose cache behaviour differs report the actual numbers.
+    let best_speedup = single_speedup.max(multi_speedup);
+    if best_speedup < 3.0 {
+        eprintln!(
+            "FAIL: best optimised sweep throughput is {best_speedup:.2}x the pre-PR \
+             sampler; the acceptance criterion requires >=3x (see BENCH_gibbs.json)"
+        );
+        std::process::exit(1);
+    }
+    println!("acceptance: >=3x throughput criterion met ({best_speedup:.2}x)");
+}

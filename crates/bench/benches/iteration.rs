@@ -2,8 +2,8 @@
 //! quantity Fig. 2/3 report as the user's wait time `Δt`, for each dataset
 //! preset and guidance variant.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crf::entropy::EntropyMode;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use evalkit::{fast_icrf, fast_ig};
 use factcheck::{ProcessConfig, ValidationProcess};
 use factdb::DatasetPreset;
@@ -23,37 +23,33 @@ fn bench_iteration(c: &mut Criterion) {
         ] {
             let ds = preset.generate();
             let model = Arc::new(ds.db.to_crf_model());
-            group.bench_with_input(
-                BenchmarkId::new(preset.name(), variant),
-                &(),
-                |b, _| {
-                    b.iter_batched(
-                        || {
-                            ValidationProcess::new(
-                                model.clone(),
-                                HybridStrategy::new(
-                                    InfoGainConfig {
-                                        threads,
-                                        ..fast_ig()
-                                    },
-                                    1,
-                                ),
-                                GroundTruthUser::new(ds.truth.clone()),
-                                ProcessConfig {
-                                    icrf: fast_icrf(),
-                                    entropy_mode: mode,
-                                    ..Default::default()
+            group.bench_with_input(BenchmarkId::new(preset.name(), variant), &(), |b, _| {
+                b.iter_batched(
+                    || {
+                        ValidationProcess::new(
+                            model.clone(),
+                            HybridStrategy::new(
+                                InfoGainConfig {
+                                    threads,
+                                    ..fast_ig()
                                 },
-                            )
-                        },
-                        |mut p| {
-                            p.step();
-                            black_box(p.effort())
-                        },
-                        criterion::BatchSize::LargeInput,
-                    );
-                },
-            );
+                                1,
+                            ),
+                            GroundTruthUser::new(ds.truth.clone()),
+                            ProcessConfig {
+                                icrf: fast_icrf(),
+                                entropy_mode: mode,
+                                ..Default::default()
+                            },
+                        )
+                    },
+                    |mut p| {
+                        p.step();
+                        black_box(p.effort())
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            });
         }
     }
     group.finish();

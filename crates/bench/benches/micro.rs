@@ -3,10 +3,10 @@
 //! selection, greedy batch selection, and streaming updates. These back the
 //! ablation rows of DESIGN.md §6.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crf::entropy::EntropyMode;
 use crf::logistic::{Dataset, LogisticObjective};
 use crf::{GibbsConfig, GibbsSampler, Icrf, VarId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use evalkit::{fast_icrf, fast_ig};
 use factdb::DatasetPreset;
 use guidance::info_gain::{database_entropy_of, info_gains};
@@ -21,8 +21,8 @@ fn fixture() -> (Arc<crf::CrfModel>, Vec<bool>) {
 
 fn trained_engine(model: Arc<crf::CrfModel>, truth: &[bool]) -> Icrf {
     let mut icrf = Icrf::new(model, fast_icrf());
-    for i in 0..truth.len() / 4 {
-        icrf.set_label(VarId(i as u32), truth[i]);
+    for (i, &t) in truth.iter().enumerate().take(truth.len() / 4) {
+        icrf.set_label(VarId(i as u32), t);
     }
     icrf.run();
     icrf
@@ -56,7 +56,15 @@ fn bench_tron(c: &mut Criterion) {
             x = (x * 997.0 + 1.3).fract();
             *r = x * 2.0 - 1.0;
         }
-        data.push(&row, if row[0] + 0.5 * row[1] > 0.0 { 1.0 } else { 0.0 }, 1.0);
+        data.push(
+            &row,
+            if row[0] + 0.5 * row[1] > 0.0 {
+                1.0
+            } else {
+                0.0
+            },
+            1.0,
+        );
         let _ = i;
     }
     let obj = LogisticObjective::new(&data, 1.0);
@@ -162,8 +170,7 @@ fn bench_batch(c: &mut Criterion) {
 fn bench_stream(c: &mut Criterion) {
     let (model, _) = fixture();
     c.bench_function("stream_arrival_update", |b| {
-        let mut checker =
-            streamcheck::StreamingChecker::new(model.clone(), Default::default());
+        let mut checker = streamcheck::StreamingChecker::new(model.clone(), Default::default());
         let n = model.n_claims();
         let mut i = 0usize;
         b.iter(|| {

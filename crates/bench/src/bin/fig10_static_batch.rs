@@ -13,11 +13,7 @@ use guidance::{BatchConfig, BatchSelector, GuidanceContext, UncertaintyStrategy}
 use oracle::GroundTruthUser;
 
 /// Run batched validation to completion, sampling (effort, precision).
-fn batch_run(
-    model: std::sync::Arc<crf::CrfModel>,
-    truth: &[bool],
-    k: usize,
-) -> Vec<(f64, f64)> {
+fn batch_run(model: std::sync::Arc<crf::CrfModel>, truth: &[bool], k: usize) -> Vec<(f64, f64)> {
     let selector = BatchSelector::new(BatchConfig {
         k,
         w: 4.0,
@@ -56,8 +52,7 @@ fn batch_run(
 fn precision_at(curve: &[(f64, f64)], effort: f64) -> f64 {
     curve
         .iter()
-        .filter(|(e, _)| *e <= effort + 1e-9)
-        .next_back()
+        .rfind(|(e, _)| *e <= effort + 1e-9)
         .map(|&(_, p)| p)
         .unwrap_or(0.5)
 }
@@ -82,7 +77,13 @@ fn main() {
                 preset.name(),
                 checkpoint * 100.0
             ),
-            &["k", "CS α=1/4 (%)", "CS α=1/2 (%)", "CS α=1 (%)", "prec. degradation (%)"],
+            &[
+                "k",
+                "CS α=1/4 (%)",
+                "CS α=1/2 (%)",
+                "CS α=1 (%)",
+                "prec. degradation (%)",
+            ],
         );
         for (ki, &k) in ks.iter().enumerate() {
             let p_k = precision_at(&curves[ki], checkpoint);

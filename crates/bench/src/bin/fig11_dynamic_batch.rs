@@ -113,7 +113,10 @@ fn main() {
     for preset in bench::presets(scale) {
         let (ds, model) = bench::load(preset);
         let mut table = Table::new(
-            format!("Figure 11: label effort vs cost saving, α=2/3 ({})", preset.name()),
+            format!(
+                "Figure 11: label effort vs cost saving, α=2/3 ({})",
+                preset.name()
+            ),
             &[
                 "policy",
                 "effort@p>=0.8 (%)",
@@ -140,5 +143,7 @@ fn main() {
         }
         println!("{table}");
     }
-    println!("shape check: larger k saves more cost but needs more labels; dynamic sits on the frontier");
+    println!(
+        "shape check: larger k saves more cost but needs more labels; dynamic sits on the frontier"
+    );
 }

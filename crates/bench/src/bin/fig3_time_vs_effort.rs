@@ -48,12 +48,12 @@ fn main() {
         binned.push(bins.iter().map(|b| bench::mean(b)).collect());
     }
 
-    for decile in 0..10 {
+    for (decile, ((t0, t1), t2)) in binned[0].iter().zip(&binned[1]).zip(&binned[2]).enumerate() {
         table.row(&[
             format!("{}%", (decile + 1) * 10),
-            format!("{:.3}", binned[0][decile]),
-            format!("{:.3}", binned[1][decile]),
-            format!("{:.3}", binned[2][decile]),
+            format!("{t0:.3}"),
+            format!("{t1:.3}"),
+            format!("{t2:.3}"),
         ]);
     }
     println!("{table}");

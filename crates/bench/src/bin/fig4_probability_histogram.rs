@@ -21,7 +21,7 @@ fn main() {
         for (ei, &target_effort) in efforts.iter().enumerate() {
             let budget = (n as f64 * target_effort).round() as usize;
             let cfg = CurveConfig {
-                budget: budget.max(0),
+                budget,
                 ..Default::default()
             };
             let r = run_curve(model.clone(), &ds.truth, StrategyKind::Info, &cfg);
@@ -36,7 +36,11 @@ fn main() {
     );
     let hists: Vec<Vec<usize>> = pooled.iter().map(|v| histogram(v, bins)).collect();
     for b in 0..bins {
-        let mut cells = vec![format!("{:.1}-{:.1}", b as f64 / 10.0, (b + 1) as f64 / 10.0)];
+        let mut cells = vec![format!(
+            "{:.1}-{:.1}",
+            b as f64 / 10.0,
+            (b + 1) as f64 / 10.0
+        )];
         for (ei, h) in hists.iter().enumerate() {
             let total = pooled[ei].len().max(1);
             cells.push(format!("{:.1}", 100.0 * h[b] as f64 / total as f64));

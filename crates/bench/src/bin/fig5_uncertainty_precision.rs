@@ -42,7 +42,5 @@ fn main() {
     table.row(&["Pearson coefficient".into(), format!("{rho:.4}")]);
     table.row(&["paper reference".into(), "-0.8523".into()]);
     println!("{table}");
-    println!(
-        "shape check: strong negative correlation (rho = {rho:.4} < -0.5 expected)"
-    );
+    println!("shape check: strong negative correlation (rho = {rho:.4} < -0.5 expected)");
 }

@@ -16,7 +16,13 @@ fn main() {
         let mut table = Table::new(
             format!("Figure 6: precision vs label effort ({})", preset.name()),
             &[
-                "strategy", "20%", "40%", "60%", "80%", "100%", "effort@p>=0.9",
+                "strategy",
+                "20%",
+                "40%",
+                "60%",
+                "80%",
+                "100%",
+                "effort@p>=0.9",
             ],
         );
         let seeds: [u64; 3] = [0xf16, 0xf17, 0xf18];

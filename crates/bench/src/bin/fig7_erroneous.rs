@@ -25,7 +25,13 @@ fn main() {
                 preset.name()
             ),
             &[
-                "strategy", "20%", "40%", "60%", "80%", "100%", "effort@p>=0.9",
+                "strategy",
+                "20%",
+                "40%",
+                "60%",
+                "80%",
+                "100%",
+                "effort@p>=0.9",
             ],
         );
         let seeds: [u64; 3] = [0xf17, 0xf18, 0xf19];

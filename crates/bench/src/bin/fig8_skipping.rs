@@ -28,7 +28,10 @@ fn main() {
             },
         );
         let mut table = Table::new(
-            format!("Figure 8: saved effort (%) vs skip probability ({})", preset.name()),
+            format!(
+                "Figure 8: saved effort (%) vs skip probability ({})",
+                preset.name()
+            ),
             &["p_m", "prec=0.7", "prec=0.8", "prec=0.9"],
         );
         for &pm in &skip_ps {

@@ -26,7 +26,10 @@ fn main() {
     let final_p = r.points.last().map(|p| p.precision).unwrap_or(p0);
 
     let mut table = Table::new(
-        format!("Figure 9: termination indicators vs effort ({})", preset.name()),
+        format!(
+            "Figure 9: termination indicators vs effort ({})",
+            preset.name()
+        ),
         &["effort", "PrecImp%", "URR%", "CNG%", "PRE%", "PIR%"],
     );
 
@@ -61,9 +64,8 @@ fn main() {
                     .collect::<Vec<_>>(),
             )
             / ds.truth.len() as f64;
-        let pre = 100.0
-            * pts.iter().filter(|p| p.prediction_matched).count() as f64
-            / pts.len() as f64;
+        let pre =
+            100.0 * pts.iter().filter(|p| p.prediction_matched).count() as f64 / pts.len() as f64;
         let pir = match prev_bin_prec {
             Some(p) if p > 1e-9 => 100.0 * (end.precision - p).max(0.0) / p,
             _ => 0.0,

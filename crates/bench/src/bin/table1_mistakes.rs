@@ -10,11 +10,7 @@ use factcheck::{ProcessConfig, ValidationProcess};
 use guidance::HybridStrategy;
 use oracle::{GroundTruthUser, NoisyUser};
 
-fn detection_rate(
-    model: std::sync::Arc<crf::CrfModel>,
-    truth: &[bool],
-    p: f64,
-) -> Option<f64> {
+fn detection_rate(model: std::sync::Arc<crf::CrfModel>, truth: &[bool], p: f64) -> Option<f64> {
     let n = model.n_claims();
     let user = NoisyUser::new(GroundTruthUser::new(truth.to_vec()), p, 0x7ab1e);
     let mut process = ValidationProcess::new(
@@ -43,11 +39,8 @@ fn detection_rate(
     if mistaken.is_empty() {
         return None;
     }
-    let flagged: std::collections::HashSet<usize> = process
-        .flagged_claims()
-        .iter()
-        .map(|v| v.idx())
-        .collect();
+    let flagged: std::collections::HashSet<usize> =
+        process.flagged_claims().iter().map(|v| v.idx()).collect();
     let detected = mistaken
         .iter()
         .filter(|&&c| flagged.contains(&c) || process.icrf().labels()[c] == Some(truth[c]))

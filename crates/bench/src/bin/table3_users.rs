@@ -19,7 +19,13 @@ fn main() {
     let n_claims = 50usize;
     let mut table = Table::new(
         "Table 3: avg time (s) and accuracy of experts and crowd workers",
-        &["dataset", "Exp. time", "Cro. time", "Exp. acc.", "Cro. acc."],
+        &[
+            "dataset",
+            "Exp. time",
+            "Cro. time",
+            "Exp. acc.",
+            "Cro. acc.",
+        ],
     );
 
     for preset in bench::presets(scale) {

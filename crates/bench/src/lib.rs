@@ -58,13 +58,7 @@ pub fn sample_at_efforts(
 ) -> Vec<Option<evalkit::CurvePoint>> {
     efforts
         .iter()
-        .map(|&e| {
-            points
-                .iter()
-                .filter(|p| p.effort <= e + 1e-9)
-                .next_back()
-                .cloned()
-        })
+        .map(|&e| points.iter().rfind(|p| p.effort <= e + 1e-9).cloned())
         .collect()
 }
 

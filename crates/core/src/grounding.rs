@@ -17,9 +17,7 @@ use crf::Icrf;
 /// yet (before the first inference call).
 pub fn instantiate_grounding(icrf: &Icrf) -> Bitset {
     if icrf.last_samples().is_empty() {
-        return Bitset::from_bools(
-            &icrf.probs().iter().map(|&p| p >= 0.5).collect::<Vec<_>>(),
-        );
+        return Bitset::from_bools(&icrf.probs().iter().map(|&p| p >= 0.5).collect::<Vec<_>>());
     }
     mode_configuration(icrf.last_samples(), icrf.partition())
 }

@@ -13,6 +13,13 @@
 //! and the strategy feedback that updates the hybrid score `z_i` (line 18).
 //! The loop honours the effort budget `b` and the validation goal `Δ`
 //! (Problem 1) and optionally interleaves the confirmation check of §5.2.
+//!
+//! The process owns one long-lived [`Icrf`] engine, which is what makes the
+//! per-iteration inference cheap: the engine's internal scratch — the Gibbs
+//! score cache, the CSR-sized sampler buffers, the per-clique training set,
+//! and the TRON solver vectors — is allocated on the first `step` and
+//! reused by every subsequent validation, batch, and confirmation-check
+//! inference for the lifetime of the session.
 
 use crate::config::ProcessConfig;
 use crate::grounding::{grounding_changes, instantiate_grounding};
@@ -213,7 +220,7 @@ impl<S: SelectionStrategy, U: User> ValidationProcess<S, U> {
         // ---- Confirmation check (§5.2), interleaved periodically.
         let mut repair_effort = 0;
         if let Some(every) = self.config.confirmation_check_every {
-            if every > 0 && iteration % every == 0 {
+            if every > 0 && iteration.is_multiple_of(every) {
                 let report = self.run_confirmation_check();
                 repair_effort = report.re_elicitations;
             }
@@ -410,7 +417,11 @@ mod tests {
         p.run();
         for (idx, rec) in p.history().iter().enumerate() {
             assert_eq!(rec.iteration, idx + 1);
-            assert!((0.0..=1.0).contains(&rec.error_rate), "ε={}", rec.error_rate);
+            assert!(
+                (0.0..=1.0).contains(&rec.error_rate),
+                "ε={}",
+                rec.error_rate
+            );
             assert!((0.0..=1.0).contains(&rec.unreliable_ratio));
             assert!(rec.entropy >= 0.0);
             assert!(rec.elapsed > Duration::ZERO);

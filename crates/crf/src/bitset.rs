@@ -10,7 +10,11 @@
 use std::fmt;
 
 /// A fixed-length sequence of bits, one per claim variable.
-#[derive(Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+///
+/// The derived `Ord` (lexicographic over the packed words, then length) is
+/// an arbitrary but total and cheap order; the sampler uses it to group
+/// equal configurations by sorting instead of hashing.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
 pub struct Bitset {
     words: Vec<u64>,
     len: usize,

@@ -17,12 +17,12 @@
 //! inference without disturbing the real state.
 
 use crate::bitset::Bitset;
-use crate::gibbs::{GibbsConfig, GibbsResult, GibbsSampler};
+use crate::gibbs::{GibbsConfig, GibbsResult, GibbsSampler, GibbsScratch};
 use crate::graph::{CrfModel, Stance, VarId};
 use crate::logistic::{Dataset, LogisticObjective};
 use crate::partition::Partition;
 use crate::potentials::{clique_features, Weights};
-use crate::tron::{self, TronConfig};
+use crate::tron::{self, TronConfig, TronScratch};
 use std::sync::Arc;
 
 /// Configuration of the EM loop.
@@ -69,6 +69,40 @@ pub struct IcrfStats {
     pub converged: bool,
 }
 
+/// Long-lived hot-path buffers threaded through every E- and M-step.
+///
+/// The engine is called once per validation iteration (hundreds of times per
+/// session) and each call runs several EM iterations; everything sized by
+/// the model — the Gibbs [`crate::potentials::ScoreCache`], the TRON solver
+/// vectors, the per-clique training set, and the per-source trust vector —
+/// is allocated once here and reused. The training set is special: its
+/// static feature prefix (`[1, f^D, f^S]` per clique) never changes, so it
+/// is filled exactly once and every subsequent M-step patches only the
+/// dynamic trust column and the per-instance targets in place.
+#[derive(Debug, Default)]
+struct InferenceScratch {
+    gibbs: GibbsScratch,
+    tron: TronScratch,
+    dataset: Dataset,
+    trust: Vec<f64>,
+}
+
+impl Clone for InferenceScratch {
+    /// Only the dataset (its static feature prefix is expensive to
+    /// recompute) is carried over; every other buffer is rebuilt before its
+    /// first read, and the info-gain strategies clone whole engines per
+    /// candidate ([`Icrf::hypothetical`]), so copying dead scratch would be
+    /// pure memcpy waste on every hypothetical inference.
+    fn clone(&self) -> Self {
+        InferenceScratch {
+            gibbs: GibbsScratch::default(),
+            tron: TronScratch::default(),
+            dataset: self.dataset.clone(),
+            trust: Vec::new(),
+        }
+    }
+}
+
 /// The incremental inference engine: owns the mutable model state
 /// (weights, probabilities, labels, last sample set).
 #[derive(Debug, Clone)]
@@ -83,6 +117,7 @@ pub struct Icrf {
     /// Distinct seed stream per inference call so successive calls do not
     /// replay identical chains.
     epoch: u64,
+    scratch: InferenceScratch,
 }
 
 impl Icrf {
@@ -100,6 +135,7 @@ impl Icrf {
             labels: vec![None; n],
             last_samples: Vec::new(),
             epoch: 0,
+            scratch: InferenceScratch::default(),
         }
     }
 
@@ -185,13 +221,18 @@ impl Icrf {
 
     /// Run EM to convergence (bounded by `max_em_iters`), warm-starting from
     /// the previous state. Returns aggregate statistics.
+    ///
+    /// The hot path allocates nothing in steady state: the Gibbs score
+    /// cache, the TRON solver buffers, and the per-clique training set all
+    /// live in the engine and are reused across EM iterations *and* across
+    /// calls (see [`InferenceScratch`]).
     pub fn run(&mut self) -> IcrfStats {
         let dim = self.model.feature_dim();
         if self.weights.dim() != dim {
             self.weights = Weights::zeros(dim);
         }
         let mut stats = IcrfStats::default();
-        let mut dataset = Dataset::new(dim);
+        self.ensure_dataset();
         self.epoch += 1;
 
         for l in 0..self.config.max_em_iters {
@@ -208,7 +249,12 @@ impl Icrf {
                 samples,
                 marginals,
                 sweeps,
-            } = sampler.run(&self.weights, &self.labels, &self.probs);
+            } = sampler.run_with(
+                &self.weights,
+                &self.labels,
+                &self.probs,
+                &mut self.scratch.gibbs,
+            );
             stats.gibbs_sweeps += sweeps;
 
             let max_prob_change = marginals
@@ -220,11 +266,19 @@ impl Icrf {
             self.last_samples = samples;
 
             // ---- M-step: weighted logistic regression via TRON (Eq. 8).
-            dataset.clear();
-            let trust = self.source_trust();
-            let mut row = vec![0.0; dim];
-            for clique in self.model.cliques() {
-                clique_features(&self.model, clique, trust[clique.source as usize], &mut row);
+            // Only the dynamic trust column and the per-instance targets
+            // change between iterations; the static feature prefix was
+            // written once by `ensure_dataset`.
+            source_trust_into(
+                &self.model,
+                &self.probs,
+                self.config.gibbs.trust_prior,
+                &mut self.scratch.trust,
+            );
+            let trust_col = dim - 1;
+            for (i, clique) in self.model.cliques().iter().enumerate() {
+                self.scratch.dataset.row_mut(i)[trust_col] =
+                    self.scratch.trust[clique.source as usize] - 0.5;
                 // Unlabelled claims use *damped* marginals as targets: pure
                 // self-training targets let an early wrong guess reinforce
                 // itself into a confidently-wrong cluster; shrinking them
@@ -248,11 +302,16 @@ impl Icrf {
                 } else {
                     1.0
                 };
-                dataset.push(&row, target, weight);
+                self.scratch.dataset.set_instance(i, target, weight);
             }
             let prev_weights = self.weights.clone();
-            let obj = LogisticObjective::new(&dataset, self.config.lambda);
-            let res = tron::solve(&obj, self.weights.as_mut_slice(), &self.config.tron);
+            let obj = LogisticObjective::new(&self.scratch.dataset, self.config.lambda);
+            let res = tron::solve_with(
+                &obj,
+                self.weights.as_mut_slice(),
+                &self.config.tron,
+                &mut self.scratch.tron,
+            );
             stats.tron_iterations += res.iterations;
 
             let weight_change = self.weights.distance(&prev_weights);
@@ -263,18 +322,43 @@ impl Icrf {
         }
         stats
     }
+
+    /// Size the persistent training set to the model and write each clique's
+    /// static feature prefix once. The trust column is overwritten before
+    /// every solve, so its initial value is irrelevant.
+    fn ensure_dataset(&mut self) {
+        let dim = self.model.feature_dim();
+        let n_cliques = self.model.cliques().len();
+        if self.scratch.dataset.dim() == dim && self.scratch.dataset.len() == n_cliques {
+            return;
+        }
+        let mut dataset = Dataset::new(dim);
+        let mut row = vec![0.0; dim];
+        for clique in self.model.cliques() {
+            clique_features(&self.model, clique, 0.5, &mut row);
+            dataset.push(&row, 0.5, 1.0);
+        }
+        self.scratch.dataset = dataset;
+    }
 }
 
 /// Smoothed fraction of each source's claims currently believed credible:
 /// `τ(s) = (a + Σ_{c∈C_s} P(c)) / (a + b + |C_s|)`.
 pub fn source_trust_from_probs(model: &CrfModel, probs: &[f64], prior: (f64, f64)) -> Vec<f64> {
-    (0..model.n_sources() as u32)
-        .map(|s| {
-            let claims = model.claims_of_source(s);
-            let sum: f64 = claims.iter().map(|&c| probs[c as usize]).sum();
-            (prior.0 + sum) / (prior.0 + prior.1 + claims.len() as f64)
-        })
-        .collect()
+    let mut out = Vec::new();
+    source_trust_into(model, probs, prior, &mut out);
+    out
+}
+
+/// Allocation-free form of [`source_trust_from_probs`]: writes one trust
+/// value per source into `out` (cleared first, allocation reused).
+pub fn source_trust_into(model: &CrfModel, probs: &[f64], prior: (f64, f64), out: &mut Vec<f64>) {
+    out.clear();
+    out.extend((0..model.n_sources() as u32).map(|s| {
+        let claims = model.claims_of_source(s);
+        let sum: f64 = claims.iter().map(|&c| probs[c as usize]).sum();
+        (prior.0 + sum) / (prior.0 + prior.1 + claims.len() as f64)
+    }));
 }
 
 #[cfg(test)]

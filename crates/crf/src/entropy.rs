@@ -256,7 +256,7 @@ mod tests {
         let m = chain_model(4);
         let w = Weights::zeros(m.feature_dim());
         let comp: Vec<usize> = (0..4).collect();
-        let h_full = exact_component_entropy(&m, &w, &vec![None; 4], &comp, (1.0, 1.0));
+        let h_full = exact_component_entropy(&m, &w, &[None; 4], &comp, (1.0, 1.0));
         let mut labels = vec![None; 4];
         labels[0] = Some(true);
         labels[1] = Some(false);
@@ -273,11 +273,21 @@ mod tests {
         let probs = vec![0.5; 5];
         let p = Partition::of_model(&m);
         let ha = database_entropy(
-            &m, &w, &labels, &probs, &p, (1.0, 1.0),
+            &m,
+            &w,
+            &labels,
+            &probs,
+            &p,
+            (1.0, 1.0),
             EntropyMode::Approximate,
         );
         let he = database_entropy(
-            &m, &w, &labels, &probs, &p, (1.0, 1.0),
+            &m,
+            &w,
+            &labels,
+            &probs,
+            &p,
+            (1.0, 1.0),
             EntropyMode::Exact { max_component: 10 },
         );
         assert!((ha - he).abs() < 1e-9, "approx={ha} exact={he}");
@@ -291,7 +301,12 @@ mod tests {
         let probs = vec![0.9; 6];
         let p = Partition::of_model(&m);
         let h = database_entropy(
-            &m, &w, &labels, &probs, &p, (1.0, 1.0),
+            &m,
+            &w,
+            &labels,
+            &probs,
+            &p,
+            (1.0, 1.0),
             EntropyMode::Exact { max_component: 2 }, // component has 6 > 2
         );
         assert!((h - claim_entropy(&probs)).abs() < 1e-12);

@@ -86,6 +86,18 @@ pub struct Clique {
 /// Construct via [`CrfModelBuilder`]. The model is immutable during
 /// inference; all mutable state (weights, probabilities, labels) lives in
 /// [`crate::em::Icrf`].
+///
+/// # Adjacency layout
+///
+/// All three adjacency maps (claim → cliques, source → distinct claims,
+/// claim → distinct sources) are stored in **CSR form**: one flat offset
+/// array of length `n + 1` plus one flat index array, instead of a
+/// `Vec<Vec<u32>>` of per-node heap allocations. The Gibbs sampler walks
+/// claim → cliques on every single-site update, so its inner loop reads one
+/// contiguous index slice per visit — no pointer chase per neighbour list,
+/// no per-list allocation, and the whole adjacency of a typical model fits
+/// in L2. The accessor API is unchanged (`cliques_of` & friends still
+/// return `&[u32]`); only the backing layout moved.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CrfModel {
     n_claims: usize,
@@ -94,12 +106,21 @@ pub struct CrfModel {
     m_source: usize,
     m_doc: usize,
     cliques: Vec<Clique>,
-    /// claim -> clique ids
-    claim_cliques: Vec<Vec<u32>>,
-    /// source -> distinct claim ids (the set `C_s` of Eq. 17)
-    source_claims: Vec<Vec<u32>>,
-    /// claim -> distinct source ids
-    claim_sources: Vec<Vec<u32>>,
+    /// CSR offsets (`n_claims + 1`) into [`Self::claim_clique_ids`].
+    claim_clique_offsets: Vec<u32>,
+    /// Clique ids per claim, in clique-insertion order (claim-major).
+    claim_clique_ids: Vec<u32>,
+    /// Source of each entry of `claim_clique_ids` (parallel array), so the
+    /// sampler's inner loop never chases into `cliques` for the source id.
+    claim_clique_sources: Vec<u32>,
+    /// CSR offsets (`n_sources + 1`) into [`Self::source_claim_ids`].
+    source_claim_offsets: Vec<u32>,
+    /// Distinct claim ids per source, ascending (the set `C_s` of Eq. 17).
+    source_claim_ids: Vec<u32>,
+    /// CSR offsets (`n_claims + 1`) into [`Self::claim_source_ids`].
+    claim_source_offsets: Vec<u32>,
+    /// Distinct source ids per claim, ascending.
+    claim_source_ids: Vec<u32>,
     /// row-major `n_docs x m_doc`
     doc_features: Vec<f64>,
     /// row-major `n_sources x m_source`
@@ -143,18 +164,59 @@ impl CrfModel {
     }
 
     /// Ids of the cliques a claim participates in.
+    #[inline]
     pub fn cliques_of(&self, claim: VarId) -> &[u32] {
-        &self.claim_cliques[claim.idx()]
+        let (lo, hi) = self.claim_clique_span(claim.idx());
+        &self.claim_clique_ids[lo..hi]
+    }
+
+    /// The source of each clique of `claim`, parallel to [`Self::cliques_of`].
+    #[inline]
+    pub fn clique_sources_of(&self, claim: VarId) -> &[u32] {
+        let (lo, hi) = self.claim_clique_span(claim.idx());
+        &self.claim_clique_sources[lo..hi]
+    }
+
+    /// Half-open CSR span of `claim`'s cliques: positions into the
+    /// claim-major clique arrays (and into a claim-major
+    /// [`crate::potentials::ScoreCache`], which shares this layout).
+    #[inline]
+    pub fn claim_clique_span(&self, claim: usize) -> (usize, usize) {
+        (
+            self.claim_clique_offsets[claim] as usize,
+            self.claim_clique_offsets[claim + 1] as usize,
+        )
+    }
+
+    /// Total number of (claim, clique) incidences — the length of the
+    /// claim-major arrays; equals `cliques().len()`.
+    #[inline]
+    pub fn n_incidences(&self) -> usize {
+        self.claim_clique_ids.len()
     }
 
     /// The distinct claims connected to a source (`C_s`).
+    #[inline]
     pub fn claims_of_source(&self, source: u32) -> &[u32] {
-        &self.source_claims[source as usize]
+        let s = source as usize;
+        &self.source_claim_ids
+            [self.source_claim_offsets[s] as usize..self.source_claim_offsets[s + 1] as usize]
+    }
+
+    /// Number of distinct claims of a source (`|C_s|`) without forming the
+    /// slice.
+    #[inline]
+    pub fn n_claims_of_source(&self, source: u32) -> usize {
+        let s = source as usize;
+        (self.source_claim_offsets[s + 1] - self.source_claim_offsets[s]) as usize
     }
 
     /// The distinct sources connected to a claim.
+    #[inline]
     pub fn sources_of_claim(&self, claim: VarId) -> &[u32] {
-        &self.claim_sources[claim.idx()]
+        let c = claim.idx();
+        &self.claim_source_ids
+            [self.claim_source_offsets[c] as usize..self.claim_source_offsets[c + 1] as usize]
     }
 
     /// Feature row of a document.
@@ -305,20 +367,15 @@ impl CrfModelBuilder {
 
     /// Current number of registered sources.
     pub fn n_sources(&self) -> usize {
-        if self.m_source == 0 {
-            0
-        } else {
-            self.source_features.len() / self.m_source
-        }
+        self.source_features
+            .len()
+            .checked_div(self.m_source)
+            .unwrap_or(0)
     }
 
     /// Current number of registered documents.
     pub fn n_docs(&self) -> usize {
-        if self.m_doc == 0 {
-            0
-        } else {
-            self.doc_features.len() / self.m_doc
-        }
+        self.doc_features.len().checked_div(self.m_doc).unwrap_or(0)
     }
 
     /// Validate integrity and produce the immutable model.
@@ -353,18 +410,37 @@ impl CrfModelBuilder {
             }
         }
 
-        let mut claim_cliques = vec![Vec::new(); n_claims];
-        let mut source_claims: Vec<Vec<u32>> = vec![Vec::new(); n_sources];
-        let mut claim_sources: Vec<Vec<u32>> = vec![Vec::new(); n_claims];
+        // ---- Claim → cliques in CSR form, via a counting sort over the
+        // clique list. The fill pass walks cliques in insertion order, so
+        // each claim's clique ids appear in the same order the nested
+        // `Vec<Vec<u32>>` layout used to produce.
+        let mut claim_clique_offsets = vec![0u32; n_claims + 1];
+        for cl in &self.cliques {
+            claim_clique_offsets[cl.claim.idx() + 1] += 1;
+        }
+        for i in 0..n_claims {
+            claim_clique_offsets[i + 1] += claim_clique_offsets[i];
+        }
+        let mut cursor: Vec<u32> = claim_clique_offsets[..n_claims].to_vec();
+        let mut claim_clique_ids = vec![0u32; self.cliques.len()];
+        let mut claim_clique_sources = vec![0u32; self.cliques.len()];
         for (i, cl) in self.cliques.iter().enumerate() {
-            claim_cliques[cl.claim.idx()].push(i as u32);
-            source_claims[cl.source as usize].push(cl.claim.0);
-            claim_sources[cl.claim.idx()].push(cl.source);
+            let slot = cursor[cl.claim.idx()] as usize;
+            claim_clique_ids[slot] = i as u32;
+            claim_clique_sources[slot] = cl.source;
+            cursor[cl.claim.idx()] += 1;
         }
-        for v in source_claims.iter_mut().chain(claim_sources.iter_mut()) {
-            v.sort_unstable();
-            v.dedup();
-        }
+
+        // ---- Source → distinct claims and claim → distinct sources:
+        // sort-dedup each edge direction, then compress to CSR.
+        let (source_claim_offsets, source_claim_ids) = dedup_csr(
+            n_sources,
+            self.cliques.iter().map(|cl| (cl.source, cl.claim.0)),
+        );
+        let (claim_source_offsets, claim_source_ids) = dedup_csr(
+            n_claims,
+            self.cliques.iter().map(|cl| (cl.claim.0, cl.source)),
+        );
 
         Ok(CrfModel {
             n_claims,
@@ -373,20 +449,87 @@ impl CrfModelBuilder {
             m_source: self.m_source,
             m_doc: self.m_doc,
             cliques: self.cliques,
-            claim_cliques,
-            source_claims,
-            claim_sources,
+            claim_clique_offsets,
+            claim_clique_ids,
+            claim_clique_sources,
+            source_claim_offsets,
+            source_claim_ids,
+            claim_source_offsets,
+            claim_source_ids,
             doc_features: self.doc_features,
             source_features: self.source_features,
         })
     }
 }
 
+/// Build a CSR adjacency with ascending, deduplicated neighbour lists from
+/// an edge iterator: for every `(node, neighbour)` pair, `neighbour` joins
+/// node's list.
+fn dedup_csr(n_nodes: usize, edges: impl Iterator<Item = (u32, u32)>) -> (Vec<u32>, Vec<u32>) {
+    let mut pairs: Vec<(u32, u32)> = edges.collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut offsets = vec![0u32; n_nodes + 1];
+    for &(node, _) in &pairs {
+        offsets[node as usize + 1] += 1;
+    }
+    for i in 0..n_nodes {
+        offsets[i + 1] += offsets[i];
+    }
+    let ids = pairs.into_iter().map(|(_, nb)| nb).collect();
+    (offsets, ids)
+}
+
+/// Build a random but well-formed synthetic model: `n_claims` claims spread
+/// over `n_sources` sources, `docs_per_claim` documents each, with
+/// `m_source`/`m_doc`-dimensional uniform feature rows and an 80/20
+/// support/refute stance mix. Fully deterministic given `seed`.
+///
+/// Used by the equivalence tests and the Gibbs throughput benchmarks, which
+/// need graphs (up to 10k claims) without pulling in the `factdb` corpus
+/// generators.
+pub fn synthetic_model(
+    n_claims: usize,
+    n_sources: usize,
+    docs_per_claim: usize,
+    m_source: usize,
+    m_doc: usize,
+    seed: u64,
+) -> CrfModel {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = CrfModelBuilder::new(m_source, m_doc);
+    let mut row = vec![0.0; m_source.max(m_doc)];
+    for _ in 0..n_sources {
+        for x in row[..m_source].iter_mut() {
+            *x = rng.gen::<f64>();
+        }
+        b.add_source(&row[..m_source]).unwrap();
+    }
+    let claims: Vec<VarId> = (0..n_claims).map(|_| b.add_claim()).collect();
+    for &c in &claims {
+        for _ in 0..docs_per_claim {
+            for x in row[..m_doc].iter_mut() {
+                *x = rng.gen::<f64>();
+            }
+            let d = b.add_document(&row[..m_doc]).unwrap();
+            let s = rng.gen_range(0..n_sources) as u32;
+            let stance = if rng.gen_bool(0.8) {
+                Stance::Support
+            } else {
+                Stance::Refute
+            };
+            b.add_clique(c, d, s, stance);
+        }
+    }
+    b.build().unwrap()
+}
+
 #[cfg(test)]
 pub(crate) mod test_support {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
 
     /// Build a small random but well-formed model: `n_claims` claims spread
     /// over `n_sources` sources, `docs_per_claim` documents each.
@@ -396,27 +539,7 @@ pub(crate) mod test_support {
         docs_per_claim: usize,
         seed: u64,
     ) -> CrfModel {
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut b = CrfModelBuilder::new(2, 2);
-        for _ in 0..n_sources {
-            let f = [rng.gen::<f64>(), rng.gen::<f64>()];
-            b.add_source(&f).unwrap();
-        }
-        let claims: Vec<VarId> = (0..n_claims).map(|_| b.add_claim()).collect();
-        for &c in &claims {
-            for _ in 0..docs_per_claim {
-                let f = [rng.gen::<f64>(), rng.gen::<f64>()];
-                let d = b.add_document(&f).unwrap();
-                let s = rng.gen_range(0..n_sources) as u32;
-                let stance = if rng.gen_bool(0.8) {
-                    Stance::Support
-                } else {
-                    Stance::Refute
-                };
-                b.add_clique(c, d, s, stance);
-            }
-        }
-        b.build().unwrap()
+        synthetic_model(n_claims, n_sources, docs_per_claim, 2, 2, seed)
     }
 }
 
@@ -454,11 +577,17 @@ mod tests {
         let mut b = CrfModelBuilder::new(2, 2);
         assert!(matches!(
             b.add_source(&[1.0]),
-            Err(ModelError::FeatureDim { entity: "source", .. })
+            Err(ModelError::FeatureDim {
+                entity: "source",
+                ..
+            })
         ));
         assert!(matches!(
             b.add_document(&[1.0, 2.0, 3.0]),
-            Err(ModelError::FeatureDim { entity: "document", .. })
+            Err(ModelError::FeatureDim {
+                entity: "document",
+                ..
+            })
         ));
     }
 
@@ -470,7 +599,10 @@ mod tests {
         b.add_clique(c, d, 7, Stance::Support); // source 7 does not exist
         assert!(matches!(
             b.build(),
-            Err(ModelError::DanglingReference { entity: "source", .. })
+            Err(ModelError::DanglingReference {
+                entity: "source",
+                ..
+            })
         ));
     }
 
@@ -492,6 +624,50 @@ mod tests {
         assert_eq!(m.claims_of_source(1), &[0]);
         assert_eq!(m.sources_of_claim(VarId(0)), &[0, 1]);
         assert_eq!(m.sources_of_claim(VarId(1)), &[0]);
+    }
+
+    /// The CSR layout reproduces exactly the nested `Vec<Vec<u32>>`
+    /// adjacency it replaced: per-claim clique lists in insertion order,
+    /// per-claim parallel source lists, and sorted-deduplicated
+    /// source↔claim lists, all rebuilt here directly from the clique list.
+    #[test]
+    fn csr_adjacency_round_trips_nested_reference() {
+        use std::collections::BTreeSet;
+        let m = test_support::random_model(60, 12, 3, 21);
+
+        let mut claim_cliques = vec![Vec::<u32>::new(); m.n_claims()];
+        let mut claim_clique_sources = vec![Vec::<u32>::new(); m.n_claims()];
+        let mut claim_sources = vec![BTreeSet::<u32>::new(); m.n_claims()];
+        let mut source_claims = vec![BTreeSet::<u32>::new(); m.n_sources()];
+        for (i, cl) in m.cliques().iter().enumerate() {
+            claim_cliques[cl.claim.idx()].push(i as u32);
+            claim_clique_sources[cl.claim.idx()].push(cl.source);
+            claim_sources[cl.claim.idx()].insert(cl.source);
+            source_claims[cl.source as usize].insert(cl.claim.0);
+        }
+
+        let mut incidences = 0;
+        for c in 0..m.n_claims() {
+            let v = VarId(c as u32);
+            assert_eq!(m.cliques_of(v), claim_cliques[c].as_slice(), "claim {c}");
+            assert_eq!(
+                m.clique_sources_of(v),
+                claim_clique_sources[c].as_slice(),
+                "claim {c} sources"
+            );
+            let expect: Vec<u32> = claim_sources[c].iter().copied().collect();
+            assert_eq!(m.sources_of_claim(v), expect.as_slice(), "claim {c} dedup");
+            let (lo, hi) = m.claim_clique_span(c);
+            assert_eq!(hi - lo, claim_cliques[c].len());
+            incidences += hi - lo;
+        }
+        assert_eq!(incidences, m.n_incidences());
+        assert_eq!(m.n_incidences(), m.cliques().len());
+        for s in 0..m.n_sources() as u32 {
+            let expect: Vec<u32> = source_claims[s as usize].iter().copied().collect();
+            assert_eq!(m.claims_of_source(s), expect.as_slice(), "source {s}");
+            assert_eq!(m.n_claims_of_source(s), expect.len());
+        }
     }
 
     #[test]

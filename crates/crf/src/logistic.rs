@@ -45,7 +45,10 @@ impl Dataset {
     /// target is outside `[0, 1]`.
     pub fn push(&mut self, row: &[f64], target: f64, weight: f64) {
         assert_eq!(row.len(), self.dim, "feature row width mismatch");
-        assert!((0.0..=1.0).contains(&target), "target {target} not a probability");
+        assert!(
+            (0.0..=1.0).contains(&target),
+            "target {target} not a probability"
+        );
         assert!(weight >= 0.0, "negative instance weight");
         self.x.extend_from_slice(row);
         self.targets.push(target);
@@ -79,6 +82,27 @@ impl Dataset {
         self.x.clear();
         self.targets.clear();
         self.weights.clear();
+    }
+
+    /// Mutable view of row `i`. The EM loop keeps one instance per clique
+    /// alive across iterations and patches only the dynamic trust column
+    /// in place — the static feature prefix never changes.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.x[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Overwrite the target and weight of instance `i` (same checks as
+    /// [`Self::push`]).
+    #[inline]
+    pub fn set_instance(&mut self, i: usize, target: f64, weight: f64) {
+        assert!(
+            (0.0..=1.0).contains(&target),
+            "target {target} not a probability"
+        );
+        assert!(weight >= 0.0, "negative instance weight");
+        self.targets[i] = target;
+        self.weights[i] = weight;
     }
 }
 
@@ -116,10 +140,22 @@ impl<'a> LogisticObjective<'a> {
     /// Gradient at `w`, written into `g` (overwritten). Also returns the
     /// per-instance sigmoids for reuse in Hessian-vector products.
     pub fn gradient(&self, w: &[f64], g: &mut [f64]) -> Vec<f64> {
+        let mut sigmas = Vec::new();
+        self.gradient_into(w, g, &mut sigmas);
+        sigmas
+    }
+
+    /// Allocation-free form of [`Self::gradient`]: the per-instance sigmoids
+    /// are written into `sigmas` (cleared first, allocation reused), for
+    /// callers that solve repeatedly — the EM loop's M-step and the
+    /// streaming updates go through this path via
+    /// [`crate::tron::solve_with`].
+    pub fn gradient_into(&self, w: &[f64], g: &mut [f64], sigmas: &mut Vec<f64>) {
         for (gi, wi) in g.iter_mut().zip(w) {
             *gi = self.lambda * wi;
         }
-        let mut sigmas = Vec::with_capacity(self.data.len());
+        sigmas.clear();
+        sigmas.reserve(self.data.len());
         for i in 0..self.data.len() {
             let row = self.data.row(i);
             let z = crate::numerics::dot(w, row);
@@ -128,7 +164,6 @@ impl<'a> LogisticObjective<'a> {
             let coef = self.data.weights[i] * (s - self.data.targets[i]);
             crate::numerics::axpy(coef, row, g);
         }
-        sigmas
     }
 
     /// Hessian-vector product `Hv` at the point whose sigmoids are `sigmas`
@@ -137,9 +172,12 @@ impl<'a> LogisticObjective<'a> {
         for (oi, vi) in out.iter_mut().zip(v) {
             *oi = self.lambda * vi;
         }
-        for i in 0..self.data.len() {
+        // A short `sigmas` (stale buffer from a smaller problem) must fail
+        // loudly: silently truncating the loop would drop the tail
+        // instances from the Hessian and converge to wrong weights.
+        assert_eq!(sigmas.len(), self.data.len(), "sigmas/instance mismatch");
+        for (i, &s) in sigmas.iter().enumerate() {
             let row = self.data.row(i);
-            let s = sigmas[i];
             let d = self.data.weights[i] * s * (1.0 - s);
             if d == 0.0 {
                 continue;

@@ -87,14 +87,14 @@ impl Partition {
         let mut root_to_comp = std::collections::HashMap::new();
         let mut component_of = vec![0u32; n];
         let mut components: Vec<Vec<usize>> = Vec::new();
-        for c in 0..n {
+        for (c, slot) in component_of.iter_mut().enumerate() {
             let r = dsu.find(c);
             let next = components.len();
             let comp = *root_to_comp.entry(r).or_insert_with(|| {
                 components.push(Vec::new());
                 next
             });
-            component_of[c] = comp as u32;
+            *slot = comp as u32;
             components[comp].push(c);
         }
         Partition {

@@ -83,9 +83,13 @@ pub fn clique_features(model: &CrfModel, clique: &Clique, trust: f64, out: &mut 
     out[1 + md + ms] = trust - 0.5;
 }
 
-/// The raw score `β · x_π` of a clique under the given dynamic trust.
+/// The *static* part of a clique's score: `β · [1, f^D(d), f^S(s)]`, i.e.
+/// everything except the dynamic-trust term. Within one E-step the weights
+/// are fixed, so this value is a per-clique constant — [`ScoreCache`]
+/// precomputes it once and the Gibbs inner loop never touches the feature
+/// matrices again.
 #[inline]
-pub fn clique_score(model: &CrfModel, weights: &Weights, clique: &Clique, trust: f64) -> f64 {
+pub fn clique_static_score(model: &CrfModel, weights: &Weights, clique: &Clique) -> f64 {
     let beta = weights.as_slice();
     let mut acc = beta[0]; // bias * 1
     let md = model.m_doc();
@@ -98,7 +102,15 @@ pub fn clique_score(model: &CrfModel, weights: &Weights, clique: &Clique, trust:
     for t in 0..ms {
         acc += beta[1 + md + t] * sf[t];
     }
-    acc + beta[1 + md + ms] * (trust - 0.5)
+    acc
+}
+
+/// The raw score `β · x_π` of a clique under the given dynamic trust.
+#[inline]
+pub fn clique_score(model: &CrfModel, weights: &Weights, clique: &Clique, trust: f64) -> f64 {
+    let md = model.m_doc();
+    let ms = model.m_source();
+    clique_static_score(model, weights, clique) + weights.as_slice()[1 + md + ms] * (trust - 0.5)
 }
 
 /// The signed contribution of a clique to the logit of *its claim being
@@ -144,6 +156,98 @@ pub fn claim_probability(
     trust_of: impl Fn(u32) -> f64,
 ) -> f64 {
     numerics::sigmoid(claim_logit(model, weights, claim, trust_of))
+}
+
+/// Precomputed clique scores for one fixed weight vector — the E-step's hot
+/// data structure.
+///
+/// Within an E-step the weights `β` are constants, so each clique's
+/// contribution to its claim's conditional logit decomposes into a
+/// per-clique constant plus one dynamic term:
+///
+/// ```text
+/// ±(β·[1, f^D, f^S] + β_τ·(τ(s) − ½))  =  signed_static + signed_τw·(τ(s) − ½)
+/// ```
+///
+/// The cache stores `signed_static` and `signed_τw` (the stance sign folded
+/// in) **in claim-major order** — the same layout as
+/// [`CrfModel::cliques_of`] — so a single-site Gibbs update reads two
+/// contiguous `f64` slices and the source-id slice, and performs one
+/// multiply-add per incident clique regardless of the feature
+/// dimensionality. Scores are bit-identical to evaluating
+/// [`clique_logit_contribution`] directly: negation and the final add are
+/// exact IEEE transformations of the same partial sums.
+///
+/// Rebuilding the cache is `O(n_cliques · feature_dim)` and happens once
+/// per E-step; [`ScoreCache::rebuild`] reuses the allocations across EM
+/// iterations.
+#[derive(Debug, Clone, Default)]
+pub struct ScoreCache {
+    signed_static: Vec<f64>,
+    signed_trust_w: Vec<f64>,
+}
+
+impl ScoreCache {
+    /// An empty cache; call [`Self::rebuild`] before use.
+    pub fn new() -> Self {
+        ScoreCache::default()
+    }
+
+    /// Build a cache for `(model, weights)` in one pass.
+    pub fn build(model: &CrfModel, weights: &Weights) -> Self {
+        let mut cache = ScoreCache::new();
+        cache.rebuild(model, weights);
+        cache
+    }
+
+    /// Recompute the per-clique constants for a new weight vector, reusing
+    /// the allocations.
+    pub fn rebuild(&mut self, model: &CrfModel, weights: &Weights) {
+        let n = model.n_incidences();
+        self.signed_static.clear();
+        self.signed_static.reserve(n);
+        self.signed_trust_w.clear();
+        self.signed_trust_w.reserve(n);
+        let trust_w = weights.as_slice()[1 + model.m_doc() + model.m_source()];
+        for claim in 0..model.n_claims() as u32 {
+            for &ci in model.cliques_of(crate::graph::VarId(claim)) {
+                let clique = model.clique(crate::graph::CliqueId(ci));
+                let stat = clique_static_score(model, weights, clique);
+                let sign = match clique.stance {
+                    Stance::Support => 1.0,
+                    Stance::Refute => -1.0,
+                };
+                self.signed_static.push(sign * stat);
+                self.signed_trust_w.push(sign * trust_w);
+            }
+        }
+    }
+
+    /// Number of cached incidences.
+    pub fn len(&self) -> usize {
+        self.signed_static.len()
+    }
+
+    /// Whether the cache is empty (not yet built).
+    pub fn is_empty(&self) -> bool {
+        self.signed_static.is_empty()
+    }
+
+    /// The signed logit contribution of the clique at claim-major position
+    /// `k` under dynamic trust `trust` — equals
+    /// [`clique_logit_contribution`] for that clique, in one fused
+    /// multiply-add.
+    #[inline]
+    pub fn contribution(&self, k: usize, trust: f64) -> f64 {
+        self.signed_static[k] + self.signed_trust_w[k] * (trust - 0.5)
+    }
+
+    /// The claim-major signed-static and signed-trust-weight slices for a
+    /// span of positions (the sampler iterates these directly).
+    #[inline]
+    pub fn span(&self, lo: usize, hi: usize) -> (&[f64], &[f64]) {
+        (&self.signed_static[lo..hi], &self.signed_trust_w[lo..hi])
+    }
 }
 
 #[cfg(test)]
@@ -212,6 +316,39 @@ mod tests {
         let w = Weights::from_vec(vec![0.5, 0.0, 0.0, 0.0]);
         let logit = claim_logit(&m, &w, VarId(0), |_| 0.0);
         assert!((logit - 1.5).abs() < 1e-12, "3 cliques x bias 0.5");
+    }
+
+    /// The cache's fused multiply-add agrees with evaluating the clique
+    /// potential directly, to 1e-12, across a random model, mixed-sign
+    /// weights, and a sweep of dynamic trust values — position `k` walks
+    /// the claim-major layout shared with [`crate::graph::CrfModel`].
+    #[test]
+    fn score_cache_matches_direct_contribution() {
+        use crate::graph::CliqueId;
+        let m = crate::graph::test_support::random_model(40, 8, 3, 77);
+        let w = Weights::from_vec(
+            (0..m.feature_dim())
+                .map(|i| 0.31 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        );
+        let cache = ScoreCache::build(&m, &w);
+        let mut k = 0;
+        for claim in 0..m.n_claims() as u32 {
+            for &ci in m.cliques_of(VarId(claim)) {
+                let cl = m.clique(CliqueId(ci));
+                for trust in [0.0, 0.17, 0.5, 0.93, 1.0] {
+                    let direct = clique_logit_contribution(&m, &w, cl, trust);
+                    let cached = cache.contribution(k, trust);
+                    assert!(
+                        (direct - cached).abs() < 1e-12,
+                        "incidence {k} trust {trust}: direct {direct} vs cached {cached}"
+                    );
+                }
+                k += 1;
+            }
+        }
+        assert_eq!(k, cache.len(), "cache must cover every incidence");
+        assert!(!cache.is_empty());
     }
 
     #[test]

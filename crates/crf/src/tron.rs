@@ -59,29 +59,79 @@ const SIGMA1: f64 = 0.25;
 const SIGMA2: f64 = 0.5;
 const SIGMA3: f64 = 4.0;
 
+/// Reusable solver buffers for [`solve_with`].
+///
+/// A TRON solve needs seven `dim`-sized vectors (gradient, step, trial
+/// point, CG residual/direction/curvature/trial step) plus one sigmoid per
+/// instance. Callers that solve every EM iteration — [`crate::em::Icrf`]
+/// and the streaming estimator — keep one `TronScratch` alive so repeated
+/// M-steps allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct TronScratch {
+    g: Vec<f64>,
+    s: Vec<f64>,
+    w_new: Vec<f64>,
+    r: Vec<f64>,
+    d: Vec<f64>,
+    hd: Vec<f64>,
+    s_try: Vec<f64>,
+    sigmas: Vec<f64>,
+}
+
+impl TronScratch {
+    /// Fresh, empty scratch; buffers size themselves on first use.
+    pub fn new() -> Self {
+        TronScratch::default()
+    }
+
+    fn resize(&mut self, n: usize) {
+        for buf in [
+            &mut self.g,
+            &mut self.s,
+            &mut self.w_new,
+            &mut self.r,
+            &mut self.d,
+            &mut self.hd,
+            &mut self.s_try,
+        ] {
+            buf.clear();
+            buf.resize(n, 0.0);
+        }
+    }
+}
+
 /// Minimise `obj` starting from (and overwriting) `w`.
 pub fn solve(obj: &LogisticObjective<'_>, w: &mut [f64], cfg: &TronConfig) -> TronResult {
+    solve_with(obj, w, cfg, &mut TronScratch::new())
+}
+
+/// Like [`solve`], but reusing `scratch` across calls — the allocation-free
+/// path for repeated solves (every M-step of every EM iteration).
+pub fn solve_with(
+    obj: &LogisticObjective<'_>,
+    w: &mut [f64],
+    cfg: &TronConfig,
+    scratch: &mut TronScratch,
+) -> TronResult {
     let n = w.len();
     assert_eq!(n, obj.dim(), "weight vector dimension mismatch");
+    scratch.resize(n);
 
     let mut f = obj.value(w);
-    let mut g = vec![0.0; n];
-    let mut sigmas = obj.gradient(w, &mut g);
-    let gnorm0 = norm2(&g);
+    obj.gradient_into(w, &mut scratch.g, &mut scratch.sigmas);
+    let gnorm0 = norm2(&scratch.g);
     let mut gnorm = gnorm0;
     let mut delta = gnorm0.max(1.0);
 
-    let mut s = vec![0.0; n];
-    let mut w_new = vec![0.0; n];
     let mut iterations = 0;
 
     while iterations < cfg.max_iter && gnorm > cfg.eps * gnorm0 && gnorm > 1e-12 {
         iterations += 1;
-        let (s_norm, pred_red) = steihaug_cg(obj, &sigmas, &g, delta, cfg, &mut s);
+        let (s_norm, pred_red) = steihaug_cg(obj, delta, cfg, scratch);
 
-        w_new.copy_from_slice(w);
-        axpy(1.0, &s, &mut w_new);
-        let f_new = obj.value(&w_new);
+        scratch.w_new.copy_from_slice(w);
+        axpy(1.0, &scratch.s, &mut scratch.w_new);
+        let f_new = obj.value(&scratch.w_new);
         let actual_red = f - f_new;
 
         // Ratio of actual to predicted reduction decides acceptance.
@@ -102,10 +152,10 @@ pub fn solve(obj: &LogisticObjective<'_>, w: &mut [f64], cfg: &TronConfig) -> Tr
         }
 
         if rho > ETA0 && actual_red.is_finite() {
-            w.copy_from_slice(&w_new);
+            w.copy_from_slice(&scratch.w_new);
             f = f_new;
-            sigmas = obj.gradient(w, &mut g);
-            gnorm = norm2(&g);
+            obj.gradient_into(w, &mut scratch.g, &mut scratch.sigmas);
+            gnorm = norm2(&scratch.g);
         }
         if delta < 1e-12 {
             break;
@@ -123,50 +173,61 @@ pub fn solve(obj: &LogisticObjective<'_>, w: &mut [f64], cfg: &TronConfig) -> Tr
 /// Steihaug–Toint truncated CG: approximately minimise
 /// `q(s) = gᵀs + ½ sᵀHs` subject to `‖s‖ ≤ Δ`.
 ///
-/// Returns `(‖s‖, predicted reduction −q(s))`; `s` is overwritten.
+/// Operates entirely on `scratch` (`g`/`sigmas` as inputs, `s` as the
+/// output step, `r`/`d`/`hd`/`s_try` as work buffers); returns
+/// `(‖s‖, predicted reduction −q(s))`.
 fn steihaug_cg(
     obj: &LogisticObjective<'_>,
-    sigmas: &[f64],
-    g: &[f64],
     delta: f64,
     cfg: &TronConfig,
-    s: &mut [f64],
+    scratch: &mut TronScratch,
 ) -> (f64, f64) {
+    let TronScratch {
+        g,
+        s,
+        r,
+        d,
+        hd,
+        s_try,
+        sigmas,
+        ..
+    } = scratch;
     let n = g.len();
     s.iter_mut().for_each(|x| *x = 0.0);
     // r = -g, d = r
-    let mut r: Vec<f64> = g.iter().map(|x| -x).collect();
-    let mut d = r.clone();
-    let mut hd = vec![0.0; n];
+    for (ri, gi) in r.iter_mut().zip(g.iter()) {
+        *ri = -gi;
+    }
+    d.copy_from_slice(r);
     let gnorm = norm2(g);
     let tol = cfg.cg_eps * gnorm;
-    let mut rsq = dot(&r, &r);
+    let mut rsq = dot(r, r);
 
     for _ in 0..cfg.max_cg_iter {
         if rsq.sqrt() <= tol {
             break;
         }
-        obj.hessian_vec(sigmas, &d, &mut hd);
-        let dhd = dot(&d, &hd);
+        obj.hessian_vec(sigmas, d, hd);
+        let dhd = dot(d, hd);
         if dhd <= 1e-16 {
             // Negative/zero curvature cannot happen for a strictly convex
             // objective, but guard numerically: walk to the boundary.
-            let tau = boundary_step(s, &d, delta);
-            axpy(tau, &d, s);
+            let tau = boundary_step(s, d, delta);
+            axpy(tau, d, s);
             break;
         }
         let alpha = rsq / dhd;
         // Would the step leave the trust region?
-        let mut s_try = s.to_vec();
-        axpy(alpha, &d, &mut s_try);
-        if norm2(&s_try) >= delta {
-            let tau = boundary_step(s, &d, delta);
-            axpy(tau, &d, s);
+        s_try.copy_from_slice(s);
+        axpy(alpha, d, s_try);
+        if norm2(s_try) >= delta {
+            let tau = boundary_step(s, d, delta);
+            axpy(tau, d, s);
             break;
         }
-        s.copy_from_slice(&s_try);
-        axpy(-alpha, &hd, &mut r);
-        let rsq_new = dot(&r, &r);
+        s.copy_from_slice(s_try);
+        axpy(-alpha, hd, r);
+        let rsq_new = dot(r, r);
         let beta = rsq_new / rsq;
         for i in 0..n {
             d[i] = r[i] + beta * d[i];
@@ -175,8 +236,8 @@ fn steihaug_cg(
     }
 
     // Predicted reduction −q(s) = −gᵀs − ½ sᵀHs.
-    obj.hessian_vec(sigmas, s, &mut hd);
-    let pred = -(dot(g, s) + 0.5 * dot(s, &hd));
+    obj.hessian_vec(sigmas, s, hd);
+    let pred = -(dot(g, s) + 0.5 * dot(s, hd));
     (norm2(s), pred)
 }
 
@@ -249,7 +310,14 @@ mod tests {
         d.push(&[1.0], 0.8, 1.0);
         let obj = LogisticObjective::new(&d, 1e-8);
         let mut w = vec![0.0];
-        solve(&obj, &mut w, &TronConfig { max_iter: 200, ..Default::default() });
+        solve(
+            &obj,
+            &mut w,
+            &TronConfig {
+                max_iter: 200,
+                ..Default::default()
+            },
+        );
         let p = crate::numerics::sigmoid(w[0]);
         assert!((p - 0.8).abs() < 1e-3, "fitted probability {p}");
     }
@@ -299,6 +367,38 @@ mod tests {
             warm.iterations,
             cold.iterations
         );
+    }
+
+    /// A reused scratch yields exactly the same solve as fresh buffers —
+    /// including across problems of different dimensionality.
+    #[test]
+    fn solve_with_reused_scratch_matches_fresh_solve() {
+        let mut scratch = TronScratch::new();
+        // First use the scratch on a larger unrelated problem so stale
+        // contents and sizes must be handled.
+        let mut big = Dataset::new(3);
+        big.push(&[1.0, -2.0, 0.5], 0.3, 1.0);
+        let mut wb = vec![0.1, 0.2, 0.3];
+        solve_with(
+            &LogisticObjective::new(&big, 0.2),
+            &mut wb,
+            &TronConfig::default(),
+            &mut scratch,
+        );
+
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            let x = i as f64 / 10.0 - 1.0;
+            d.push(&[1.0, x], if x > 0.0 { 1.0 } else { 0.0 }, 1.0);
+        }
+        let obj = LogisticObjective::new(&d, 0.5);
+        let mut w_fresh = vec![0.0, 0.0];
+        let fresh = solve(&obj, &mut w_fresh, &TronConfig::default());
+        let mut w_reused = vec![0.0, 0.0];
+        let reused = solve_with(&obj, &mut w_reused, &TronConfig::default(), &mut scratch);
+        assert_eq!(w_fresh, w_reused);
+        assert_eq!(fresh.iterations, reused.iterations);
+        assert_eq!(fresh.value, reused.value);
     }
 
     #[test]

@@ -194,7 +194,7 @@ pub fn run_curve(
     );
     let initial_precision = crate::metrics::precision(process.grounding(), truth);
     let mut points = Vec::new();
-    while let Some(_) = process.step() {
+    while process.step().is_some() {
         let rec = process.history().last().expect("step pushed a record");
         let precision = crate::metrics::precision(process.grounding(), truth);
         points.push(CurvePoint {

@@ -158,8 +158,7 @@ impl FactDatabase {
             claims_per_source: if self.n_sources() == 0 {
                 0.0
             } else {
-                source_claims.iter().map(|s| s.len() as f64).sum::<f64>()
-                    / self.n_sources() as f64
+                source_claims.iter().map(|s| s.len() as f64).sum::<f64>() / self.n_sources() as f64
             },
             refute_fraction: if links == 0 {
                 0.0
@@ -182,8 +181,10 @@ impl FactDatabase {
         let df = features::doc_features(self);
         let mut b = CrfModelBuilder::new(features::N_SOURCE_FEATURES, features::N_DOC_FEATURES);
         for i in 0..self.n_sources() {
-            b.add_source(&sf[i * features::N_SOURCE_FEATURES..(i + 1) * features::N_SOURCE_FEATURES])
-                .expect("source feature row has builder dimensionality");
+            b.add_source(
+                &sf[i * features::N_SOURCE_FEATURES..(i + 1) * features::N_SOURCE_FEATURES],
+            )
+            .expect("source feature row has builder dimensionality");
         }
         for _ in 0..self.n_claims() {
             b.add_claim();

@@ -122,7 +122,9 @@ pub fn source_features(db: &FactDatabase) -> Vec<f64> {
 /// `n_docs × N_DOC_FEATURES`.
 pub fn doc_features(db: &FactDatabase) -> Vec<f64> {
     let n = db.n_documents();
-    let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); N_DOC_FEATURES];
+    let mut cols: Vec<Vec<f64>> = std::iter::repeat_with(|| Vec::with_capacity(n))
+        .take(N_DOC_FEATURES)
+        .collect();
     for doc in db.documents() {
         let f = linguistic::extract(&doc.tokens).to_features();
         for (c, &v) in cols.iter_mut().zip(f.iter()) {

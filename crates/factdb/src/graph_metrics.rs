@@ -66,12 +66,12 @@ pub fn pagerank(g: &DiGraph, damping: f64, iterations: usize) -> Vec<f64> {
     for _ in 0..iterations {
         next.iter_mut().for_each(|x| *x = 0.0);
         let mut dangling = 0.0;
-        for u in 0..n {
+        for (u, &rank_u) in rank.iter().enumerate() {
             let succ = g.successors(u);
             if succ.is_empty() {
-                dangling += rank[u];
+                dangling += rank_u;
             } else {
-                let share = rank[u] / succ.len() as f64;
+                let share = rank_u / succ.len() as f64;
                 for &v in succ {
                     next[v as usize] += share;
                 }
@@ -98,16 +98,16 @@ pub fn hits(g: &DiGraph, iterations: usize) -> (Vec<f64>, Vec<f64>) {
     for _ in 0..iterations {
         // auth(v) = Σ_{u -> v} hub(u)
         let mut new_auth = vec![0.0; n];
-        for u in 0..n {
+        for (u, &hub_u) in hub.iter().enumerate() {
             for &v in g.successors(u) {
-                new_auth[v as usize] += hub[u];
+                new_auth[v as usize] += hub_u;
             }
         }
         normalise(&mut new_auth);
         // hub(u) = Σ_{u -> v} auth(v)
         let mut new_hub = vec![0.0; n];
-        for u in 0..n {
-            new_hub[u] = g.successors(u).iter().map(|&v| new_auth[v as usize]).sum();
+        for (u, slot) in new_hub.iter_mut().enumerate() {
+            *slot = g.successors(u).iter().map(|&v| new_auth[v as usize]).sum();
         }
         normalise(&mut new_hub);
         hub = new_hub;

@@ -150,10 +150,7 @@ pub fn from_jsonl(input: &str) -> Result<FactDatabase, ImportError> {
             } => {
                 db.add_document(DocumentRecord {
                     source: SourceId(source),
-                    claims: claims
-                        .into_iter()
-                        .map(|(c, st)| (ClaimId(c), st))
-                        .collect(),
+                    claims: claims.into_iter().map(|(c, st)| (ClaimId(c), st)).collect(),
                     tokens,
                 })
                 .map_err(|source| ImportError::Integrity {

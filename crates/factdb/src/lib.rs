@@ -25,8 +25,8 @@
 pub mod db;
 pub mod dist;
 pub mod features;
-pub mod io;
 pub mod graph_metrics;
+pub mod io;
 pub mod linguistic;
 pub mod model;
 pub mod synth;

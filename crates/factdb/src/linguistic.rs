@@ -42,13 +42,29 @@ pub const HEDGES: &[&str] = &[
 
 /// Positive sentiment words — affective indicator.
 pub const POSITIVE: &[&str] = &[
-    "good", "great", "true", "verified", "confirmed", "accurate", "reliable", "proven",
-    "excellent", "trustworthy",
+    "good",
+    "great",
+    "true",
+    "verified",
+    "confirmed",
+    "accurate",
+    "reliable",
+    "proven",
+    "excellent",
+    "trustworthy",
 ];
 
 /// Negative sentiment words — affective indicator.
 pub const NEGATIVE: &[&str] = &[
-    "bad", "false", "fake", "hoax", "wrong", "debunked", "misleading", "scam", "lie",
+    "bad",
+    "false",
+    "fake",
+    "hoax",
+    "wrong",
+    "debunked",
+    "misleading",
+    "scam",
+    "lie",
     "fraud",
 ];
 

@@ -207,19 +207,52 @@ pub struct SynthDataset {
 
 // Neutral filler vocabulary for document bodies.
 const FILLER: &[&str] = &[
-    "the", "a", "report", "study", "people", "data", "news", "article", "page", "story",
-    "records", "claims", "according", "website", "post", "information", "week", "year",
-    "state", "public",
+    "the",
+    "a",
+    "report",
+    "study",
+    "people",
+    "data",
+    "news",
+    "article",
+    "page",
+    "story",
+    "records",
+    "claims",
+    "according",
+    "website",
+    "post",
+    "information",
+    "week",
+    "year",
+    "state",
+    "public",
 ];
 
 const SOBER: &[&str] = &[
-    "therefore", "thus", "because", "since", "confirmed", "verified", "accurate", "measured",
-    "documented", "evidence",
+    "therefore",
+    "thus",
+    "because",
+    "since",
+    "confirmed",
+    "verified",
+    "accurate",
+    "measured",
+    "documented",
+    "evidence",
 ];
 
 const SENSATIONAL: &[&str] = &[
-    "shocking", "unbelievable", "allegedly", "maybe", "supposedly", "outrageous", "amazing",
-    "totally", "rumored", "incredible",
+    "shocking",
+    "unbelievable",
+    "allegedly",
+    "maybe",
+    "supposedly",
+    "outrageous",
+    "amazing",
+    "totally",
+    "rumored",
+    "incredible",
 ];
 
 const SUPPORT_WORDS: &[&str] = &["true", "proven", "reliable", "good", "trustworthy"];
@@ -466,7 +499,10 @@ mod tests {
             good_rate > 0.65,
             "trustworthy sources correct only {good_rate}"
         );
-        assert!(good_rate > bad_rate + 0.2, "good {good_rate} bad {bad_rate}");
+        assert!(
+            good_rate > bad_rate + 0.2,
+            "good {good_rate} bad {bad_rate}"
+        );
     }
 
     /// Source activity must be skewed (Zipf): the busiest source produces
@@ -495,10 +531,7 @@ mod tests {
     #[test]
     fn presets_have_paper_statistics() {
         let cfg = DatasetPreset::Wiki.config();
-        assert_eq!(
-            (cfg.n_sources, cfg.n_docs, cfg.n_claims),
-            (1955, 3228, 157)
-        );
+        assert_eq!((cfg.n_sources, cfg.n_docs, cfg.n_claims), (1955, 3228, 157));
         let cfg = DatasetPreset::Health.config();
         assert_eq!(
             (cfg.n_sources, cfg.n_docs, cfg.n_claims),

@@ -147,7 +147,11 @@ pub fn greedy_select(
     for _ in 0..k {
         let best = (0..n)
             .filter(|&c| !picked[c])
-            .max_by(|&a, &b| delta[a].partial_cmp(&delta[b]).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|&a, &b| {
+                delta[a]
+                    .partial_cmp(&delta[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
             .expect("pool not exhausted");
         picked[best] = true;
         batch.push(best);
@@ -175,6 +179,7 @@ pub fn exhaustive_select(
     assert!(n <= 20, "exhaustive selection is for test-sized pools");
     let mut best: (f64, Vec<usize>) = (f64::NEG_INFINITY, Vec::new());
     let mut subset = Vec::with_capacity(k);
+    #[allow(clippy::too_many_arguments)] // test-sized exhaustive search helper
     fn recurse(
         start: usize,
         k: usize,
@@ -311,10 +316,7 @@ mod tests {
 
     #[test]
     fn greedy_matches_exhaustive_on_small_instances() {
-        let m = toy_matrix(
-            5,
-            &[(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.2), (0, 4, 0.7)],
-        );
+        let m = toy_matrix(5, &[(0, 1, 0.9), (1, 2, 0.5), (2, 3, 0.2), (0, 4, 0.7)]);
         let gains = [0.9, 0.8, 0.7, 0.6, 0.5];
         let q = importance(&gains, &m);
         let w = 5.0;

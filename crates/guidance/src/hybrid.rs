@@ -111,13 +111,9 @@ mod tests {
             }
         }
         // More errors -> higher score (early phase).
-        assert!(
-            HybridStrategy::score(0.8, 0.2, 0.1) > HybridStrategy::score(0.1, 0.2, 0.1)
-        );
+        assert!(HybridStrategy::score(0.8, 0.2, 0.1) > HybridStrategy::score(0.1, 0.2, 0.1));
         // More unreliable sources -> higher score (late phase).
-        assert!(
-            HybridStrategy::score(0.2, 0.9, 0.9) > HybridStrategy::score(0.2, 0.1, 0.9)
-        );
+        assert!(HybridStrategy::score(0.2, 0.9, 0.9) > HybridStrategy::score(0.2, 0.1, 0.9));
     }
 
     #[test]

@@ -67,12 +67,7 @@ pub fn hypothetical_run(icrf: &Icrf, claim: VarId, value: bool, em_iters: usize)
 }
 
 /// The conditional entropy `H_C(Q | c)` of Eq. 14.
-pub fn conditional_entropy(
-    icrf: &Icrf,
-    claim: VarId,
-    mode: EntropyMode,
-    em_iters: usize,
-) -> f64 {
+pub fn conditional_entropy(icrf: &Icrf, claim: VarId, mode: EntropyMode, em_iters: usize) -> f64 {
     let p = icrf.probs()[claim.idx()];
     let h_plus = database_entropy_of(&hypothetical_run(icrf, claim, true, em_iters), mode);
     let h_minus = database_entropy_of(&hypothetical_run(icrf, claim, false, em_iters), mode);
@@ -98,23 +93,17 @@ pub fn info_gains(
     let threads = threads.min(candidates.len());
     let chunk = candidates.len().div_ceil(threads);
     let mut out = vec![0.0; candidates.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
-        for (t, cand_chunk) in candidates.chunks(chunk).enumerate() {
-            let handle = s.spawn(move |_| {
-                (
-                    t,
-                    cand_chunk.iter().map(|&c| score(c)).collect::<Vec<f64>>(),
-                )
-            });
-            handles.push(handle);
+        for cand_chunk in candidates.chunks(chunk) {
+            handles
+                .push(s.spawn(move || cand_chunk.iter().map(|&c| score(c)).collect::<Vec<f64>>()));
         }
-        for h in handles {
-            let (t, scores) = h.join().expect("IG worker panicked");
-            out[t * chunk..t * chunk + scores.len()].copy_from_slice(&scores);
+        for (out_chunk, h) in out.chunks_mut(chunk).zip(handles) {
+            let scores = h.join().expect("IG worker panicked");
+            out_chunk.copy_from_slice(&scores);
         }
-    })
-    .expect("scoped threads join");
+    });
     out
 }
 
@@ -210,10 +199,7 @@ mod tests {
         };
         let c = rank_by_uncertainty(&ctx, 1)[0];
         let hc = conditional_entropy(&icrf, c, EntropyMode::Approximate, 1);
-        assert!(
-            hc < h0,
-            "conditional entropy {hc} not below base {h0}"
-        );
+        assert!(hc < h0, "conditional entropy {hc} not below base {h0}");
     }
 
     #[test]

@@ -44,22 +44,17 @@ pub fn source_gains(
     let threads = threads.min(candidates.len());
     let chunk = candidates.len().div_ceil(threads);
     let mut out = vec![0.0; candidates.len()];
-    crossbeam::thread::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
-        for (t, cand_chunk) in candidates.chunks(chunk).enumerate() {
-            handles.push(s.spawn(move |_| {
-                (
-                    t,
-                    cand_chunk.iter().map(|&c| score(c)).collect::<Vec<f64>>(),
-                )
-            }));
+        for cand_chunk in candidates.chunks(chunk) {
+            handles
+                .push(s.spawn(move || cand_chunk.iter().map(|&c| score(c)).collect::<Vec<f64>>()));
         }
-        for h in handles {
-            let (t, scores) = h.join().expect("IG_S worker panicked");
-            out[t * chunk..t * chunk + scores.len()].copy_from_slice(&scores);
+        for (out_chunk, h) in out.chunks_mut(chunk).zip(handles) {
+            let scores = h.join().expect("IG_S worker panicked");
+            out_chunk.copy_from_slice(&scores);
         }
-    })
-    .expect("scoped threads join");
+    });
     out
 }
 

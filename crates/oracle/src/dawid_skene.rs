@@ -36,7 +36,10 @@ pub fn dawid_skene(answers: &[Answer], n_workers: usize, max_iter: usize) -> Daw
     let mut by_claim: HashMap<usize, Vec<(usize, bool)>> = HashMap::new();
     for a in answers {
         assert!(a.worker < n_workers, "worker index out of range");
-        by_claim.entry(a.claim).or_default().push((a.worker, a.verdict));
+        by_claim
+            .entry(a.claim)
+            .or_default()
+            .push((a.worker, a.verdict));
     }
 
     // Init: posteriors from majority vote.
@@ -147,8 +150,8 @@ mod tests {
             answer(2, 1, false),
         ];
         let r = dawid_skene(&answers, 3, 50);
-        assert_eq!(r.labels[&0], true);
-        assert_eq!(r.labels[&1], false);
+        assert!(r.labels[&0]);
+        assert!(!r.labels[&1]);
         assert!(r.posteriors[&0] > 0.9);
         assert!(r.posteriors[&1] < 0.1);
     }
@@ -171,10 +174,7 @@ mod tests {
         }
         let good = (r.sensitivity[0] + r.specificity[0]) / 2.0;
         let bad = (r.sensitivity[2] + r.specificity[2]) / 2.0;
-        assert!(
-            good > bad + 0.3,
-            "good worker {good} vs contrarian {bad}"
-        );
+        assert!(good > bad + 0.3, "good worker {good} vs contrarian {bad}");
     }
 
     /// End-to-end with the crowd simulator: consensus accuracy exceeds the
@@ -191,10 +191,7 @@ mod tests {
             .count() as f64
             / answers.len() as f64;
         let r = dawid_skene(&answers, 30, 100);
-        let consensus_acc = (0..n)
-            .filter(|&c| r.labels[&c] == truth[c])
-            .count() as f64
-            / n as f64;
+        let consensus_acc = (0..n).filter(|&c| r.labels[&c] == truth[c]).count() as f64 / n as f64;
         assert!(
             consensus_acc >= individual_acc,
             "consensus {consensus_acc} < individual {individual_acc}"

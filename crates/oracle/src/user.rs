@@ -226,14 +226,11 @@ mod tests {
         let mut answered = 0;
         let mut falses = 0;
         for i in 0..2000 {
-            match u.validate(i) {
-                Some(v) => {
-                    answered += 1;
-                    if !v {
-                        falses += 1;
-                    }
+            if let Some(v) = u.validate(i) {
+                answered += 1;
+                if !v {
+                    falses += 1;
                 }
-                None => {}
             }
         }
         assert!(answered > 800 && answered < 1200, "answered {answered}");

@@ -1,0 +1,120 @@
+//! Minimal offline stand-in for `rayon`, built on `std::thread::scope`.
+//!
+//! Provides the structured-parallelism subset the workspace uses — [`scope`],
+//! [`join`], and [`current_num_threads`] — with the same call shapes as the
+//! real crate so swapping the dependency back is a manifest-only change.
+//! There is no work-stealing pool: each `spawn` is an OS thread, which is the
+//! right trade-off for the coarse-grained tasks here (one Gibbs chain per
+//! task, each running many milliseconds).
+
+use std::sync::OnceLock;
+
+/// Number of worker threads a parallel region will use: the available
+/// hardware parallelism, overridable with `RAYON_NUM_THREADS` just like the
+/// real crate.
+pub fn current_num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// A structured-concurrency scope; tasks spawned on it are joined before
+/// [`scope`] returns.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a task on the scope. Mirrors `rayon::Scope::spawn`: the closure
+    /// receives the scope again so it can spawn nested tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let s = Scope { inner };
+            f(&s);
+        });
+    }
+}
+
+/// Run `f` with a scope on which borrowed-data tasks can be spawned; returns
+/// once every spawned task has finished. Panics in tasks propagate.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    std::thread::scope(|s| {
+        let wrapper = Scope { inner: s };
+        f(&wrapper)
+    })
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().expect("joined task panicked");
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_all_tasks_and_allows_disjoint_writes() {
+        let mut slots = vec![0usize; 8];
+        scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i * i);
+            }
+        });
+        assert_eq!(slots, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+    }
+
+    #[test]
+    fn nested_spawn_compiles_and_runs() {
+        let mut a = 0;
+        let mut b = 0;
+        scope(|s| {
+            let (ra, rb) = (&mut a, &mut b);
+            s.spawn(move |s2| {
+                *ra = 1;
+                s2.spawn(move |_| *rb = 2);
+            });
+        });
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+}

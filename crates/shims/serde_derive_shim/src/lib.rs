@@ -1,0 +1,428 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde shim.
+//!
+//! `syn`/`quote` are unavailable (no crates.io access), so this crate parses
+//! the derive input token stream directly and emits the impl as source text.
+//! Supported shapes — exactly the ones used in this workspace:
+//!
+//! * named-field structs,
+//! * tuple structs (newtypes serialise transparently, wider tuples as
+//!   arrays),
+//! * enums with only unit variants (serialised as the variant-name string),
+//! * internally-tagged enums with struct variants:
+//!   `#[serde(tag = "...", rename_all = "snake_case")]`.
+//!
+//! Generics, lifetimes, and other serde attributes are intentionally
+//! unsupported and fail loudly at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+#[derive(Debug)]
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+#[derive(Debug)]
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+}
+
+/// Derive the shim `serde::Serialize` (type → `serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derive the shim `serde::Deserialize` (`serde::Value` → type).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut tag = None;
+    let mut rename_all_snake = false;
+
+    // Scan container attributes: `# [ serde ( ... ) ]`.
+    let mut i = 0;
+    while i < tokens.len() {
+        if let TokenTree::Punct(p) = &tokens[i] {
+            if p.as_char() == '#' {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        parse_serde_attr(g.stream(), &mut tag, &mut rename_all_snake);
+                        i += 2;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Locate `struct Name ...` / `enum Name ...`.
+    let mut idx = None;
+    for (k, t) in tokens.iter().enumerate() {
+        if let TokenTree::Ident(id) = t {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" {
+                idx = Some((k, s));
+                break;
+            }
+        }
+    }
+    let (k, kw) = idx.expect("derive input contains `struct` or `enum`");
+    let name = match &tokens[k + 1] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name after `{kw}`, got {other}"),
+    };
+    if matches!(&tokens.get(k + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types ({name})");
+    }
+
+    let shape = match tokens.get(k + 2) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kw == "struct" {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            } else {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && kw == "struct" => {
+            Shape::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        other => panic!("unsupported {kw} body for {name}: {other:?}"),
+    };
+
+    Input {
+        name,
+        shape,
+        tag,
+        rename_all_snake,
+    }
+}
+
+fn parse_serde_attr(bracket: TokenStream, tag: &mut Option<String>, snake: &mut bool) {
+    let items: Vec<TokenTree> = bracket.into_iter().collect();
+    match items.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment or other attribute
+    }
+    let Some(TokenTree::Group(g)) = items.get(1) else {
+        return;
+    };
+    for part in split_top_level(g.stream()) {
+        let mut key = None;
+        let mut lit = None;
+        for t in part {
+            match t {
+                TokenTree::Ident(id) if key.is_none() => key = Some(id.to_string()),
+                TokenTree::Literal(l) => lit = Some(l.to_string()),
+                _ => {}
+            }
+        }
+        let value = lit.map(|l| l.trim_matches('"').to_string());
+        match (key.as_deref(), value) {
+            (Some("tag"), Some(v)) => *tag = Some(v),
+            (Some("rename_all"), Some(v)) => {
+                assert_eq!(
+                    v, "snake_case",
+                    "only rename_all = \"snake_case\" is supported"
+                );
+                *snake = true;
+            }
+            (Some(other), _) => panic!("unsupported serde attribute `{other}`"),
+            _ => {}
+        }
+    }
+}
+
+/// Split a token stream on top-level commas, dropping empty chunks.
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            _ => cur.push(t),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strip leading `#[...]` attribute pairs from a field/variant chunk.
+fn strip_attrs(chunk: &[TokenTree]) -> &[TokenTree] {
+    let mut rest = chunk;
+    loop {
+        match rest {
+            [TokenTree::Punct(p), TokenTree::Group(g), tail @ ..]
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                rest = tail;
+            }
+            _ => return rest,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs(chunk);
+            // `[pub] name : Type` — the field name is the last ident before
+            // the first `:` (which follows it immediately).
+            let colon = chunk
+                .iter()
+                .position(
+                    |t| matches!(t, TokenTree::Punct(p) if p.as_char() == ':' && p.spacing() == proc_macro::Spacing::Alone),
+                )
+                .expect("named field has a `:`");
+            match &chunk[colon - 1] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("expected field name before `:`, got {other}"),
+            }
+        })
+        .collect()
+}
+
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    split_top_level(stream).len()
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    split_top_level(stream)
+        .iter()
+        .map(|chunk| {
+            let chunk = strip_attrs(chunk);
+            let name = match chunk.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("expected variant name, got {other:?}"),
+            };
+            let fields = match chunk.get(1) {
+                None => VariantFields::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantFields::Named(parse_named_fields(g.stream()))
+                }
+                other => panic!(
+                    "unsupported variant shape for `{name}` (only unit and struct variants): {other:?}"
+                ),
+            };
+            Variant { name, fields }
+        })
+        .collect()
+}
+
+fn snake_case(s: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let mut s = String::from("let mut m = ::std::vec::Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+                items.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let wire = if input.rename_all_snake {
+                    snake_case(vname)
+                } else {
+                    vname.clone()
+                };
+                match &v.fields {
+                    VariantFields::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{wire}\")),\n"
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let tag = input.tag.as_deref().unwrap_or_else(|| {
+                            panic!("struct variants need #[serde(tag = ...)] ({name}::{vname})")
+                        });
+                        let bind = fields.join(", ");
+                        let mut pushes = format!(
+                            "let mut m = ::std::vec::Vec::new();\n\
+                             m.push((::std::string::String::from(\"{tag}\"), ::serde::Value::Str(::std::string::String::from(\"{wire}\"))));\n"
+                        );
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "m.push((::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f})));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {bind} }} => {{ {pushes} ::serde::Value::Object(m) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array()?;\n\
+                 if items.len() != {n} {{\n\
+                   return ::std::result::Result::Err(::serde::DeError::new(\"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let all_unit = variants
+                .iter()
+                .all(|v| matches!(v.fields, VariantFields::Unit));
+            if all_unit {
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let wire = if input.rename_all_snake {
+                        snake_case(vname)
+                    } else {
+                        vname.clone()
+                    };
+                    arms.push_str(&format!(
+                        "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                }
+                format!(
+                    "match v.as_str()? {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown {name} variant `{{other}}`\"))),\n}}"
+                )
+            } else {
+                let tag = input.tag.as_deref().unwrap_or_else(|| {
+                    panic!("enum {name} with data variants needs #[serde(tag = ...)]")
+                });
+                let mut arms = String::new();
+                for v in variants {
+                    let vname = &v.name;
+                    let wire = if input.rename_all_snake {
+                        snake_case(vname)
+                    } else {
+                        vname.clone()
+                    };
+                    match &v.fields {
+                        VariantFields::Unit => {
+                            arms.push_str(&format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                            ));
+                        }
+                        VariantFields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n",
+                                inits.join(", ")
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "match v.field(\"{tag}\")?.as_str()? {{\n{arms}\
+                     other => ::std::result::Result::Err(::serde::DeError::new(::std::format!(\"unknown {name} variant `{{other}}`\"))),\n}}"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}

@@ -77,7 +77,9 @@ pub fn offline_sequence(
             strategy.select(&ctx)
         };
         let Some(claim) = pick else { break };
-        let v = user.validate(claim.idx()).expect("ground-truth user answers");
+        let v = user
+            .validate(claim.idx())
+            .expect("ground-truth user answers");
         icrf.set_label(claim, v);
         icrf.run();
         sequence.push(claim);
@@ -138,7 +140,9 @@ pub fn streaming_sequence(
             let Some(claim) = ranked.into_iter().find(|c| visible.contains(c)) else {
                 break;
             };
-            let v = user.validate(claim.idx()).expect("ground-truth user answers");
+            let v = user
+                .validate(claim.idx())
+                .expect("ground-truth user answers");
             icrf.set_label(claim, v);
             icrf.run();
             checker.exchange_from(&icrf);

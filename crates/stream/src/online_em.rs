@@ -14,7 +14,7 @@
 
 use crf::logistic::{Dataset, LogisticObjective};
 use crf::potentials::Weights;
-use crf::tron::{self, TronConfig};
+use crf::tron::{self, TronConfig, TronScratch};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -108,6 +108,13 @@ pub struct OnlineEm {
     weights: Weights,
     instances: VecDeque<WeightedInstance>,
     t: u64,
+    /// Reused M-step buffers: every arrival triggers a TRON solve, and the
+    /// stream path has the same zero-steady-state-allocation contract as
+    /// the batch EM loop — the dataset, solver vectors, and candidate
+    /// weight vector keep their capacity across arrivals.
+    data: Dataset,
+    tron_scratch: TronScratch,
+    w_buf: Vec<f64>,
 }
 
 impl OnlineEm {
@@ -119,6 +126,9 @@ impl OnlineEm {
             weights: Weights::zeros(dim),
             instances: VecDeque::new(),
             t: 0,
+            data: Dataset::new(dim),
+            tron_scratch: TronScratch::new(),
+            w_buf: vec![0.0; dim],
         }
     }
 
@@ -186,20 +196,25 @@ impl OnlineEm {
         // warm start plays the role of the line-search safeguard of [18]:
         // the solver only ever improves on the previous parameters, so the
         // blended likelihood cannot degrade.
-        let mut data = Dataset::new(self.dim);
+        self.data.clear();
         for inst in &self.instances {
-            data.push(&inst.row, inst.target, inst.weight);
+            self.data.push(&inst.row, inst.target, inst.weight);
         }
-        let obj = LogisticObjective::new(&data, self.config.lambda);
+        let obj = LogisticObjective::new(&self.data, self.config.lambda);
         let prev_value = if self.config.line_search {
             obj.value(self.weights.as_slice())
         } else {
             f64::INFINITY
         };
-        let mut w = self.weights.clone();
-        let res = tron::solve(&obj, w.as_mut_slice(), &self.config.tron);
+        self.w_buf.copy_from_slice(self.weights.as_slice());
+        let res = tron::solve_with(
+            &obj,
+            &mut self.w_buf,
+            &self.config.tron,
+            &mut self.tron_scratch,
+        );
         if !self.config.line_search || res.value <= prev_value + 1e-12 {
-            self.weights = w;
+            self.weights.as_mut_slice().copy_from_slice(&self.w_buf);
         }
 
         ArrivalStats {
@@ -274,10 +289,13 @@ mod tests {
 
     #[test]
     fn memory_is_bounded() {
-        let mut em = OnlineEm::new(1, OnlineEmConfig {
-            max_instances: 50,
-            ..Default::default()
-        });
+        let mut em = OnlineEm::new(
+            1,
+            OnlineEmConfig {
+                max_instances: 50,
+                ..Default::default()
+            },
+        );
         for _ in 0..500 {
             em.observe(&[(vec![1.0], 1.0), (vec![-1.0], 0.0)]);
         }

@@ -183,13 +183,13 @@ mod tests {
         let mut s = StreamingChecker::new(m.clone(), OnlineEmConfig::default());
         // First 60% arrive labelled; the rest self-estimated.
         let split = n * 6 / 10;
-        for c in 0..split {
-            s.arrive_labelled(VarId(c as u32), truth[c]);
+        for (c, &t) in truth.iter().enumerate().take(split) {
+            s.arrive_labelled(VarId(c as u32), t);
         }
         let mut correct = 0;
-        for c in split..n {
+        for (c, &t) in truth.iter().enumerate().take(n).skip(split) {
             s.arrive(VarId(c as u32));
-            if (s.probs()[c] >= 0.5) == truth[c] {
+            if (s.probs()[c] >= 0.5) == t {
                 correct += 1;
             }
         }

@@ -48,7 +48,14 @@ fn main() {
         for _ in 0..2 {
             db.add_document(DocumentRecord {
                 source: reliable,
-                claims: vec![(claim, if truth { Stance::Support } else { Stance::Refute })],
+                claims: vec![(
+                    claim,
+                    if truth {
+                        Stance::Support
+                    } else {
+                        Stance::Refute
+                    },
+                )],
                 tokens: factdb::linguistic::tokenize(
                     "the study therefore reports verified and documented evidence",
                 ),
@@ -56,7 +63,14 @@ fn main() {
             .expect("valid document");
             db.add_document(DocumentRecord {
                 source: tabloid,
-                claims: vec![(claim, if truth { Stance::Refute } else { Stance::Support })],
+                claims: vec![(
+                    claim,
+                    if truth {
+                        Stance::Refute
+                    } else {
+                        Stance::Support
+                    },
+                )],
                 tokens: factdb::linguistic::tokenize(
                     "absolutely shocking unbelievable story allegedly totally true",
                 ),
@@ -93,7 +107,11 @@ fn main() {
         println!(
             "  {} -> {}",
             claim.text,
-            if grounding.get(i) { "credible" } else { "not credible" }
+            if grounding.get(i) {
+                "credible"
+            } else {
+                "not credible"
+            }
         );
     }
     let truth: Vec<bool> = truths.to_vec();

@@ -66,7 +66,10 @@ fn main() {
             );
         }
         if stop {
-            println!("URR criterion fired at iteration {} — stopping early", rec.iteration);
+            println!(
+                "URR criterion fired at iteration {} — stopping early",
+                rec.iteration
+            );
             break;
         }
     }

@@ -1,0 +1,1 @@
+//! Anchor library for the example binaries; see the `[[example]]` entries in Cargo.toml.

@@ -127,9 +127,7 @@ fn confirmation_check_detects_injected_mistakes() {
         .collect();
     let detected = mistaken
         .iter()
-        .filter(|&&c| {
-            flagged.contains(&c) || with_check.icrf().labels()[c] == Some(ds.truth[c])
-        })
+        .filter(|&&c| flagged.contains(&c) || with_check.icrf().labels()[c] == Some(ds.truth[c]))
         .count();
     assert!(
         detected * 2 > mistaken.len(),

@@ -5,8 +5,9 @@ use evalkit::correlation::sequence_tau;
 use evalkit::{fast_icrf, fast_ig};
 use factdb::DatasetPreset;
 use std::sync::Arc;
-use streamcheck::{offline_sequence, streaming_sequence, InterleaveConfig, OnlineEmConfig,
-    StreamingChecker};
+use streamcheck::{
+    offline_sequence, streaming_sequence, InterleaveConfig, OnlineEmConfig, StreamingChecker,
+};
 
 #[test]
 fn streaming_parameters_transfer_to_offline_inference() {
@@ -36,7 +37,10 @@ fn streaming_parameters_transfer_to_offline_inference() {
         .filter(|&c| (icrf.probs()[c] >= 0.5) == ds.truth[c])
         .count();
     let acc = correct as f64 / (n - split) as f64;
-    assert!(acc > 0.55, "offline accuracy with streamed parameters: {acc}");
+    assert!(
+        acc > 0.55,
+        "offline accuracy with streamed parameters: {acc}"
+    );
 }
 
 /// The Table 2 trend: longer validation periods produce sequences closer
@@ -119,8 +123,8 @@ fn seeded_stream_differentiates_claims() {
     }
     let probs = &checker.probs()[seedn..];
     assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
-    let spread = probs.iter().cloned().fold(0.0f64, f64::max)
-        - probs.iter().cloned().fold(1.0f64, f64::min);
+    let spread =
+        probs.iter().cloned().fold(0.0f64, f64::max) - probs.iter().cloned().fold(1.0f64, f64::min);
     assert!(
         spread > 0.05,
         "stream estimates too uniform (spread {spread})"
