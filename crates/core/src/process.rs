@@ -19,14 +19,18 @@
 //! score cache, the CSR-sized sampler buffers, the per-clique training set,
 //! and the TRON solver vectors — is allocated on the first `step` and
 //! reused by every subsequent validation, batch, and confirmation-check
-//! inference for the lifetime of the session.
+//! inference for the lifetime of the session. Inference runs the
+//! component-aware E-step scheduler (chains × connected components, §5.1)
+//! with incremental score-cache refreshes; the per-component telemetry of
+//! the most recent inference is available via
+//! [`ValidationProcess::last_em_stats`].
 
 use crate::config::ProcessConfig;
 use crate::grounding::{grounding_changes, instantiate_grounding};
 use crate::robust::confirmation_check;
 use crf::bitset::Bitset;
 use crf::entropy::source_trust_probs;
-use crf::{CrfModel, Icrf, VarId};
+use crf::{CrfModel, Icrf, IcrfStats, VarId};
 use guidance::{GuidanceContext, IterationFeedback, SelectionStrategy};
 use oracle::User;
 use std::sync::Arc;
@@ -71,6 +75,7 @@ pub struct ValidationProcess<S, U> {
     history: Vec<IterationRecord>,
     effort: usize,
     flagged_log: Vec<VarId>,
+    last_em_stats: IcrfStats,
 }
 
 impl<S: SelectionStrategy, U: User> ValidationProcess<S, U> {
@@ -78,7 +83,7 @@ impl<S: SelectionStrategy, U: User> ValidationProcess<S, U> {
     /// instantiates the initial grounding `g_0`.
     pub fn new(model: Arc<CrfModel>, strategy: S, user: U, config: ProcessConfig) -> Self {
         let mut icrf = Icrf::new(model, config.icrf.clone());
-        icrf.run();
+        let last_em_stats = icrf.run();
         let grounding = instantiate_grounding(&icrf);
         ValidationProcess {
             icrf,
@@ -89,6 +94,7 @@ impl<S: SelectionStrategy, U: User> ValidationProcess<S, U> {
             history: Vec::new(),
             effort: 0,
             flagged_log: Vec::new(),
+            last_em_stats,
         }
     }
 
@@ -116,6 +122,13 @@ impl<S: SelectionStrategy, U: User> ValidationProcess<S, U> {
     /// measured in elicitations).
     pub fn effort_ratio(&self) -> f64 {
         self.effort as f64 / self.icrf.model().n_claims() as f64
+    }
+
+    /// Engine statistics of the most recent inference call: EM/TRON/Gibbs
+    /// effort, the component structure (count, largest), the E-step task
+    /// layout, and how often the score cache was refreshed incrementally.
+    pub fn last_em_stats(&self) -> &IcrfStats {
+        &self.last_em_stats
     }
 
     /// The configured strategy (for inspection in experiments).
@@ -195,7 +208,7 @@ impl<S: SelectionStrategy, U: User> ValidationProcess<S, U> {
 
         // ---- (3) Incorporate the input and infer (lines 14–15).
         self.icrf.set_label(claim, verdict);
-        self.icrf.run();
+        self.last_em_stats = self.icrf.run();
         self.effort += 1;
 
         // ---- (4) Decide on the grounding (line 16).
@@ -286,7 +299,7 @@ impl<S: SelectionStrategy, U: User> ValidationProcess<S, U> {
             }
         }
         if validated > 0 {
-            self.icrf.run();
+            self.last_em_stats = self.icrf.run();
             self.grounding = instantiate_grounding(&self.icrf);
         }
         validated
@@ -500,6 +513,44 @@ mod tests {
         );
         // With 30% mistakes, at least one repair is overwhelmingly likely.
         assert!(repair > 0, "no repairs despite noisy user");
+    }
+
+    /// The per-component E-step telemetry is populated and kept current
+    /// across validation iterations.
+    #[test]
+    fn em_stats_carry_component_telemetry() {
+        let (model, truth) = fixture();
+        let n = model.n_claims();
+        let mut p = ValidationProcess::new(
+            model,
+            RandomStrategy::new(4),
+            GroundTruthUser::new(truth),
+            ProcessConfig {
+                budget: 2,
+                icrf: quick_icrf_config(),
+                ..Default::default()
+            },
+        );
+        let initial = p.last_em_stats().clone();
+        assert!(initial.components >= 1);
+        assert!(initial.largest_component >= 1 && initial.largest_component <= n);
+        assert!(
+            initial.schedule.is_some(),
+            "scheduler mode must be recorded"
+        );
+        assert_eq!(
+            initial.cache_rebuilds + initial.cache_incremental + initial.cache_unchanged,
+            initial.em_iterations,
+            "every E-step refreshes the cache exactly once"
+        );
+        assert!(
+            initial.cache_rebuilds >= 1,
+            "the first E-step must build the cache"
+        );
+        p.run();
+        let after = p.last_em_stats();
+        assert_eq!(after.components, initial.components);
+        assert!(after.em_iterations >= 1);
     }
 
     #[test]

@@ -89,6 +89,17 @@ impl Bitset {
         out
     }
 
+    /// In-place union: set every bit that is set in `other` (word-level OR).
+    ///
+    /// Used to merge the disjoint per-task sample projections of the
+    /// component-scheduled Gibbs sampler back into one configuration.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.len, other.len, "length mismatch in union");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+
     /// Iterate over the bits as booleans.
     pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
         (0..self.len).map(move |i| self.get(i))
@@ -177,6 +188,29 @@ mod tests {
         let bs = Bitset::from_bools(&[true, false, true, false, true]);
         let p = bs.project(&[4, 0, 1]);
         assert_eq!(p.to_bools(), vec![true, true, false]);
+    }
+
+    #[test]
+    fn union_with_sets_bits_from_both() {
+        let mut a = Bitset::from_bools(&[true, false, false, true]);
+        let b = Bitset::from_bools(&[false, true, false, true]);
+        a.union_with(&b);
+        assert_eq!(a.to_bools(), vec![true, true, false, true]);
+        // Crosses word boundaries too.
+        let mut long_a = Bitset::zeros(130);
+        let mut long_b = Bitset::zeros(130);
+        long_a.set(0, true);
+        long_b.set(129, true);
+        long_a.union_with(&long_b);
+        assert!(long_a.get(0) && long_a.get(129));
+        assert_eq!(long_a.count_ones(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn union_with_rejects_length_mismatch() {
+        let mut a = Bitset::zeros(3);
+        a.union_with(&Bitset::zeros(4));
     }
 
     #[test]

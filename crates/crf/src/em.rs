@@ -67,6 +67,22 @@ pub struct IcrfStats {
     pub gibbs_sweeps: usize,
     /// Whether the loop stopped on the tolerance criteria (vs. iteration cap).
     pub converged: bool,
+    /// Connected components of the claim graph (the units the
+    /// component-aware E-step scheduler parallelises over).
+    pub components: usize,
+    /// Claims in the largest connected component.
+    pub largest_component: usize,
+    /// Task layout the scheduler chose for the last E-step.
+    pub schedule: Option<crate::gibbs::ScheduleMode>,
+    /// E-steps that rebuilt the score cache from scratch.
+    pub cache_rebuilds: usize,
+    /// E-steps that refreshed the score cache incrementally (only the
+    /// weight coordinates the M-step moved were re-applied).
+    pub cache_incremental: usize,
+    /// E-steps that found the score cache already up to date.
+    pub cache_unchanged: usize,
+    /// Total weight coordinates the M-steps moved (TRON's active set).
+    pub tron_coords_moved: usize,
 }
 
 /// Long-lived hot-path buffers threaded through every E- and M-step.
@@ -231,14 +247,22 @@ impl Icrf {
         if self.weights.dim() != dim {
             self.weights = Weights::zeros(dim);
         }
-        let mut stats = IcrfStats::default();
+        let mut stats = IcrfStats {
+            components: self.partition.len(),
+            largest_component: self.partition.max_component_size(),
+            ..IcrfStats::default()
+        };
         self.ensure_dataset();
         self.epoch += 1;
 
         for l in 0..self.config.max_em_iters {
             stats.em_iterations += 1;
 
-            // ---- E-step: Gibbs sampling under current weights (Eq. 6–7).
+            // ---- E-step: component-scheduled Gibbs sampling under the
+            // current weights (Eq. 6–7, §5.1). The scheduler parallelises
+            // across chains *and* across connected components within each
+            // chain, and refreshes the score cache incrementally when only
+            // a few weight coordinates moved since the last E-step.
             let mut gcfg = self.config.gibbs.clone();
             gcfg.seed = gcfg
                 .seed
@@ -249,13 +273,22 @@ impl Icrf {
                 samples,
                 marginals,
                 sweeps,
-            } = sampler.run_with(
+                mode,
+                cache,
+            } = sampler.run_scheduled(
                 &self.weights,
                 &self.labels,
                 &self.probs,
+                &self.partition,
                 &mut self.scratch.gibbs,
             );
             stats.gibbs_sweeps += sweeps;
+            stats.schedule = Some(mode);
+            match cache {
+                crate::potentials::CacheRefresh::Rebuilt => stats.cache_rebuilds += 1,
+                crate::potentials::CacheRefresh::Incremental { .. } => stats.cache_incremental += 1,
+                crate::potentials::CacheRefresh::Unchanged => stats.cache_unchanged += 1,
+            }
 
             let max_prob_change = marginals
                 .iter()
@@ -313,6 +346,7 @@ impl Icrf {
                 &mut self.scratch.tron,
             );
             stats.tron_iterations += res.iterations;
+            stats.tron_coords_moved += res.coords_moved;
 
             let weight_change = self.weights.distance(&prev_weights);
             if weight_change < self.config.weight_tol && max_prob_change < self.config.prob_tol {

@@ -49,12 +49,48 @@
 //! Per-sweep work allocates nothing: chain state (claim values, per-source
 //! credible counts) is preallocated per chain, and the only allocations in
 //! the sampling phase are the output bitsets themselves.
+//!
+//! # Component-aware scheduling (§5.1)
+//!
+//! The CRF decomposes into independent sub-models, one per connected
+//! component of the claim graph ([`Partition`]): claims in different
+//! components share no source, so their conditionals never interact.
+//! [`GibbsSampler::run_scheduled`] exploits this *within* a chain: every
+//! `(chain, component)` pair runs as its own self-contained chain with a
+//! deterministic seed derived from the chain seed and the component id, and
+//! the per-component sample streams are stitched back together in
+//! `(chain-id, component-id)` order. Because each stream is fixed by its
+//! seed alone, the pooled output is **identical at any thread count and
+//! under any task layout** — the same pooling discipline the multi-chain
+//! path uses. Restricted to one component, the stream is bit-identical to
+//! running [`GibbsSampler::run_reference`] on the sub-model induced by that
+//! component (the executable spec of the decomposition).
+//!
+//! ## Crossover heuristic
+//!
+//! Two axes of parallelism compete for the same cores: `K` chains and `P`
+//! components. The scheduler picks the task layout as follows:
+//!
+//! * **1 worker thread** (or `K == P == 1`) — run everything inline, no
+//!   tasks spawned: the single-core path pays zero scheduling overhead.
+//! * **many chains (`K ≥` threads)** — chains alone saturate the hardware:
+//!   spawn one task per chain and sweep its components sequentially
+//!   (the "many small components → parallelise across chains" arm).
+//! * **few chains, several components (`K <` threads)** — parallelise
+//!   *inside* each chain: components are packed largest-first (LPT over
+//!   their clique-incidence work, deterministic tie-break on component id)
+//!   into `⌈threads/K⌉` groups per chain, one task per `(chain, group)`
+//!   (the "few big components → parallelise inside" arm). Grouping bounds
+//!   per-task overhead when components are tiny and balances the makespan
+//!   when one component dominates.
+//!
+//! The heuristic affects wall-clock only — never the output.
 
 use crate::bitset::Bitset;
 use crate::graph::{CliqueId, CrfModel, VarId};
 use crate::numerics;
 use crate::partition::Partition;
-use crate::potentials::{clique_logit_contribution, ScoreCache, Weights};
+use crate::potentials::{clique_logit_contribution, CacheRefresh, ScoreCache, Weights};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -110,6 +146,19 @@ impl GibbsConfig {
     }
 }
 
+/// The task layout the component-aware scheduler chose for an E-step (see
+/// the module-level *Crossover heuristic* section). Informational: every
+/// layout produces the same output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleMode {
+    /// Everything ran inline on the calling thread.
+    Sequential,
+    /// One task per chain; components (if any) swept sequentially inside it.
+    ChainsOuter,
+    /// `chains × component-groups` tasks: parallelism inside each chain.
+    ComponentsInner,
+}
+
 /// The outcome of one E-step: the sample sequence `Ω` and the per-claim
 /// marginals `Pr(c)` computed from it (Eq. 7).
 #[derive(Debug, Clone)]
@@ -122,6 +171,10 @@ pub struct GibbsResult {
     pub marginals: Vec<f64>,
     /// Number of sweeps executed across all chains (burn-in + sampling).
     pub sweeps: usize,
+    /// Task layout the scheduler used for this E-step.
+    pub mode: ScheduleMode,
+    /// How the score cache was refreshed for this E-step's weights.
+    pub cache: CacheRefresh,
 }
 
 /// Reusable buffers for [`GibbsSampler::run_with`]: the score cache and the
@@ -136,6 +189,11 @@ pub struct GibbsScratch {
     /// constant within an E-step (`prev_probs` is fixed), so the `ln` is
     /// paid once per claim instead of once per claim *per sweep*.
     anchor_term: Vec<f64>,
+    /// Component-schedule metadata for [`GibbsSampler::run_scheduled`].
+    sched: CompSchedule,
+    /// Per-task chain state for the component-parallel path, reused across
+    /// E-steps (one full-width `values` + `credible` pair per worker task).
+    tasks: Vec<TaskState>,
 }
 
 impl GibbsScratch {
@@ -148,6 +206,104 @@ impl GibbsScratch {
     pub fn cache(&self) -> &ScoreCache {
         &self.cache
     }
+}
+
+/// Precomputed component metadata for the scheduled sweep. The
+/// partition-derived part (sources per component) is rebuilt only when the
+/// model changes; the labels-derived part (unlabelled claims and work
+/// estimate per component) is refilled — allocation-free in steady state —
+/// on every E-step.
+#[derive(Debug, Clone, Default)]
+struct CompSchedule {
+    /// Build-lineage id ([`CrfModel::model_id`]) the static part was built
+    /// for (rebuild guard, like the score cache's). `0` = not built yet.
+    model_id: u64,
+    /// CSR offsets (`n_components + 1`) into [`Self::comp_sources`].
+    comp_source_offsets: Vec<u32>,
+    /// Source ids owned by each component, ascending within a component.
+    /// Sources without claims appear in no component.
+    comp_sources: Vec<u32>,
+    /// CSR offsets (`n_components + 1`) into [`Self::comp_unlabelled`].
+    comp_unlabelled_offsets: Vec<u32>,
+    /// Unlabelled claim ids per component, ascending within a component.
+    comp_unlabelled: Vec<u32>,
+    /// Per component: total clique incidences of its unlabelled claims —
+    /// the sweep-cost proxy the LPT packing balances.
+    comp_work: Vec<u64>,
+}
+
+impl CompSchedule {
+    fn refresh_static(&mut self, model: &CrfModel, partition: &Partition) {
+        let p = partition.len();
+        if self.model_id == model.model_id() && self.comp_source_offsets.len() == p + 1 {
+            return;
+        }
+        self.model_id = model.model_id();
+        self.comp_source_offsets.clear();
+        self.comp_source_offsets.resize(p + 1, 0);
+        for s in 0..model.n_sources() as u32 {
+            if let Some(&c0) = model.claims_of_source(s).first() {
+                self.comp_source_offsets[partition.component_of(VarId(c0)) + 1] += 1;
+            }
+        }
+        for i in 0..p {
+            self.comp_source_offsets[i + 1] += self.comp_source_offsets[i];
+        }
+        let mut cursor: Vec<u32> = self.comp_source_offsets[..p].to_vec();
+        self.comp_sources.clear();
+        self.comp_sources
+            .resize(self.comp_source_offsets[p] as usize, 0);
+        for s in 0..model.n_sources() as u32 {
+            if let Some(&c0) = model.claims_of_source(s).first() {
+                let comp = partition.component_of(VarId(c0));
+                self.comp_sources[cursor[comp] as usize] = s;
+                cursor[comp] += 1;
+            }
+        }
+    }
+
+    fn refresh_labels(&mut self, model: &CrfModel, partition: &Partition, labels: &[Option<bool>]) {
+        self.comp_unlabelled.clear();
+        self.comp_unlabelled_offsets.clear();
+        self.comp_unlabelled_offsets.push(0);
+        self.comp_work.clear();
+        for comp in partition.iter() {
+            let mut work = 0u64;
+            for &c in comp {
+                if labels[c].is_none() {
+                    self.comp_unlabelled.push(c as u32);
+                    let (lo, hi) = model.claim_clique_span(c);
+                    work += (hi - lo) as u64;
+                }
+            }
+            self.comp_unlabelled_offsets
+                .push(self.comp_unlabelled.len() as u32);
+            self.comp_work.push(work);
+        }
+    }
+
+    fn unlabelled_of(&self, comp: usize) -> &[u32] {
+        &self.comp_unlabelled[self.comp_unlabelled_offsets[comp] as usize
+            ..self.comp_unlabelled_offsets[comp + 1] as usize]
+    }
+
+    fn sources_of(&self, comp: usize) -> &[u32] {
+        &self.comp_sources
+            [self.comp_source_offsets[comp] as usize..self.comp_source_offsets[comp + 1] as usize]
+    }
+}
+
+/// One worker task's chain state for the scheduled path: full-width arrays
+/// of which each task only ever reads and writes the slots of the
+/// components assigned to it (components are claim- and source-disjoint).
+/// Persistent in [`GibbsScratch`], so steady-state E-steps allocate nothing
+/// here; the per-claim `ones` counters accumulate across the task's
+/// components (and, on the inline path, across chains).
+#[derive(Debug, Clone, Default)]
+struct TaskState {
+    values: Vec<bool>,
+    credible: Vec<u32>,
+    ones: Vec<u64>,
 }
 
 /// A deterministic single-site Gibbs sampler bound to a model.
@@ -198,26 +354,66 @@ impl ChainState {
         source: u32,
         excl: usize,
     ) -> f64 {
-        let mut credible = self.credible_per_source[source as usize] as f64;
-        let mut n = model.n_claims_of_source(source) as f64;
-        if self.values[excl] {
-            credible -= 1.0;
-        }
-        n -= 1.0;
-        (prior.0 + credible) / (prior.0 + prior.1 + n)
+        trust_excluding(
+            model,
+            prior,
+            &self.values,
+            &self.credible_per_source,
+            source,
+            excl,
+        )
     }
 
     #[inline]
     fn flip(&mut self, model: &CrfModel, claim: usize, new_value: bool) {
-        if self.values[claim] == new_value {
-            return;
-        }
-        self.values[claim] = new_value;
-        let delta: i64 = if new_value { 1 } else { -1 };
-        for &s in model.sources_of_claim(VarId(claim as u32)) {
-            let slot = &mut self.credible_per_source[s as usize];
-            *slot = (*slot as i64 + delta) as u32;
-        }
+        flip(
+            model,
+            &mut self.values,
+            &mut self.credible_per_source,
+            claim,
+            new_value,
+        )
+    }
+}
+
+/// Smoothed trust of `source` excluding claim `excl` from the count — the
+/// shared single-site kernel of the whole-graph and component-scheduled
+/// sweeps (`excl` is always one of the source's claims here).
+#[inline]
+fn trust_excluding(
+    model: &CrfModel,
+    prior: (f64, f64),
+    values: &[bool],
+    credible_per_source: &[u32],
+    source: u32,
+    excl: usize,
+) -> f64 {
+    let mut credible = credible_per_source[source as usize] as f64;
+    let mut n = model.n_claims_of_source(source) as f64;
+    if values[excl] {
+        credible -= 1.0;
+    }
+    n -= 1.0;
+    (prior.0 + credible) / (prior.0 + prior.1 + n)
+}
+
+/// Set `claim` to `new_value`, maintaining the per-source credible counts.
+#[inline]
+fn flip(
+    model: &CrfModel,
+    values: &mut [bool],
+    credible_per_source: &mut [u32],
+    claim: usize,
+    new_value: bool,
+) {
+    if values[claim] == new_value {
+        return;
+    }
+    values[claim] = new_value;
+    let delta: i64 = if new_value { 1 } else { -1 };
+    for &s in model.sources_of_claim(VarId(claim as u32)) {
+        let slot = &mut credible_per_source[s as usize];
+        *slot = (*slot as i64 + delta) as u32;
     }
 }
 
@@ -234,6 +430,16 @@ struct ChainOutput {
 #[inline]
 fn chain_seed(seed: u64, chain: usize) -> u64 {
     seed ^ (chain as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+/// Deterministic per-component seed within a chain: component 0 uses the
+/// chain seed verbatim (a single-component graph reproduces the chain's
+/// whole-graph stream exactly); further components decorrelate through a
+/// distinct odd multiplier so `(chain, component)` streams never collide
+/// with `(chain', 0)` streams.
+#[inline]
+fn component_seed(chain_seed: u64, comp: usize) -> u64 {
+    chain_seed ^ (comp as u64).wrapping_mul(0xa076_1d64_78bd_642f)
 }
 
 impl<'a> GibbsSampler<'a> {
@@ -349,27 +555,12 @@ impl<'a> GibbsSampler<'a> {
         assert_eq!(labels.len(), n, "labels length mismatch");
         assert_eq!(prev_probs.len(), n, "probs length mismatch");
 
-        scratch.cache.rebuild(model, weights);
+        let cache_refresh = scratch.cache.update(model, weights);
         scratch.unlabelled.clear();
         scratch
             .unlabelled
             .extend((0..n).filter(|&c| labels[c].is_none()));
-        // One `ln` per claim per E-step instead of per sweep; the term is
-        // exactly the one the reference sampler adds to each conditional.
-        let anchor = self.config.anchor;
-        scratch.anchor_term.clear();
-        scratch.anchor_term.extend(prev_probs.iter().map(|&p0| {
-            if anchor > 0.0 {
-                // The anchor carries history, not evidence: bound its
-                // influence so a saturated marginal (p -> 0 or 1) from a
-                // previous round can never become an absorbing state that
-                // fresh evidence and user input cannot escape.
-                let p = p0.clamp(0.05, 0.95);
-                anchor * (p / (1.0 - p)).ln()
-            } else {
-                0.0
-            }
-        }));
+        self.fill_anchor_terms(prev_probs, &mut scratch.anchor_term);
         let cache = &scratch.cache;
         let unlabelled = &scratch.unlabelled;
         let anchor_term = &scratch.anchor_term;
@@ -436,7 +627,31 @@ impl<'a> GibbsSampler<'a> {
             samples,
             marginals,
             sweeps,
+            mode: if k == 1 {
+                ScheduleMode::Sequential
+            } else {
+                ScheduleMode::ChainsOuter
+            },
+            cache: cache_refresh,
         }
+    }
+
+    /// One `ln` per claim per E-step instead of per sweep; the term is
+    /// exactly the one the reference sampler adds to each conditional.
+    /// The anchor carries history, not evidence: its input is clamped so a
+    /// saturated marginal (p → 0 or 1) from a previous round can never
+    /// become an absorbing state that fresh evidence cannot escape.
+    fn fill_anchor_terms(&self, prev_probs: &[f64], anchor_term: &mut Vec<f64>) {
+        let anchor = self.config.anchor;
+        anchor_term.clear();
+        anchor_term.extend(prev_probs.iter().map(|&p0| {
+            if anchor > 0.0 {
+                let p = p0.clamp(0.05, 0.95);
+                anchor * (p / (1.0 - p)).ln()
+            } else {
+                0.0
+            }
+        }));
     }
 
     /// The pre-optimisation scalar sampler, kept as the executable
@@ -514,6 +729,297 @@ impl<'a> GibbsSampler<'a> {
             samples,
             marginals,
             sweeps,
+            mode: ScheduleMode::Sequential,
+            cache: CacheRefresh::Rebuilt,
+        }
+    }
+
+    /// Pick the task layout for the scheduled path (see the module-level
+    /// *Crossover heuristic* section). Returns the mode and the number of
+    /// component groups per chain.
+    fn plan(&self, chains: usize, components: usize) -> (ScheduleMode, usize) {
+        let threads = rayon::current_num_threads();
+        if threads <= 1 || (chains == 1 && components == 1) {
+            return (ScheduleMode::Sequential, 1);
+        }
+        if chains >= threads || components == 1 {
+            return (ScheduleMode::ChainsOuter, 1);
+        }
+        let groups = threads.div_ceil(chains).clamp(1, components);
+        (ScheduleMode::ComponentsInner, groups)
+    }
+
+    /// Component-aware E-step: every `(chain, component)` pair runs as its
+    /// own deterministic chain and the streams are stitched in
+    /// `(chain-id, component-id)` order, so the result depends only on the
+    /// configuration and the partition — never on thread count or task
+    /// scheduling. With a single component this is bit-identical to
+    /// [`Self::run_with`]; restricted to one component it is bit-identical
+    /// to [`Self::run_reference`] on that component's induced sub-model.
+    ///
+    /// `partition` must be the connected-component partition of this
+    /// sampler's model (see [`Partition::of_model`]).
+    pub fn run_scheduled(
+        &self,
+        weights: &Weights,
+        labels: &[Option<bool>],
+        prev_probs: &[f64],
+        partition: &Partition,
+        scratch: &mut GibbsScratch,
+    ) -> GibbsResult {
+        self.run_scheduled_impl(weights, labels, prev_probs, partition, scratch, None)
+    }
+
+    fn run_scheduled_impl(
+        &self,
+        weights: &Weights,
+        labels: &[Option<bool>],
+        prev_probs: &[f64],
+        partition: &Partition,
+        scratch: &mut GibbsScratch,
+        force: Option<(ScheduleMode, usize)>,
+    ) -> GibbsResult {
+        let model = self.model;
+        let n = model.n_claims();
+        assert_eq!(labels.len(), n, "labels length mismatch");
+        assert_eq!(prev_probs.len(), n, "probs length mismatch");
+        assert_eq!(
+            partition.n_claims(),
+            n,
+            "partition does not cover this model's claims"
+        );
+
+        let cache_refresh = scratch.cache.update(model, weights);
+        self.fill_anchor_terms(prev_probs, &mut scratch.anchor_term);
+        scratch.sched.refresh_static(model, partition);
+        scratch.sched.refresh_labels(model, partition, labels);
+
+        let k = self.config.effective_chains();
+        let p = partition.len();
+        let (mode, groups_per_chain) = force.unwrap_or_else(|| self.plan(k, p));
+        let (base, rem) = (self.config.samples / k, self.config.samples % k);
+
+        // Deterministic LPT packing: components sorted by sweep work,
+        // largest first (ties on id), greedily assigned to the least-loaded
+        // group (ties on lowest group index). Purely a makespan decision —
+        // assignment never changes the output.
+        let g = groups_per_chain.max(1);
+        let mut groups: Vec<Vec<u32>> = vec![Vec::new(); g];
+        {
+            let mut order: Vec<u32> = (0..p as u32).collect();
+            let work = &scratch.sched.comp_work;
+            order
+                .sort_unstable_by(|&a, &b| work[b as usize].cmp(&work[a as usize]).then(a.cmp(&b)));
+            let mut load = vec![0u64; g];
+            for comp in order {
+                let target = (0..g).min_by_key(|&i| (load[i], i)).unwrap();
+                load[target] += work[comp as usize].max(1);
+                groups[target].push(comp);
+            }
+        }
+
+        // The inline path reuses one state for every (chain, component)
+        // pair; the parallel paths use one state per task.
+        let n_tasks = k * g;
+        let n_states = if mode == ScheduleMode::Sequential {
+            1
+        } else {
+            n_tasks
+        };
+        if scratch.tasks.len() < n_states {
+            scratch.tasks.resize_with(n_states, TaskState::default);
+        }
+        for state in &mut scratch.tasks[..n_states] {
+            state.values.resize(n, false);
+            state.credible.resize(model.n_sources(), 0);
+            state.ones.clear();
+            state.ones.resize(n, 0);
+        }
+
+        let cache = &scratch.cache;
+        let anchor_term = &scratch.anchor_term;
+        let sched = &scratch.sched;
+
+        // Each task fills full-width sample bitsets for its chain: only the
+        // bits of its own components are set, so a chain's tasks merge with
+        // a word-level OR. These bitsets *are* the output samples (the
+        // single-group layouts move them out unmerged) — the sampling phase
+        // allocates nothing else.
+        let run_task = |chain: usize, comps: &[u32], state: &mut TaskState| -> Vec<Bitset> {
+            let n_samples = base + usize::from(chain < rem);
+            let mut samples = vec![Bitset::zeros(n); n_samples];
+            let cseed = chain_seed(self.config.seed, chain);
+            for &comp in comps {
+                self.run_component_chain(
+                    cache,
+                    partition.component(comp as usize),
+                    sched.unlabelled_of(comp as usize),
+                    sched.sources_of(comp as usize),
+                    anchor_term,
+                    labels,
+                    prev_probs,
+                    component_seed(cseed, comp as usize),
+                    &mut samples,
+                    state,
+                );
+            }
+            samples
+        };
+
+        let mut outputs: Vec<Option<Vec<Bitset>>> = Vec::new();
+        outputs.resize_with(n_tasks, || None);
+        if mode == ScheduleMode::Sequential {
+            let all: Vec<u32> = (0..p as u32).collect();
+            let state = &mut scratch.tasks[0];
+            for (chain, slot) in outputs.iter_mut().enumerate().take(k) {
+                *slot = Some(run_task(chain, &all, &mut *state));
+            }
+        } else {
+            rayon::scope(|s| {
+                for ((ti, slot), state) in
+                    outputs.iter_mut().enumerate().zip(scratch.tasks.iter_mut())
+                {
+                    let (chain, group) = (ti / g, ti % g);
+                    let comps = &groups[group];
+                    let run_task = &run_task;
+                    s.spawn(move |_| {
+                        *slot = Some(run_task(chain, comps, state));
+                    });
+                }
+            });
+        }
+
+        // Pool in (chain-id, component-id) order: task `chain·g` carries the
+        // chain's first group; OR in the remaining groups' disjoint bits.
+        // Task indices fix the order, so pooling is schedule-independent.
+        let mut ones = vec![0u64; n];
+        for state in &scratch.tasks[..n_states] {
+            for (acc, o) in ones.iter_mut().zip(&state.ones) {
+                *acc += o;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.config.samples);
+        let mut sweeps = 0;
+        for chain in 0..k {
+            let n_samples = base + usize::from(chain < rem);
+            sweeps += self.config.burn_in + n_samples * self.config.thin.max(1);
+            let mut merged = outputs[chain * g].take().expect("chain task ran");
+            for gi in 1..g {
+                let other = outputs[chain * g + gi].take().expect("group task ran");
+                for (a, b) in merged.iter_mut().zip(&other) {
+                    a.union_with(b);
+                }
+            }
+            samples.append(&mut merged);
+        }
+
+        let total = samples.len().max(1) as f64;
+        let marginals: Vec<f64> = (0..n)
+            .map(|c| match labels[c] {
+                Some(true) => 1.0,
+                Some(false) => 0.0,
+                None => ones[c] as f64 / total,
+            })
+            .collect();
+
+        GibbsResult {
+            samples,
+            marginals,
+            sweeps,
+            mode,
+            cache: cache_refresh,
+        }
+    }
+
+    /// Run one component's self-contained chain: init, burn-in, and one
+    /// thinned collection per entry of `samples`, writing the component's
+    /// claim bits into those shared full-width bitsets (and its per-claim
+    /// counts into `state.ones`). Consumes its RNG stream exactly as
+    /// [`Self::run_reference`] would on the component's induced sub-model,
+    /// which is what makes the per-component bit-identity hold.
+    #[allow(clippy::too_many_arguments)] // internal hot-path plumbing; the slices are views of one scratch
+    fn run_component_chain(
+        &self,
+        cache: &ScoreCache,
+        comp_claims: &[usize],
+        comp_unlabelled: &[u32],
+        comp_sources: &[u32],
+        anchor_term: &[f64],
+        labels: &[Option<bool>],
+        prev_probs: &[f64],
+        seed: u64,
+        samples: &mut [Bitset],
+        state: &mut TaskState,
+    ) {
+        let model = self.model;
+        if comp_unlabelled.is_empty() {
+            // Fully pinned component: no RNG stream, every sample carries
+            // the label projection.
+            for bs in samples.iter_mut() {
+                for &c in comp_claims {
+                    if labels[c] == Some(true) {
+                        bs.set(c, true);
+                        state.ones[c] += 1;
+                    }
+                }
+            }
+            return;
+        }
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for &c in comp_claims {
+            state.values[c] = match labels[c] {
+                Some(v) => v,
+                None => rng.gen_bool(numerics::clamp_prob(prev_probs[c])),
+            };
+        }
+        for &s in comp_sources {
+            state.credible[s as usize] = model
+                .claims_of_source(s)
+                .iter()
+                .filter(|&&c| state.values[c as usize])
+                .count() as u32;
+        }
+
+        let prior = self.config.trust_prior;
+        let sweep = |state: &mut TaskState, rng: &mut SmallRng| {
+            for &c in comp_unlabelled {
+                let c = c as usize;
+                let (lo, hi) = model.claim_clique_span(c);
+                let (statics, trust_ws) = cache.span(lo, hi);
+                let sources = model.clique_sources_of(VarId(c as u32));
+                let mut logit = 0.0;
+                for k in 0..statics.len() {
+                    let trust = trust_excluding(
+                        model,
+                        prior,
+                        &state.values,
+                        &state.credible,
+                        sources[k],
+                        c,
+                    );
+                    logit += statics[k] + trust_ws[k] * (trust - 0.5);
+                }
+                logit += anchor_term[c];
+                let p = numerics::sigmoid(logit);
+                let v = rng.gen_bool(numerics::clamp_prob(p));
+                flip(model, &mut state.values, &mut state.credible, c, v);
+            }
+        };
+
+        for _ in 0..self.config.burn_in {
+            sweep(state, &mut rng);
+        }
+        for bs in samples.iter_mut() {
+            for _ in 0..self.config.thin.max(1) {
+                sweep(state, &mut rng);
+            }
+            for &c in comp_claims {
+                if state.values[c] {
+                    bs.set(c, true);
+                    state.ones[c] += 1;
+                }
+            }
         }
     }
 }
@@ -524,13 +1030,16 @@ impl<'a> GibbsSampler<'a> {
 /// The joint mode of a product distribution factorises over independent
 /// components, so we take the most frequent *projected* configuration within
 /// each connected component and stitch the winners together. Ties break
-/// towards the configuration observed first, matching "breaking ties
-/// randomly" with a deterministic chain.
+/// towards the **lowest `Bitset`** (the derived lexicographic-over-words
+/// order), which depends only on the *set* of sampled configurations — not
+/// on the order in which chains or components emitted them — so the decided
+/// grounding can never flip between runs that pool the same samples
+/// differently (e.g. under a different chain count or task schedule).
 ///
 /// Counting uses a sort over sample indices keyed by the projected
 /// configuration (flat vectors, no hash map): equal projections form
-/// contiguous runs whose length and earliest observation index decide the
-/// winner deterministically.
+/// contiguous runs, scanned in ascending configuration order, so the first
+/// run reaching the maximal count *is* the lowest tied configuration.
 pub fn mode_configuration(samples: &[Bitset], partition: &Partition) -> Bitset {
     assert!(!samples.is_empty(), "cannot decide from zero samples");
     let n = samples[0].len();
@@ -542,14 +1051,9 @@ pub fn mode_configuration(samples: &[Bitset], partition: &Partition) -> Bitset {
         projected.extend(samples.iter().map(|s| s.project(comp)));
         order.clear();
         order.extend(0..samples.len() as u32);
-        // Group equal projections into runs; earliest index first within a
-        // run, so a run's first element is its first observation.
-        order.sort_unstable_by(|&a, &b| {
-            projected[a as usize]
-                .cmp(&projected[b as usize])
-                .then(a.cmp(&b))
-        });
-        let mut best: (&Bitset, u32, u32) = (&projected[order[0] as usize], 0, order[0]);
+        // Group equal projections into runs, ascending in the Bitset order.
+        order.sort_unstable_by(|&a, &b| projected[a as usize].cmp(&projected[b as usize]));
+        let mut best: (&Bitset, u32) = (&projected[order[0] as usize], 0);
         let mut run_start = 0;
         while run_start < order.len() {
             let rep = &projected[order[run_start] as usize];
@@ -558,10 +1062,10 @@ pub fn mode_configuration(samples: &[Bitset], partition: &Partition) -> Bitset {
                 run_end += 1;
             }
             let count = (run_end - run_start) as u32;
-            let first_seen = order[run_start];
-            // Highest count wins; earliest observation breaks ties.
-            if count > best.1 || (count == best.1 && first_seen < best.2) {
-                best = (rep, count, first_seen);
+            // Highest count wins; the ascending scan makes the lowest
+            // configuration win ties (strict `>` keeps the earlier run).
+            if count > best.1 {
+                best = (rep, count);
             }
             run_start = run_end;
         }
@@ -741,6 +1245,255 @@ mod tests {
         assert_eq!(r.samples.len(), 21);
     }
 
+    /// Renumber one connected component into a standalone model: same
+    /// feature rows, same per-claim clique order, sources restricted to the
+    /// component (all their claims are inside it by construction).
+    pub(super) fn induced_submodel(m: &CrfModel, comp: &[usize]) -> CrfModel {
+        let mut b = CrfModelBuilder::new(m.m_source(), m.m_doc());
+        let mut src_map = std::collections::HashMap::new();
+        for s in 0..m.n_sources() as u32 {
+            let owned = m
+                .claims_of_source(s)
+                .first()
+                .is_some_and(|&c0| comp.binary_search(&(c0 as usize)).is_ok());
+            if owned {
+                src_map.insert(s, b.add_source(m.source_feature_row(s)).unwrap());
+            }
+        }
+        for _ in comp {
+            b.add_claim();
+        }
+        for cl in m.cliques() {
+            if let Ok(pos) = comp.binary_search(&cl.claim.idx()) {
+                let d = b.add_document(m.doc_feature_row(cl.doc)).unwrap();
+                b.add_clique(VarId(pos as u32), d, src_map[&cl.source], cl.stance);
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// The acceptance spec of the component scheduler: restricted to one
+    /// component, its sample stream and marginals are bit-identical to
+    /// running the scalar reference sampler on that component's induced
+    /// sub-model with the `(chain 0, component)` seed.
+    #[test]
+    fn scheduled_components_match_submodel_reference() {
+        for seed in [2u64, 33] {
+            let m = crate::graph::synthetic_components_model(4, 8, 3, 2, 2, 2, seed);
+            let p = Partition::of_model(&m);
+            assert_eq!(p.len(), 4, "topology must yield 4 components");
+            let w = Weights::from_vec(
+                (0..m.feature_dim())
+                    .map(|i| 0.25 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                    .collect(),
+            );
+            let n = m.n_claims();
+            let mut labels = vec![None; n];
+            labels[3] = Some(true);
+            labels[9] = Some(false);
+            let probs: Vec<f64> = (0..n)
+                .map(|i| 0.25 + 0.5 * ((i % 4) as f64) / 3.0)
+                .collect();
+            let cfg = GibbsConfig {
+                burn_in: 5,
+                samples: 9,
+                thin: 2,
+                seed: 0x51ed ^ seed,
+                chains: 1,
+                ..Default::default()
+            };
+            let sampler = GibbsSampler::new(&m, cfg.clone());
+            let mut scratch = GibbsScratch::new();
+            let r = sampler.run_scheduled(&w, &labels, &probs, &p, &mut scratch);
+            assert_eq!(r.samples.len(), 9);
+            for (comp_id, comp) in p.iter().enumerate() {
+                let sub = induced_submodel(&m, comp);
+                let sub_cfg = GibbsConfig {
+                    seed: component_seed(chain_seed(cfg.seed, 0), comp_id),
+                    ..cfg.clone()
+                };
+                let sub_labels: Vec<_> = comp.iter().map(|&c| labels[c]).collect();
+                let sub_probs: Vec<_> = comp.iter().map(|&c| probs[c]).collect();
+                let reference =
+                    GibbsSampler::new(&sub, sub_cfg).run_reference(&w, &sub_labels, &sub_probs);
+                for (t, s) in r.samples.iter().enumerate() {
+                    assert_eq!(
+                        s.project(comp),
+                        reference.samples[t],
+                        "seed {seed} comp {comp_id} sample {t}"
+                    );
+                }
+                for (j, &c) in comp.iter().enumerate() {
+                    assert_eq!(
+                        r.marginals[c], reference.marginals[j],
+                        "seed {seed} comp {comp_id} claim {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// On a single-component graph the scheduled path reproduces the
+    /// whole-graph sampler bit for bit (component 0 reuses the chain seed),
+    /// for one chain and for several.
+    #[test]
+    fn scheduled_single_component_matches_run_with() {
+        let m = crate::graph::synthetic_components_model(1, 40, 10, 3, 2, 2, 7);
+        let p = Partition::of_model(&m);
+        assert_eq!(p.len(), 1);
+        let w = Weights::from_vec((0..m.feature_dim()).map(|i| 0.2 * i as f64 - 0.3).collect());
+        let mut labels = vec![None; 40];
+        labels[5] = Some(true);
+        labels[17] = Some(false);
+        let probs = vec![0.5; 40];
+        for chains in [1, 3] {
+            let cfg = GibbsConfig {
+                burn_in: 4,
+                samples: 10,
+                thin: 1,
+                seed: 99,
+                chains,
+                ..Default::default()
+            };
+            let sampler = GibbsSampler::new(&m, cfg);
+            let whole = sampler.run(&w, &labels, &probs);
+            let mut scratch = GibbsScratch::new();
+            let scheduled = sampler.run_scheduled(&w, &labels, &probs, &p, &mut scratch);
+            assert_eq!(whole.samples, scheduled.samples, "chains {chains}");
+            assert_eq!(whole.marginals, scheduled.marginals, "chains {chains}");
+            assert_eq!(whole.sweeps, scheduled.sweeps, "chains {chains}");
+        }
+    }
+
+    /// The crossover heuristic only picks the task layout — every layout
+    /// (inline, one task per chain, components split into any number of
+    /// groups inside each chain) produces identical output, and a fully
+    /// labelled component stays pinned in every sample.
+    #[test]
+    fn scheduled_output_is_invariant_to_task_layout() {
+        let m = crate::graph::synthetic_components_model(6, 5, 2, 2, 2, 2, 11);
+        let p = Partition::of_model(&m);
+        assert_eq!(p.len(), 6);
+        let w = Weights::from_vec(
+            (0..m.feature_dim())
+                .map(|i| 0.3 - 0.15 * i as f64)
+                .collect(),
+        );
+        let n = m.n_claims();
+        let mut labels: Vec<Option<bool>> = vec![None; n];
+        // Pin component 2 entirely (alternating values) plus one stray claim.
+        for (j, &c) in p.component(2).iter().enumerate() {
+            labels[c] = Some(j % 2 == 0);
+        }
+        labels[0] = Some(true);
+        let probs = vec![0.5; n];
+        let cfg = GibbsConfig {
+            burn_in: 3,
+            samples: 8,
+            thin: 1,
+            seed: 5,
+            chains: 2,
+            ..Default::default()
+        };
+        let sampler = GibbsSampler::new(&m, cfg);
+        let layouts = [
+            (ScheduleMode::Sequential, 1),
+            (ScheduleMode::ChainsOuter, 1),
+            (ScheduleMode::ComponentsInner, 2),
+            (ScheduleMode::ComponentsInner, 6),
+        ];
+        let mut results = Vec::new();
+        for &(mode, g) in &layouts {
+            let mut scratch = GibbsScratch::new();
+            results.push(sampler.run_scheduled_impl(
+                &w,
+                &labels,
+                &probs,
+                &p,
+                &mut scratch,
+                Some((mode, g)),
+            ));
+        }
+        for (i, r) in results.iter().enumerate().skip(1) {
+            assert_eq!(r.samples, results[0].samples, "layout {i}");
+            assert_eq!(r.marginals, results[0].marginals, "layout {i}");
+            assert_eq!(r.sweeps, results[0].sweeps, "layout {i}");
+        }
+        for s in &results[0].samples {
+            for &c in p.component(2) {
+                assert_eq!(s.get(c), labels[c].unwrap(), "pinned component drifted");
+            }
+            assert!(s.get(0));
+        }
+        assert_eq!(results[0].samples.len(), 8);
+    }
+
+    /// Regression: one scratch reused across *different* models built in a
+    /// loop (same shape, same weights, likely the same heap address) must
+    /// never serve stale cached scores or a stale component schedule — the
+    /// model's build-lineage id forces a rebuild.
+    #[test]
+    fn scratch_reuse_across_models_forces_rebuild() {
+        let w = Weights::from_vec(vec![0.5, -0.2, 0.3, 0.7, -0.4, 0.1]);
+        let mut scratch = GibbsScratch::new();
+        let cfg = GibbsConfig {
+            burn_in: 3,
+            samples: 5,
+            thin: 1,
+            seed: 31,
+            chains: 1,
+            ..Default::default()
+        };
+        for seed in 0..4u64 {
+            let m = crate::graph::synthetic_components_model(3, 5, 2, 2, 2, 2, seed);
+            assert_eq!(w.dim(), m.feature_dim());
+            let p = Partition::of_model(&m);
+            let labels = vec![None; m.n_claims()];
+            let probs = vec![0.5; m.n_claims()];
+            let sampler = GibbsSampler::new(&m, cfg.clone());
+            let reused = sampler.run_scheduled(&w, &labels, &probs, &p, &mut scratch);
+            assert_eq!(
+                reused.cache,
+                crate::potentials::CacheRefresh::Rebuilt,
+                "seed {seed}: a new model must rebuild the cache"
+            );
+            let fresh = sampler.run_scheduled(&w, &labels, &probs, &p, &mut GibbsScratch::new());
+            assert_eq!(reused.samples, fresh.samples, "seed {seed}");
+            assert_eq!(reused.marginals, fresh.marginals, "seed {seed}");
+        }
+    }
+
+    /// Reusing one scratch across E-steps (changed labels, same weights —
+    /// the `Unchanged` cache path) yields exactly what fresh scratch does.
+    #[test]
+    fn scheduled_scratch_reuse_is_transparent() {
+        let m = crate::graph::synthetic_components_model(3, 6, 2, 2, 2, 2, 21);
+        let p = Partition::of_model(&m);
+        let w = Weights::from_vec(vec![0.4; m.feature_dim()]);
+        let n = m.n_claims();
+        let cfg = GibbsConfig {
+            burn_in: 4,
+            samples: 6,
+            thin: 1,
+            seed: 77,
+            chains: 1,
+            ..Default::default()
+        };
+        let sampler = GibbsSampler::new(&m, cfg);
+        let probs = vec![0.5; n];
+        let mut reused = GibbsScratch::new();
+        let first = sampler.run_scheduled(&w, &vec![None; n], &probs, &p, &mut reused);
+        assert_eq!(first.cache, crate::potentials::CacheRefresh::Rebuilt);
+        let mut labels = vec![None; n];
+        labels[2] = Some(false);
+        let second = sampler.run_scheduled(&w, &labels, &probs, &p, &mut reused);
+        assert_eq!(second.cache, crate::potentials::CacheRefresh::Unchanged);
+        let mut fresh = GibbsScratch::new();
+        let expect = sampler.run_scheduled(&w, &labels, &probs, &p, &mut fresh);
+        assert_eq!(second.samples, expect.samples);
+        assert_eq!(second.marginals, expect.marginals);
+    }
+
     /// With zero weights and no anchor the chain is a fair coin.
     #[test]
     fn zero_weights_give_half_marginals() {
@@ -859,10 +1612,11 @@ mod tests {
         );
     }
 
-    /// Tie-breaking: with every configuration equally frequent, the one
-    /// observed first wins (deterministically).
+    /// Tie-breaking: with every configuration equally frequent, the lowest
+    /// `Bitset` (derived lexicographic order over the packed words) wins —
+    /// `[true, false]` packs to word 1, `[false, true]` to word 2.
     #[test]
-    fn mode_configuration_breaks_ties_towards_first_observation() {
+    fn mode_configuration_breaks_ties_towards_lowest_bitset() {
         let mut b = CrfModelBuilder::new(1, 1);
         let s = b.add_source(&[0.0]).unwrap();
         for _ in 0..2 {
@@ -872,14 +1626,53 @@ mod tests {
         }
         let m = b.build().unwrap();
         let p = Partition::of_model(&m);
-        let samples = vec![
+        let mut samples = vec![
             Bitset::from_bools(&[false, true]),
             Bitset::from_bools(&[true, false]),
         ];
         assert_eq!(
             mode_configuration(&samples, &p).to_bools(),
-            vec![false, true]
+            vec![true, false]
         );
+        // The decision depends only on the sample *set*: reordering the
+        // pool (as a different chain/component schedule would) cannot flip
+        // the mode.
+        samples.reverse();
+        assert_eq!(
+            mode_configuration(&samples, &p).to_bools(),
+            vec![true, false]
+        );
+    }
+
+    /// Three-way tie across three distinct configurations: the minimum in
+    /// the `Bitset` order wins, independent of observation order.
+    #[test]
+    fn mode_configuration_tie_is_order_independent() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[0.0]).unwrap();
+        for _ in 0..3 {
+            let c = b.add_claim();
+            let d = b.add_document(&[0.0]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let m = b.build().unwrap();
+        let p = Partition::of_model(&m);
+        let configs = [
+            [true, true, false],  // word 3
+            [false, false, true], // word 4
+            [true, false, false], // word 1 — the expected winner
+        ];
+        // Every rotation of the observation order yields the same mode.
+        for rot in 0..configs.len() {
+            let samples: Vec<Bitset> = (0..configs.len())
+                .map(|i| Bitset::from_bools(&configs[(i + rot) % configs.len()]))
+                .collect();
+            assert_eq!(
+                mode_configuration(&samples, &p).to_bools(),
+                vec![true, false, false],
+                "rotation {rot}"
+            );
+        }
     }
 }
 
@@ -934,6 +1727,50 @@ mod prop_tests {
                     r.samples.iter().any(|s| s.project(comp) == proj),
                     "mode projection never sampled"
                 );
+            }
+        }
+
+        /// The component-scheduled sweep is bit-identical to the reference
+        /// sampler run on each component's induced sub-model, on random
+        /// graphs (whose component structure is arbitrary) and random label
+        /// masks.
+        #[test]
+        fn prop_scheduled_equals_reference_per_component(
+            seed in 0u64..40,
+            label_mask in proptest::collection::vec(proptest::option::of(any::<bool>()), 14),
+        ) {
+            let m = crate::graph::test_support::random_model(14, 6, 2, seed);
+            let p = Partition::of_model(&m);
+            let w = Weights::from_vec(
+                (0..m.feature_dim()).map(|i| (i as f64) * 0.13 - 0.3).collect(),
+            );
+            let probs = vec![0.5; 14];
+            let cfg = GibbsConfig {
+                burn_in: 3, samples: 5, thin: 1, seed, chains: 1, ..Default::default()
+            };
+            let sampler = GibbsSampler::new(&m, cfg.clone());
+            let mut scratch = GibbsScratch::new();
+            let r = sampler.run_scheduled(&w, &label_mask, &probs, &p, &mut scratch);
+            for (comp_id, comp) in p.iter().enumerate() {
+                let sub = super::tests::induced_submodel(&m, comp);
+                let sub_cfg = GibbsConfig {
+                    seed: component_seed(chain_seed(cfg.seed, 0), comp_id),
+                    ..cfg.clone()
+                };
+                let sub_labels: Vec<_> = comp.iter().map(|&c| label_mask[c]).collect();
+                let sub_probs: Vec<_> = comp.iter().map(|&c| probs[c]).collect();
+                let reference = GibbsSampler::new(&sub, sub_cfg)
+                    .run_reference(&w, &sub_labels, &sub_probs);
+                for (t, s) in r.samples.iter().enumerate() {
+                    prop_assert_eq!(
+                        s.project(comp),
+                        reference.samples[t].clone(),
+                        "comp {} sample {}", comp_id, t
+                    );
+                }
+                for (j, &c) in comp.iter().enumerate() {
+                    prop_assert_eq!(r.marginals[c], reference.marginals[j]);
+                }
             }
         }
 

@@ -100,6 +100,12 @@ pub struct Clique {
 /// return `&[u32]`); only the backing layout moved.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CrfModel {
+    /// Build-lineage identity: every [`CrfModelBuilder::build`] call draws
+    /// a fresh process-unique id; clones and serde round-trips (which are
+    /// content-identical) keep it. Model-derived caches key their
+    /// freshness on this, so two independently built models can never be
+    /// confused — not even same-shape models reusing a heap address.
+    model_id: u64,
     n_claims: usize,
     n_sources: usize,
     n_docs: usize,
@@ -127,7 +133,20 @@ pub struct CrfModel {
     source_features: Vec<f64>,
 }
 
+/// Process-unique id source for [`CrfModel`] build lineages (0 is never
+/// issued, so caches can use it as "nothing cached yet").
+static NEXT_MODEL_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
 impl CrfModel {
+    /// The model's build-lineage id: equal ids imply identical content
+    /// (clone/serde copies of one build); independent builds always differ.
+    /// Internal caches ([`crate::potentials::ScoreCache`], the Gibbs
+    /// component schedule) use it to detect model changes.
+    #[inline]
+    pub fn model_id(&self) -> u64 {
+        self.model_id
+    }
+
     /// Number of claim variables.
     pub fn n_claims(&self) -> usize {
         self.n_claims
@@ -443,6 +462,7 @@ impl CrfModelBuilder {
         );
 
         Ok(CrfModel {
+            model_id: NEXT_MODEL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             n_claims,
             n_sources,
             n_docs,
@@ -522,6 +542,69 @@ pub fn synthetic_model(
                 Stance::Refute
             };
             b.add_clique(c, d, s, stance);
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Build a synthetic model with a **controlled component structure**:
+/// `n_components` blocks of `claims_per_component` claims, each block owning
+/// its own disjoint pool of `sources_per_component` sources. Every claim's
+/// first clique uses its block's first source, so each block is guaranteed
+/// connected and the claim graph has exactly `n_components` connected
+/// components; remaining cliques draw a random source from the block's
+/// pool. Feature rows and stances follow [`synthetic_model`]'s conventions.
+/// Fully deterministic given `seed`.
+///
+/// Used by the component-scheduler benchmarks and tests, which need
+/// many-small-components and few-giant-components topologies on demand.
+pub fn synthetic_components_model(
+    n_components: usize,
+    claims_per_component: usize,
+    sources_per_component: usize,
+    docs_per_claim: usize,
+    m_source: usize,
+    m_doc: usize,
+    seed: u64,
+) -> CrfModel {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    assert!(
+        sources_per_component >= 1,
+        "need at least one source per component"
+    );
+    assert!(docs_per_claim >= 1, "need at least one document per claim");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = CrfModelBuilder::new(m_source, m_doc);
+    let mut row = vec![0.0; m_source.max(m_doc)];
+    for _ in 0..n_components * sources_per_component {
+        for x in row[..m_source].iter_mut() {
+            *x = rng.gen::<f64>();
+        }
+        b.add_source(&row[..m_source]).unwrap();
+    }
+    for comp in 0..n_components {
+        let base = (comp * sources_per_component) as u32;
+        for _ in 0..claims_per_component {
+            let c = b.add_claim();
+            for k in 0..docs_per_claim {
+                for x in row[..m_doc].iter_mut() {
+                    *x = rng.gen::<f64>();
+                }
+                let d = b.add_document(&row[..m_doc]).unwrap();
+                let s = if k == 0 {
+                    base
+                } else {
+                    base + rng.gen_range(0..sources_per_component) as u32
+                };
+                let stance = if rng.gen_bool(0.8) {
+                    Stance::Support
+                } else {
+                    Stance::Refute
+                };
+                b.add_clique(c, d, s, stance);
+            }
         }
     }
     b.build().unwrap()

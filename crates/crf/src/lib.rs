@@ -38,6 +38,7 @@ pub mod tron;
 
 pub use bitset::Bitset;
 pub use em::{Icrf, IcrfConfig, IcrfStats};
-pub use gibbs::{GibbsConfig, GibbsResult, GibbsSampler};
+pub use gibbs::{GibbsConfig, GibbsResult, GibbsSampler, ScheduleMode};
 pub use graph::{Clique, CliqueId, CrfModel, CrfModelBuilder, Stance, VarId};
 pub use partition::Partition;
+pub use potentials::{CacheRefresh, ScoreCache, Weights};

@@ -29,9 +29,17 @@ pub fn log1p_exp(x: f64) -> f64 {
 
 /// `log Σ exp(x_i)` computed against the running maximum so that no
 /// intermediate exponential overflows.
+///
+/// A NaN input propagates: `f64::max` silently ignores NaN, so without the
+/// explicit check a poisoned score would yield a finite — and wrong —
+/// result instead of surfacing. `+∞` dominates (`ln(∞) = ∞`), an empty
+/// slice is the empty sum (`ln 0 = −∞`), and all-`−∞` stays `−∞`.
 pub fn logsumexp(xs: &[f64]) -> f64 {
     if xs.is_empty() {
         return f64::NEG_INFINITY;
+    }
+    if xs.iter().any(|x| x.is_nan()) {
+        return f64::NAN;
     }
     let m = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     if !m.is_finite() {
@@ -120,6 +128,38 @@ mod tests {
         assert!(close(logsumexp(&[0.0, 0.0]), 2.0_f64.ln()));
         assert!(close(logsumexp(&[1.0]), 1.0));
         assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+    }
+
+    /// Regression: a NaN anywhere in the input must poison the result —
+    /// `fold(NEG_INFINITY, f64::max)` alone would silently drop it and
+    /// return a finite, wrong value.
+    #[test]
+    fn logsumexp_propagates_nan() {
+        assert!(logsumexp(&[f64::NAN]).is_nan());
+        assert!(logsumexp(&[0.0, f64::NAN, 1.0]).is_nan());
+        assert!(logsumexp(&[f64::NAN, f64::INFINITY]).is_nan());
+        assert!(logsumexp(&[f64::NEG_INFINITY, f64::NAN]).is_nan());
+    }
+
+    /// Edge cases: ±∞ and the empty slice.
+    #[test]
+    fn logsumexp_infinity_and_empty_cases() {
+        // The empty sum: ln 0 = −∞.
+        assert_eq!(logsumexp(&[]), f64::NEG_INFINITY);
+        // exp(−∞) = 0 terms contribute nothing.
+        assert_eq!(logsumexp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert_eq!(
+            logsumexp(&[f64::NEG_INFINITY, f64::NEG_INFINITY]),
+            f64::NEG_INFINITY
+        );
+        assert!(close(logsumexp(&[f64::NEG_INFINITY, 2.0]), 2.0));
+        // +∞ dominates any finite mixture.
+        assert_eq!(logsumexp(&[f64::INFINITY]), f64::INFINITY);
+        assert_eq!(logsumexp(&[0.0, f64::INFINITY, -3.0]), f64::INFINITY);
+        assert_eq!(
+            logsumexp(&[f64::NEG_INFINITY, f64::INFINITY]),
+            f64::INFINITY
+        );
     }
 
     #[test]

@@ -108,6 +108,11 @@ impl Partition {
         self.components.len()
     }
 
+    /// Number of claims the partition covers (the model's claim count).
+    pub fn n_claims(&self) -> usize {
+        self.component_of.len()
+    }
+
     /// Whether there are no components (empty model).
     pub fn is_empty(&self) -> bool {
         self.components.is_empty()
@@ -194,6 +199,36 @@ mod tests {
         assert_eq!(p.component(0), &[0, 1, 2]);
     }
 
+    /// Reference connected components by breadth-first search over the
+    /// "claims sharing a source" adjacency — the executable specification
+    /// the union–find implementation is held against.
+    fn bfs_components(m: &crate::graph::CrfModel) -> Vec<usize> {
+        let n = m.n_claims();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut queue = std::collections::VecDeque::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            queue.push_back(start);
+            while let Some(c) = queue.pop_front() {
+                for &s in m.sources_of_claim(VarId(c as u32)) {
+                    for &nb in m.claims_of_source(s) {
+                        let nb = nb as usize;
+                        if comp[nb] == usize::MAX {
+                            comp[nb] = next;
+                            queue.push_back(nb);
+                        }
+                    }
+                }
+            }
+            next += 1;
+        }
+        comp
+    }
+
     proptest! {
         /// Components form a partition: every claim in exactly one component,
         /// and `component_of` agrees with the component listings.
@@ -210,6 +245,77 @@ mod tests {
                 }
             }
             prop_assert!(seen.into_iter().all(|s| s));
+        }
+
+        /// The union–find components equal a BFS reference on random graphs:
+        /// two claims share a `Partition` component iff BFS over the
+        /// source-sharing adjacency puts them in one component.
+        #[test]
+        fn prop_union_find_matches_bfs_reference(
+            seed in 0u64..400,
+            n_claims in 2usize..40,
+            n_sources in 1usize..12,
+        ) {
+            let m = crate::graph::test_support::random_model(n_claims, n_sources, 2, seed);
+            let p = Partition::of_model(&m);
+            let bfs = bfs_components(&m);
+            prop_assert_eq!(p.n_claims(), m.n_claims());
+            for a in 0..m.n_claims() {
+                for b in (a + 1)..m.n_claims() {
+                    prop_assert_eq!(
+                        p.component_of(VarId(a as u32)) == p.component_of(VarId(b as u32)),
+                        bfs[a] == bfs[b],
+                        "claims {} and {} disagree with the BFS reference", a, b
+                    );
+                }
+            }
+            // Same number of components overall.
+            let n_bfs = bfs.iter().copied().max().map_or(0, |m| m + 1);
+            prop_assert_eq!(p.len(), n_bfs);
+        }
+
+        /// `Dsu` agrees with BFS reachability when unions mirror a random
+        /// edge list, and set sizes match component sizes.
+        #[test]
+        fn prop_dsu_matches_edge_reachability(
+            edges in proptest::collection::vec((0usize..20, 0usize..20), 0..40),
+        ) {
+            let n = 20;
+            let mut dsu = Dsu::new(n);
+            let mut adj = vec![Vec::new(); n];
+            for &(a, b) in &edges {
+                dsu.union(a, b);
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+            // BFS reachability per node.
+            let mut comp = vec![usize::MAX; n];
+            let mut next = 0;
+            for start in 0..n {
+                if comp[start] != usize::MAX { continue; }
+                let mut stack = vec![start];
+                comp[start] = next;
+                while let Some(c) = stack.pop() {
+                    for &nb in &adj[c] {
+                        if comp[nb] == usize::MAX {
+                            comp[nb] = next;
+                            stack.push(nb);
+                        }
+                    }
+                }
+                next += 1;
+            }
+            for a in 0..n {
+                for b in 0..n {
+                    prop_assert_eq!(
+                        dsu.find(a) == dsu.find(b),
+                        comp[a] == comp[b],
+                        "nodes {} and {}", a, b
+                    );
+                }
+                let size = comp.iter().filter(|&&x| x == comp[a]).count();
+                prop_assert_eq!(dsu.set_size(a), size);
+            }
         }
 
         /// Claims sharing a source are always co-located.

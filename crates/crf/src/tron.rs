@@ -49,6 +49,10 @@ pub struct TronResult {
     pub iterations: usize,
     /// Whether the gradient-norm stopping criterion was met.
     pub converged: bool,
+    /// Number of weight coordinates whose value changed during the solve —
+    /// the active set the incremental score cache
+    /// ([`crate::potentials::ScoreCache::update`]) exploits downstream.
+    pub coords_moved: usize,
 }
 
 // Acceptance and radius-update constants from Lin & Moré / LIBLINEAR.
@@ -76,6 +80,8 @@ pub struct TronScratch {
     hd: Vec<f64>,
     s_try: Vec<f64>,
     sigmas: Vec<f64>,
+    /// Entry weights, kept to report which coordinates the solve moved.
+    w0: Vec<f64>,
 }
 
 impl TronScratch {
@@ -116,6 +122,8 @@ pub fn solve_with(
     let n = w.len();
     assert_eq!(n, obj.dim(), "weight vector dimension mismatch");
     scratch.resize(n);
+    scratch.w0.clear();
+    scratch.w0.extend_from_slice(w);
 
     let mut f = obj.value(w);
     obj.gradient_into(w, &mut scratch.g, &mut scratch.sigmas);
@@ -167,6 +175,7 @@ pub fn solve_with(
         grad_norm: gnorm,
         iterations,
         converged: gnorm <= cfg.eps * gnorm0 || gnorm <= 1e-12,
+        coords_moved: w.iter().zip(&scratch.w0).filter(|(a, b)| a != b).count(),
     }
 }
 
@@ -399,6 +408,31 @@ mod tests {
         assert_eq!(w_fresh, w_reused);
         assert_eq!(fresh.iterations, reused.iterations);
         assert_eq!(fresh.value, reused.value);
+    }
+
+    /// `coords_moved` is the solve's active set: zero when the start is
+    /// already stationary, and every informative coordinate otherwise.
+    #[test]
+    fn coords_moved_reports_active_set() {
+        // Zero feature row and w = 0: the gradient vanishes at the start,
+        // so nothing moves.
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], 0.5, 1.0);
+        let obj = LogisticObjective::new(&d, 1.0);
+        let mut w = vec![0.0];
+        let r = solve(&obj, &mut w, &TronConfig::default());
+        assert_eq!(r.coords_moved, 0);
+
+        // A separable 2-D problem moves both coordinates.
+        let mut d2 = Dataset::new(2);
+        for i in 0..10 {
+            let x = i as f64 - 4.5;
+            d2.push(&[1.0, x], if x > 0.0 { 1.0 } else { 0.0 }, 1.0);
+        }
+        let obj2 = LogisticObjective::new(&d2, 0.5);
+        let mut w2 = vec![0.0, 0.0];
+        let r2 = solve(&obj2, &mut w2, &TronConfig::default());
+        assert_eq!(r2.coords_moved, 2);
     }
 
     #[test]

@@ -24,5 +24,5 @@ pub mod online_em;
 pub mod stream;
 
 pub use interleave::{offline_sequence, streaming_sequence, InterleaveConfig};
-pub use online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, StepSchedule};
+pub use online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError, StepSchedule};
 pub use stream::StreamingChecker;

@@ -37,12 +37,56 @@ impl Default for StepSchedule {
     }
 }
 
+/// Configuration errors of the online estimator, raised at construction
+/// time ([`OnlineEm::try_new`]) instead of deep inside the stream loop.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OnlineEmError {
+    /// `κ` outside `(0.5, 1]`: the Robbins–Monro conditions
+    /// `Σγ_t = ∞`, `Σγ_t² < ∞` would be violated.
+    InvalidKappa(f64),
+    /// `t0` negative or non-finite: the earliest step sizes would be
+    /// undefined or larger than 1.
+    InvalidT0(f64),
+}
+
+impl std::fmt::Display for OnlineEmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OnlineEmError::InvalidKappa(k) => write!(
+                f,
+                "kappa = {k} outside (0.5, 1]; Robbins–Monro convergence requires kappa in (0.5, 1]"
+            ),
+            OnlineEmError::InvalidT0(t0) => {
+                write!(f, "t0 = {t0} must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OnlineEmError {}
+
 impl StepSchedule {
-    /// The step size at arrival `t` (1-based).
+    /// Check the Robbins–Monro conditions once, up front. Called by
+    /// [`OnlineEm::try_new`] so an invalid schedule surfaces as a
+    /// configuration error at construction instead of a panic on the
+    /// millionth arrival.
+    pub fn validate(&self) -> Result<(), OnlineEmError> {
+        if !(self.kappa > 0.5 && self.kappa <= 1.0) {
+            return Err(OnlineEmError::InvalidKappa(self.kappa));
+        }
+        if !self.t0.is_finite() || self.t0 < 0.0 {
+            return Err(OnlineEmError::InvalidT0(self.t0));
+        }
+        Ok(())
+    }
+
+    /// The step size at arrival `t` (1-based). The κ-range is enforced at
+    /// [`OnlineEm::try_new`]; the hot path only keeps a debug check.
     pub fn gamma(&self, t: u64) -> f64 {
-        assert!(
-            self.kappa > 0.5 && self.kappa <= 1.0,
-            "kappa must be in (0.5, 1] for Robbins–Monro convergence"
+        debug_assert!(
+            self.validate().is_ok(),
+            "invalid StepSchedule reached the hot path: {:?}",
+            self.validate()
         );
         (self.t0 + t as f64).powf(-self.kappa)
     }
@@ -89,6 +133,10 @@ pub struct ArrivalStats {
     pub gamma: f64,
     /// TRON outer iterations.
     pub tron_iterations: usize,
+    /// Weight coordinates the M-step moved (TRON's active set; feeds the
+    /// incremental score-cache refresh when parameters are exchanged back
+    /// into the offline engine).
+    pub coords_moved: usize,
     /// Instances retained after the update.
     pub retained_instances: usize,
     /// Wall-clock time of the update.
@@ -118,9 +166,11 @@ pub struct OnlineEm {
 }
 
 impl OnlineEm {
-    /// Fresh estimator over `dim`-dimensional clique features.
-    pub fn new(dim: usize, config: OnlineEmConfig) -> Self {
-        OnlineEm {
+    /// Fresh estimator over `dim`-dimensional clique features, validating
+    /// the configuration (step schedule) up front.
+    pub fn try_new(dim: usize, config: OnlineEmConfig) -> Result<Self, OnlineEmError> {
+        config.schedule.validate()?;
+        Ok(OnlineEm {
             dim,
             config,
             weights: Weights::zeros(dim),
@@ -129,7 +179,16 @@ impl OnlineEm {
             data: Dataset::new(dim),
             tron_scratch: TronScratch::new(),
             w_buf: vec![0.0; dim],
-        }
+        })
+    }
+
+    /// Fresh estimator over `dim`-dimensional clique features.
+    ///
+    /// # Panics
+    /// On an invalid configuration (see [`Self::try_new`] for the fallible
+    /// form) — at construction, never mid-stream.
+    pub fn new(dim: usize, config: OnlineEmConfig) -> Self {
+        Self::try_new(dim, config).expect("invalid OnlineEm configuration")
     }
 
     /// Current parameters `W_t`.
@@ -187,6 +246,7 @@ impl OnlineEm {
             return ArrivalStats {
                 gamma,
                 tron_iterations: 0,
+                coords_moved: 0,
                 retained_instances: 0,
                 elapsed: started.elapsed(),
             };
@@ -213,13 +273,15 @@ impl OnlineEm {
             &self.config.tron,
             &mut self.tron_scratch,
         );
-        if !self.config.line_search || res.value <= prev_value + 1e-12 {
+        let accepted = !self.config.line_search || res.value <= prev_value + 1e-12;
+        if accepted {
             self.weights.as_mut_slice().copy_from_slice(&self.w_buf);
         }
 
         ArrivalStats {
             gamma,
             tron_iterations: res.iterations,
+            coords_moved: if accepted { res.coords_moved } else { 0 },
             retained_instances: self.instances.len(),
             elapsed: started.elapsed(),
         }
@@ -244,14 +306,62 @@ mod tests {
         assert!(sum_sq < 3.0, "Σγ² too large: {sum_sq}");
     }
 
+    /// Invalid schedules are rejected at construction — a config error from
+    /// `try_new`, not a panic on the first (or millionth) arrival.
     #[test]
-    #[should_panic(expected = "kappa")]
-    fn schedule_rejects_bad_kappa() {
-        StepSchedule {
-            kappa: 0.3,
-            t0: 1.0,
+    fn invalid_kappa_is_a_construction_error() {
+        for kappa in [0.3, 0.5, 1.5, -1.0, f64::NAN] {
+            let schedule = StepSchedule { kappa, t0: 1.0 };
+            assert!(
+                matches!(schedule.validate(), Err(OnlineEmError::InvalidKappa(_))),
+                "kappa {kappa}"
+            );
+            let config = OnlineEmConfig {
+                schedule,
+                ..Default::default()
+            };
+            assert!(
+                matches!(
+                    OnlineEm::try_new(2, config),
+                    Err(OnlineEmError::InvalidKappa(_))
+                ),
+                "kappa {kappa}"
+            );
         }
-        .gamma(1);
+        assert_eq!(
+            StepSchedule {
+                kappa: 0.7,
+                t0: -1.0
+            }
+            .validate(),
+            Err(OnlineEmError::InvalidT0(-1.0))
+        );
+        // Boundary values of the open/closed interval.
+        assert!(StepSchedule {
+            kappa: 1.0,
+            t0: 0.0
+        }
+        .validate()
+        .is_ok());
+        assert!(StepSchedule {
+            kappa: 0.51,
+            t0: 2.0
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OnlineEm configuration")]
+    fn new_panics_at_construction_on_bad_kappa() {
+        let config = OnlineEmConfig {
+            schedule: StepSchedule {
+                kappa: 0.2,
+                t0: 1.0,
+            },
+            ..Default::default()
+        };
+        let _ = OnlineEm::new(1, config);
     }
 
     /// Feeding consistent data drives the weights towards the batch

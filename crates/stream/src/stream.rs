@@ -14,7 +14,7 @@
 //! 4. can feed the updated parameters back into Alg. 1
 //!    ([`StreamingChecker::feed_into`], line 10).
 
-use crate::online_em::{ArrivalStats, OnlineEm, OnlineEmConfig};
+use crate::online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError};
 use crf::em::source_trust_from_probs;
 use crf::potentials::{claim_probability, clique_features};
 use crf::{CliqueId, CrfModel, Icrf, Stance, VarId};
@@ -31,16 +31,26 @@ pub struct StreamingChecker {
 
 impl StreamingChecker {
     /// A checker over the (eventual) model; no claims are visible yet.
-    pub fn new(model: Arc<CrfModel>, config: OnlineEmConfig) -> Self {
+    /// Validates the online-EM configuration up front.
+    pub fn try_new(model: Arc<CrfModel>, config: OnlineEmConfig) -> Result<Self, OnlineEmError> {
         let n = model.n_claims();
         let dim = model.feature_dim();
-        StreamingChecker {
+        Ok(StreamingChecker {
             model,
             visible: vec![false; n],
             probs: vec![0.5; n],
-            online: OnlineEm::new(dim, config),
+            online: OnlineEm::try_new(dim, config)?,
             arrivals: 0,
-        }
+        })
+    }
+
+    /// A checker over the (eventual) model; no claims are visible yet.
+    ///
+    /// # Panics
+    /// On an invalid configuration (see [`Self::try_new`]) — at
+    /// construction, never inside the stream loop.
+    pub fn new(model: Arc<CrfModel>, config: OnlineEmConfig) -> Self {
+        Self::try_new(model, config).expect("invalid OnlineEm configuration")
     }
 
     /// The underlying model.
@@ -211,6 +221,24 @@ mod tests {
         s.arrive(VarId(0));
         s.feed_into(&mut icrf);
         assert_eq!(icrf.weights().as_slice(), s.weights().as_slice());
+    }
+
+    /// An invalid step schedule surfaces as a config error from `try_new`
+    /// instead of a panic on the first arrival.
+    #[test]
+    fn invalid_schedule_propagates_as_config_error() {
+        let (m, _) = model();
+        let config = OnlineEmConfig {
+            schedule: crate::online_em::StepSchedule {
+                kappa: 0.1,
+                t0: 1.0,
+            },
+            ..Default::default()
+        };
+        assert!(matches!(
+            StreamingChecker::try_new(m, config),
+            Err(crate::online_em::OnlineEmError::InvalidKappa(_))
+        ));
     }
 
     #[test]
