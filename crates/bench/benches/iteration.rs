@@ -22,7 +22,7 @@ fn bench_iteration(c: &mut Criterion) {
             ("parallel", EntropyMode::Approximate, 4),
         ] {
             let ds = preset.generate();
-            let model = Arc::new(ds.db.to_crf_model());
+            let model = Arc::new(ds.db.to_crf_model().unwrap());
             group.bench_with_input(BenchmarkId::new(preset.name(), variant), &(), |b, _| {
                 b.iter_batched(
                     || {

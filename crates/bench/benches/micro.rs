@@ -16,7 +16,7 @@ use std::sync::Arc;
 
 fn fixture() -> (Arc<crf::CrfModel>, Vec<bool>) {
     let ds = DatasetPreset::WikiMini.generate();
-    (Arc::new(ds.db.to_crf_model()), ds.truth)
+    (Arc::new(ds.db.to_crf_model().unwrap()), ds.truth)
 }
 
 fn trained_engine(model: Arc<crf::CrfModel>, truth: &[bool]) -> Icrf {
@@ -170,7 +170,8 @@ fn bench_batch(c: &mut Criterion) {
 fn bench_stream(c: &mut Criterion) {
     let (model, _) = fixture();
     c.bench_function("stream_arrival_update", |b| {
-        let mut checker = streamcheck::StreamingChecker::new(model.clone(), Default::default());
+        let mut checker =
+            streamcheck::StreamingChecker::try_new(model.clone(), Default::default()).unwrap();
         let n = model.n_claims();
         let mut i = 0usize;
         b.iter(|| {

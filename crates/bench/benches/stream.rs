@@ -1,0 +1,226 @@
+//! Streaming-arrival latency benchmark: the tentpole measurement for the
+//! versioned mutable-model API.
+//!
+//! Before the redesign, a claim arriving at runtime forced a **full
+//! rebuild**: re-run the `CrfModelBuilder` over every entity, recompute the
+//! connected-component `Partition`, and rebuild the Gibbs `ScoreCache` —
+//! all `O(model)` work, and the fresh `model_id` invalidated every other
+//! model-keyed cache too. With the delta API the same arrival is
+//! `CrfModel::apply` (splice the new rows into the CSR adjacency) +
+//! `Partition::grow` (union only the new edges) + `ScoreCache::update`
+//! (relocate cached scores, compute only the new cliques) — `O(n)` array
+//! traffic instead of `O(n · feature_dim)` recomputation, with every warm
+//! cache kept.
+//!
+//! Measured on the 10k-claim benchmark graph (30k cliques, 66-dimensional
+//! weights), one single-claim delta per arrival (1 claim, 3 documents,
+//! 3 cliques — the §7 arrival shape). Writes `BENCH_stream.json` at the
+//! repository root; the acceptance gate requires the incremental path to
+//! beat the rebuild by ≥5× per arrival.
+
+use crf::graph::{synthetic_model, CrfModel, CrfModelBuilder, ModelDelta, Stance};
+use crf::partition::Partition;
+use crf::potentials::{ScoreCache, Weights};
+use crf::ModelHandle;
+use criterion::black_box;
+use std::time::Instant;
+use streamcheck::{OnlineEmConfig, StreamingChecker};
+
+const DOCS_PER_ARRIVAL: usize = 3;
+
+fn bench_model() -> CrfModel {
+    synthetic_model(10_000, 500, 3, 32, 32, 0xB16_5EED)
+}
+
+fn bench_weights(model: &CrfModel) -> Weights {
+    Weights::from_vec(
+        (0..model.feature_dim())
+            .map(|i| 0.05 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect(),
+    )
+}
+
+/// One synthetic arrival: a claim with `DOCS_PER_ARRIVAL` documents, each a
+/// clique against a deterministic existing source.
+struct Arrival {
+    doc_rows: Vec<Vec<f64>>,
+    sources: Vec<u32>,
+}
+
+fn arrival(k: usize, n_sources: usize, m_doc: usize) -> Arrival {
+    Arrival {
+        doc_rows: (0..DOCS_PER_ARRIVAL)
+            .map(|j| {
+                (0..m_doc)
+                    .map(|f| ((k * 31 + j * 7 + f) % 97) as f64 / 97.0)
+                    .collect()
+            })
+            .collect(),
+        sources: (0..DOCS_PER_ARRIVAL)
+            .map(|j| ((k * DOCS_PER_ARRIVAL + j) % n_sources) as u32)
+            .collect(),
+    }
+}
+
+/// The pre-redesign cost of one arrival: rebuild the whole model from raw
+/// rows (base entities + every arrival so far), then recompute the
+/// partition and the score cache from scratch.
+fn rebuild_full(base: &CrfModel, arrivals: &[Arrival], weights: &Weights) -> usize {
+    let mut b = CrfModelBuilder::new(base.m_source(), base.m_doc());
+    for s in 0..base.n_sources() as u32 {
+        b.add_source(base.source_feature_row(s)).unwrap();
+    }
+    for _ in 0..base.n_claims() {
+        b.add_claim();
+    }
+    for d in 0..base.n_docs() as u32 {
+        b.add_document(base.doc_feature_row(d)).unwrap();
+    }
+    for cl in base.cliques() {
+        b.add_clique(cl.claim, cl.doc, cl.source, cl.stance);
+    }
+    for a in arrivals {
+        let c = b.add_claim();
+        for (row, &s) in a.doc_rows.iter().zip(&a.sources) {
+            let d = b.add_document(row).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+    }
+    let model = b.build().unwrap();
+    let partition = Partition::of_model(&model);
+    let cache = ScoreCache::build(&model, weights);
+    black_box(partition.len()) + black_box(cache.len())
+}
+
+/// The redesigned cost of one arrival: splice the delta into the live
+/// model, union only the new edges, patch the cache forward.
+fn apply_incremental(
+    model: &mut CrfModel,
+    partition: &mut Partition,
+    cache: &mut ScoreCache,
+    weights: &Weights,
+    a: &Arrival,
+) {
+    let mut delta = ModelDelta::for_model(model);
+    let c = delta.add_claim();
+    for (row, &s) in a.doc_rows.iter().zip(&a.sources) {
+        let d = delta.add_document(row).unwrap();
+        delta.add_clique(c, d, s, Stance::Support);
+    }
+    let first_new = model.cliques().len();
+    model.apply(delta).unwrap();
+    partition.grow(model, first_new);
+    black_box(cache.update(model, weights));
+}
+
+fn main() {
+    let base = bench_model();
+    let weights = bench_weights(&base);
+    let n_sources = base.n_sources();
+    let m_doc = base.m_doc();
+
+    // ---- Incremental path: 40 consecutive single-claim arrivals against
+    // one live model with warm partition + cache.
+    const ARRIVALS: usize = 40;
+    let arrivals: Vec<Arrival> = (0..ARRIVALS)
+        .map(|k| arrival(k, n_sources, m_doc))
+        .collect();
+    let mut model = base.clone();
+    let mut partition = Partition::of_model(&model);
+    let mut cache = ScoreCache::build(&model, &weights);
+    let mut incr_us = Vec::with_capacity(ARRIVALS);
+    for a in &arrivals {
+        let t = Instant::now();
+        apply_incremental(&mut model, &mut partition, &mut cache, &weights, a);
+        incr_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    // Sanity: the grown state matches a from-scratch recompute.
+    assert_eq!(model.n_claims(), base.n_claims() + ARRIVALS);
+    assert_eq!(partition.len(), Partition::of_model(&model).len());
+    assert_eq!(cache.len(), model.n_incidences());
+
+    // ---- Public ingestion API: the same arrival shape through
+    // `StreamingChecker::arrive_new` (handle apply + credibility estimate
+    // + online-EM TRON update — the full `∆t` of §8.8). The checker
+    // releases its snapshot pin around `apply`, so a sole holder grows the
+    // model in place with no copy.
+    let handle = ModelHandle::new(base.clone());
+    let mut checker = StreamingChecker::try_new(handle, OnlineEmConfig::default()).unwrap();
+    let mut arrive_us = Vec::with_capacity(ARRIVALS);
+    for k in 0..ARRIVALS {
+        let a = arrival(k, n_sources, m_doc);
+        let mut delta = checker.delta();
+        let c = delta.add_claim();
+        for (row, &s) in a.doc_rows.iter().zip(&a.sources) {
+            let d = delta.add_document(row).unwrap();
+            delta.add_clique(c, d, s, Stance::Support);
+        }
+        let t = Instant::now();
+        checker.arrive_new(delta).unwrap();
+        arrive_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    assert_eq!(checker.model().n_claims(), base.n_claims() + ARRIVALS);
+
+    // ---- Rebuild path: the same arrivals, each paying a full rebuild of
+    // model + partition + cache (5 samples are plenty — each costs the
+    // whole graph).
+    let mut rebuild_us = Vec::new();
+    for k in [0usize, 9, 19, 29, 39] {
+        let t = Instant::now();
+        rebuild_full(&base, &arrivals[..=k], &weights);
+        rebuild_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    let incr_mean = mean(&incr_us);
+    let incr_worst = incr_us.iter().cloned().fold(0.0f64, f64::max);
+    let arrive_mean = mean(&arrive_us);
+    let rebuild_mean = mean(&rebuild_us);
+    let rebuild_best = rebuild_us.iter().cloned().fold(f64::INFINITY, f64::min);
+    let speedup = rebuild_mean / incr_mean;
+    // The conservative gate number: the *best* rebuild against the *worst*
+    // incremental arrival.
+    let speedup_floor = rebuild_best / incr_worst;
+
+    println!();
+    println!(
+        "graph: {} claims, {} cliques, feature dim {}",
+        base.n_claims(),
+        base.cliques().len(),
+        base.feature_dim()
+    );
+    println!("arrival shape: 1 claim + {DOCS_PER_ARRIVAL} documents/cliques ({ARRIVALS} arrivals)");
+    println!("incremental (apply + grow + cache patch): mean {incr_mean:>9.1} us | worst {incr_worst:>9.1} us");
+    println!("arrive_new (ingest + estimate + online EM): mean {arrive_mean:>9.1} us");
+    println!("full rebuild (builder + partition + cache): mean {rebuild_mean:>9.1} us | best {rebuild_best:>9.1} us");
+    println!("speedup: {speedup:.1}x mean ({speedup_floor:.1}x worst-case-vs-best-case)");
+
+    let json = format!(
+        "{{\n  \"bench\": \"stream_arrival_latency\",\n  \"graph\": {{ \"claims\": {}, \"cliques\": {}, \"sources\": {}, \"feature_dim\": {} }},\n  \"arrival\": {{ \"claims\": 1, \"documents\": {DOCS_PER_ARRIVAL}, \"cliques\": {DOCS_PER_ARRIVAL}, \"samples\": {ARRIVALS} }},\n  \"incremental\": {{ \"variant\": \"delta_apply_partition_grow_cache_patch\", \"mean_us\": {:.1}, \"worst_us\": {:.1} }},\n  \"arrive_new\": {{ \"variant\": \"streaming_checker_ingest_estimate_online_em\", \"mean_us\": {:.1} }},\n  \"rebuild\": {{ \"variant\": \"builder_partition_scorecache_from_scratch\", \"mean_us\": {:.1}, \"best_us\": {:.1} }},\n  \"speedup\": {:.1},\n  \"speedup_worst_vs_best\": {:.1},\n  \"gate\": \"incremental >= 5x rebuild per single-claim arrival\"\n}}\n",
+        base.n_claims(),
+        base.cliques().len(),
+        base.n_sources(),
+        base.feature_dim(),
+        incr_mean,
+        incr_worst,
+        arrive_mean,
+        rebuild_mean,
+        rebuild_best,
+        speedup,
+        speedup_floor,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
+    std::fs::write(path, &json).expect("write BENCH_stream.json");
+    println!("\nwrote {path}");
+
+    // Acceptance gate: delta-apply must beat the full rebuild >=5x per
+    // single-claim arrival. Clean diagnostic + nonzero exit (not a panic)
+    // so a regression reads as a failed measurement.
+    if speedup < 5.0 {
+        eprintln!(
+            "FAIL: incremental arrival is only {speedup:.1}x the full rebuild; the \
+             acceptance criterion requires >=5x (see BENCH_stream.json)"
+        );
+        std::process::exit(1);
+    }
+}

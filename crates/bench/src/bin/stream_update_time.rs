@@ -18,7 +18,7 @@ fn main() {
     for preset in bench::presets(scale) {
         let (_ds, model) = bench::load(preset);
         let n = model.n_claims();
-        let mut checker = StreamingChecker::new(model, OnlineEmConfig::default());
+        let mut checker = StreamingChecker::try_new(model, OnlineEmConfig::default()).unwrap();
         let mut times = Vec::with_capacity(n);
         for c in 0..n {
             let stats = checker.arrive(crf::VarId(c as u32));

@@ -38,7 +38,7 @@ pub fn presets(scale: Scale) -> [DatasetPreset; 3] {
 /// Generate a preset's dataset together with its converted CRF model.
 pub fn load(preset: DatasetPreset) -> (SynthDataset, std::sync::Arc<crf::CrfModel>) {
     let ds = preset.generate();
-    let model = std::sync::Arc::new(ds.db.to_crf_model());
+    let model = std::sync::Arc::new(ds.db.to_crf_model().unwrap());
     (ds, model)
 }
 

@@ -36,7 +36,7 @@ mod tests {
 
     fn engine() -> Icrf {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         Icrf::new(model, IcrfConfig::default())
     }
 

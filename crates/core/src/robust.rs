@@ -88,7 +88,7 @@ mod tests {
     /// correctly labelled.
     fn trained_engine() -> (Icrf, Vec<bool>) {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let mut icrf = Icrf::new(
             model,
             IcrfConfig {

@@ -15,10 +15,23 @@
 //! `Arc`), which is what makes the information-gain guidance strategies
 //! affordable: they clone the state, pin a hypothetical label, and re-run
 //! inference without disturbing the real state.
+//!
+//! # Streaming growth
+//!
+//! The engine binds to a [`ModelHandle`] rather than a frozen model: when a
+//! streaming ingester grows the factor graph ([`crate::graph::ModelDelta`]),
+//! [`Icrf::sync`] (called implicitly by [`Icrf::run`]) patches the warm
+//! state forward instead of rebuilding — the partition unions only the new
+//! edges, the per-clique training set appends only the new cliques' static
+//! feature rows, new claims start at the maximum-entropy probability 0.5,
+//! and the weights, labels, and probabilities of pre-existing claims are
+//! untouched. The Gibbs score cache patches itself the same way on the next
+//! E-step (see [`crate::potentials::ScoreCache::update`]).
 
 use crate::bitset::Bitset;
 use crate::gibbs::{GibbsConfig, GibbsResult, GibbsSampler, GibbsScratch};
 use crate::graph::{CrfModel, Stance, VarId};
+use crate::handle::ModelHandle;
 use crate::logistic::{Dataset, LogisticObjective};
 use crate::partition::Partition;
 use crate::potentials::{clique_features, Weights};
@@ -81,6 +94,9 @@ pub struct IcrfStats {
     pub cache_incremental: usize,
     /// E-steps that found the score cache already up to date.
     pub cache_unchanged: usize,
+    /// E-steps that patched the score cache forward after model growth
+    /// (relocated old scores, computed only the new cliques).
+    pub cache_grown: usize,
     /// Total weight coordinates the M-steps moved (TRON's active set).
     pub tron_coords_moved: usize,
 }
@@ -123,6 +139,10 @@ impl Clone for InferenceScratch {
 /// (weights, probabilities, labels, last sample set).
 #[derive(Debug, Clone)]
 pub struct Icrf {
+    /// The shared, growable model lineage this engine infers over.
+    handle: ModelHandle,
+    /// Snapshot pinned at the revision the engine state is sized for;
+    /// refreshed by [`Icrf::sync`].
     model: Arc<CrfModel>,
     partition: Arc<Partition>,
     config: IcrfConfig,
@@ -139,10 +159,18 @@ pub struct Icrf {
 impl Icrf {
     /// Fresh engine: weights zero, every claim at probability 0.5
     /// (the maximum-entropy initialisation of §8.1).
-    pub fn new(model: Arc<CrfModel>, config: IcrfConfig) -> Self {
+    ///
+    /// Accepts anything convertible into a [`ModelHandle`]: a bare
+    /// [`CrfModel`], a shared `Arc<CrfModel>` (the pre-redesign calling
+    /// convention), or a clone of an existing handle — the latter is how
+    /// the engine shares one growable lineage with a streaming ingester.
+    pub fn new(model: impl Into<ModelHandle>, config: IcrfConfig) -> Self {
+        let handle = model.into();
+        let model = handle.snapshot();
         let n = model.n_claims();
         let partition = Arc::new(Partition::of_model(&model));
         Icrf {
+            handle,
             model,
             partition,
             config,
@@ -155,9 +183,41 @@ impl Icrf {
         }
     }
 
-    /// The underlying model.
+    /// The engine's snapshot of the model, pinned at the revision its
+    /// probabilities, labels, and partition are sized for. Call
+    /// [`Self::sync`] (or [`Self::run`], which syncs implicitly) to pick up
+    /// growth applied through the handle.
     pub fn model(&self) -> &Arc<CrfModel> {
         &self.model
+    }
+
+    /// The shared handle this engine infers over; clone it to grow the
+    /// model from an ingester while the engine keeps its warm state.
+    pub fn handle(&self) -> &ModelHandle {
+        &self.handle
+    }
+
+    /// Catch the engine up with growth applied through the handle since its
+    /// snapshot. Returns `true` when the model grew. Patch, don't rebuild:
+    /// the partition unions only the appended cliques' edges, the training
+    /// set appends only the new cliques' static feature rows, new claims
+    /// enter at probability 0.5 / unlabelled, and the weights and all
+    /// pre-existing per-claim state are untouched. The stale sample set is
+    /// dropped (its bitsets have the old claim width) and regenerated by
+    /// the next E-step.
+    pub fn sync(&mut self) -> bool {
+        if self.model.revision() == self.handle.revision() {
+            return false;
+        }
+        let first_new_clique = self.model.cliques().len();
+        self.model = self.handle.snapshot();
+        let n = self.model.n_claims();
+        Arc::make_mut(&mut self.partition).grow(&self.model, first_new_clique);
+        self.probs.resize(n, 0.5);
+        self.labels.resize(n, None);
+        self.last_samples.clear();
+        self.ensure_dataset();
+        true
     }
 
     /// The connected-component partition of the claim graph.
@@ -241,8 +301,9 @@ impl Icrf {
     /// The hot path allocates nothing in steady state: the Gibbs score
     /// cache, the TRON solver buffers, and the per-clique training set all
     /// live in the engine and are reused across EM iterations *and* across
-    /// calls (see [`InferenceScratch`]).
+    /// calls (see the `InferenceScratch` internals).
     pub fn run(&mut self) -> IcrfStats {
+        self.sync();
         let dim = self.model.feature_dim();
         if self.weights.dim() != dim {
             self.weights = Weights::zeros(dim);
@@ -288,6 +349,7 @@ impl Icrf {
                 crate::potentials::CacheRefresh::Rebuilt => stats.cache_rebuilds += 1,
                 crate::potentials::CacheRefresh::Incremental { .. } => stats.cache_incremental += 1,
                 crate::potentials::CacheRefresh::Unchanged => stats.cache_unchanged += 1,
+                crate::potentials::CacheRefresh::Grown { .. } => stats.cache_grown += 1,
             }
 
             let max_prob_change = marginals
@@ -359,11 +421,22 @@ impl Icrf {
 
     /// Size the persistent training set to the model and write each clique's
     /// static feature prefix once. The trust column is overwritten before
-    /// every solve, so its initial value is irrelevant.
+    /// every solve, so its initial value is irrelevant. When the model grew
+    /// (clique ids are append-only within a lineage), only the new cliques'
+    /// rows are appended — the warm static prefix of every pre-existing row
+    /// is kept.
     fn ensure_dataset(&mut self) {
         let dim = self.model.feature_dim();
         let n_cliques = self.model.cliques().len();
         if self.scratch.dataset.dim() == dim && self.scratch.dataset.len() == n_cliques {
+            return;
+        }
+        if self.scratch.dataset.dim() == dim && self.scratch.dataset.len() < n_cliques {
+            let mut row = vec![0.0; dim];
+            for clique in &self.model.cliques()[self.scratch.dataset.len()..] {
+                clique_features(&self.model, clique, 0.5, &mut row);
+                self.scratch.dataset.push(&row, 0.5, 1.0);
+            }
             return;
         }
         let mut dataset = Dataset::new(dim);
@@ -556,5 +629,84 @@ mod tests {
         assert!(stats.em_iterations >= 1);
         assert!(stats.gibbs_sweeps > 0);
         assert!(!icrf.last_samples().is_empty());
+    }
+
+    /// Streaming growth through the shared handle: `sync` resizes the
+    /// engine without dropping warm state (weights, old probabilities,
+    /// labels), and the next E-step patches the score cache forward
+    /// instead of rebuilding it.
+    #[test]
+    fn sync_grows_engine_without_dropping_warm_state() {
+        let (m, truth) = signal_model(10, 8);
+        let handle = ModelHandle::from(m);
+        let mut icrf = Icrf::new(handle.clone(), small_config());
+        for i in 0..3 {
+            icrf.set_label(VarId(i), truth[i as usize]);
+        }
+        icrf.run();
+        let w_before = icrf.weights().clone();
+        let probs_before = icrf.probs().to_vec();
+        assert!(!icrf.sync(), "nothing to sync before growth");
+
+        let mut delta = handle.delta();
+        let s = delta.add_source(&[1.0]).unwrap();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.5]).unwrap();
+        delta.add_clique(c, d, s, Stance::Support);
+        handle.apply(delta).unwrap();
+
+        assert!(icrf.sync(), "growth must be picked up");
+        assert_eq!(icrf.model().n_claims(), 11);
+        assert_eq!(icrf.partition().n_claims(), 11);
+        assert_eq!(icrf.probs().len(), 11);
+        assert_eq!(icrf.probs()[10], 0.5, "new claim enters at max entropy");
+        assert_eq!(icrf.labels()[10], None);
+        assert_eq!(
+            icrf.weights().as_slice(),
+            w_before.as_slice(),
+            "weights survive growth"
+        );
+        assert_eq!(
+            &icrf.probs()[..10],
+            &probs_before[..],
+            "old probabilities survive growth"
+        );
+
+        let stats = icrf.run();
+        // The cache either patches forward (`Grown`) or — when the last
+        // M-step moved more than dim/2 coordinates, which a 4-dimensional
+        // signal model often does — takes the cheaper full rebuild; both
+        // must account for every E-step.
+        assert_eq!(
+            stats.cache_rebuilds
+                + stats.cache_incremental
+                + stats.cache_unchanged
+                + stats.cache_grown,
+            stats.em_iterations,
+            "every E-step refreshes the cache exactly once"
+        );
+        assert_eq!(icrf.probs()[0], if truth[0] { 1.0 } else { 0.0 });
+        assert_eq!(icrf.last_samples()[0].len(), 11);
+    }
+
+    /// A label landing on a freshly grown claim participates in inference
+    /// like any other label (run() syncs implicitly).
+    #[test]
+    fn run_syncs_implicitly_after_growth() {
+        let (m, _) = signal_model(6, 9);
+        let handle = ModelHandle::from(m);
+        let mut icrf = Icrf::new(handle.clone(), small_config());
+        icrf.run();
+        let mut delta = handle.delta();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.2]).unwrap();
+        delta.add_clique(c, d, 0, Stance::Support);
+        handle.apply(delta).unwrap();
+        let stats = icrf.run();
+        assert!(stats.em_iterations >= 1);
+        assert_eq!(icrf.probs().len(), 7);
+        icrf.set_label(c, true);
+        icrf.run();
+        assert_eq!(icrf.probs()[c.idx()], 1.0);
     }
 }

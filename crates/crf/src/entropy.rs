@@ -9,7 +9,7 @@
 //!   the joint configuration distribution, computed per connected component
 //!   by exhaustive enumeration (components are source-closed, so the joint
 //!   factorises across them; the paper computes the same quantity with Ising
-//!   methods [57], which equally exploit the acyclic component structure).
+//!   methods \[57\], which equally exploit the acyclic component structure).
 //!   Components larger than the configured bound fall back to the
 //!   approximation, keeping the estimator total.
 //!

@@ -20,7 +20,7 @@
 //! * **Non-equality constraints.** Refuting cliques score the flipped value
 //!   (see [`crate::potentials`]), so a claim and its opposing variable can
 //!   never agree — the constraint of Eq. 3 holds by construction rather than
-//!   by rejection, mirroring the factorised-constraint embedding of [61].
+//!   by rejection, mirroring the factorised-constraint embedding of \[61\].
 //!
 //! # Hot-path design
 //!
@@ -218,6 +218,13 @@ struct CompSchedule {
     /// Build-lineage id ([`CrfModel::model_id`]) the static part was built
     /// for (rebuild guard, like the score cache's). `0` = not built yet.
     model_id: u64,
+    /// Revision ([`CrfModel::revision`]) the static part was packed for.
+    /// Growth can renumber components (the canonical ordering is by lowest
+    /// claim id, and a delta can merge components), so the source→component
+    /// CSR is re-packed on any revision change — an `O(sources +
+    /// components)` scan, negligible next to one sweep and amortised over
+    /// every E-step until the next delta.
+    revision: u64,
     /// CSR offsets (`n_components + 1`) into [`Self::comp_sources`].
     comp_source_offsets: Vec<u32>,
     /// Source ids owned by each component, ascending within a component.
@@ -235,10 +242,14 @@ struct CompSchedule {
 impl CompSchedule {
     fn refresh_static(&mut self, model: &CrfModel, partition: &Partition) {
         let p = partition.len();
-        if self.model_id == model.model_id() && self.comp_source_offsets.len() == p + 1 {
+        if self.model_id == model.model_id()
+            && self.revision == model.revision().0
+            && self.comp_source_offsets.len() == p + 1
+        {
             return;
         }
         self.model_id = model.model_id();
+        self.revision = model.revision().0;
         self.comp_source_offsets.clear();
         self.comp_source_offsets.resize(p + 1, 0);
         for s in 0..model.n_sources() as u32 {
@@ -1674,6 +1685,101 @@ mod tests {
             );
         }
     }
+
+    /// The acceptance spec of the versioned-model redesign: growing a model
+    /// delta-by-delta — with a **warm** scratch carried through every
+    /// growth step, so the score cache is patched ([`CacheRefresh::Grown`])
+    /// and the component schedule re-packed rather than rebuilt — yields a
+    /// `run_scheduled` sample stream bit-identical to building the final
+    /// model in one shot and sampling with fresh scratch.
+    #[test]
+    fn scheduled_on_grown_model_matches_batch_build() {
+        use crate::graph::test_support as ts;
+        let mut saw_grown_cache = false;
+        for seed in 0..12u64 {
+            let chunks = ts::random_growth_script(seed.wrapping_mul(131) ^ 0x9A0, 4);
+            let batch = ts::build_batch(&chunks);
+            let w = Weights::from_vec(
+                (0..batch.feature_dim())
+                    .map(|i| 0.23 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                    .collect(),
+            );
+            let cfg = GibbsConfig {
+                burn_in: 4,
+                samples: 7,
+                thin: 2,
+                seed: 0x6AB5 ^ seed,
+                chains: 1,
+                ..Default::default()
+            };
+
+            // Grown path: start from chunk 0, warm the scratch on the base
+            // model, then apply every later chunk as a delta, maintaining
+            // the partition incrementally.
+            let mut grown = ts::build_batch(&chunks[..1]);
+            let mut partition = Partition::of_model(&grown);
+            let mut scratch = GibbsScratch::new();
+            {
+                let base = GibbsSampler::new(&grown, cfg.clone());
+                let n0 = grown.n_claims();
+                base.run_scheduled(
+                    &w,
+                    &vec![None; n0],
+                    &vec![0.5; n0],
+                    &partition,
+                    &mut scratch,
+                );
+            }
+            for chunk in &chunks[1..] {
+                let delta = ts::chunk_delta(&grown, chunk);
+                let first_new = grown.cliques().len();
+                grown.apply(delta).unwrap();
+                partition.grow(&grown, first_new);
+            }
+
+            let n = batch.n_claims();
+            let labels = vec![None; n];
+            let probs = vec![0.5; n];
+            let r_grown = GibbsSampler::new(&grown, cfg.clone()).run_scheduled(
+                &w,
+                &labels,
+                &probs,
+                &partition,
+                &mut scratch,
+            );
+            if grown.cliques().len() > chunks[0].docs.len() {
+                // Cliques were appended after the warm-up run: the cache
+                // must have patched, never rebuilt (weights are unchanged).
+                assert!(
+                    matches!(
+                        r_grown.cache,
+                        CacheRefresh::Grown { moved: 0, .. } | CacheRefresh::Unchanged
+                    ),
+                    "seed {seed}: {:?}",
+                    r_grown.cache
+                );
+                if matches!(r_grown.cache, CacheRefresh::Grown { .. }) {
+                    saw_grown_cache = true;
+                }
+            }
+
+            let fresh_partition = Partition::of_model(&batch);
+            let r_batch = GibbsSampler::new(&batch, cfg).run_scheduled(
+                &w,
+                &labels,
+                &probs,
+                &fresh_partition,
+                &mut GibbsScratch::new(),
+            );
+            assert_eq!(r_grown.samples, r_batch.samples, "seed {seed}");
+            assert_eq!(r_grown.marginals, r_batch.marginals, "seed {seed}");
+            assert_eq!(r_grown.sweeps, r_batch.sweeps, "seed {seed}");
+        }
+        assert!(
+            saw_grown_cache,
+            "no seed exercised the grown-cache path — scripts too small"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1772,6 +1878,57 @@ mod prop_tests {
                     prop_assert_eq!(r.marginals[c], reference.marginals[j]);
                 }
             }
+        }
+
+        /// Incremental-vs-batch equivalence over *any* random split of a
+        /// model into deltas: the grown model (warm scratch, patched score
+        /// cache, incrementally maintained partition) produces a
+        /// `run_scheduled` sample stream and marginals bit-identical to the
+        /// one-shot build with fresh scratch, for one and for several
+        /// chains. (The companion partition and score-cache proptests live
+        /// in `partition.rs` / `potentials.rs`.)
+        #[test]
+        fn prop_grown_inference_equals_batch(
+            seed in 0u64..60,
+            n_chunks in 2usize..6,
+            chains in 1usize..3,
+        ) {
+            use crate::graph::test_support as ts;
+            let chunks = ts::random_growth_script(seed ^ 0xF00D, n_chunks);
+            let batch = ts::build_batch(&chunks);
+            let w = Weights::from_vec(
+                (0..batch.feature_dim()).map(|i| 0.19 * i as f64 - 0.35).collect(),
+            );
+            let cfg = GibbsConfig {
+                burn_in: 3, samples: 6, thin: 1, seed: seed ^ 0xBEEF, chains,
+                ..Default::default()
+            };
+
+            let mut grown = ts::build_batch(&chunks[..1]);
+            let mut partition = Partition::of_model(&grown);
+            let mut scratch = GibbsScratch::new();
+            {
+                let n0 = grown.n_claims();
+                GibbsSampler::new(&grown, cfg.clone()).run_scheduled(
+                    &w, &vec![None; n0], &vec![0.5; n0], &partition, &mut scratch,
+                );
+            }
+            for chunk in &chunks[1..] {
+                let delta = ts::chunk_delta(&grown, chunk);
+                let first_new = grown.cliques().len();
+                grown.apply(delta).unwrap();
+                partition.grow(&grown, first_new);
+            }
+
+            let n = batch.n_claims();
+            let (labels, probs) = (vec![None; n], vec![0.5; n]);
+            let r_grown = GibbsSampler::new(&grown, cfg.clone())
+                .run_scheduled(&w, &labels, &probs, &partition, &mut scratch);
+            let r_batch = GibbsSampler::new(&batch, cfg).run_scheduled(
+                &w, &labels, &probs, &Partition::of_model(&batch), &mut GibbsScratch::new(),
+            );
+            prop_assert_eq!(r_grown.samples, r_batch.samples);
+            prop_assert_eq!(r_grown.marginals, r_batch.marginals);
         }
 
         /// The optimised sampler equals the reference on random models and

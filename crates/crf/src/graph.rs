@@ -19,6 +19,37 @@
 //! of its sources, which is exactly the propagation behaviour §3.2 requires
 //! of the Gibbs sampler ("we weight the influence of causal interactions by
 //! the credibility of their contained claims").
+//!
+//! # Versioned growth (streaming arrivals, §7)
+//!
+//! A [`CrfModel`] is no longer frozen at [`CrfModelBuilder::build`] time:
+//! the streaming mode of Alg. 2 grows the factor graph **in place** as
+//! claims arrive. A [`ModelDelta`] collects new sources, documents, claims,
+//! and cliques against a base `(model_id, revision)` pair, and
+//! [`CrfModel::apply`] splices it into the CSR adjacency, bumping the
+//! [`CrfModel::revision`] counter while the build-lineage
+//! [`CrfModel::model_id`] is preserved.
+//!
+//! The contract model-derived caches rely on:
+//!
+//! * **Identity** — equal `model_id` means one build lineage; a cache keyed
+//!   on `(model_id, revision)` is exactly as fresh as the model content.
+//! * **Append-only entities** — existing claim/source/document indices and
+//!   clique ids never change meaning; a delta only adds. Clique ids are
+//!   assigned in arrival order, so `cliques()[k]` is stable for all time.
+//! * **Canonical layout** — after any sequence of deltas the adjacency is
+//!   **identical** (same arrays, same element order) to building the final
+//!   model in one shot with the same insertion order. Claim-major spans
+//!   shift only when a claim gains cliques, and the claim-major position of
+//!   every old clique is recoverable from its id, which is what lets
+//!   [`crate::potentials::ScoreCache`] relocate cached scores instead of
+//!   recomputing them and [`crate::partition::Partition::grow`] union only
+//!   the new edges. Inference on a delta-grown model is therefore
+//!   bit-identical to inference on the equivalent one-shot build.
+//!
+//! Concurrent readers hold consistent snapshots through
+//! [`crate::handle::ModelHandle`], the shared read view used by the
+//! inference engine and the streaming checker.
 
 use serde::{Deserialize, Serialize};
 
@@ -43,6 +74,19 @@ impl CliqueId {
     #[inline]
     pub fn idx(self) -> usize {
         self.0 as usize
+    }
+}
+
+/// A monotone version counter of one model lineage: `Revision(0)` is the
+/// freshly built model, and every successful (non-empty)
+/// [`CrfModel::apply`] increments it. Caches pair it with
+/// [`CrfModel::model_id`] to decide between patching and rebuilding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Revision(pub u64);
+
+impl std::fmt::Display for Revision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}", self.0)
     }
 }
 
@@ -106,6 +150,10 @@ pub struct CrfModel {
     /// freshness on this, so two independently built models can never be
     /// confused — not even same-shape models reusing a heap address.
     model_id: u64,
+    /// Growth counter within the lineage: 0 at build, +1 per applied
+    /// non-empty [`ModelDelta`]. `(model_id, revision)` identifies the
+    /// content exactly.
+    revision: u64,
     n_claims: usize,
     n_sources: usize,
     n_docs: usize,
@@ -145,6 +193,14 @@ impl CrfModel {
     #[inline]
     pub fn model_id(&self) -> u64 {
         self.model_id
+    }
+
+    /// The model's revision within its lineage: how many deltas have been
+    /// applied since [`CrfModelBuilder::build`]. Clones and serde
+    /// round-trips keep it; [`Self::apply`] bumps it.
+    #[inline]
+    pub fn revision(&self) -> Revision {
+        Revision(self.revision)
     }
 
     /// Number of claim variables.
@@ -309,6 +365,30 @@ pub enum ModelError {
     },
     /// The model contains no cliques.
     Empty,
+    /// A [`ModelDelta`] was applied to a model it was not built against:
+    /// either another lineage entirely, or the same lineage after further
+    /// deltas landed in between (the revision-check of the handle API).
+    StaleDelta {
+        /// Lineage id the delta was prepared for.
+        delta_model_id: u64,
+        /// Revision the delta was prepared for.
+        delta_revision: u64,
+        /// Lineage id of the model the delta was applied to.
+        model_id: u64,
+        /// Revision of the model the delta was applied to.
+        model_revision: u64,
+    },
+    /// A model lags or leads the upstream store it is synchronised from
+    /// (e.g. a `FactDatabase` emitting deltas for records added since the
+    /// last sync found the model ahead of its own records).
+    OutOfSync {
+        /// What kind of entity disagrees.
+        entity: &'static str,
+        /// Entity count in the model.
+        model: usize,
+        /// Entity count upstream.
+        upstream: usize,
+    },
 }
 
 impl std::fmt::Display for ModelError {
@@ -323,6 +403,24 @@ impl std::fmt::Display for ModelError {
                 write!(f, "clique references {entity} {index} but only {len} exist")
             }
             ModelError::Empty => write!(f, "model has no cliques"),
+            ModelError::StaleDelta {
+                delta_model_id,
+                delta_revision,
+                model_id,
+                model_revision,
+            } => write!(
+                f,
+                "delta built for model {delta_model_id} r{delta_revision} cannot apply to \
+                 model {model_id} r{model_revision}"
+            ),
+            ModelError::OutOfSync {
+                entity,
+                model,
+                upstream,
+            } => write!(
+                f,
+                "model has {model} {entity}s but the upstream store has {upstream}"
+            ),
         }
     }
 }
@@ -463,6 +561,7 @@ impl CrfModelBuilder {
 
         Ok(CrfModel {
             model_id: NEXT_MODEL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            revision: 0,
             n_claims,
             n_sources,
             n_docs,
@@ -498,6 +597,376 @@ fn dedup_csr(n_nodes: usize, edges: impl Iterator<Item = (u32, u32)>) -> (Vec<u3
     }
     let ids = pairs.into_iter().map(|(_, nb)| nb).collect();
     (offsets, ids)
+}
+
+/// Splice new `(node, neighbour)` pairs into a sorted-deduplicated CSR
+/// adjacency, growing the node range to `n_nodes_new`. Pairs already present
+/// are dropped; the result is identical to rebuilding the adjacency from the
+/// union of all edges with [`dedup_csr`].
+fn merge_into_csr(
+    offsets: &mut Vec<u32>,
+    ids: &mut Vec<u32>,
+    n_nodes_new: usize,
+    mut pairs: Vec<(u32, u32)>,
+) {
+    pairs.sort_unstable();
+    pairs.dedup();
+    let n_old = offsets.len() - 1;
+    pairs.retain(|&(node, nb)| {
+        let n = node as usize;
+        n >= n_old
+            || ids[offsets[n] as usize..offsets[n + 1] as usize]
+                .binary_search(&nb)
+                .is_err()
+    });
+
+    let mut new_offsets = vec![0u32; n_nodes_new + 1];
+    for node in 0..n_old {
+        new_offsets[node + 1] = offsets[node + 1] - offsets[node];
+    }
+    for &(node, _) in &pairs {
+        new_offsets[node as usize + 1] += 1;
+    }
+    for i in 0..n_nodes_new {
+        new_offsets[i + 1] += new_offsets[i];
+    }
+
+    let mut new_ids = vec![0u32; new_offsets[n_nodes_new] as usize];
+    let mut pi = 0;
+    for node in 0..n_nodes_new {
+        let mut k = new_offsets[node] as usize;
+        let (mut i, hi) = if node < n_old {
+            (offsets[node] as usize, offsets[node + 1] as usize)
+        } else {
+            (0, 0)
+        };
+        // Two-pointer merge of the (ascending, disjoint) old row and the
+        // node's new neighbours.
+        while i < hi && pi < pairs.len() && pairs[pi].0 as usize == node {
+            if ids[i] < pairs[pi].1 {
+                new_ids[k] = ids[i];
+                i += 1;
+            } else {
+                new_ids[k] = pairs[pi].1;
+                pi += 1;
+            }
+            k += 1;
+        }
+        while i < hi {
+            new_ids[k] = ids[i];
+            i += 1;
+            k += 1;
+        }
+        while pi < pairs.len() && pairs[pi].0 as usize == node {
+            new_ids[k] = pairs[pi].1;
+            pi += 1;
+            k += 1;
+        }
+    }
+    *offsets = new_offsets;
+    *ids = new_ids;
+}
+
+/// A batch of new entities to graft onto an existing [`CrfModel`] — the
+/// unit of streaming ingestion (Alg. 2's "claim arrives with its documents
+/// and sources").
+///
+/// A delta is prepared against a specific `(model_id, revision)` pair via
+/// [`ModelDelta::for_model`] (or [`crate::handle::ModelHandle::delta`]) and
+/// can only be applied to exactly that model state —
+/// [`CrfModel::apply`] rejects anything else with
+/// [`ModelError::StaleDelta`]. Entity ids returned by the `add_*` methods
+/// are **absolute**: they are valid in the grown model and follow on from
+/// the base model's counts, so delta-side code addresses the model the same
+/// way builder-side code does.
+///
+/// New cliques may reference both new and pre-existing claims, documents,
+/// and sources; referential integrity is checked at apply time with the
+/// same [`ModelError`] values the builder uses.
+#[derive(Debug, Clone)]
+pub struct ModelDelta {
+    base_model_id: u64,
+    base_revision: u64,
+    base_claims: usize,
+    base_sources: usize,
+    base_docs: usize,
+    base_cliques: usize,
+    m_source: usize,
+    m_doc: usize,
+    new_claims: usize,
+    new_source_features: Vec<f64>,
+    new_doc_features: Vec<f64>,
+    new_cliques: Vec<Clique>,
+}
+
+impl ModelDelta {
+    /// Start an empty delta against the current state of `model`.
+    pub fn for_model(model: &CrfModel) -> Self {
+        ModelDelta {
+            base_model_id: model.model_id,
+            base_revision: model.revision,
+            base_claims: model.n_claims,
+            base_sources: model.n_sources,
+            base_docs: model.n_docs,
+            base_cliques: model.cliques.len(),
+            m_source: model.m_source,
+            m_doc: model.m_doc,
+            new_claims: 0,
+            new_source_features: Vec::new(),
+            new_doc_features: Vec::new(),
+            new_cliques: Vec::new(),
+        }
+    }
+
+    /// Register a new source, returning its absolute index in the grown
+    /// model. The feature slice must have length `m_source`.
+    pub fn add_source(&mut self, features: &[f64]) -> Result<u32, ModelError> {
+        if features.len() != self.m_source {
+            return Err(ModelError::FeatureDim {
+                entity: "source",
+                expected: self.m_source,
+                got: features.len(),
+            });
+        }
+        self.new_source_features.extend_from_slice(features);
+        Ok((self.base_sources + self.n_new_sources() - 1) as u32)
+    }
+
+    /// Register a new document, returning its absolute index in the grown
+    /// model. The feature slice must have length `m_doc`.
+    pub fn add_document(&mut self, features: &[f64]) -> Result<u32, ModelError> {
+        if features.len() != self.m_doc {
+            return Err(ModelError::FeatureDim {
+                entity: "document",
+                expected: self.m_doc,
+                got: features.len(),
+            });
+        }
+        self.new_doc_features.extend_from_slice(features);
+        Ok((self.base_docs + self.n_new_docs() - 1) as u32)
+    }
+
+    /// Register a new claim variable, returning its absolute id in the
+    /// grown model.
+    pub fn add_claim(&mut self) -> VarId {
+        self.new_claims += 1;
+        VarId((self.base_claims + self.new_claims - 1) as u32)
+    }
+
+    /// Add a relation factor joining `claim`, `doc`, and `source` (absolute
+    /// indices; both new and pre-existing entities are allowed). Integrity
+    /// is checked by [`CrfModel::apply`].
+    pub fn add_clique(&mut self, claim: VarId, doc: u32, source: u32, stance: Stance) {
+        self.new_cliques.push(Clique {
+            claim,
+            doc,
+            source,
+            stance,
+        });
+    }
+
+    /// Number of new claims in the delta.
+    pub fn n_new_claims(&self) -> usize {
+        self.new_claims
+    }
+
+    /// Claim count of the model state this delta was prepared against. On
+    /// a successful [`CrfModel::apply`] the delta's claims occupy ids
+    /// `base_claims()..base_claims() + n_new_claims()` — the revision check
+    /// guarantees these bases even when other deltas race for the model.
+    pub fn base_claims(&self) -> usize {
+        self.base_claims
+    }
+
+    /// Source count of the model state this delta was prepared against.
+    pub fn base_sources(&self) -> usize {
+        self.base_sources
+    }
+
+    /// Document count of the model state this delta was prepared against.
+    pub fn base_docs(&self) -> usize {
+        self.base_docs
+    }
+
+    /// Clique count of the model state this delta was prepared against; on
+    /// a successful apply the delta's cliques take ids
+    /// `base_cliques()..base_cliques() + n_new_cliques()`.
+    pub fn base_cliques(&self) -> usize {
+        self.base_cliques
+    }
+
+    /// The `(model_id, revision)` pair this delta can be applied to.
+    pub fn base_revision(&self) -> (u64, Revision) {
+        (self.base_model_id, Revision(self.base_revision))
+    }
+
+    /// Number of new sources in the delta.
+    pub fn n_new_sources(&self) -> usize {
+        self.new_source_features
+            .len()
+            .checked_div(self.m_source)
+            .unwrap_or(0)
+    }
+
+    /// Number of new documents in the delta.
+    pub fn n_new_docs(&self) -> usize {
+        self.new_doc_features
+            .len()
+            .checked_div(self.m_doc)
+            .unwrap_or(0)
+    }
+
+    /// Number of new cliques in the delta.
+    pub fn n_new_cliques(&self) -> usize {
+        self.new_cliques.len()
+    }
+
+    /// Whether the delta adds nothing (applying it is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.new_claims == 0
+            && self.new_source_features.is_empty()
+            && self.new_doc_features.is_empty()
+            && self.new_cliques.is_empty()
+    }
+}
+
+impl CrfModel {
+    /// Grow the model in place by one delta, returning the new revision.
+    ///
+    /// The delta must have been prepared against exactly this
+    /// `(model_id, revision)` state ([`ModelError::StaleDelta`] otherwise),
+    /// and every new clique must reference in-range entities (the builder's
+    /// [`ModelError::DanglingReference`] checks, against the grown counts).
+    /// On any error the model is left untouched; an empty delta is a no-op
+    /// that returns the current revision without bumping it.
+    ///
+    /// The resulting adjacency is canonical: identical, array for array, to
+    /// a one-shot [`CrfModelBuilder`] build of the final content in the
+    /// same insertion order. See the module docs for the cache-patching
+    /// contract this guarantees.
+    ///
+    /// # Divergent clones
+    ///
+    /// `CrfModel` is `Clone`, and clones keep the lineage id: growing two
+    /// clones *independently* therefore produces different content under
+    /// equal `(model_id, revision)` pairs, which model-keyed caches use as
+    /// the identity. Never share a cache or scratch buffer across
+    /// independently grown clones — within a single
+    /// [`crate::handle::ModelHandle`] lineage (the intended sharing
+    /// mechanism) this cannot arise, and [`crate::potentials::ScoreCache`]
+    /// backstops the detectable cases by rebuilding on any clique-count
+    /// mismatch.
+    pub fn apply(&mut self, delta: ModelDelta) -> Result<Revision, ModelError> {
+        if delta.base_model_id != self.model_id || delta.base_revision != self.revision {
+            return Err(ModelError::StaleDelta {
+                delta_model_id: delta.base_model_id,
+                delta_revision: delta.base_revision,
+                model_id: self.model_id,
+                model_revision: self.revision,
+            });
+        }
+        if delta.is_empty() {
+            return Ok(Revision(self.revision));
+        }
+        let n_claims = self.n_claims + delta.new_claims;
+        let n_sources = self.n_sources + delta.n_new_sources();
+        let n_docs = self.n_docs + delta.n_new_docs();
+        for cl in &delta.new_cliques {
+            if cl.claim.idx() >= n_claims {
+                return Err(ModelError::DanglingReference {
+                    entity: "claim",
+                    index: cl.claim.idx(),
+                    len: n_claims,
+                });
+            }
+            if cl.doc as usize >= n_docs {
+                return Err(ModelError::DanglingReference {
+                    entity: "document",
+                    index: cl.doc as usize,
+                    len: n_docs,
+                });
+            }
+            if cl.source as usize >= n_sources {
+                return Err(ModelError::DanglingReference {
+                    entity: "source",
+                    index: cl.source as usize,
+                    len: n_sources,
+                });
+            }
+        }
+
+        // ---- Commit. Feature matrices and the clique list are pure
+        // appends; clique ids continue the insertion order.
+        self.source_features
+            .extend_from_slice(&delta.new_source_features);
+        self.doc_features.extend_from_slice(&delta.new_doc_features);
+        let first_new_id = self.cliques.len() as u32;
+
+        // ---- Claim-major arrays: splice. Per claim, old entries keep
+        // their relative order and the delta's entries follow in delta
+        // order — exactly the counting-sort fill a one-shot build of the
+        // concatenated clique list produces.
+        let mut offsets = vec![0u32; n_claims + 1];
+        for c in 0..self.n_claims {
+            offsets[c + 1] = self.claim_clique_offsets[c + 1] - self.claim_clique_offsets[c];
+        }
+        for cl in &delta.new_cliques {
+            offsets[cl.claim.idx() + 1] += 1;
+        }
+        for i in 0..n_claims {
+            offsets[i + 1] += offsets[i];
+        }
+        let total = offsets[n_claims] as usize;
+        let mut ids = vec![0u32; total];
+        let mut srcs = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n_claims].to_vec();
+        for (c, cur) in cursor.iter_mut().enumerate().take(self.n_claims) {
+            let (lo, hi) = self.claim_clique_span(c);
+            let dst = *cur as usize;
+            ids[dst..dst + (hi - lo)].copy_from_slice(&self.claim_clique_ids[lo..hi]);
+            srcs[dst..dst + (hi - lo)].copy_from_slice(&self.claim_clique_sources[lo..hi]);
+            *cur += (hi - lo) as u32;
+        }
+        for (i, cl) in delta.new_cliques.iter().enumerate() {
+            let slot = cursor[cl.claim.idx()] as usize;
+            ids[slot] = first_new_id + i as u32;
+            srcs[slot] = cl.source;
+            cursor[cl.claim.idx()] += 1;
+        }
+        self.claim_clique_offsets = offsets;
+        self.claim_clique_ids = ids;
+        self.claim_clique_sources = srcs;
+
+        // ---- Deduplicated adjacency in both directions: merge only the
+        // new edges into the sorted CSR rows.
+        merge_into_csr(
+            &mut self.source_claim_offsets,
+            &mut self.source_claim_ids,
+            n_sources,
+            delta
+                .new_cliques
+                .iter()
+                .map(|cl| (cl.source, cl.claim.0))
+                .collect(),
+        );
+        merge_into_csr(
+            &mut self.claim_source_offsets,
+            &mut self.claim_source_ids,
+            n_claims,
+            delta
+                .new_cliques
+                .iter()
+                .map(|cl| (cl.claim.0, cl.source))
+                .collect(),
+        );
+
+        self.cliques.extend(delta.new_cliques);
+        self.n_claims = n_claims;
+        self.n_sources = n_sources;
+        self.n_docs = n_docs;
+        self.revision += 1;
+        Ok(Revision(self.revision))
+    }
 }
 
 /// Build a random but well-formed synthetic model: `n_claims` claims spread
@@ -623,6 +1092,170 @@ pub(crate) mod test_support {
         seed: u64,
     ) -> CrfModel {
         synthetic_model(n_claims, n_sources, docs_per_claim, 2, 2, seed)
+    }
+
+    /// One chunk of a random build script: entities added together. The
+    /// first chunk seeds the base model; later chunks become deltas.
+    #[derive(Debug, Clone, Default)]
+    pub struct GrowthChunk {
+        /// Feature rows of new sources (each of width 2).
+        pub sources: Vec<[f64; 2]>,
+        /// New claims added before the documents below.
+        pub claims: usize,
+        /// New documents: feature row plus cliques `(claim, source, refute)`
+        /// referencing any entity that exists once this chunk's claims and
+        /// sources are in.
+        pub docs: Vec<ChunkDoc>,
+    }
+
+    /// One document of a [`GrowthChunk`]: its feature row and its cliques
+    /// as `(claim, source, refute)` triples.
+    pub type ChunkDoc = ([f64; 2], Vec<(u32, u32, bool)>);
+
+    /// A random multi-chunk build script (2-dimensional features). The
+    /// first chunk always contains at least one source, claim, and clique,
+    /// so the base model builds; later chunks may add any mix, including
+    /// cliques that attach new documents to old claims.
+    pub fn random_growth_script(seed: u64, n_chunks: usize) -> Vec<GrowthChunk> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let (mut n_sources, mut n_claims) = (0u32, 0u32);
+        for i in 0..n_chunks {
+            let mut chunk = GrowthChunk {
+                sources: (0..if i == 0 {
+                    rng.gen_range(1..4usize)
+                } else {
+                    rng.gen_range(0..3usize)
+                })
+                    .map(|_| [rng.gen::<f64>(), rng.gen::<f64>()])
+                    .collect(),
+                claims: if i == 0 {
+                    rng.gen_range(1..5)
+                } else {
+                    rng.gen_range(0..5)
+                },
+                docs: Vec::new(),
+            };
+            n_sources += chunk.sources.len() as u32;
+            n_claims += chunk.claims as u32;
+            let n_docs = if i == 0 {
+                rng.gen_range(1..6usize)
+            } else {
+                rng.gen_range(0..6usize)
+            };
+            for _ in 0..n_docs {
+                let row = [rng.gen::<f64>(), rng.gen::<f64>()];
+                let n_links = rng.gen_range(1..3usize);
+                let links = (0..n_links)
+                    .map(|_| {
+                        (
+                            rng.gen_range(0..n_claims),
+                            rng.gen_range(0..n_sources),
+                            rng.gen_bool(0.25),
+                        )
+                    })
+                    .collect();
+                chunk.docs.push((row, links));
+            }
+            chunks.push(chunk);
+        }
+        chunks
+    }
+
+    /// Replay a build script in one shot through [`CrfModelBuilder`].
+    pub fn build_batch(chunks: &[GrowthChunk]) -> CrfModel {
+        let mut b = CrfModelBuilder::new(2, 2);
+        for chunk in chunks {
+            for row in &chunk.sources {
+                b.add_source(row).unwrap();
+            }
+            for _ in 0..chunk.claims {
+                b.add_claim();
+            }
+            for (row, links) in &chunk.docs {
+                let d = b.add_document(row).unwrap();
+                for &(claim, source, refute) in links {
+                    let stance = if refute {
+                        Stance::Refute
+                    } else {
+                        Stance::Support
+                    };
+                    b.add_clique(VarId(claim), d, source, stance);
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    /// Turn one chunk into a delta against the current model state.
+    pub fn chunk_delta(model: &CrfModel, chunk: &GrowthChunk) -> ModelDelta {
+        let mut delta = ModelDelta::for_model(model);
+        for row in &chunk.sources {
+            delta.add_source(row).unwrap();
+        }
+        for _ in 0..chunk.claims {
+            delta.add_claim();
+        }
+        for (row, links) in &chunk.docs {
+            let d = delta.add_document(row).unwrap();
+            for &(claim, source, refute) in links {
+                let stance = if refute {
+                    Stance::Refute
+                } else {
+                    Stance::Support
+                };
+                delta.add_clique(VarId(claim), d, source, stance);
+            }
+        }
+        delta
+    }
+
+    /// Replay a build script incrementally: chunk 0 through the builder,
+    /// every later chunk through [`CrfModel::apply`].
+    pub fn build_grown(chunks: &[GrowthChunk]) -> CrfModel {
+        let mut model = build_batch(&chunks[..1]);
+        for chunk in &chunks[1..] {
+            let delta = chunk_delta(&model, chunk);
+            model.apply(delta).unwrap();
+        }
+        model
+    }
+
+    /// Assert two models have identical content (everything except the
+    /// build-lineage id): counts, feature rows, cliques, and every CSR
+    /// adjacency view, element for element.
+    pub fn assert_same_content(a: &CrfModel, b: &CrfModel) {
+        assert_eq!(a.n_claims(), b.n_claims());
+        assert_eq!(a.n_sources(), b.n_sources());
+        assert_eq!(a.n_docs(), b.n_docs());
+        assert_eq!(a.m_source(), b.m_source());
+        assert_eq!(a.m_doc(), b.m_doc());
+        assert_eq!(a.cliques(), b.cliques());
+        assert_eq!(a.n_incidences(), b.n_incidences());
+        for c in 0..a.n_claims() {
+            let v = VarId(c as u32);
+            assert_eq!(a.cliques_of(v), b.cliques_of(v), "claim {c} cliques");
+            assert_eq!(
+                a.clique_sources_of(v),
+                b.clique_sources_of(v),
+                "claim {c} clique sources"
+            );
+            assert_eq!(
+                a.sources_of_claim(v),
+                b.sources_of_claim(v),
+                "claim {c} sources"
+            );
+            assert_eq!(a.claim_clique_span(c), b.claim_clique_span(c));
+        }
+        for s in 0..a.n_sources() as u32 {
+            assert_eq!(a.claims_of_source(s), b.claims_of_source(s), "source {s}");
+            assert_eq!(a.source_feature_row(s), b.source_feature_row(s));
+        }
+        for d in 0..a.n_docs() as u32 {
+            assert_eq!(a.doc_feature_row(d), b.doc_feature_row(d), "doc {d}");
+        }
     }
 }
 
@@ -785,5 +1418,159 @@ mod tests {
         let back: CrfModel = serde_json::from_str(&json).unwrap();
         assert_eq!(back.n_claims(), m.n_claims());
         assert_eq!(back.cliques().len(), m.cliques().len());
+    }
+
+    // ---------------------------------------------- versioned growth
+
+    #[test]
+    fn apply_grows_claims_docs_and_cliques() {
+        let mut m = tiny_model();
+        assert_eq!(m.revision(), Revision(0));
+        let id = m.model_id();
+
+        let mut delta = ModelDelta::for_model(&m);
+        let s = delta.add_source(&[0.4]).unwrap();
+        assert_eq!(s, 2, "absolute source id continues the base count");
+        let c = delta.add_claim();
+        assert_eq!(c, VarId(2));
+        let d = delta.add_document(&[0.6]).unwrap();
+        assert_eq!(d, 3);
+        delta.add_clique(c, d, s, Stance::Support);
+        // A new document can also attach to an old claim.
+        let d2 = delta.add_document(&[0.7]).unwrap();
+        delta.add_clique(VarId(0), d2, 0, Stance::Refute);
+
+        assert_eq!(m.apply(delta).unwrap(), Revision(1));
+        assert_eq!(m.revision(), Revision(1));
+        assert_eq!(m.model_id(), id, "lineage survives growth");
+        assert_eq!(m.n_claims(), 3);
+        assert_eq!(m.n_sources(), 3);
+        assert_eq!(m.n_docs(), 5);
+        assert_eq!(m.cliques().len(), 5);
+        // Old claim 0 gained a clique: old entries first, new one after.
+        assert_eq!(m.cliques_of(VarId(0)), &[0, 1, 4]);
+        assert_eq!(m.cliques_of(VarId(2)), &[3]);
+        assert_eq!(m.sources_of_claim(VarId(0)), &[0, 1]);
+        assert_eq!(m.claims_of_source(0), &[0, 1]);
+        assert_eq!(m.claims_of_source(2), &[2]);
+        assert_eq!(m.source_feature_row(2), &[0.4]);
+        assert_eq!(m.doc_feature_row(3), &[0.6]);
+    }
+
+    #[test]
+    fn apply_rejects_stale_and_foreign_deltas() {
+        let mut m = tiny_model();
+        let stale = ModelDelta::for_model(&m);
+        let mut bump = ModelDelta::for_model(&m);
+        bump.add_claim();
+        m.apply(bump).unwrap();
+        // Same lineage, old revision.
+        let mut stale = stale;
+        stale.add_claim();
+        assert!(matches!(
+            m.apply(stale),
+            Err(ModelError::StaleDelta {
+                delta_revision: 0,
+                model_revision: 1,
+                ..
+            })
+        ));
+        // Another lineage entirely.
+        let other = tiny_model();
+        let mut foreign = ModelDelta::for_model(&other);
+        foreign.add_claim();
+        assert!(matches!(
+            m.apply(foreign),
+            Err(ModelError::StaleDelta { .. })
+        ));
+    }
+
+    #[test]
+    fn apply_validates_dangling_references_atomically() {
+        let mut m = tiny_model();
+        let mut delta = ModelDelta::for_model(&m);
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.5]).unwrap();
+        delta.add_clique(c, d, 9, Stance::Support); // source 9 missing
+        assert!(matches!(
+            m.apply(delta),
+            Err(ModelError::DanglingReference {
+                entity: "source",
+                ..
+            })
+        ));
+        // The failed apply left the model untouched.
+        assert_eq!(m.revision(), Revision(0));
+        assert_eq!(m.n_claims(), 2);
+        assert_eq!(m.cliques().len(), 3);
+    }
+
+    #[test]
+    fn apply_rejects_wrong_feature_dims() {
+        let m = tiny_model();
+        let mut delta = ModelDelta::for_model(&m);
+        assert!(matches!(
+            delta.add_source(&[1.0, 2.0]),
+            Err(ModelError::FeatureDim {
+                entity: "source",
+                ..
+            })
+        ));
+        assert!(matches!(
+            delta.add_document(&[]),
+            Err(ModelError::FeatureDim {
+                entity: "document",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn empty_delta_is_a_no_op() {
+        let mut m = tiny_model();
+        let delta = ModelDelta::for_model(&m);
+        assert!(delta.is_empty());
+        assert_eq!(m.apply(delta).unwrap(), Revision(0));
+        assert_eq!(m.revision(), Revision(0));
+    }
+
+    #[test]
+    fn serde_keeps_revision() {
+        let mut m = tiny_model();
+        let mut delta = ModelDelta::for_model(&m);
+        delta.add_claim();
+        m.apply(delta).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CrfModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.revision(), Revision(1));
+        assert_eq!(back.model_id(), m.model_id());
+    }
+
+    /// Canonical-layout spec: replaying a build script delta-by-delta
+    /// produces exactly the adjacency, feature matrices, and clique list of
+    /// the one-shot build — on fixed seeds covering old-claim attachment,
+    /// source-only chunks, and claim-heavy chunks.
+    #[test]
+    fn grown_model_matches_batch_build() {
+        for seed in 0..24u64 {
+            let chunks = test_support::random_growth_script(seed, 1 + (seed as usize % 6));
+            let batch = test_support::build_batch(&chunks);
+            let grown = test_support::build_grown(&chunks);
+            test_support::assert_same_content(&batch, &grown);
+            assert_eq!(grown.revision().0 as usize, chunks.len() - 1);
+        }
+    }
+
+    proptest::proptest! {
+        /// The growth path is canonical for *any* random script split into
+        /// any number of deltas (the incremental-vs-batch equivalence spec
+        /// at the model layer).
+        #[test]
+        fn prop_grown_model_matches_batch_build(seed in 0u64..400, chunks in 1usize..7) {
+            let script = test_support::random_growth_script(seed ^ 0x9e37, chunks);
+            let batch = test_support::build_batch(&script);
+            let grown = test_support::build_grown(&script);
+            test_support::assert_same_content(&batch, &grown);
+        }
     }
 }

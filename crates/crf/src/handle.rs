@@ -1,0 +1,188 @@
+//! Shared, versioned access to a growable [`CrfModel`].
+//!
+//! The pre-redesign API shared an immutable `Arc<CrfModel>` between the
+//! inference engine, the validation process, and the streaming checker —
+//! nothing could grow the factor graph at runtime without a full rebuild
+//! that invalidated every model-keyed cache. [`ModelHandle`] replaces that
+//! plumbing: one handle per model lineage, cloned freely across components,
+//! with
+//!
+//! * **cheap consistent reads** — [`ModelHandle::snapshot`] hands out an
+//!   `Arc<CrfModel>` pinned at the current revision. A snapshot never
+//!   changes under its holder; it is the "revision-checked read view" the
+//!   engine runs a whole E/M-step against.
+//! * **in-place growth** — [`ModelHandle::apply`] splices a [`ModelDelta`]
+//!   into the live model ([`CrfModel::apply`]) and bumps the
+//!   [`Revision`]. When no snapshot from an older revision is still alive,
+//!   the growth is truly in place (no copy); if one is, the model is cloned
+//!   once so the old snapshot stays valid — readers are never torn.
+//! * **revision-keyed cache patching** — holders compare
+//!   [`ModelHandle::revision`] against the revision they last synced and
+//!   patch their state (partition, score cache, scratch, probability
+//!   vectors) forward instead of rebuilding; see the contract in the
+//!   [`crate::graph`] module docs.
+//!
+//! Locking discipline: the internal `RwLock` is held only for the duration
+//! of a pointer clone (reads) or one `CrfModel::apply` (writes) — never
+//! across an inference call — so handle users cannot deadlock against the
+//! sampler.
+
+use crate::graph::{CrfModel, ModelDelta, ModelError, Revision};
+use std::sync::{Arc, RwLock};
+
+/// A cloneable, versioned handle to one growable model lineage.
+///
+/// Obtain read views with [`Self::snapshot`], grow the model with
+/// [`Self::apply`], and key caches on `(model_id, revision)`.
+#[derive(Clone)]
+pub struct ModelHandle {
+    inner: Arc<RwLock<Arc<CrfModel>>>,
+}
+
+impl std::fmt::Debug for ModelHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.snapshot();
+        f.debug_struct("ModelHandle")
+            .field("model_id", &m.model_id())
+            .field("revision", &m.revision())
+            .field("n_claims", &m.n_claims())
+            .finish()
+    }
+}
+
+impl ModelHandle {
+    /// Wrap a freshly built model into a shareable handle.
+    pub fn new(model: CrfModel) -> Self {
+        ModelHandle {
+            inner: Arc::new(RwLock::new(Arc::new(model))),
+        }
+    }
+
+    /// The current model state, pinned: the returned `Arc` keeps pointing
+    /// at this revision even while the handle grows past it.
+    pub fn snapshot(&self) -> Arc<CrfModel> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// The lineage id shared by every revision of this handle's model.
+    pub fn model_id(&self) -> u64 {
+        self.snapshot().model_id()
+    }
+
+    /// The current revision (bumped by every non-empty [`Self::apply`]).
+    pub fn revision(&self) -> Revision {
+        self.snapshot().revision()
+    }
+
+    /// Start an empty [`ModelDelta`] against the current revision. If
+    /// another delta lands before this one is applied, [`Self::apply`]
+    /// rejects it with [`ModelError::StaleDelta`] instead of corrupting the
+    /// graph.
+    pub fn delta(&self) -> ModelDelta {
+        ModelDelta::for_model(&self.snapshot())
+    }
+
+    /// Grow the model in place, returning the new revision. Errors leave
+    /// the model untouched; see [`CrfModel::apply`] for the validation
+    /// rules. Snapshots taken before the call keep observing the old
+    /// revision.
+    pub fn apply(&self, delta: ModelDelta) -> Result<Revision, ModelError> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        Arc::make_mut(&mut guard).apply(delta)
+    }
+}
+
+impl From<CrfModel> for ModelHandle {
+    fn from(model: CrfModel) -> Self {
+        ModelHandle::new(model)
+    }
+}
+
+impl From<Arc<CrfModel>> for ModelHandle {
+    /// Adopt an existing shared model as revision-0 content of a handle.
+    /// The `Arc` is reused as the initial snapshot; the first growth clones
+    /// the model only if the caller still holds the original `Arc`.
+    ///
+    /// **Each conversion mints an independent handle.** Passing
+    /// `arc.clone()` to two components gives each its own lineage: growth
+    /// applied through one is invisible to the other, and both advance
+    /// revisions under the same `model_id` (see the divergent-clone caveat
+    /// on [`CrfModel::apply`]). When components must observe each other's
+    /// growth — an ingester feeding a validation process — convert once
+    /// and pass **clones of the `ModelHandle`** instead.
+    fn from(model: Arc<CrfModel>) -> Self {
+        ModelHandle {
+            inner: Arc::new(RwLock::new(model)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{CrfModelBuilder, Stance, VarId};
+
+    fn handle() -> ModelHandle {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[0.5]).unwrap();
+        let c = b.add_claim();
+        let d = b.add_document(&[0.5]).unwrap();
+        b.add_clique(c, d, s, Stance::Support);
+        ModelHandle::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn clones_share_growth() {
+        let h = handle();
+        let h2 = h.clone();
+        let mut delta = h.delta();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.1]).unwrap();
+        delta.add_clique(c, d, 0, Stance::Refute);
+        let rev = h.apply(delta).unwrap();
+        assert_eq!(rev, Revision(1));
+        assert_eq!(h2.revision(), Revision(1), "clone observes the growth");
+        assert_eq!(h2.snapshot().n_claims(), 2);
+        assert_eq!(h.model_id(), h2.model_id());
+    }
+
+    #[test]
+    fn snapshots_are_pinned_at_their_revision() {
+        let h = handle();
+        let old = h.snapshot();
+        let mut delta = h.delta();
+        delta.add_claim();
+        h.apply(delta).unwrap();
+        assert_eq!(old.revision(), Revision(0));
+        assert_eq!(old.n_claims(), 1, "old snapshot untouched by growth");
+        assert_eq!(h.snapshot().n_claims(), 2);
+        assert_eq!(h.snapshot().model_id(), old.model_id());
+    }
+
+    #[test]
+    fn stale_delta_is_rejected_across_the_handle() {
+        let h = handle();
+        let stale = h.delta();
+        let mut first = h.delta();
+        first.add_claim();
+        h.apply(first).unwrap();
+        let mut stale = stale;
+        stale.add_claim();
+        assert!(matches!(h.apply(stale), Err(ModelError::StaleDelta { .. })));
+        assert_eq!(h.revision(), Revision(1));
+    }
+
+    #[test]
+    fn from_arc_adopts_shared_model() {
+        let m = handle().snapshot();
+        let h = ModelHandle::from(m.clone());
+        assert_eq!(h.model_id(), m.model_id());
+        let mut delta = h.delta();
+        delta.add_claim();
+        h.apply(delta).unwrap();
+        // The externally held Arc keeps the pre-adoption content.
+        assert_eq!(m.n_claims(), 1);
+        assert_eq!(h.snapshot().n_claims(), 2);
+        assert_eq!(h.snapshot().cliques_of(VarId(0)).len(), 1);
+    }
+}

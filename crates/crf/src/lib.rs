@@ -15,8 +15,14 @@
 //! * the incremental `iCRF` Expectation–Maximisation loop with warm-started
 //!   parameters ([`em`]),
 //! * exact (per connected component) and linear-time approximate entropy of
-//!   the probabilistic fact database ([`entropy`]), and
-//! * connected-component partitioning of the claim graph ([`partition`]).
+//!   the probabilistic fact database ([`entropy`]),
+//! * connected-component partitioning of the claim graph ([`partition`]),
+//!   maintained incrementally under streaming growth, and
+//! * versioned shared access to a growable model ([`handle`]): a
+//!   [`handle::ModelHandle`] lets streaming arrivals splice new claims,
+//!   documents, sources, and cliques into the live factor graph
+//!   ([`graph::ModelDelta`] / [`graph::CrfModel::apply`]) while every
+//!   model-keyed cache patches forward instead of rebuilding.
 //!
 //! The crate is deliberately self-contained: it knows nothing about how
 //! sources, documents, and claims are produced (see the `factdb` crate) nor
@@ -30,6 +36,7 @@ pub mod em;
 pub mod entropy;
 pub mod gibbs;
 pub mod graph;
+pub mod handle;
 pub mod logistic;
 pub mod numerics;
 pub mod partition;
@@ -39,6 +46,9 @@ pub mod tron;
 pub use bitset::Bitset;
 pub use em::{Icrf, IcrfConfig, IcrfStats};
 pub use gibbs::{GibbsConfig, GibbsResult, GibbsSampler, ScheduleMode};
-pub use graph::{Clique, CliqueId, CrfModel, CrfModelBuilder, Stance, VarId};
+pub use graph::{
+    Clique, CliqueId, CrfModel, CrfModelBuilder, ModelDelta, ModelError, Revision, Stance, VarId,
+};
+pub use handle::ModelHandle;
 pub use partition::Partition;
 pub use potentials::{CacheRefresh, ScoreCache, Weights};

@@ -56,15 +56,43 @@ impl Dsu {
         let r = self.find(x);
         self.size[r] as usize
     }
+
+    /// Number of elements tracked.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure tracks no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Grow to `n` elements; the new elements start as singletons.
+    pub fn extend_to(&mut self, n: usize) {
+        let old = self.parent.len();
+        self.parent.extend(old as u32..n as u32);
+        self.size.resize(n.max(old), 1);
+    }
 }
 
 /// A partition of the claim variables into connected components.
+///
+/// The partition keeps its union–find structure, so it can be maintained
+/// **incrementally** under streaming arrivals: [`Partition::grow`] unions
+/// only the new edges of a [`crate::graph::CrfModel::apply`] delta and
+/// relabels, instead of recomputing the components from scratch. Component
+/// numbering is canonical (ascending in each component's lowest claim id),
+/// so a grown partition is equal — `component_of` and component listings —
+/// to [`Partition::of_model`] on the grown model.
 #[derive(Debug, Clone)]
 pub struct Partition {
     /// Component index per claim.
     component_of: Vec<u32>,
     /// Claim indices per component, sorted ascending.
     components: Vec<Vec<usize>>,
+    /// The union–find state the components were derived from; kept so
+    /// growth unions only new edges.
+    dsu: Dsu,
 }
 
 impl Partition {
@@ -83,24 +111,65 @@ impl Partition {
         Self::from_dsu(dsu, n)
     }
 
-    fn from_dsu(mut dsu: Dsu, n: usize) -> Self {
+    fn from_dsu(dsu: Dsu, n: usize) -> Self {
+        let mut p = Partition {
+            component_of: Vec::new(),
+            components: Vec::new(),
+            dsu,
+        };
+        p.relabel(n);
+        p
+    }
+
+    /// Recompute the canonical component numbering from the union–find
+    /// state: components are numbered in order of their lowest claim id,
+    /// which depends only on the sets — never on union order.
+    fn relabel(&mut self, n: usize) {
         let mut root_to_comp = std::collections::HashMap::new();
-        let mut component_of = vec![0u32; n];
-        let mut components: Vec<Vec<usize>> = Vec::new();
-        for (c, slot) in component_of.iter_mut().enumerate() {
-            let r = dsu.find(c);
-            let next = components.len();
+        self.component_of.clear();
+        self.component_of.resize(n, 0);
+        self.components.clear();
+        for c in 0..n {
+            let r = self.dsu.find(c);
+            let next = self.components.len();
             let comp = *root_to_comp.entry(r).or_insert_with(|| {
-                components.push(Vec::new());
+                self.components.push(Vec::new());
                 next
             });
-            *slot = comp as u32;
-            components[comp].push(c);
+            self.component_of[c] = comp as u32;
+            self.components[comp].push(c);
         }
-        Partition {
-            component_of,
-            components,
+    }
+
+    /// Maintain the partition after `model` grew: union only the edges of
+    /// the cliques appended since `first_new_clique` (the clique count the
+    /// partition was last synced to), then relabel. Equivalent to — and
+    /// produces exactly the same numbering as — recomputing
+    /// [`Partition::of_model`] on the grown model, at the cost of the new
+    /// edges plus one relabel pass instead of the whole edge set.
+    pub fn grow(&mut self, model: &CrfModel, first_new_clique: usize) {
+        let n = model.n_claims();
+        self.dsu.extend_to(n);
+        // All claims of one source are mutually connected. For every source
+        // a new clique touches, chain its (sorted, deduplicated) claim row
+        // with adjacent-pair unions: members that were already connected
+        // stay connected, and every member the delta added is linked
+        // through its neighbours — including old members joining through a
+        // claim lower than the whole previous row, which a union against
+        // `row[0]` alone would miss. Cost: Σ degree(touched sources).
+        let mut touched: Vec<u32> = model.cliques()[first_new_clique..]
+            .iter()
+            .map(|cl| cl.source)
+            .collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for s in touched {
+            let row = model.claims_of_source(s);
+            for w in row.windows(2) {
+                self.dsu.union(w[0] as usize, w[1] as usize);
+            }
         }
+        self.relabel(n);
     }
 
     /// Number of components.
@@ -197,6 +266,63 @@ mod tests {
         let p = Partition::of_model(&m);
         assert_eq!(p.len(), 1);
         assert_eq!(p.component(0), &[0, 1, 2]);
+    }
+
+    /// A delta whose new claim bridges two previously separate components
+    /// merges them under `grow`, with canonical renumbering.
+    #[test]
+    fn grow_merges_components_via_bridging_claim() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s0 = b.add_source(&[0.0]).unwrap();
+        let s1 = b.add_source(&[0.0]).unwrap();
+        let c0 = b.add_claim();
+        let c1 = b.add_claim();
+        for (c, s) in [(c0, s0), (c1, s1)] {
+            let d = b.add_document(&[0.0]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let mut m = b.build().unwrap();
+        let mut p = Partition::of_model(&m);
+        assert_eq!(p.len(), 2);
+
+        let mut delta = crate::graph::ModelDelta::for_model(&m);
+        let bridge = delta.add_claim();
+        for s in [s0, s1] {
+            let d = delta.add_document(&[0.0]).unwrap();
+            delta.add_clique(bridge, d, s, Stance::Support);
+        }
+        let first_new = m.cliques().len();
+        m.apply(delta).unwrap();
+        p.grow(&m, first_new);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.component(0), &[0, 1, 2]);
+        assert_eq!(p.component_of(VarId(2)), 0);
+        assert_eq!(p.max_component_size(), 3);
+    }
+
+    /// A delta touching nothing shared leaves old components intact and
+    /// appends new singletons/components in claim order.
+    #[test]
+    fn grow_appends_independent_component() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s0 = b.add_source(&[0.0]).unwrap();
+        let c0 = b.add_claim();
+        let d = b.add_document(&[0.0]).unwrap();
+        b.add_clique(c0, d, s0, Stance::Support);
+        let mut m = b.build().unwrap();
+        let mut p = Partition::of_model(&m);
+
+        let mut delta = crate::graph::ModelDelta::for_model(&m);
+        let s = delta.add_source(&[1.0]).unwrap();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[1.0]).unwrap();
+        delta.add_clique(c, d, s, Stance::Refute);
+        let first_new = m.cliques().len();
+        m.apply(delta).unwrap();
+        p.grow(&m, first_new);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.component(0), &[0]);
+        assert_eq!(p.component(1), &[1]);
     }
 
     /// Reference connected components by breadth-first search over the
@@ -315,6 +441,37 @@ mod tests {
                 }
                 let size = comp.iter().filter(|&&x| x == comp[a]).count();
                 prop_assert_eq!(dsu.set_size(a), size);
+            }
+        }
+
+        /// Incremental maintenance spec: replaying a random build script
+        /// delta-by-delta and calling [`Partition::grow`] after each apply
+        /// yields exactly the partition (numbering included) of a
+        /// from-scratch [`Partition::of_model`] on the final model.
+        #[test]
+        fn prop_grown_partition_matches_batch(seed in 0u64..300, chunks in 1usize..7) {
+            use crate::graph::test_support as ts;
+            let script = ts::random_growth_script(seed ^ 0x517e, chunks);
+            let mut model = ts::build_batch(&script[..1]);
+            let mut part = Partition::of_model(&model);
+            for chunk in &script[1..] {
+                let delta = ts::chunk_delta(&model, chunk);
+                let first_new = model.cliques().len();
+                model.apply(delta).unwrap();
+                part.grow(&model, first_new);
+            }
+            let fresh = Partition::of_model(&model);
+            prop_assert_eq!(part.len(), fresh.len());
+            prop_assert_eq!(part.n_claims(), fresh.n_claims());
+            for c in 0..model.n_claims() {
+                prop_assert_eq!(
+                    part.component_of(VarId(c as u32)),
+                    fresh.component_of(VarId(c as u32)),
+                    "claim {} numbering diverged", c
+                );
+            }
+            for i in 0..part.len() {
+                prop_assert_eq!(part.component(i), fresh.component(i), "component {}", i);
             }
         }
 

@@ -7,7 +7,7 @@
 //! discriminative direction `β = W_1 − W_0` directly — this is the standard
 //! logistic-regression reduction of a binary log-linear CRF and is precisely
 //! what the paper's M-step (L2-regularised trust-region Newton logistic
-//! regression, [45]) estimates.
+//! regression, \[45\]) estimates.
 //!
 //! The feature vector of a clique `π = {c, d, s}` is
 //! `x_π = [1, f^D(d), f^S(s), τ(s)]` where `τ(s)` is the dynamic
@@ -90,7 +90,15 @@ pub fn clique_features(model: &CrfModel, clique: &Clique, trust: f64, out: &mut 
 /// matrices again.
 #[inline]
 pub fn clique_static_score(model: &CrfModel, weights: &Weights, clique: &Clique) -> f64 {
-    let beta = weights.as_slice();
+    static_score_slice(model, weights.as_slice(), clique)
+}
+
+/// Slice-based core of [`clique_static_score`]; the growth patch of
+/// [`ScoreCache`] evaluates new cliques through the same code path so the
+/// accumulation order — and therefore every bit of the result — matches a
+/// full rebuild.
+#[inline]
+fn static_score_slice(model: &CrfModel, beta: &[f64], clique: &Clique) -> f64 {
     let mut acc = beta[0]; // bias * 1
     let md = model.m_doc();
     let ms = model.m_source();
@@ -183,7 +191,12 @@ pub fn claim_probability(
 /// iterations. When only a few weight coordinates move between EM
 /// iterations — the common case once TRON warm-starts near the optimum —
 /// [`ScoreCache::update`] patches the cached scores incrementally in
-/// `O(n_cliques · moved)` instead of paying the full rebuild.
+/// `O(n_cliques · moved)` instead of paying the full rebuild. When the
+/// model *grew* ([`CrfModel::apply`]) the cache patches too: old cliques'
+/// scores are relocated to their (possibly shifted) claim-major positions
+/// bit-for-bit via the clique-id → position map, and only the new cliques'
+/// scores are computed — `O(n_cliques + added · feature_dim)` instead of
+/// `O(n_cliques · feature_dim)`.
 #[derive(Debug, Clone, Default)]
 pub struct ScoreCache {
     signed_static: Vec<f64>,
@@ -191,10 +204,17 @@ pub struct ScoreCache {
     /// The weight vector the cached scores were computed for; the diff
     /// against it drives the incremental path of [`Self::update`].
     weights: Vec<f64>,
+    /// Claim-major position of each clique id at the cached revision — the
+    /// relocation map of the growth patch (each clique has exactly one
+    /// incidence, so this is a permutation of `0..n_cliques`).
+    pos_of_clique: Vec<u32>,
     /// Build-lineage id ([`CrfModel::model_id`]) of the model the cache
     /// was built against; a different model — even a same-shape one reusing
     /// the same address — forces a rebuild. `0` means "not built yet".
     model_id: u64,
+    /// Revision ([`CrfModel::revision`]) of the cached layout; a newer
+    /// model revision triggers the growth patch instead of a rebuild.
+    revision: u64,
 }
 
 /// How [`ScoreCache::update`] refreshed the cache for a new weight vector.
@@ -206,6 +226,16 @@ pub enum CacheRefresh {
     /// were patched (`O(n_cliques · moved)` work).
     Incremental {
         /// Number of weight coordinates that changed since the last build.
+        moved: usize,
+    },
+    /// The model grew since the last refresh: cached scores were relocated
+    /// to the new claim-major layout and only the `added` new cliques were
+    /// scored (plus a weight-diff patch when `moved > 0` coordinates also
+    /// changed).
+    Grown {
+        /// Cliques appended since the cached revision.
+        added: usize,
+        /// Weight coordinates that changed since the last refresh.
         moved: usize,
     },
     /// The weights were identical to the cached ones; nothing was touched.
@@ -233,6 +263,8 @@ impl ScoreCache {
         self.signed_static.reserve(n);
         self.signed_trust_w.clear();
         self.signed_trust_w.reserve(n);
+        self.pos_of_clique.clear();
+        self.pos_of_clique.resize(n, 0);
         let trust_w = weights.as_slice()[1 + model.m_doc() + model.m_source()];
         for claim in 0..model.n_claims() as u32 {
             for &ci in model.cliques_of(crate::graph::VarId(claim)) {
@@ -242,6 +274,7 @@ impl ScoreCache {
                     Stance::Support => 1.0,
                     Stance::Refute => -1.0,
                 };
+                self.pos_of_clique[ci as usize] = self.signed_static.len() as u32;
                 self.signed_static.push(sign * stat);
                 self.signed_trust_w.push(sign * trust_w);
             }
@@ -249,6 +282,52 @@ impl ScoreCache {
         self.weights.clear();
         self.weights.extend_from_slice(weights.as_slice());
         self.model_id = model.model_id();
+        self.revision = model.revision().0;
+    }
+
+    /// Patch the cache forward after the model grew: relocate every cached
+    /// clique score to its new claim-major position (bit-for-bit — spans
+    /// shift when old claims gain cliques) and compute scores only for the
+    /// cliques appended since the cached revision, using the *cached*
+    /// weight vector (the caller's weight-diff patch then brings everything
+    /// to the requested weights). Returns the number of cliques added.
+    fn grow_sync(&mut self, model: &CrfModel) -> usize {
+        let old_n = self.pos_of_clique.len();
+        let n = model.n_incidences();
+        self.revision = model.revision().0;
+        let added = n - old_n;
+        if added == 0 {
+            // Entity-only delta (sources/docs/claims without cliques):
+            // nothing in the cache depends on it.
+            return 0;
+        }
+        let trust_w = self.weights[self.weights.len() - 1];
+        let old_static = std::mem::take(&mut self.signed_static);
+        let old_trust = std::mem::take(&mut self.signed_trust_w);
+        let old_pos = std::mem::take(&mut self.pos_of_clique);
+        self.signed_static.reserve(n);
+        self.signed_trust_w.reserve(n);
+        self.pos_of_clique.resize(n, 0);
+        for claim in 0..model.n_claims() as u32 {
+            for &ci in model.cliques_of(crate::graph::VarId(claim)) {
+                self.pos_of_clique[ci as usize] = self.signed_static.len() as u32;
+                if (ci as usize) < old_n {
+                    let op = old_pos[ci as usize] as usize;
+                    self.signed_static.push(old_static[op]);
+                    self.signed_trust_w.push(old_trust[op]);
+                } else {
+                    let clique = model.clique(crate::graph::CliqueId(ci));
+                    let stat = static_score_slice(model, &self.weights, clique);
+                    let sign = match clique.stance {
+                        Stance::Support => 1.0,
+                        Stance::Refute => -1.0,
+                    };
+                    self.signed_static.push(sign * stat);
+                    self.signed_trust_w.push(sign * trust_w);
+                }
+            }
+        }
+        added
     }
 
     /// Refresh the cache for a new weight vector, incrementally where
@@ -265,20 +344,47 @@ impl ScoreCache {
     /// back to the full [`Self::rebuild`]. Patched scores agree with a full
     /// rebuild to well below `1e-12` (one extra rounding per moved
     /// coordinate per update).
+    ///
+    /// A newer model **revision** (same lineage; see [`CrfModel::apply`])
+    /// does *not* force a rebuild: the cache relocates its scores to the
+    /// grown claim-major layout bit-for-bit and computes only the new
+    /// cliques ([`CacheRefresh::Grown`]); with unchanged weights the grown
+    /// cache equals a full rebuild exactly, not merely within tolerance.
     pub fn update(&mut self, model: &CrfModel, weights: &Weights) -> CacheRefresh {
         let dim = model.feature_dim();
         if self.model_id != model.model_id()
             || self.weights.len() != dim
             || weights.dim() != dim
-            || self.signed_static.len() != model.n_incidences()
+            || model.n_incidences() < self.pos_of_clique.len()
         {
+            // The last arm backstops divergent clones: `CrfModel` is
+            // `Clone` and `apply` is public, so two independently grown
+            // copies can share a `(model_id, revision)` pair with
+            // different content (see the caveat on [`CrfModel::apply`]).
+            // A clique count *below* the cached one can only come from
+            // such a divergence — growth within one lineage never shrinks.
+            self.rebuild(model, weights);
+            return CacheRefresh::Rebuilt;
+        }
+        let mut added = 0;
+        if self.revision != model.revision().0 {
+            added = self.grow_sync(model);
+        }
+        if self.signed_static.len() != model.n_incidences() {
+            // Same guard, other direction: equal `(model_id, revision)`
+            // but more cliques than the cache accounts for — a divergent
+            // clone again. Rebuild rather than serve another copy's scores.
             self.rebuild(model, weights);
             return CacheRefresh::Rebuilt;
         }
         let beta = weights.as_slice();
         let moved: Vec<usize> = (0..dim).filter(|&i| self.weights[i] != beta[i]).collect();
         if moved.is_empty() {
-            return CacheRefresh::Unchanged;
+            return if added > 0 {
+                CacheRefresh::Grown { added, moved: 0 }
+            } else {
+                CacheRefresh::Unchanged
+            };
         }
         if moved.len() * 2 > dim {
             self.rebuild(model, weights);
@@ -332,7 +438,14 @@ impl ScoreCache {
             }
         }
         self.weights.copy_from_slice(beta);
-        CacheRefresh::Incremental { moved: moved.len() }
+        if added > 0 {
+            CacheRefresh::Grown {
+                added,
+                moved: moved.len(),
+            }
+        } else {
+            CacheRefresh::Incremental { moved: moved.len() }
+        }
     }
 
     /// Number of cached incidences.
@@ -552,5 +665,98 @@ mod tests {
         let a = Weights::from_vec(vec![0.0, 0.0]);
         let b = Weights::from_vec(vec![3.0, 4.0]);
         assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+    }
+
+    /// Growth patch spec: after any sequence of deltas, a cache kept in
+    /// sync through [`ScoreCache::update`] is **bit-identical** to a cache
+    /// built from scratch on the grown model (weights unchanged throughout)
+    /// — relocated scores keep their bits and new cliques go through the
+    /// same scoring code as a rebuild.
+    #[test]
+    fn grown_cache_is_bit_identical_to_rebuild() {
+        use crate::graph::test_support as ts;
+        for seed in 0..16u64 {
+            let script = ts::random_growth_script(seed.wrapping_mul(31) ^ 0xCAFE, 4);
+            let mut model = ts::build_batch(&script[..1]);
+            let w = Weights::from_vec(
+                (0..model.feature_dim())
+                    .map(|i| 0.27 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                    .collect(),
+            );
+            let mut cache = ScoreCache::build(&model, &w);
+            for chunk in &script[1..] {
+                let delta = ts::chunk_delta(&model, chunk);
+                let expect_added = delta.n_new_cliques();
+                model.apply(delta).unwrap();
+                let refresh = cache.update(&model, &w);
+                if expect_added > 0 {
+                    assert_eq!(
+                        refresh,
+                        CacheRefresh::Grown {
+                            added: expect_added,
+                            moved: 0
+                        },
+                        "seed {seed}"
+                    );
+                } else {
+                    assert!(
+                        matches!(
+                            refresh,
+                            CacheRefresh::Unchanged | CacheRefresh::Grown { added: 0, .. }
+                        ),
+                        "seed {seed}: {refresh:?}"
+                    );
+                }
+                let fresh = ScoreCache::build(&model, &w);
+                assert_eq!(cache.len(), fresh.len(), "seed {seed}");
+                for k in 0..fresh.len() {
+                    assert_eq!(
+                        cache.contribution(k, 0.37).to_bits(),
+                        fresh.contribution(k, 0.37).to_bits(),
+                        "seed {seed} incidence {k}: grown cache diverged from rebuild"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Growth combined with a weight move in one `update` call: the cache
+    /// relocates, scores the new cliques, then applies the weight-diff
+    /// patch — within 1e-12 of a from-scratch build at the new weights.
+    #[test]
+    fn grown_cache_with_weight_move_matches_rebuild() {
+        use crate::graph::test_support as ts;
+        let script = ts::random_growth_script(0xD1CE, 3);
+        let mut model = ts::build_batch(&script[..1]);
+        let dim = model.feature_dim();
+        let mut w = Weights::from_vec((0..dim).map(|i| 0.2 * i as f64 - 0.3).collect());
+        let mut cache = ScoreCache::build(&model, &w);
+        for (step, chunk) in script[1..].iter().enumerate() {
+            let delta = ts::chunk_delta(&model, chunk);
+            let expect_added = delta.n_new_cliques();
+            model.apply(delta).unwrap();
+            w.as_mut_slice()[step % dim] += 0.05;
+            let refresh = cache.update(&model, &w);
+            if expect_added > 0 {
+                assert_eq!(
+                    refresh,
+                    CacheRefresh::Grown {
+                        added: expect_added,
+                        moved: 1
+                    },
+                    "step {step}"
+                );
+            }
+            let fresh = ScoreCache::build(&model, &w);
+            for k in 0..fresh.len() {
+                for trust in [0.0, 0.42, 1.0] {
+                    let (a, b) = (cache.contribution(k, trust), fresh.contribution(k, trust));
+                    assert!(
+                        (a - b).abs() < 1e-12,
+                        "step {step} incidence {k}: grown+moved {a} vs rebuilt {b}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! A from-scratch implementation of the method of Lin, Weng & Keerthi,
 //! *Trust region Newton method for logistic regression* (JMLR 2008) — the
-//! solver the paper cites ([45]) for both the offline M-step (Eq. 8) and the
+//! solver the paper cites (\[45\]) for both the offline M-step (Eq. 8) and the
 //! streaming update (Eq. 30). The outer loop maintains a trust-region radius
 //! `Δ`; each iteration approximately minimises the quadratic model of the
 //! objective inside the ball of radius `Δ` using the Steihaug conjugate-

@@ -234,7 +234,7 @@ mod tests {
 
     fn fixture() -> (Arc<CrfModel>, Vec<bool>) {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        (Arc::new(ds.db.to_crf_model()), ds.truth)
+        (Arc::new(ds.db.to_crf_model().unwrap()), ds.truth)
     }
 
     #[test]

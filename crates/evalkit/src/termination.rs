@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn cv_precision_is_high_for_consistent_labels() {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let mut icrf = Icrf::new(
             model,
             IcrfConfig {
@@ -268,7 +268,7 @@ mod tests {
     #[test]
     fn cv_precision_handles_few_labels() {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let icrf = Icrf::new(model, IcrfConfig::default());
         // No labels at all: defined to be 0.
         assert_eq!(cv_precision(&icrf, 5, 1), 0.0);

@@ -2,7 +2,7 @@
 
 use crate::features;
 use crate::model::{ClaimId, ClaimRecord, DocId, DocumentRecord, SourceId, SourceRecord};
-use crf::{CrfModel, CrfModelBuilder};
+use crf::{CrfModel, CrfModelBuilder, ModelDelta, ModelError, Revision};
 use serde::{Deserialize, Serialize};
 
 /// The concrete `<S, D, C>` part of a probabilistic fact database; the
@@ -176,28 +176,89 @@ impl FactDatabase {
     /// Convert into the CRF factor graph: claim `i` becomes variable `i`,
     /// every document–claim link becomes one clique, and feature matrices
     /// are assembled and standardised by [`crate::features`].
-    pub fn to_crf_model(&self) -> CrfModel {
+    ///
+    /// Referential integrity is checked on insert, so the only error an
+    /// intact database can produce is [`ModelError::Empty`] (no documents
+    /// were added yet — the factor graph would have no cliques).
+    pub fn to_crf_model(&self) -> Result<CrfModel, ModelError> {
         let sf = features::source_features(self);
         let df = features::doc_features(self);
         let mut b = CrfModelBuilder::new(features::N_SOURCE_FEATURES, features::N_DOC_FEATURES);
         for i in 0..self.n_sources() {
             b.add_source(
                 &sf[i * features::N_SOURCE_FEATURES..(i + 1) * features::N_SOURCE_FEATURES],
-            )
-            .expect("source feature row has builder dimensionality");
+            )?;
         }
         for _ in 0..self.n_claims() {
             b.add_claim();
         }
         for (i, doc) in self.documents.iter().enumerate() {
-            let d = b
-                .add_document(&df[i * features::N_DOC_FEATURES..(i + 1) * features::N_DOC_FEATURES])
-                .expect("document feature row has builder dimensionality");
+            let d = b.add_document(
+                &df[i * features::N_DOC_FEATURES..(i + 1) * features::N_DOC_FEATURES],
+            )?;
             for (c, stance) in &doc.claims {
                 b.add_clique(crf::VarId(c.0), d, doc.source.0, *stance);
             }
         }
-        b.build().expect("database integrity was checked on insert")
+        b.build()
+    }
+
+    /// Emit a [`ModelDelta`] covering every record added to this database
+    /// since `model` was last synchronised from it — the streaming bridge
+    /// between the record store and the live factor graph. The model's
+    /// entity counts define the sync point (records beyond them are new),
+    /// so no separate bookkeeping is needed; a model that is *ahead* of the
+    /// database is rejected with [`ModelError::OutOfSync`].
+    ///
+    /// Feature rows for the new records are standardised against the
+    /// statistics of the **current** corpus; rows already in the model keep
+    /// the standardisation of their own sync epoch. (Exact z-scores over a
+    /// growing corpus would require rewriting history — the drift vanishes
+    /// as the corpus grows and is irrelevant to the graph structure, which
+    /// is identical to a one-shot build.)
+    pub fn sync_delta(&self, model: &CrfModel) -> Result<ModelDelta, ModelError> {
+        for (entity, in_model, upstream) in [
+            ("source", model.n_sources(), self.n_sources()),
+            ("claim", model.n_claims(), self.n_claims()),
+            ("document", model.n_docs(), self.n_documents()),
+        ] {
+            if in_model > upstream {
+                return Err(ModelError::OutOfSync {
+                    entity,
+                    model: in_model,
+                    upstream,
+                });
+            }
+        }
+        let sf = features::source_features(self);
+        let df = features::doc_features(self);
+        let mut delta = ModelDelta::for_model(model);
+        for i in model.n_sources()..self.n_sources() {
+            delta.add_source(
+                &sf[i * features::N_SOURCE_FEATURES..(i + 1) * features::N_SOURCE_FEATURES],
+            )?;
+        }
+        for _ in model.n_claims()..self.n_claims() {
+            delta.add_claim();
+        }
+        for i in model.n_docs()..self.n_documents() {
+            let doc = &self.documents[i];
+            let d = delta.add_document(
+                &df[i * features::N_DOC_FEATURES..(i + 1) * features::N_DOC_FEATURES],
+            )?;
+            for (c, stance) in &doc.claims {
+                delta.add_clique(crf::VarId(c.0), d, doc.source.0, *stance);
+            }
+        }
+        Ok(delta)
+    }
+
+    /// Splice every record added since the last sync directly into `model`
+    /// (see [`Self::sync_delta`]), returning the model's new revision. A
+    /// no-op returning the current revision when nothing was added.
+    pub fn sync_into(&self, model: &mut CrfModel) -> Result<Revision, ModelError> {
+        let delta = self.sync_delta(model)?;
+        model.apply(delta)
     }
 
     /// Serialise to a JSON string.
@@ -303,9 +364,80 @@ mod tests {
     }
 
     #[test]
+    fn empty_database_yields_model_error_not_panic() {
+        let db = FactDatabase::new();
+        assert!(matches!(db.to_crf_model(), Err(ModelError::Empty)));
+    }
+
+    /// `sync_into` grafts the records added since the model was built:
+    /// identical graph structure to rebuilding from the full database, and
+    /// the model's revision advances while its lineage id stays.
+    #[test]
+    fn sync_into_grafts_new_records() {
+        let mut db = sample_db();
+        let mut model = db.to_crf_model().unwrap();
+        let id = model.model_id();
+        assert_eq!(db.sync_into(&mut model).unwrap(), Revision(0), "no-op sync");
+
+        let s2 = db.add_source(source("c.org"));
+        let c2 = db.add_claim(claim("claim two", true));
+        db.add_document(DocumentRecord {
+            source: s2,
+            claims: vec![(c2, Stance::Support), (ClaimId(0), Stance::Refute)],
+            tokens: vec!["disputed".into()],
+        })
+        .unwrap();
+
+        assert_eq!(db.sync_into(&mut model).unwrap(), Revision(1));
+        assert_eq!(model.model_id(), id);
+        let fresh = db.to_crf_model().unwrap();
+        assert_eq!(model.n_claims(), fresh.n_claims());
+        assert_eq!(model.n_sources(), fresh.n_sources());
+        assert_eq!(model.n_docs(), fresh.n_docs());
+        assert_eq!(model.cliques(), fresh.cliques());
+        for c in 0..model.n_claims() as u32 {
+            assert_eq!(
+                model.cliques_of(crf::VarId(c)),
+                fresh.cliques_of(crf::VarId(c)),
+                "claim {c}"
+            );
+            assert_eq!(
+                model.sources_of_claim(crf::VarId(c)),
+                fresh.sources_of_claim(crf::VarId(c)),
+                "claim {c}"
+            );
+        }
+        // The new rows carry the current corpus standardisation.
+        assert_eq!(
+            model.source_feature_row(s2.0),
+            fresh.source_feature_row(s2.0)
+        );
+        assert_eq!(model.doc_feature_row(2), fresh.doc_feature_row(2));
+    }
+
+    /// A model ahead of the database (e.g. synced from a different store)
+    /// is rejected instead of silently duplicating records.
+    #[test]
+    fn sync_rejects_model_ahead_of_database() {
+        let db = sample_db();
+        let mut model = db.to_crf_model().unwrap();
+        let mut delta = ModelDelta::for_model(&model);
+        delta.add_claim();
+        model.apply(delta).unwrap();
+        assert!(matches!(
+            db.sync_delta(&model),
+            Err(ModelError::OutOfSync {
+                entity: "claim",
+                model: 3,
+                upstream: 2,
+            })
+        ));
+    }
+
+    #[test]
     fn to_crf_model_preserves_structure() {
         let db = sample_db();
-        let m = db.to_crf_model();
+        let m = db.to_crf_model().unwrap();
         assert_eq!(m.n_claims(), 2);
         assert_eq!(m.n_sources(), 2);
         assert_eq!(m.n_docs(), 2);

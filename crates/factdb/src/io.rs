@@ -182,8 +182,8 @@ mod tests {
         assert_eq!(back.truth(), ds.db.truth());
         // The CRF conversion is identical too.
         assert_eq!(
-            back.to_crf_model().cliques().len(),
-            ds.db.to_crf_model().cliques().len()
+            back.to_crf_model().unwrap().cliques().len(),
+            ds.db.to_crf_model().unwrap().cliques().len()
         );
     }
 

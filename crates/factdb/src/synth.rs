@@ -563,7 +563,7 @@ mod tests {
     #[test]
     fn generated_db_converts_to_crf_model() {
         let ds = DatasetPreset::WikiMini.generate();
-        let m = ds.db.to_crf_model();
+        let m = ds.db.to_crf_model().unwrap();
         assert_eq!(m.n_claims(), 36);
         assert!(m.cliques().len() >= ds.db.n_documents());
     }

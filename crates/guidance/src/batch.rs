@@ -275,7 +275,7 @@ mod tests {
     #[test]
     fn correlation_matrix_counts_shared_sources() {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = ds.db.to_crf_model();
+        let model = ds.db.to_crf_model().unwrap();
         let pool: Vec<VarId> = (0..10).map(VarId).collect();
         let m = CorrelationMatrix::build(&model, &pool);
         assert_eq!(m.len(), 10);
@@ -333,7 +333,7 @@ mod tests {
     #[test]
     fn selector_returns_requested_batch() {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let mut icrf = Icrf::new(
             model,
             IcrfConfig {

@@ -88,7 +88,7 @@ mod tests {
     #[test]
     fn unlabelled_lists_only_unvalidated() {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let mut icrf = Icrf::new(model, IcrfConfig::default());
         icrf.set_label(VarId(0), true);
         icrf.set_label(VarId(5), false);

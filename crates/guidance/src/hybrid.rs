@@ -133,7 +133,7 @@ mod tests {
     #[test]
     fn z_zero_always_uses_info_arm() {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let mut icrf = Icrf::new(
             model,
             IcrfConfig {
@@ -170,7 +170,7 @@ mod tests {
     #[test]
     fn high_z_prefers_source_arm() {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let mut icrf = Icrf::new(
             model,
             IcrfConfig {

@@ -105,7 +105,7 @@ mod tests {
 
     fn engine() -> (Icrf, crf::Bitset) {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let mut icrf = Icrf::new(
             model,
             IcrfConfig {

@@ -90,7 +90,7 @@ mod tests {
 
     fn ctx_fixture() -> (Icrf, Bitset) {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let n = model.n_claims();
         let icrf = Icrf::new(model, IcrfConfig::default());
         (icrf, Bitset::zeros(n))

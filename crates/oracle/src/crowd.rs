@@ -6,7 +6,7 @@
 //! reliabilities drawn from a Beta distribution, each HIT answered by a
 //! fixed-size worker subset with log-normal response times (faster but less
 //! accurate than experts — Table 3's crowd columns). Consensus is computed
-//! by [`crate::dawid_skene`].
+//! by [`crate::dawid_skene()`].
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};

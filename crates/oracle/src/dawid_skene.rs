@@ -2,7 +2,7 @@
 //!
 //! The paper computes "the consensus of the answers among crowd workers
 //! using existing algorithms that include an evaluation of worker
-//! reliability [33]". The canonical such algorithm is Dawid & Skene (1979):
+//! reliability \[33\]". The canonical such algorithm is Dawid & Skene (1979):
 //! an EM procedure that jointly estimates per-item truth posteriors and
 //! per-worker confusion parameters (sensitivity — the probability of
 //! answering `true` on a true item — and specificity, its complement on

@@ -11,9 +11,9 @@
 //!   calibrated to Table 3,
 //! * [`crowd`] — crowd workers of heterogeneous reliability answering HITs
 //!   (§8.9), and
-//! * [`dawid_skene`] — the worker-reliability-aware consensus algorithm
+//! * [`mod@dawid_skene`] — the worker-reliability-aware consensus algorithm
 //!   aggregating crowd answers (the "existing algorithms that include an
-//!   evaluation of worker reliability [33]" of §8.9).
+//!   evaluation of worker reliability \[33\]" of §8.9).
 
 #![warn(missing_docs)]
 

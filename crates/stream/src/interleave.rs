@@ -10,11 +10,10 @@
 
 use crate::online_em::OnlineEmConfig;
 use crate::stream::StreamingChecker;
-use crf::{CrfModel, Icrf, IcrfConfig, VarId};
+use crf::{Icrf, IcrfConfig, ModelHandle, VarId};
 use factcheck::instantiate_grounding;
 use guidance::{GuidanceContext, HybridStrategy, InfoGainConfig, SelectionStrategy};
 use oracle::{GroundTruthUser, User};
-use std::sync::Arc;
 
 /// Configuration of the interleaved run.
 #[derive(Debug, Clone)]
@@ -54,7 +53,7 @@ impl Default for InterleaveConfig {
 /// The offline validation sequence: run the hybrid strategy over the full
 /// corpus for `n_validations` iterations and record the claim order.
 pub fn offline_sequence(
-    model: Arc<CrfModel>,
+    model: impl Into<ModelHandle>,
     truth: &[bool],
     n_validations: usize,
     icrf_config: IcrfConfig,
@@ -91,14 +90,19 @@ pub fn offline_sequence(
 /// every period, the validation process is invoked on the claims seen so
 /// far, with model parameters provided by the streaming algorithm.
 pub fn streaming_sequence(
-    model: Arc<CrfModel>,
+    model: impl Into<ModelHandle>,
     truth: &[bool],
     n_validations: usize,
     config: &InterleaveConfig,
 ) -> Vec<VarId> {
-    let n = model.n_claims();
-    let mut checker = StreamingChecker::new(model.clone(), config.online.clone());
-    let mut icrf = Icrf::new(model.clone(), config.icrf.clone());
+    // One growable lineage shared by both sides: the checker and the
+    // offline engine hold clones of the same handle, the redesigned
+    // equivalent of the old two-`Arc` plumbing.
+    let handle = model.into();
+    let n = handle.snapshot().n_claims();
+    let mut checker = StreamingChecker::try_new(handle.clone(), config.online.clone())
+        .expect("interleave config validated by caller");
+    let mut icrf = Icrf::new(handle, config.icrf.clone());
     let mut strategy = HybridStrategy::new(config.ig.clone(), config.seed);
     let mut user = GroundTruthUser::new(truth.to_vec());
     let mut sequence = Vec::new();
@@ -159,6 +163,7 @@ pub fn streaming_sequence(
 mod tests {
     use super::*;
     use crf::GibbsConfig;
+    use std::sync::Arc;
 
     fn quick_icrf() -> IcrfConfig {
         IcrfConfig {
@@ -184,7 +189,7 @@ mod tests {
     #[test]
     fn offline_sequence_has_distinct_claims() {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let seq = offline_sequence(model, &ds.truth, 8, quick_icrf(), quick_ig(), 1);
         assert_eq!(seq.len(), 8);
         let mut ids: Vec<u32> = seq.iter().map(|v| v.0).collect();
@@ -196,7 +201,7 @@ mod tests {
     #[test]
     fn streaming_sequence_only_validates_visible_claims() {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         let n = model.n_claims();
         let config = InterleaveConfig {
             period_fraction: 0.25,
@@ -220,7 +225,7 @@ mod tests {
     fn longer_periods_allow_larger_pools() {
         // Sanity: both sequences are non-empty and bounded by the corpus.
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        let model = Arc::new(ds.db.to_crf_model());
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
         for period in [0.1, 0.3] {
             let config = InterleaveConfig {
                 period_fraction: period,

@@ -1,7 +1,13 @@
 //! Streaming fact checking (§7, Alg. 2).
 //!
-//! Instead of validating a fixed corpus, claims arrive continuously. The
-//! model parameters are maintained by an online EM algorithm with stochastic
+//! Instead of validating a fixed corpus, claims arrive continuously and the
+//! factor graph **grows in place** as they do: each arrival carries a
+//! [`crf::ModelDelta`] that [`stream::StreamingChecker::arrive_new`]
+//! splices into the live model through a shared [`crf::ModelHandle`] — no
+//! rebuild, no cache invalidation; the partition, score cache, component
+//! schedule, and EM scratch of every holder of the handle patch themselves
+//! forward (see the revision contract in `crf::graph`). The model
+//! parameters are maintained by an online EM algorithm with stochastic
 //! approximation (Eq. 29–30): upon each arrival the expected complete-data
 //! likelihood is blended into a running objective with a decreasing
 //! Robbins–Monro step size, and the parameters are re-estimated by the same
@@ -10,12 +16,14 @@
 //! linear-time (Prop. 3).
 //!
 //! * [`online_em`] — the stochastic-approximation parameter maintenance,
-//! * [`stream`] — [`stream::StreamingChecker`], the Alg. 2 loop that tracks
-//!   arrivals, estimates the credibility of each new claim, and exchanges
-//!   parameters with the offline validation process (Alg. 1 / the
-//!   `factcheck` crate), and
-//! * [`interleave`] — running both algorithms side by side, producing the
-//!   validation sequences compared in Table 2.
+//! * [`stream`] — [`stream::StreamingChecker`], the Alg. 2 loop that
+//!   ingests arrivals (growing the graph, or replaying a prebuilt corpus
+//!   in posting-time order as §8.8 does — the executable spec of the
+//!   growth path), estimates the credibility of each new claim, and
+//!   exchanges parameters with the offline validation process (Alg. 1 /
+//!   the `factcheck` crate), and
+//! * [`interleave`] — running both algorithms side by side over one shared
+//!   model lineage, producing the validation sequences compared in Table 2.
 
 #![warn(missing_docs)]
 

@@ -106,7 +106,7 @@ pub struct OnlineEmConfig {
     /// Hard cap on retained instances (oldest dropped first).
     pub max_instances: usize,
     /// Perform line-search-style halving of `γ_t` if the update would
-    /// decrease the blended likelihood (the safeguard of [18] in §7).
+    /// decrease the blended likelihood (the safeguard of \[18\] in §7).
     pub line_search: bool,
 }
 
@@ -187,6 +187,10 @@ impl OnlineEm {
     /// # Panics
     /// On an invalid configuration (see [`Self::try_new`] for the fallible
     /// form) — at construction, never mid-stream.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `OnlineEm::try_new` and handle the configuration error"
+    )]
     pub fn new(dim: usize, config: OnlineEmConfig) -> Self {
         Self::try_new(dim, config).expect("invalid OnlineEm configuration")
     }
@@ -353,6 +357,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "invalid OnlineEm configuration")]
+    #[allow(deprecated)]
     fn new_panics_at_construction_on_bad_kappa() {
         let config = OnlineEmConfig {
             schedule: StepSchedule {
@@ -368,7 +373,7 @@ mod tests {
     /// solution: positive bias for target-1 instances.
     #[test]
     fn converges_on_stationary_stream() {
-        let mut em = OnlineEm::new(2, OnlineEmConfig::default());
+        let mut em = OnlineEm::try_new(2, OnlineEmConfig::default()).unwrap();
         for i in 0..300 {
             let x = if i % 2 == 0 { 1.0 } else { -1.0 };
             let y = if x > 0.0 { 1.0 } else { 0.0 };
@@ -382,7 +387,7 @@ mod tests {
 
     #[test]
     fn later_updates_move_weights_less() {
-        let mut em = OnlineEm::new(1, OnlineEmConfig::default());
+        let mut em = OnlineEm::try_new(1, OnlineEmConfig::default()).unwrap();
         let mut deltas = Vec::new();
         for _ in 0..60 {
             let before = em.weights().clone();
@@ -399,13 +404,14 @@ mod tests {
 
     #[test]
     fn memory_is_bounded() {
-        let mut em = OnlineEm::new(
+        let mut em = OnlineEm::try_new(
             1,
             OnlineEmConfig {
                 max_instances: 50,
                 ..Default::default()
             },
-        );
+        )
+        .unwrap();
         for _ in 0..500 {
             em.observe(&[(vec![1.0], 1.0), (vec![-1.0], 0.0)]);
         }
@@ -415,7 +421,7 @@ mod tests {
 
     #[test]
     fn stats_are_populated() {
-        let mut em = OnlineEm::new(1, OnlineEmConfig::default());
+        let mut em = OnlineEm::try_new(1, OnlineEmConfig::default()).unwrap();
         let stats = em.observe(&[(vec![1.0], 0.8)]);
         assert!(stats.gamma > 0.0 && stats.gamma < 1.0);
         assert_eq!(stats.retained_instances, 1);
@@ -423,14 +429,14 @@ mod tests {
 
     #[test]
     fn set_weights_exchanges_parameters() {
-        let mut em = OnlineEm::new(2, OnlineEmConfig::default());
+        let mut em = OnlineEm::try_new(2, OnlineEmConfig::default()).unwrap();
         em.set_weights(Weights::from_vec(vec![0.5, -0.5]));
         assert_eq!(em.weights().as_slice(), &[0.5, -0.5]);
     }
 
     #[test]
     fn empty_arrival_is_safe() {
-        let mut em = OnlineEm::new(3, OnlineEmConfig::default());
+        let mut em = OnlineEm::try_new(3, OnlineEmConfig::default()).unwrap();
         let stats = em.observe(&[]);
         assert_eq!(stats.retained_instances, 0);
     }

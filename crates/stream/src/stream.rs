@@ -1,14 +1,32 @@
 //! The streaming checker — the main loop of Alg. 2.
 //!
-//! Claims arrive one at a time (with their documents and sources — here the
-//! arrival order exposes progressively more of a prebuilt factor graph,
-//! mirroring how the paper replays corpora "in the order of their posting
-//! time", §8.8). For each arrival the checker:
+//! Claims arrive one at a time with their documents and sources. Two
+//! ingestion paths are supported:
 //!
-//! 1. marks the claim, its documents, and sources visible (lines 2–6),
+//! * **True streaming** ([`StreamingChecker::arrive_new`]) — the arrival
+//!   carries a [`ModelDelta`] and the factor graph **grows in place**
+//!   through the shared [`ModelHandle`]: new sources, documents, claims,
+//!   and cliques are spliced into the live CSR adjacency
+//!   ([`crf::CrfModel::apply`]), and every model-keyed cache — the
+//!   partition, the Gibbs score cache, the component schedule, the EM
+//!   training set — patches itself forward instead of rebuilding. An
+//!   offline validation process holding a clone of the same handle picks
+//!   the growth up on its next inference (Alg. 2 line 10 hands the online
+//!   parameters back the same way as before).
+//! * **Prebuilt replay** ([`StreamingChecker::arrive`]) — the arrival
+//!   order exposes progressively more of an already-built factor graph,
+//!   mirroring how the paper replays corpora "in the order of their
+//!   posting time" (§8.8). This path is kept as the executable spec of
+//!   the growth path: by the canonical-layout contract of
+//!   [`crf::graph`], a model grown delta-by-delta is bit-identical to the
+//!   prebuilt model, so inference over either is the same.
+//!
+//! For each arrival the checker:
+//!
+//! 1. marks the claim(s) visible (lines 2–6),
 //! 2. receives the current model parameters (line 7 — see
 //!    [`StreamingChecker::exchange_from`]),
-//! 3. estimates the new claim's credibility under the current parameters
+//! 3. estimates each new claim's credibility under the current parameters
 //!    (the expectation of Eq. 29) and performs the stochastic-approximation
 //!    update of the parameters (lines 8–9), and
 //! 4. can feed the updated parameters back into Alg. 1
@@ -17,12 +35,18 @@
 use crate::online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError};
 use crf::em::source_trust_from_probs;
 use crf::potentials::{claim_probability, clique_features};
-use crf::{CliqueId, CrfModel, Icrf, Stance, VarId};
+use crf::{CliqueId, CrfModel, Icrf, ModelDelta, ModelError, ModelHandle, Stance, VarId};
 use std::sync::Arc;
 
 /// The streaming fact checker of Alg. 2.
 pub struct StreamingChecker {
-    model: Arc<CrfModel>,
+    /// The shared, growable model lineage; cloned by the offline process.
+    handle: ModelHandle,
+    /// Snapshot pinned at the revision `visible`/`probs` are sized for.
+    /// `None` only transiently inside [`Self::arrive_new`], which releases
+    /// the pin so an in-place growth does not have to copy the model on
+    /// the checker's account.
+    model: Option<Arc<CrfModel>>,
     visible: Vec<bool>,
     probs: Vec<f64>,
     online: OnlineEm,
@@ -30,13 +54,28 @@ pub struct StreamingChecker {
 }
 
 impl StreamingChecker {
-    /// A checker over the (eventual) model; no claims are visible yet.
-    /// Validates the online-EM configuration up front.
-    pub fn try_new(model: Arc<CrfModel>, config: OnlineEmConfig) -> Result<Self, OnlineEmError> {
+    /// A checker over the model behind `model` (a bare [`CrfModel`], a
+    /// shared `Arc<CrfModel>`, or a clone of a live [`ModelHandle`]).
+    /// Claims already in the model count as not-yet-arrived until
+    /// [`Self::arrive`] exposes them; claims ingested through
+    /// [`Self::arrive_new`] become visible as they land. Validates the
+    /// online-EM configuration up front.
+    ///
+    /// To share one growable lineage with other components (the offline
+    /// engine, a validation process), pass **clones of one
+    /// [`ModelHandle`]** — converting the same `Arc<CrfModel>` twice mints
+    /// two *independent* handles that do not observe each other's growth.
+    pub fn try_new(
+        model: impl Into<ModelHandle>,
+        config: OnlineEmConfig,
+    ) -> Result<Self, OnlineEmError> {
+        let handle = model.into();
+        let model = handle.snapshot();
         let n = model.n_claims();
         let dim = model.feature_dim();
         Ok(StreamingChecker {
-            model,
+            handle,
+            model: Some(model),
             visible: vec![false; n],
             probs: vec![0.5; n],
             online: OnlineEm::try_new(dim, config)?,
@@ -49,13 +88,46 @@ impl StreamingChecker {
     /// # Panics
     /// On an invalid configuration (see [`Self::try_new`]) — at
     /// construction, never inside the stream loop.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `StreamingChecker::try_new` and handle the configuration error"
+    )]
     pub fn new(model: Arc<CrfModel>, config: OnlineEmConfig) -> Self {
         Self::try_new(model, config).expect("invalid OnlineEm configuration")
     }
 
-    /// The underlying model.
+    /// The checker's snapshot of the model, pinned at the revision its
+    /// per-claim state is sized for (refreshed by every arrival).
     pub fn model(&self) -> &Arc<CrfModel> {
-        &self.model
+        self.model
+            .as_ref()
+            .expect("snapshot pinned outside arrive_new")
+    }
+
+    /// The shared handle of the model lineage this checker ingests into.
+    pub fn handle(&self) -> &ModelHandle {
+        &self.handle
+    }
+
+    /// Start an empty [`ModelDelta`] against the current model state — the
+    /// staging buffer for the next [`Self::arrive_new`].
+    pub fn delta(&self) -> ModelDelta {
+        self.handle.delta()
+    }
+
+    /// Catch the per-claim state up with the current handle revision (the
+    /// model may have been grown by another holder of the handle). New
+    /// claims start invisible at probability 0.5. Also re-pins the snapshot
+    /// after [`Self::arrive_new`] released it.
+    fn sync(&mut self) {
+        let current = self.handle.revision();
+        if self.model.as_ref().map(|m| m.revision()) != Some(current) {
+            let model = self.handle.snapshot();
+            let n = model.n_claims();
+            self.visible.resize(n, false);
+            self.probs.resize(n, 0.5);
+            self.model = Some(model);
+        }
     }
 
     /// Claims that have arrived so far.
@@ -85,7 +157,7 @@ impl StreamingChecker {
     /// Receive the current parameters from the offline process
     /// (Alg. 2 line 7).
     pub fn exchange_from(&mut self, icrf: &Icrf) {
-        if icrf.weights().dim() == self.model.feature_dim() {
+        if icrf.weights().dim() == self.model().feature_dim() {
             self.online.set_weights(icrf.weights().clone());
         }
     }
@@ -96,27 +168,91 @@ impl StreamingChecker {
         icrf.set_weights(self.online.weights().clone());
     }
 
-    /// Process the arrival of `claim` (Alg. 2 lines 1–9). Returns the
-    /// update statistics — the `∆t` measured in §8.8.
+    /// Ingest a genuinely new arrival: grow the factor graph in place by
+    /// `delta` (Alg. 2 lines 1–6 — the claim arrives *with* its documents
+    /// and sources), estimate the credibility of every claim the delta
+    /// added, and blend the new cliques' expected log-likelihood into the
+    /// online objective (lines 8–9). Returns the update statistics — the
+    /// `∆t` measured in §8.8 — or the [`ModelError`] when the delta does
+    /// not apply (stale revision, dangling reference); on error nothing
+    /// changes.
+    ///
+    /// Cliques the delta attaches to *old* claims (a newly arrived document
+    /// discussing an already-seen claim) contribute training rows too,
+    /// targeted at the claim's current estimate.
+    pub fn arrive_new(&mut self, delta: ModelDelta) -> Result<ArrivalStats, ModelError> {
+        // The arrival window comes from the delta itself, not from a
+        // snapshot diff: `apply` only succeeds against exactly the
+        // revision the delta was prepared for, so its entities occupy
+        // `base..base + n_new` even if another handle holder grows the
+        // model concurrently — their claims are never attributed to this
+        // arrival (they surface as not-yet-arrived through `sync`).
+        let first_new_claim = delta.base_claims();
+        let n_new_claims = delta.n_new_claims();
+        let first_new_clique = delta.base_cliques();
+        let n_new_cliques = delta.n_new_cliques();
+
+        // Release our snapshot pin for the duration of the growth: when
+        // the checker is the only holder, `apply` then splices strictly in
+        // place instead of copying the whole model to keep our pin valid.
+        self.model = None;
+        let applied = self.handle.apply(delta);
+        self.sync(); // re-pin (the grown model, or the untouched one on error)
+        applied?;
+
+        let model = self.model().clone();
+        // Trust statistics of the neighbourhood *before* the new claims'
+        // own estimates land, mirroring the prebuilt path: the arriving
+        // claim itself sits at the maximum-entropy 0.5 while its
+        // probability is computed.
+        let trust = source_trust_from_probs(&model, &self.probs, (1.0, 1.0));
+        for c in first_new_claim..first_new_claim + n_new_claims {
+            self.visible[c] = true;
+            self.arrivals += 1;
+            self.probs[c] =
+                claim_probability(&model, self.online.weights(), VarId(c as u32), |s| {
+                    trust[s as usize]
+                });
+        }
+
+        // One (features, soft target) row per clique the delta added.
+        let dim = model.feature_dim();
+        let mut rows = Vec::new();
+        for cl in &model.cliques()[first_new_clique..first_new_clique + n_new_cliques] {
+            let mut row = vec![0.0; dim];
+            clique_features(&model, cl, trust[cl.source as usize], &mut row);
+            let p = self.probs[cl.claim.idx()];
+            let target = match cl.stance {
+                Stance::Support => p,
+                Stance::Refute => 1.0 - p,
+            };
+            rows.push((row, target));
+        }
+        Ok(self.online.observe(&rows))
+    }
+
+    /// Process the arrival of `claim` by exposing it from a prebuilt model
+    /// (Alg. 2 lines 1–9; the replay path of §8.8). Returns the update
+    /// statistics — the `∆t` measured in §8.8.
     pub fn arrive(&mut self, claim: VarId) -> ArrivalStats {
+        self.sync();
         self.visible[claim.idx()] = true;
         self.arrivals += 1;
 
         // Estimate the new claim's credibility under current parameters
         // using the trust statistics of the visible neighbourhood.
-        let trust = source_trust_from_probs(&self.model, &self.probs, (1.0, 1.0));
-        let p = claim_probability(&self.model, self.online.weights(), claim, |s| {
-            trust[s as usize]
-        });
+        let model = self.model().clone();
+        let trust = source_trust_from_probs(&model, &self.probs, (1.0, 1.0));
+        let p = claim_probability(&model, self.online.weights(), claim, |s| trust[s as usize]);
         self.probs[claim.idx()] = p;
 
         // One (features, soft target) row per clique of the new claim.
-        let dim = self.model.feature_dim();
+        let dim = model.feature_dim();
         let mut rows = Vec::new();
-        for &ci in self.model.cliques_of(claim) {
-            let cl = self.model.clique(CliqueId(ci));
+        for &ci in model.cliques_of(claim) {
+            let cl = model.clique(CliqueId(ci));
             let mut row = vec![0.0; dim];
-            clique_features(&self.model, cl, trust[cl.source as usize], &mut row);
+            clique_features(&model, cl, trust[cl.source as usize], &mut row);
             let target = match cl.stance {
                 Stance::Support => p,
                 Stance::Refute => 1.0 - p,
@@ -130,17 +266,19 @@ impl StreamingChecker {
     /// attached (e.g. from a parallel validation process), which pins the
     /// expectation instead of self-estimating it.
     pub fn arrive_labelled(&mut self, claim: VarId, credible: bool) -> ArrivalStats {
+        self.sync();
         self.visible[claim.idx()] = true;
         self.arrivals += 1;
         let p = if credible { 1.0 } else { 0.0 };
         self.probs[claim.idx()] = p;
-        let trust = source_trust_from_probs(&self.model, &self.probs, (1.0, 1.0));
-        let dim = self.model.feature_dim();
+        let model = self.model().clone();
+        let trust = source_trust_from_probs(&model, &self.probs, (1.0, 1.0));
+        let dim = model.feature_dim();
         let mut rows = Vec::new();
-        for &ci in self.model.cliques_of(claim) {
-            let cl = self.model.clique(CliqueId(ci));
+        for &ci in model.cliques_of(claim) {
+            let cl = model.clique(CliqueId(ci));
             let mut row = vec![0.0; dim];
-            clique_features(&self.model, cl, trust[cl.source as usize], &mut row);
+            clique_features(&model, cl, trust[cl.source as usize], &mut row);
             let target = match cl.stance {
                 Stance::Support => p,
                 Stance::Refute => 1.0 - p,
@@ -154,16 +292,21 @@ impl StreamingChecker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crf::graph::{CrfModelBuilder, Stance};
 
     fn model() -> (Arc<CrfModel>, Vec<bool>) {
         let ds = factdb::DatasetPreset::WikiMini.generate();
-        (Arc::new(ds.db.to_crf_model()), ds.truth)
+        (Arc::new(ds.db.to_crf_model().unwrap()), ds.truth)
+    }
+
+    fn checker(m: Arc<CrfModel>) -> StreamingChecker {
+        StreamingChecker::try_new(m, OnlineEmConfig::default()).unwrap()
     }
 
     #[test]
     fn arrivals_become_visible_in_order() {
         let (m, _) = model();
-        let mut s = StreamingChecker::new(m, OnlineEmConfig::default());
+        let mut s = checker(m);
         assert!(s.visible_claims().is_empty());
         s.arrive(VarId(3));
         s.arrive(VarId(0));
@@ -174,7 +317,7 @@ mod tests {
     #[test]
     fn unseen_claims_stay_at_half() {
         let (m, _) = model();
-        let mut s = StreamingChecker::new(m.clone(), OnlineEmConfig::default());
+        let mut s = checker(m.clone());
         s.arrive(VarId(0));
         for c in 1..m.n_claims() {
             assert_eq!(s.probs()[c], 0.5, "claim {c} should be untouched");
@@ -188,9 +331,9 @@ mod tests {
     #[test]
     fn labelled_stream_learns() {
         let ds = factdb::DatasetPreset::HealthMini.generate();
-        let (m, truth) = (Arc::new(ds.db.to_crf_model()), ds.truth);
+        let (m, truth) = (Arc::new(ds.db.to_crf_model().unwrap()), ds.truth);
         let n = m.n_claims();
-        let mut s = StreamingChecker::new(m.clone(), OnlineEmConfig::default());
+        let mut s = checker(m.clone());
         // First 60% arrive labelled; the rest self-estimated.
         let split = n * 6 / 10;
         for (c, &t) in truth.iter().enumerate().take(split) {
@@ -213,7 +356,7 @@ mod tests {
     #[test]
     fn parameter_exchange_roundtrip() {
         let (m, _) = model();
-        let mut s = StreamingChecker::new(m.clone(), OnlineEmConfig::default());
+        let mut s = checker(m.clone());
         let mut icrf = Icrf::new(m, crf::IcrfConfig::default());
         icrf.run();
         s.exchange_from(&icrf);
@@ -244,9 +387,127 @@ mod tests {
     #[test]
     fn update_stats_have_positive_gamma() {
         let (m, _) = model();
-        let mut s = StreamingChecker::new(m, OnlineEmConfig::default());
+        let mut s = checker(m);
         let st = s.arrive(VarId(1));
         assert!(st.gamma > 0.0);
         assert!(st.retained_instances > 0);
+    }
+
+    // ------------------------------------------- true streaming ingestion
+
+    fn seed_handle() -> ModelHandle {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[0.8]).unwrap();
+        let c = b.add_claim();
+        let d = b.add_document(&[0.6]).unwrap();
+        b.add_clique(c, d, s, Stance::Support);
+        ModelHandle::new(b.build().unwrap())
+    }
+
+    /// `arrive_new` grows the graph in place: the new claim is visible,
+    /// estimated, and the online objective was updated — while the
+    /// lineage's `model_id` survives and the revision advances.
+    #[test]
+    fn arrive_new_grows_and_estimates() {
+        let handle = seed_handle();
+        let mut s = StreamingChecker::try_new(handle.clone(), OnlineEmConfig::default()).unwrap();
+        let id = s.model().model_id();
+
+        let mut delta = s.delta();
+        let src = delta.add_source(&[0.3]).unwrap();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.2]).unwrap();
+        delta.add_clique(c, d, src, Stance::Support);
+        let stats = s.arrive_new(delta).unwrap();
+        assert!(stats.gamma > 0.0);
+        assert!(stats.retained_instances > 0);
+
+        assert_eq!(s.model().n_claims(), 2);
+        assert_eq!(s.model().model_id(), id);
+        assert_eq!(s.model().revision(), crf::Revision(1));
+        assert_eq!(s.visible_claims(), vec![VarId(1)]);
+        assert_eq!(s.arrivals(), 1);
+        assert!((0.0..=1.0).contains(&s.probs()[1]));
+        // The handle observed the same growth.
+        assert_eq!(handle.revision(), crf::Revision(1));
+    }
+
+    /// When the checker is the only snapshot holder, `arrive_new` grows
+    /// the model strictly in place: the pin is released around `apply`, so
+    /// `Arc::make_mut` never has to copy the model on the checker's
+    /// account (the allocation survives the growth).
+    #[test]
+    fn arrive_new_grows_in_place_without_copy() {
+        let handle = seed_handle();
+        let mut s = StreamingChecker::try_new(handle, OnlineEmConfig::default()).unwrap();
+        let ptr = Arc::as_ptr(s.model());
+        let mut delta = s.delta();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.2]).unwrap();
+        delta.add_clique(c, d, 0, Stance::Support);
+        s.arrive_new(delta).unwrap();
+        assert_eq!(
+            Arc::as_ptr(s.model()),
+            ptr,
+            "checker-only growth must splice in place, not copy the model"
+        );
+        assert_eq!(s.model().n_claims(), 2);
+    }
+
+    /// A stale delta (prepared before another delta landed) is rejected
+    /// without corrupting the checker.
+    #[test]
+    fn arrive_new_rejects_stale_delta() {
+        let mut s = StreamingChecker::try_new(seed_handle(), OnlineEmConfig::default()).unwrap();
+        let stale = s.delta();
+        let mut first = s.delta();
+        first.add_claim();
+        s.arrive_new(first).unwrap();
+        let mut stale = stale;
+        stale.add_claim();
+        assert!(matches!(
+            s.arrive_new(stale),
+            Err(ModelError::StaleDelta { .. })
+        ));
+        assert_eq!(s.model().n_claims(), 2);
+        assert_eq!(s.arrivals(), 1);
+    }
+
+    /// New evidence about an *old* claim (a fresh document, no new claim)
+    /// still updates the online parameters.
+    #[test]
+    fn arrive_new_accepts_evidence_for_old_claims() {
+        let mut s = StreamingChecker::try_new(seed_handle(), OnlineEmConfig::default()).unwrap();
+        let mut delta = s.delta();
+        let d = delta.add_document(&[0.1]).unwrap();
+        delta.add_clique(VarId(0), d, 0, Stance::Refute);
+        let stats = s.arrive_new(delta).unwrap();
+        assert_eq!(s.arrivals(), 0, "no claim arrived — only evidence");
+        assert!(stats.retained_instances > 0);
+        assert_eq!(s.model().cliques().len(), 2);
+    }
+
+    /// The growth is shared: an offline engine holding a clone of the
+    /// handle sees the ingested claims on its next inference and can label
+    /// them.
+    #[test]
+    fn ingested_claims_reach_the_offline_engine() {
+        let handle = seed_handle();
+        let mut s = StreamingChecker::try_new(handle.clone(), OnlineEmConfig::default()).unwrap();
+        let mut icrf = Icrf::new(handle, crf::IcrfConfig::default());
+        icrf.run();
+        let mut delta = s.delta();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.4]).unwrap();
+        delta.add_clique(c, d, 0, Stance::Support);
+        s.arrive_new(delta).unwrap();
+        icrf.run();
+        assert_eq!(icrf.probs().len(), 2);
+        icrf.set_label(c, true);
+        icrf.run();
+        assert_eq!(icrf.probs()[c.idx()], 1.0);
+        // Parameter exchange still lines up (feature dim unchanged).
+        s.exchange_from(&icrf);
+        s.feed_into(&mut icrf);
     }
 }

@@ -18,7 +18,7 @@ use std::sync::Arc;
 
 fn main() {
     let ds = DatasetPreset::WikiMini.generate();
-    let model = Arc::new(ds.db.to_crf_model());
+    let model = Arc::new(ds.db.to_crf_model().unwrap());
     let n = model.n_claims();
 
     let mut icrf = Icrf::new(model.clone(), IcrfConfig::default());

@@ -81,7 +81,7 @@ fn main() {
     println!("database: {:#?}", db.stats());
 
     // 2. Convert into the CRF model and start the guided validation process.
-    let model = Arc::new(db.to_crf_model());
+    let model = Arc::new(db.to_crf_model().unwrap());
     let mut process = ValidationProcess::new(
         model,
         InfoGainStrategy::new(InfoGainConfig::default()),

@@ -24,7 +24,7 @@ fn main() {
         stats.n_sources, stats.n_documents, stats.n_claims, stats.docs_per_claim
     );
 
-    let model = Arc::new(ds.db.to_crf_model());
+    let model = Arc::new(ds.db.to_crf_model().unwrap());
     let n = model.n_claims();
 
     // The validator errs 10% of the time; the confirmation check of §5.2

@@ -1,43 +1,87 @@
 //! Streaming fact checking (§7): claims arrive continuously from a news
-//! feed; the online EM algorithm maintains model parameters with stochastic
-//! approximation while a parallel validation process periodically validates
+//! feed and the factor graph **grows in place** as they do — each arrival
+//! is a [`crf::ModelDelta`] ingested through
+//! [`streamcheck::StreamingChecker::arrive_new`], spliced into the live
+//! model behind a shared [`crf::ModelHandle`]. The online EM algorithm
+//! maintains model parameters with stochastic approximation while a
+//! parallel validation process — holding a clone of the same handle, so it
+//! sees every ingested claim on its next inference — periodically validates
 //! the most beneficial claims seen so far.
 //!
 //! ```sh
-//! cargo run --release -p veracity-examples --bin streaming_news
+//! cargo run --release -p repro-examples --example streaming_news
 //! ```
 
-use crf::{Icrf, IcrfConfig, VarId};
+use crf::{Icrf, IcrfConfig, ModelHandle, VarId};
 use factcheck::instantiate_grounding;
-use factdb::DatasetPreset;
+use factdb::{DatasetPreset, FactDatabase};
 use guidance::{GuidanceContext, HybridStrategy, InfoGainConfig, SelectionStrategy};
 use oracle::{GroundTruthUser, User};
-use std::sync::Arc;
 use streamcheck::{OnlineEmConfig, StreamingChecker};
 
 fn main() {
     let ds = DatasetPreset::HealthMini.generate();
-    let model = Arc::new(ds.db.to_crf_model());
-    let n = model.n_claims();
+    let full = &ds.db;
+    let n = full.n_claims();
     println!("streaming {n} claims in arrival order...");
 
-    // Alg. 2: the online side.
-    let mut checker = StreamingChecker::new(model.clone(), OnlineEmConfig::default());
-    // Alg. 1: the offline side, woken up every 20% of arrivals.
-    let mut icrf = Icrf::new(model.clone(), IcrfConfig::default());
+    // Group each document with the latest-posted claim it references: a
+    // document can only be published once every claim it discusses exists.
+    let mut docs_by_last: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, doc) in full.documents().iter().enumerate() {
+        let last = doc.claims.iter().map(|(c, _)| c.idx()).max().unwrap();
+        docs_by_last[last].push(i);
+    }
+
+    // The live record store: news outlets (sources) are known up front —
+    // the directory of feeds we subscribe to — while claims and documents
+    // arrive over time. The first claim(s) with evidence seed the model.
+    let mut live = FactDatabase::new();
+    for s in full.sources() {
+        live.add_source(s.clone());
+    }
+    let mut next_claim = 0usize;
+    while live.n_documents() == 0 {
+        live.add_claim(full.claims()[next_claim].clone());
+        for &d in &docs_by_last[next_claim] {
+            live.add_document(full.documents()[d].clone()).unwrap();
+        }
+        next_claim += 1;
+    }
+
+    // One growable model lineage shared by the online and offline sides.
+    let handle = ModelHandle::new(live.to_crf_model().expect("seed arrivals carry evidence"));
+    let mut checker = StreamingChecker::try_new(handle.clone(), OnlineEmConfig::default()).unwrap();
+    for c in 0..next_claim {
+        // The seed claims were prebuilt into the model; expose them through
+        // the replay path (the executable spec of the growth path).
+        checker.arrive(VarId(c as u32));
+    }
+    let mut icrf = Icrf::new(handle.clone(), IcrfConfig::default());
     let mut strategy = HybridStrategy::new(InfoGainConfig::default(), 7);
     let mut editor = GroundTruthUser::new(ds.truth.clone());
     let period = (n as f64 * 0.2).round() as usize;
 
     let mut validated = 0usize;
     let mut total_update_ms = 0.0;
-    for c in 0..n {
-        let stats = checker.arrive(VarId(c as u32));
+    for (c, publishable) in docs_by_last.iter().enumerate().skip(next_claim) {
+        // The arrival: append the claim and its newly publishable documents
+        // to the record store, then splice everything added since the last
+        // sync into the live factor graph — no rebuild, caches patch.
+        live.add_claim(full.claims()[c].clone());
+        for &d in publishable {
+            live.add_document(full.documents()[d].clone()).unwrap();
+        }
+        let delta = live
+            .sync_delta(&handle.snapshot())
+            .expect("live store leads the model");
+        let stats = checker.arrive_new(delta).expect("fresh delta applies");
         total_update_ms += stats.elapsed.as_secs_f64() * 1000.0;
 
-        if (c + 1) % period == 0 {
+        if (c + 1) % period == 0 || c + 1 == n {
             // Parameter hand-off (Alg. 2 line 10) and a validation burst on
-            // the claims that have arrived.
+            // the claims that have arrived; `icrf.run()` syncs the engine
+            // to the grown model before inferring.
             checker.feed_into(&mut icrf);
             icrf.run();
             let visible = checker.visible_claims();
@@ -62,8 +106,9 @@ fn main() {
                 validated += 1;
             }
             println!(
-                "after {:>3} arrivals: {} validations so far, avg update {:.2} ms",
+                "after {:>3} arrivals (model {}): {} validations so far, avg update {:.2} ms",
                 c + 1,
+                handle.revision(),
                 validated,
                 total_update_ms / (c + 1) as f64
             );
@@ -78,7 +123,8 @@ fn main() {
         .filter(|&(i, &t)| grounding.get(i) == t)
         .count();
     println!(
-        "\nstream drained: {validated} claims validated ({:.0}%), precision {:.3}",
+        "\nstream drained at revision {}: {validated} claims validated ({:.0}%), precision {:.3}",
+        handle.revision(),
         100.0 * validated as f64 / n as f64,
         correct as f64 / n as f64
     );

@@ -15,7 +15,7 @@ use std::sync::Arc;
 #[test]
 fn batching_converges_to_same_grounding() {
     let ds = DatasetPreset::WikiMini.generate();
-    let model = Arc::new(ds.db.to_crf_model());
+    let model = Arc::new(ds.db.to_crf_model().unwrap());
     let selector = BatchSelector::new(BatchConfig {
         k: 6,
         w: 4.0,
@@ -52,7 +52,7 @@ fn batching_converges_to_same_grounding() {
 #[test]
 fn batches_never_repeat_claims() {
     let ds = DatasetPreset::WikiMini.generate();
-    let model = Arc::new(ds.db.to_crf_model());
+    let model = Arc::new(ds.db.to_crf_model().unwrap());
     let selector = BatchSelector::new(BatchConfig {
         k: 5,
         w: 4.0,
@@ -91,7 +91,7 @@ fn batches_never_repeat_claims() {
 #[test]
 fn confirmation_check_detects_injected_mistakes() {
     let ds = DatasetPreset::WikiMini.generate();
-    let model = Arc::new(ds.db.to_crf_model());
+    let model = Arc::new(ds.db.to_crf_model().unwrap());
 
     let run = |check: Option<usize>| {
         let user = NoisyUser::new(GroundTruthUser::new(ds.truth.clone()), 0.2, 77);
@@ -151,7 +151,7 @@ fn confirmation_check_detects_injected_mistakes() {
 #[test]
 fn error_rate_separates_agreement_from_disagreement() {
     let ds = DatasetPreset::SnopesMini.generate();
-    let model = Arc::new(ds.db.to_crf_model());
+    let model = Arc::new(ds.db.to_crf_model().unwrap());
     let mut process = ValidationProcess::new(
         model,
         guidance::RandomStrategy::new(13),

@@ -8,7 +8,7 @@ use std::sync::Arc;
 
 fn fixture(preset: DatasetPreset) -> (Arc<crf::CrfModel>, Vec<bool>) {
     let ds = preset.generate();
-    (Arc::new(ds.db.to_crf_model()), ds.truth)
+    (Arc::new(ds.db.to_crf_model().unwrap()), ds.truth)
 }
 
 /// The paper's headline claim at mini scale: hybrid guidance reaches 90%
@@ -115,7 +115,7 @@ fn serialized_dataset_reproduces_inference() {
     let restored = factdb::FactDatabase::from_json(&json).expect("roundtrip");
 
     let run = |db: &factdb::FactDatabase| {
-        let model = Arc::new(db.to_crf_model());
+        let model = Arc::new(db.to_crf_model().unwrap());
         let mut icrf = crf::Icrf::new(model, evalkit::fast_icrf());
         icrf.set_label(crf::VarId(0), true);
         icrf.run();

@@ -15,12 +15,12 @@ fn streaming_parameters_transfer_to_offline_inference() {
     // (author activity correlates with reliability), making generalisation
     // from a label *prefix* — rather than guided label placement — viable.
     let ds = DatasetPreset::HealthMini.generate();
-    let model = Arc::new(ds.db.to_crf_model());
+    let model = Arc::new(ds.db.to_crf_model().unwrap());
     let n = model.n_claims();
 
     // Stream 70% of claims with labels, then hand parameters to an offline
     // engine and check it predicts the remainder better than chance.
-    let mut checker = StreamingChecker::new(model.clone(), OnlineEmConfig::default());
+    let mut checker = StreamingChecker::try_new(model.clone(), OnlineEmConfig::default()).unwrap();
     let split = n * 7 / 10;
     for c in 0..split {
         checker.arrive_labelled(crf::VarId(c as u32), ds.truth[c]);
@@ -48,7 +48,7 @@ fn streaming_parameters_transfer_to_offline_inference() {
 #[test]
 fn tau_increases_with_validation_period() {
     let ds = DatasetPreset::WikiMini.generate();
-    let model = Arc::new(ds.db.to_crf_model());
+    let model = Arc::new(ds.db.to_crf_model().unwrap());
     let n_validations = 10;
     let offline: Vec<u32> = offline_sequence(
         model.clone(),
@@ -111,9 +111,9 @@ fn tau_increases_with_validation_period() {
 #[test]
 fn seeded_stream_differentiates_claims() {
     let ds = DatasetPreset::HealthMini.generate();
-    let model = Arc::new(ds.db.to_crf_model());
+    let model = Arc::new(ds.db.to_crf_model().unwrap());
     let n = model.n_claims();
-    let mut checker = StreamingChecker::new(model, OnlineEmConfig::default());
+    let mut checker = StreamingChecker::try_new(model, OnlineEmConfig::default()).unwrap();
     let seedn = n / 4;
     for c in 0..seedn {
         checker.arrive_labelled(crf::VarId(c as u32), ds.truth[c]);
