@@ -18,11 +18,12 @@
 //! repository root; the acceptance gate requires the incremental path to
 //! beat the rebuild by ≥5× per arrival.
 
-use crf::graph::{synthetic_model, CrfModel, CrfModelBuilder, ModelDelta, Stance};
+use crf::graph::{synthetic_model, CrfModel, CrfModelBuilder, ModelDelta, RetireSet, Stance};
 use crf::partition::Partition;
 use crf::potentials::{ScoreCache, Weights};
-use crf::ModelHandle;
+use crf::{ModelHandle, VarId};
 use criterion::black_box;
+use std::collections::VecDeque;
 use std::time::Instant;
 use streamcheck::{OnlineEmConfig, StreamingChecker};
 
@@ -113,7 +114,243 @@ fn apply_incremental(
     black_box(cache.update(model, weights));
 }
 
+/// One windowed arrival: a self-contained story — one claim with its own
+/// source and `DOCS_PER_ARRIVAL` documents/cliques. Returns the delta plus
+/// the absolute claim and source ids it will occupy.
+fn windowed_delta(
+    model: &CrfModel,
+    k: usize,
+    m_source: usize,
+    m_doc: usize,
+) -> (ModelDelta, u32, u32) {
+    let mut delta = ModelDelta::for_model(model);
+    let srow: Vec<f64> = (0..m_source)
+        .map(|f| ((k * 13 + f) % 89) as f64 / 89.0)
+        .collect();
+    let s = delta.add_source(&srow).unwrap();
+    let c = delta.add_claim();
+    for j in 0..DOCS_PER_ARRIVAL {
+        let drow: Vec<f64> = (0..m_doc)
+            .map(|f| ((k * 31 + j * 7 + f) % 97) as f64 / 97.0)
+            .collect();
+        let d = delta.add_document(&drow).unwrap();
+        delta.add_clique(c, d, s, Stance::Support);
+    }
+    (delta, c.0, s)
+}
+
+/// The no-lifecycle cost of one windowed arrival: a one-shot build of the
+/// current *surviving* subgraph (builder + partition + score cache) — what
+/// every arrival would pay without retire/compact relocation.
+fn rebuild_survivors(model: &CrfModel, weights: &Weights) -> usize {
+    let mut b = CrfModelBuilder::new(model.m_source(), model.m_doc());
+    let mut smap = vec![u32::MAX; model.n_sources()];
+    for (s, slot) in smap.iter_mut().enumerate() {
+        if model.source_live(s) {
+            *slot = b.add_source(model.source_feature_row(s as u32)).unwrap();
+        }
+    }
+    let mut cmap = vec![u32::MAX; model.n_claims()];
+    for (c, slot) in cmap.iter_mut().enumerate() {
+        if model.claim_live(c) {
+            *slot = b.add_claim().0;
+        }
+    }
+    for (ci, cl) in model.cliques().iter().enumerate() {
+        if model.clique_live(ci) {
+            let d = b.add_document(model.doc_feature_row(cl.doc)).unwrap();
+            b.add_clique(
+                VarId(cmap[cl.claim.idx()]),
+                d,
+                smap[cl.source as usize],
+                cl.stance,
+            );
+        }
+    }
+    let m = b.build().unwrap();
+    let partition = Partition::of_model(&m);
+    let cache = ScoreCache::build(&m, weights);
+    black_box(partition.len()) + black_box(cache.len())
+}
+
+struct WindowedReport {
+    arrivals: usize,
+    window: usize,
+    amortised_us: f64,
+    rebuild_mean_us: f64,
+    speedup: f64,
+    compactions: usize,
+    retired: usize,
+    peak_claims: usize,
+    peak_docs: usize,
+    peak_incidences: usize,
+    final_live_claims: usize,
+}
+
+/// Run the windowed lifecycle: every arrival grows the model, slides the
+/// retention window (tombstoning the oldest claim and its orphaned
+/// source), and compacts past `threshold` — partition and score cache
+/// relocated through every edit, never rebuilt. Asserts the
+/// memory-plateau invariant; timing covers the full amortised lifecycle
+/// (grow + retire + compact).
+fn windowed_run(n_arrivals: usize, window: usize, threshold: f64) -> WindowedReport {
+    let (m_source, m_doc) = (32, 32);
+    let mut b = CrfModelBuilder::new(m_source, m_doc);
+    let s0 = b.add_source(&vec![0.5; m_source]).unwrap();
+    let c0 = b.add_claim();
+    let d0 = b.add_document(&vec![0.5; m_doc]).unwrap();
+    b.add_clique(c0, d0, s0, Stance::Support);
+    let mut model = b.build().unwrap();
+    let weights = bench_weights(&model);
+    let mut partition = Partition::of_model(&model);
+    let mut cache = ScoreCache::build(&model, &weights);
+    // Live arrivals, oldest first, with each claim's own source.
+    let mut order: VecDeque<(u32, u32)> = VecDeque::new();
+    order.push_back((c0.0, s0));
+
+    let lineage = model.model_id();
+    let (mut peak_claims, mut peak_docs, mut peak_incidences) = (0usize, 0usize, 0usize);
+    let (mut compactions, mut retired) = (0usize, 0usize);
+    let mut total_s = 0.0f64;
+    let mut rebuild_us: Vec<f64> = Vec::new();
+    let rebuild_every = (n_arrivals / 8).max(1);
+
+    for k in 0..n_arrivals {
+        let t = Instant::now();
+
+        // ---- Grow.
+        let (delta, c, s) = windowed_delta(&model, k, m_source, m_doc);
+        let first_new = model.cliques().len();
+        model.apply(delta).unwrap();
+        order.push_back((c, s));
+
+        // ---- Retire: slide the window. Growth and retirement land as two
+        // revision bumps but pay **one** maintenance pass — both the
+        // partition and the score cache fold a grow + retire jump into a
+        // single update.
+        let mut affected = Vec::new();
+        if order.len() > window {
+            let mut set = RetireSet::for_model(&model);
+            while order.len() > window {
+                let (vc, vs) = order.pop_front().unwrap();
+                set.retire_claim(VarId(vc));
+                affected.push(vc);
+                // Orphaned source: every live claim it serves is expiring.
+                if model
+                    .claims_of_source(vs)
+                    .iter()
+                    .filter(|&&cc| model.claim_live(cc as usize))
+                    .all(|&cc| cc == vc)
+                {
+                    set.retire_source(vs);
+                }
+            }
+            model.retire(set).unwrap();
+            retired += affected.len();
+        }
+        partition.update(&model, first_new, &affected);
+        black_box(cache.update(&model, &weights));
+
+        // ---- Compact past the tombstone threshold; relocate, not rebuild.
+        if model.dead_fraction() >= threshold {
+            let remap = model.compact().unwrap();
+            partition.compact(&remap);
+            black_box(cache.update(&model, &weights));
+            for slot in order.iter_mut() {
+                slot.0 = remap.claim(VarId(slot.0)).expect("window claim live").0;
+                slot.1 = remap.source(slot.1).expect("window source live");
+            }
+            compactions += 1;
+        }
+
+        total_s += t.elapsed().as_secs_f64();
+        peak_claims = peak_claims.max(model.n_claims());
+        peak_docs = peak_docs.max(model.n_docs());
+        peak_incidences = peak_incidences.max(model.n_incidences());
+
+        // Sampled baseline (outside the timed region).
+        if k % rebuild_every == rebuild_every - 1 && order.len() >= window {
+            let t = Instant::now();
+            rebuild_survivors(&model, &weights);
+            rebuild_us.push(t.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+
+    // ---- Correctness backstop: the relocated structures equal a
+    // from-scratch recompute on the final model, and the lineage survived.
+    assert_eq!(model.model_id(), lineage);
+    let fresh = Partition::of_model(&model);
+    assert_eq!(partition.len(), fresh.len());
+    for i in 0..fresh.len() {
+        assert_eq!(partition.component(i), fresh.component(i));
+    }
+    let fresh_cache = ScoreCache::build(&model, &weights);
+    assert_eq!(cache.len(), fresh_cache.len());
+    for kk in 0..fresh_cache.len() {
+        assert_eq!(
+            cache.contribution(kk, 0.4).to_bits(),
+            fresh_cache.contribution(kk, 0.4).to_bits(),
+            "cache diverged at incidence {kk}"
+        );
+    }
+
+    // ---- The memory-plateau invariant: live set bounded by the window,
+    // arrays bounded by live / (1 - threshold) plus one sweep of slack.
+    assert!(model.n_live_claims() <= window + 1);
+    let array_bound = ((window + 1) as f64 / (1.0 - threshold)).ceil() as usize + 2;
+    assert!(
+        peak_claims <= array_bound,
+        "claim arrays peaked at {peak_claims}, bound {array_bound}: no plateau"
+    );
+    assert!(
+        peak_docs <= DOCS_PER_ARRIVAL * array_bound + 1,
+        "doc arrays peaked at {peak_docs}: no plateau"
+    );
+    assert!(
+        peak_incidences <= DOCS_PER_ARRIVAL * array_bound + 1,
+        "incidence arrays peaked at {peak_incidences}: no plateau"
+    );
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let amortised_us = total_s * 1e6 / n_arrivals as f64;
+    let rebuild_mean_us = mean(&rebuild_us);
+    WindowedReport {
+        arrivals: n_arrivals,
+        window,
+        amortised_us,
+        rebuild_mean_us,
+        speedup: rebuild_mean_us / amortised_us,
+        compactions,
+        retired,
+        peak_claims,
+        peak_docs,
+        peak_incidences,
+        final_live_claims: model.n_live_claims(),
+    }
+}
+
 fn main() {
+    // Quick mode (CI smoke): a tiny windowed run asserting the plateau and
+    // relocation invariants — no timing gate, no JSON, no 10k-claim graph.
+    if std::env::var("STREAM_BENCH_QUICK").is_ok() {
+        let report = windowed_run(600, 150, 0.25);
+        println!(
+            "quick windowed smoke: {} arrivals, window {} -> peak {} claims / {} docs, \
+             {} retired, {} compactions, final live {}",
+            report.arrivals,
+            report.window,
+            report.peak_claims,
+            report.peak_docs,
+            report.retired,
+            report.compactions,
+            report.final_live_claims,
+        );
+        assert!(report.compactions >= 2, "quick run never compacted");
+        assert!(report.retired >= 400, "quick run retired too little");
+        println!("memory-plateau invariant holds");
+        return;
+    }
+
     let base = bench_model();
     let weights = bench_weights(&base);
     let n_sources = base.n_sources();
@@ -171,6 +408,12 @@ fn main() {
         rebuild_us.push(t.elapsed().as_secs_f64() * 1e6);
     }
 
+    // ---- Windowed lifecycle: the bounded-memory long-running stream.
+    // 10k arrivals over a 2k-claim sliding window; grow + retire +
+    // deferred compaction amortised per arrival, vs rebuilding the
+    // surviving subgraph from scratch.
+    let windowed = windowed_run(10_000, 2_000, 0.25);
+
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let incr_mean = mean(&incr_us);
     let incr_worst = incr_us.iter().cloned().fold(0.0f64, f64::max);
@@ -194,9 +437,28 @@ fn main() {
     println!("arrive_new (ingest + estimate + online EM): mean {arrive_mean:>9.1} us");
     println!("full rebuild (builder + partition + cache): mean {rebuild_mean:>9.1} us | best {rebuild_best:>9.1} us");
     println!("speedup: {speedup:.1}x mean ({speedup_floor:.1}x worst-case-vs-best-case)");
+    println!();
+    println!(
+        "windowed lifecycle: {} arrivals, window {} claims, compact at 25% dead",
+        windowed.arrivals, windowed.window
+    );
+    println!(
+        "  amortised grow+retire+compact: {:>8.1} us/arrival | survivor rebuild: {:>9.1} us",
+        windowed.amortised_us, windowed.rebuild_mean_us
+    );
+    println!(
+        "  speedup {:.1}x | {} retired, {} compactions | peak arrays: {} claims, {} docs, {} cliques (live at end: {})",
+        windowed.speedup,
+        windowed.retired,
+        windowed.compactions,
+        windowed.peak_claims,
+        windowed.peak_docs,
+        windowed.peak_incidences,
+        windowed.final_live_claims
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"stream_arrival_latency\",\n  \"graph\": {{ \"claims\": {}, \"cliques\": {}, \"sources\": {}, \"feature_dim\": {} }},\n  \"arrival\": {{ \"claims\": 1, \"documents\": {DOCS_PER_ARRIVAL}, \"cliques\": {DOCS_PER_ARRIVAL}, \"samples\": {ARRIVALS} }},\n  \"incremental\": {{ \"variant\": \"delta_apply_partition_grow_cache_patch\", \"mean_us\": {:.1}, \"worst_us\": {:.1} }},\n  \"arrive_new\": {{ \"variant\": \"streaming_checker_ingest_estimate_online_em\", \"mean_us\": {:.1} }},\n  \"rebuild\": {{ \"variant\": \"builder_partition_scorecache_from_scratch\", \"mean_us\": {:.1}, \"best_us\": {:.1} }},\n  \"speedup\": {:.1},\n  \"speedup_worst_vs_best\": {:.1},\n  \"gate\": \"incremental >= 5x rebuild per single-claim arrival\"\n}}\n",
+        "{{\n  \"bench\": \"stream_arrival_latency\",\n  \"graph\": {{ \"claims\": {}, \"cliques\": {}, \"sources\": {}, \"feature_dim\": {} }},\n  \"arrival\": {{ \"claims\": 1, \"documents\": {DOCS_PER_ARRIVAL}, \"cliques\": {DOCS_PER_ARRIVAL}, \"samples\": {ARRIVALS} }},\n  \"incremental\": {{ \"variant\": \"delta_apply_partition_grow_cache_patch\", \"mean_us\": {:.1}, \"worst_us\": {:.1} }},\n  \"arrive_new\": {{ \"variant\": \"streaming_checker_ingest_estimate_online_em\", \"mean_us\": {:.1} }},\n  \"rebuild\": {{ \"variant\": \"builder_partition_scorecache_from_scratch\", \"mean_us\": {:.1}, \"best_us\": {:.1} }},\n  \"speedup\": {:.1},\n  \"speedup_worst_vs_best\": {:.1},\n  \"windowed\": {{ \"arrivals\": {}, \"window\": {}, \"compact_threshold\": 0.25, \"amortised_us\": {:.1}, \"survivor_rebuild_mean_us\": {:.1}, \"speedup\": {:.1}, \"retired\": {}, \"compactions\": {}, \"peak_claims\": {}, \"peak_docs\": {}, \"peak_cliques\": {}, \"final_live_claims\": {} }},\n  \"gate\": \"incremental >= 5x rebuild per single-claim arrival; windowed amortised lifecycle >= 5x survivor rebuild; windowed arrays plateau\"\n}}\n",
         base.n_claims(),
         base.cliques().len(),
         base.n_sources(),
@@ -208,18 +470,39 @@ fn main() {
         rebuild_best,
         speedup,
         speedup_floor,
+        windowed.arrivals,
+        windowed.window,
+        windowed.amortised_us,
+        windowed.rebuild_mean_us,
+        windowed.speedup,
+        windowed.retired,
+        windowed.compactions,
+        windowed.peak_claims,
+        windowed.peak_docs,
+        windowed.peak_incidences,
+        windowed.final_live_claims,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
     std::fs::write(path, &json).expect("write BENCH_stream.json");
     println!("\nwrote {path}");
 
-    // Acceptance gate: delta-apply must beat the full rebuild >=5x per
-    // single-claim arrival. Clean diagnostic + nonzero exit (not a panic)
-    // so a regression reads as a failed measurement.
+    // Acceptance gates: delta-apply must beat the full rebuild >=5x per
+    // single-claim arrival, and the windowed lifecycle (grow + retire +
+    // amortised compaction) must beat rebuilding the surviving subgraph
+    // >=5x per arrival. Clean diagnostic + nonzero exit (not a panic) so a
+    // regression reads as a failed measurement.
     if speedup < 5.0 {
         eprintln!(
             "FAIL: incremental arrival is only {speedup:.1}x the full rebuild; the \
              acceptance criterion requires >=5x (see BENCH_stream.json)"
+        );
+        std::process::exit(1);
+    }
+    if windowed.speedup < 5.0 {
+        eprintln!(
+            "FAIL: amortised windowed lifecycle is only {:.1}x the survivor rebuild; the \
+             acceptance criterion requires >=5x (see BENCH_stream.json)",
+            windowed.speedup
         );
         std::process::exit(1);
     }

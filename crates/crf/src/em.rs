@@ -97,6 +97,10 @@ pub struct IcrfStats {
     /// E-steps that patched the score cache forward after model growth
     /// (relocated old scores, computed only the new cliques).
     pub cache_grown: usize,
+    /// E-steps that zeroed tombstoned cliques' scores after retirement.
+    pub cache_retired: usize,
+    /// E-steps that relocated the score cache through a compaction remap.
+    pub cache_compacted: usize,
     /// Total weight coordinates the M-steps moved (TRON's active set).
     pub tron_coords_moved: usize,
 }
@@ -197,27 +201,191 @@ impl Icrf {
         &self.handle
     }
 
-    /// Catch the engine up with growth applied through the handle since its
-    /// snapshot. Returns `true` when the model grew. Patch, don't rebuild:
-    /// the partition unions only the appended cliques' edges, the training
-    /// set appends only the new cliques' static feature rows, new claims
-    /// enter at probability 0.5 / unlabelled, and the weights and all
-    /// pre-existing per-claim state are untouched. The stale sample set is
-    /// dropped (its bitsets have the old claim width) and regenerated by
-    /// the next E-step.
+    /// Catch the engine up with edits applied through the handle since its
+    /// snapshot. Returns `true` when the model changed. Patch, don't
+    /// rebuild, across the whole lifecycle:
+    ///
+    /// * **Growth** — the partition unions only the appended cliques'
+    ///   edges, the training set appends only the new cliques' static
+    ///   feature rows, and new claims enter at probability 0.5 /
+    ///   unlabelled.
+    /// * **Retirement** — newly tombstoned claims drop their label and
+    ///   probability (they are out of service), their training rows go to
+    ///   weight zero on the next M-step, and only the partition components
+    ///   containing retired entities are recomputed.
+    /// * **Compaction** — probabilities, labels, and the training set's
+    ///   static feature rows are *relocated* through the published
+    ///   [`crate::graph::IdRemap`] (no feature recomputation for
+    ///   survivors), and the partition renumbers through the same remap.
+    ///
+    /// The weights and all surviving per-claim state are untouched in every
+    /// case. The stale sample set is dropped (its bitsets have the old
+    /// claim width) and regenerated by the next E-step. A handle that
+    /// compacted twice between syncs outruns the single retained remap; the
+    /// engine then rebuilds its per-claim state from scratch (weights
+    /// kept).
     pub fn sync(&mut self) -> bool {
         if self.model.revision() == self.handle.revision() {
             return false;
         }
-        let first_new_clique = self.model.cliques().len();
-        self.model = self.handle.snapshot();
+        let old = std::mem::replace(&mut self.model, self.handle.snapshot());
+        if self.model.compactions() != old.compactions() {
+            self.sync_compacted(&old);
+        } else {
+            self.sync_in_place(&old);
+        }
+        self.last_samples.clear();
+        true
+    }
+
+    /// Sync within a stable id space: growth and/or retirement, no
+    /// compaction.
+    fn sync_in_place(&mut self, old: &CrfModel) {
         let n = self.model.n_claims();
-        Arc::make_mut(&mut self.partition).grow(&self.model, first_new_clique);
+        let first_new_clique = old.cliques().len();
+        // Claims whose connectivity the retirement may have changed: the
+        // newly dead claims plus the claims of newly dead sources.
+        let mut newly_dead: Vec<u32> = Vec::new();
+        let mut affected: Vec<u32> = Vec::new();
+        if self.model.retire_ops() != old.retire_ops() {
+            for c in 0..old.n_claims() {
+                if old.claim_live(c) && !self.model.claim_live(c) {
+                    newly_dead.push(c as u32);
+                }
+            }
+            affected.extend_from_slice(&newly_dead);
+            for s in 0..old.n_sources() {
+                if old.source_live(s) && !self.model.source_live(s) {
+                    affected.extend_from_slice(self.model.claims_of_source(s as u32));
+                }
+            }
+        }
+        Arc::make_mut(&mut self.partition).update(&self.model, first_new_clique, &affected);
         self.probs.resize(n, 0.5);
         self.labels.resize(n, None);
-        self.last_samples.clear();
+        for &c in &newly_dead {
+            self.probs[c as usize] = 0.0;
+            self.labels[c as usize] = None;
+        }
         self.ensure_dataset();
-        true
+    }
+
+    /// Sync across a compaction: relocate per-claim state, the training
+    /// set, and the partition through the remap.
+    fn sync_compacted(&mut self, old: &CrfModel) {
+        let n = self.model.n_claims();
+        let relocatable = self.model.compactions() == old.compactions() + 1
+            && self.model.last_compaction().is_some_and(|r| {
+                r.n_old_claims() >= old.n_claims() && r.n_old_cliques() >= old.cliques().len()
+            });
+        if !relocatable {
+            // Outran the single retained remap: rebuild per-claim state
+            // (weights survive — the feature space is unchanged).
+            self.partition = Arc::new(Partition::of_model(&self.model));
+            self.probs = vec![0.5; n];
+            self.labels = vec![None; n];
+            self.scratch.dataset = Dataset::new(0);
+            self.ensure_dataset();
+            return;
+        }
+        let remap = self.model.last_compaction().expect("checked above").clone();
+
+        // ---- Per-claim state through the remap. Claims grown between the
+        // old snapshot and the compaction enter fresh at 0.5/unlabelled;
+        // claims tombstoned after the compaction are cleared.
+        let mut probs = vec![0.5; n];
+        let mut labels = vec![None; n];
+        for c in 0..old.n_claims() {
+            if let Some(nc) = remap.claim(VarId(c as u32)) {
+                probs[nc.idx()] = self.probs[c];
+                labels[nc.idx()] = self.labels[c];
+            }
+        }
+        for c in 0..n {
+            if !self.model.claim_live(c) {
+                probs[c] = 0.0;
+                labels[c] = None;
+            }
+        }
+        self.probs = probs;
+        self.labels = labels;
+
+        // ---- Partition: collect the components broken by entities the
+        // compaction dropped (markers = their surviving co-members, in new
+        // ids), renumber through the remap, then one `update` folds in the
+        // cliques the engine never saw (growth since the old snapshot is a
+        // suffix in new-id space — the remap preserves order) plus any
+        // post-compaction tombstones.
+        {
+            let part = Arc::make_mut(&mut self.partition);
+            let mut broken_members: Vec<u32> = Vec::new();
+            let mark_old_claim = |part: &Partition, c: usize, out: &mut Vec<u32>| {
+                if c < part.n_claims() && old.claim_live(c) {
+                    let comp = part.component_of(VarId(c as u32));
+                    for &m in part.component(comp) {
+                        if let Some(nm) = remap.claim(VarId(m as u32)) {
+                            out.push(nm.0);
+                        }
+                    }
+                }
+            };
+            for c in 0..old.n_claims() {
+                if old.claim_live(c) && remap.claim(VarId(c as u32)).is_none() {
+                    mark_old_claim(part, c, &mut broken_members);
+                }
+            }
+            for s in 0..old.n_sources() {
+                if old.source_live(s) && remap.source(s as u32).is_none() {
+                    for &c in old.claims_of_source(s as u32) {
+                        mark_old_claim(part, c as usize, &mut broken_members);
+                    }
+                }
+            }
+            part.compact(&remap);
+            // Post-compaction retires break components too.
+            for c in 0..n {
+                if !self.model.claim_live(c) {
+                    broken_members.push(c as u32);
+                }
+            }
+            for s in 0..self.model.n_sources() {
+                if !self.model.source_live(s) {
+                    broken_members.extend_from_slice(self.model.claims_of_source(s as u32));
+                }
+            }
+            broken_members.sort_unstable();
+            broken_members.dedup();
+            let first_unseen = (0..old.cliques().len())
+                .filter(|&i| remap.clique(crate::graph::CliqueId(i as u32)).is_some())
+                .count();
+            part.update(&self.model, first_unseen, &broken_members);
+        }
+
+        // ---- Training set: relocate surviving rows' static prefixes (no
+        // feature recomputation); cliques the engine never saw are
+        // featurised fresh.
+        let dim = self.model.feature_dim();
+        let inv = remap.inverse_cliques();
+        let mut dataset = Dataset::new(dim);
+        let mut row = vec![0.0; dim];
+        let relocatable_rows = self.scratch.dataset.dim() == dim;
+        for (nc, clique) in self.model.cliques().iter().enumerate() {
+            let old_id = if nc < remap.n_new_cliques() {
+                Some(inv[nc] as usize)
+            } else {
+                None
+            };
+            match old_id {
+                Some(oc) if relocatable_rows && oc < self.scratch.dataset.len() => {
+                    dataset.push(self.scratch.dataset.row(oc), 0.5, 1.0);
+                }
+                _ => {
+                    clique_features(&self.model, clique, 0.5, &mut row);
+                    dataset.push(&row, 0.5, 1.0);
+                }
+            }
+        }
+        self.scratch.dataset = dataset;
     }
 
     /// The connected-component partition of the claim graph.
@@ -350,6 +518,8 @@ impl Icrf {
                 crate::potentials::CacheRefresh::Incremental { .. } => stats.cache_incremental += 1,
                 crate::potentials::CacheRefresh::Unchanged => stats.cache_unchanged += 1,
                 crate::potentials::CacheRefresh::Grown { .. } => stats.cache_grown += 1,
+                crate::potentials::CacheRefresh::Retired { .. } => stats.cache_retired += 1,
+                crate::potentials::CacheRefresh::Compacted { .. } => stats.cache_compacted += 1,
             }
 
             let max_prob_change = marginals
@@ -391,8 +561,13 @@ impl Icrf {
                 // mass, making user input a first-class citizen of
                 // inference: without this, the self-training loop (targets
                 // are the model's own marginals) can lock into an inverted
-                // interpretation of the features early on.
-                let weight = if self.labels[clique.claim.idx()].is_some() {
+                // interpretation of the features early on. Tombstoned
+                // cliques carry zero mass — retired evidence must not
+                // steer the weights (their rows are dropped for good at
+                // the next compaction).
+                let weight = if !self.model.clique_live(i) {
+                    0.0
+                } else if self.labels[clique.claim.idx()].is_some() {
                     5.0
                 } else {
                     1.0
@@ -459,12 +634,26 @@ pub fn source_trust_from_probs(model: &CrfModel, probs: &[f64], prior: (f64, f64
 
 /// Allocation-free form of [`source_trust_from_probs`]: writes one trust
 /// value per source into `out` (cleared first, allocation reused).
+/// Tombstoned claims are excluded from both the numerator and the
+/// denominator, so a source's trust reflects only its in-service claims.
 pub fn source_trust_into(model: &CrfModel, probs: &[f64], prior: (f64, f64), out: &mut Vec<f64>) {
     out.clear();
+    if !model.has_tombstones() {
+        out.extend((0..model.n_sources() as u32).map(|s| {
+            let claims = model.claims_of_source(s);
+            let sum: f64 = claims.iter().map(|&c| probs[c as usize]).sum();
+            (prior.0 + sum) / (prior.0 + prior.1 + claims.len() as f64)
+        }));
+        return;
+    }
     out.extend((0..model.n_sources() as u32).map(|s| {
-        let claims = model.claims_of_source(s);
-        let sum: f64 = claims.iter().map(|&c| probs[c as usize]).sum();
-        (prior.0 + sum) / (prior.0 + prior.1 + claims.len() as f64)
+        let sum: f64 = model
+            .claims_of_source(s)
+            .iter()
+            .filter(|&&c| model.claim_live(c as usize))
+            .map(|&c| probs[c as usize])
+            .sum();
+        (prior.0 + sum) / (prior.0 + prior.1 + model.n_live_claims_of_source(s) as f64)
     }));
 }
 
@@ -687,6 +876,138 @@ mod tests {
         );
         assert_eq!(icrf.probs()[0], if truth[0] { 1.0 } else { 0.0 });
         assert_eq!(icrf.last_samples()[0].len(), 11);
+    }
+
+    /// Retirement through the shared handle: `sync` drops the dead claim's
+    /// label and probability, keeps every survivor's warm state, recomputes
+    /// only the affected partition components, and the next E-step patches
+    /// the score cache (`Retired`) instead of rebuilding.
+    #[test]
+    fn sync_retires_claims_without_dropping_survivor_state() {
+        let (m, truth) = signal_model(10, 21);
+        let handle = ModelHandle::from(m);
+        let mut icrf = Icrf::new(handle.clone(), small_config());
+        for i in 0..4 {
+            icrf.set_label(VarId(i), truth[i as usize]);
+        }
+        icrf.run();
+        let w_before = icrf.weights().clone();
+        let probs_before = icrf.probs().to_vec();
+
+        let mut set = handle.retire_set();
+        set.retire_claim(VarId(0));
+        set.retire_claim(VarId(7));
+        handle.retire(set).unwrap();
+
+        assert!(icrf.sync());
+        assert_eq!(icrf.probs().len(), 10);
+        assert_eq!(icrf.probs()[0], 0.0, "retired claim is out of service");
+        assert_eq!(icrf.labels()[0], None, "retired claim loses its label");
+        assert_eq!(icrf.labels()[1], Some(truth[1]));
+        assert_eq!(
+            icrf.probs()[2..7],
+            probs_before[2..7],
+            "survivor probabilities are untouched"
+        );
+        assert_eq!(icrf.weights().as_slice(), w_before.as_slice());
+        // Partition matches a fresh computation on the tombstoned model.
+        let fresh = Partition::of_model(icrf.model());
+        assert_eq!(icrf.partition().len(), fresh.len());
+        for i in 0..fresh.len() {
+            assert_eq!(icrf.partition().component(i), fresh.component(i));
+        }
+
+        let stats = icrf.run();
+        assert!(stats.em_iterations >= 1);
+        assert_eq!(
+            icrf.probs()[0],
+            0.0,
+            "dead claims stay at 0 through inference"
+        );
+        assert_eq!(icrf.probs()[1], if truth[1] { 1.0 } else { 0.0 });
+    }
+
+    /// Compaction through the shared handle: `sync` relocates
+    /// probabilities, labels, and the training set through the published
+    /// remap — survivors keep their warm state at their new ids — and
+    /// inference runs on the compacted model.
+    #[test]
+    fn sync_relocates_state_across_compaction() {
+        let (m, truth) = signal_model(12, 22);
+        let handle = ModelHandle::from(m);
+        let mut icrf = Icrf::new(handle.clone(), small_config());
+        for i in 0..5 {
+            icrf.set_label(VarId(i), truth[i as usize]);
+        }
+        icrf.run();
+        let probs_before = icrf.probs().to_vec();
+        let w_before = icrf.weights().clone();
+
+        // Retire + compact in one revision gap (the streaming shape).
+        let mut set = handle.retire_set();
+        set.retire_claim(VarId(1));
+        set.retire_claim(VarId(6));
+        handle.retire(set).unwrap();
+        let remap = handle.compact().unwrap();
+
+        assert!(icrf.sync());
+        let n = icrf.model().n_claims();
+        assert_eq!(n, 10);
+        for c in 0..12u32 {
+            if let Some(nc) = remap.claim(VarId(c)) {
+                assert_eq!(
+                    icrf.probs()[nc.idx()],
+                    probs_before[c as usize],
+                    "claim {c} probability did not relocate"
+                );
+                let expect_label = if c < 5 { Some(truth[c as usize]) } else { None };
+                assert_eq!(icrf.labels()[nc.idx()], expect_label, "claim {c} label");
+            }
+        }
+        assert_eq!(icrf.weights().as_slice(), w_before.as_slice());
+        let fresh = Partition::of_model(icrf.model());
+        assert_eq!(icrf.partition().len(), fresh.len());
+        for i in 0..fresh.len() {
+            assert_eq!(icrf.partition().component(i), fresh.component(i));
+        }
+
+        let stats = icrf.run();
+        assert!(stats.em_iterations >= 1);
+        // A survivor's pinned label still pins at its new id.
+        let nc = remap.claim(VarId(0)).unwrap();
+        assert_eq!(icrf.probs()[nc.idx()], if truth[0] { 1.0 } else { 0.0 });
+        // Growth keeps working after the relocation.
+        let mut delta = handle.delta();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.4]).unwrap();
+        delta.add_clique(c, d, 0, Stance::Support);
+        handle.apply(delta).unwrap();
+        icrf.run();
+        assert_eq!(icrf.probs().len(), n + 1);
+    }
+
+    /// Outrunning the single retained remap (two compactions in one gap)
+    /// falls back to a clean rebuild instead of corrupt relocation.
+    #[test]
+    fn double_compaction_rebuilds_engine_state() {
+        let (m, _) = signal_model(10, 23);
+        let handle = ModelHandle::from(m);
+        let mut icrf = Icrf::new(handle.clone(), small_config());
+        icrf.run();
+        for victim in [0u32, 1] {
+            let mut set = handle.retire_set();
+            set.retire_claim(VarId(victim));
+            handle.retire(set).unwrap();
+            handle.compact().unwrap();
+        }
+        assert!(icrf.sync());
+        assert_eq!(icrf.probs().len(), 8);
+        assert!(
+            icrf.probs().iter().all(|&p| p == 0.5),
+            "state rebuilt fresh"
+        );
+        let stats = icrf.run();
+        assert!(stats.em_iterations >= 1);
     }
 
     /// A label landing on a freshly grown claim participates in inference

@@ -250,11 +250,24 @@ impl CompSchedule {
         }
         self.model_id = model.model_id();
         self.revision = model.revision().0;
+        // A source belongs to the component of its first *live* claim; dead
+        // sources (all cliques dead) and sources with no live claims drive
+        // no trust statistic and appear in no component.
+        let comp_of_source = |s: u32| -> Option<usize> {
+            if !model.source_live(s as usize) {
+                return None;
+            }
+            model
+                .claims_of_source(s)
+                .iter()
+                .find(|&&c| model.claim_live(c as usize))
+                .map(|&c0| partition.component_of(VarId(c0)))
+        };
         self.comp_source_offsets.clear();
         self.comp_source_offsets.resize(p + 1, 0);
         for s in 0..model.n_sources() as u32 {
-            if let Some(&c0) = model.claims_of_source(s).first() {
-                self.comp_source_offsets[partition.component_of(VarId(c0)) + 1] += 1;
+            if let Some(comp) = comp_of_source(s) {
+                self.comp_source_offsets[comp + 1] += 1;
             }
         }
         for i in 0..p {
@@ -265,8 +278,7 @@ impl CompSchedule {
         self.comp_sources
             .resize(self.comp_source_offsets[p] as usize, 0);
         for s in 0..model.n_sources() as u32 {
-            if let Some(&c0) = model.claims_of_source(s).first() {
-                let comp = partition.component_of(VarId(c0));
+            if let Some(comp) = comp_of_source(s) {
                 self.comp_sources[cursor[comp] as usize] = s;
                 cursor[comp] += 1;
             }
@@ -333,10 +345,18 @@ struct ChainState {
 
 impl ChainState {
     fn init(model: &CrfModel, labels: &[Option<bool>], probs: &[f64], rng: &mut SmallRng) -> Self {
+        // Tombstoned claims hold `false` and consume no RNG draw, so the
+        // stream matches the compacted model's (which has no dead claims).
         let values: Vec<bool> = (0..model.n_claims())
-            .map(|c| match labels[c] {
-                Some(v) => v,
-                None => rng.gen_bool(numerics::clamp_prob(probs[c])),
+            .map(|c| {
+                if !model.claim_live(c) {
+                    false
+                } else {
+                    match labels[c] {
+                        Some(v) => v,
+                        None => rng.gen_bool(numerics::clamp_prob(probs[c])),
+                    }
+                }
             })
             .collect();
         let mut credible_per_source = vec![0u32; model.n_sources()];
@@ -400,7 +420,9 @@ fn trust_excluding(
     excl: usize,
 ) -> f64 {
     let mut credible = credible_per_source[source as usize] as f64;
-    let mut n = model.n_claims_of_source(source) as f64;
+    // Live count: tombstoned claims neither support nor dilute a source's
+    // trust (their values are pinned `false` and excluded from `n`).
+    let mut n = model.n_live_claims_of_source(source) as f64;
     if values[excl] {
         credible -= 1.0;
     }
@@ -570,7 +592,7 @@ impl<'a> GibbsSampler<'a> {
         scratch.unlabelled.clear();
         scratch
             .unlabelled
-            .extend((0..n).filter(|&c| labels[c].is_none()));
+            .extend((0..n).filter(|&c| labels[c].is_none() && model.claim_live(c)));
         self.fill_anchor_terms(prev_probs, &mut scratch.anchor_term);
         let cache = &scratch.cache;
         let unlabelled = &scratch.unlabelled;
@@ -627,10 +649,15 @@ impl<'a> GibbsSampler<'a> {
 
         let total = samples.len().max(1) as f64;
         let marginals: Vec<f64> = (0..n)
-            .map(|c| match labels[c] {
-                Some(true) => 1.0,
-                Some(false) => 0.0,
-                None => ones[c] as f64 / total,
+            .map(|c| {
+                if !model.claim_live(c) {
+                    return 0.0; // tombstoned: out of service, never credible
+                }
+                match labels[c] {
+                    Some(true) => 1.0,
+                    Some(false) => 0.0,
+                    None => ones[c] as f64 / total,
+                }
             })
             .collect();
 
@@ -683,7 +710,9 @@ impl<'a> GibbsSampler<'a> {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let mut state = ChainState::init(model, labels, prev_probs, &mut rng);
 
-        let unlabelled: Vec<usize> = (0..n).filter(|&c| labels[c].is_none()).collect();
+        let unlabelled: Vec<usize> = (0..n)
+            .filter(|&c| labels[c].is_none() && model.claim_live(c))
+            .collect();
         let mut ones = vec![0u64; n];
         let mut samples = Vec::with_capacity(self.config.samples);
         let mut sweeps = 0;
@@ -691,6 +720,9 @@ impl<'a> GibbsSampler<'a> {
         let conditional_logit = |state: &ChainState, claim: usize| {
             let mut logit = 0.0;
             for &ci in model.cliques_of(VarId(claim as u32)) {
+                if !model.clique_live(ci as usize) {
+                    continue; // retired evidence contributes nothing
+                }
                 let cl = model.clique(CliqueId(ci));
                 let trust = state.trust_excluding(model, self.config.trust_prior, cl.source, claim);
                 logit += clique_logit_contribution(model, weights, cl, trust);
@@ -729,10 +761,15 @@ impl<'a> GibbsSampler<'a> {
 
         let total = samples.len().max(1) as f64;
         let marginals: Vec<f64> = (0..n)
-            .map(|c| match labels[c] {
-                Some(true) => 1.0,
-                Some(false) => 0.0,
-                None => ones[c] as f64 / total,
+            .map(|c| {
+                if !model.claim_live(c) {
+                    return 0.0; // tombstoned: out of service, never credible
+                }
+                match labels[c] {
+                    Some(true) => 1.0,
+                    Some(false) => 0.0,
+                    None => ones[c] as f64 / total,
+                }
             })
             .collect();
 
@@ -926,10 +963,15 @@ impl<'a> GibbsSampler<'a> {
 
         let total = samples.len().max(1) as f64;
         let marginals: Vec<f64> = (0..n)
-            .map(|c| match labels[c] {
-                Some(true) => 1.0,
-                Some(false) => 0.0,
-                None => ones[c] as f64 / total,
+            .map(|c| {
+                if !model.claim_live(c) {
+                    return 0.0; // tombstoned: out of service, never credible
+                }
+                match labels[c] {
+                    Some(true) => 1.0,
+                    Some(false) => 0.0,
+                    None => ones[c] as f64 / total,
+                }
             })
             .collect();
 
@@ -985,10 +1027,13 @@ impl<'a> GibbsSampler<'a> {
             };
         }
         for &s in comp_sources {
+            // Tombstoned claims are excluded: they are not members of any
+            // component, so their `values` slots may hold stale bits from
+            // an earlier E-step of this reused task state.
             state.credible[s as usize] = model
                 .claims_of_source(s)
                 .iter()
-                .filter(|&&c| state.values[c as usize])
+                .filter(|&&c| model.claim_live(c as usize) && state.values[c as usize])
                 .count() as u32;
         }
 
@@ -1780,6 +1825,138 @@ mod tests {
             "no seed exercised the grown-cache path — scripts too small"
         );
     }
+
+    /// The lifecycle acceptance spec (shared by the deterministic
+    /// multi-seed test and the proptest): replay a random interleaved
+    /// grow/retire script, pin labels on some survivors, then check that
+    /// `run_scheduled` — samples, marginals, and partition numbering — is
+    /// **bit-identical** across three views of the same surviving
+    /// subgraph: the tombstoned model (old ids), the compacted model (new
+    /// ids, via the returned `IdRemap`), and a one-shot build of the
+    /// survivors.
+    pub(super) fn lifecycle_inference_spec(seed: u64, n_ops: usize, chains: usize) {
+        use crate::graph::test_support as ts;
+        let ops = ts::random_lifecycle_script(seed, n_ops);
+        let (tombstoned, sim) = ts::replay_lifecycle(&ops);
+        let (survivors, claim_map) = sim.build_survivors();
+        let mut compacted = tombstoned.clone();
+        let remap = compacted.compact().unwrap();
+
+        let n_old = tombstoned.n_claims();
+        let n_new = survivors.n_claims();
+        let w = Weights::from_vec(
+            (0..tombstoned.feature_dim())
+                .map(|i| 0.21 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        );
+        // Deterministic labels/probs on live claims, mapped across views.
+        let mut labels_old = vec![None; n_old];
+        let mut probs_old = vec![0.5; n_old];
+        let mut labels_new = vec![None; n_new];
+        let mut probs_new = vec![0.5; n_new];
+        for c in 0..n_old {
+            if claim_map[c] == u32::MAX {
+                continue;
+            }
+            let nc = claim_map[c] as usize;
+            if c % 3 == 0 {
+                labels_old[c] = Some(c % 2 == 0);
+                labels_new[nc] = Some(c % 2 == 0);
+            }
+            let p = 0.2 + 0.6 * ((c % 5) as f64) / 4.0;
+            probs_old[c] = p;
+            probs_new[nc] = p;
+        }
+
+        let cfg = GibbsConfig {
+            burn_in: 4,
+            samples: 7,
+            thin: 2,
+            seed: seed ^ 0xD00F,
+            chains,
+            ..Default::default()
+        };
+        let p_old = Partition::of_model(&tombstoned);
+        let p_new = Partition::of_model(&compacted);
+        let p_survivors = Partition::of_model(&survivors);
+
+        // Partition numbering matches across views (modulo the remap).
+        assert_eq!(p_new.len(), p_survivors.len(), "seed {seed}");
+        assert_eq!(p_old.len(), p_new.len(), "seed {seed}");
+        for i in 0..p_new.len() {
+            assert_eq!(p_new.component(i), p_survivors.component(i), "seed {seed}");
+            let mapped: Vec<usize> = p_old
+                .component(i)
+                .iter()
+                .map(|&c| remap.claim(VarId(c as u32)).unwrap().idx())
+                .collect();
+            assert_eq!(mapped, p_new.component(i), "seed {seed} component {i}");
+        }
+
+        let r_old = GibbsSampler::new(&tombstoned, cfg.clone()).run_scheduled(
+            &w,
+            &labels_old,
+            &probs_old,
+            &p_old,
+            &mut GibbsScratch::new(),
+        );
+        let r_new = GibbsSampler::new(&compacted, cfg.clone()).run_scheduled(
+            &w,
+            &labels_new,
+            &probs_new,
+            &p_new,
+            &mut GibbsScratch::new(),
+        );
+        let r_sur = GibbsSampler::new(&survivors, cfg).run_scheduled(
+            &w,
+            &labels_new,
+            &probs_new,
+            &p_survivors,
+            &mut GibbsScratch::new(),
+        );
+
+        // Compacted vs one-shot survivors: identical content, identical run.
+        assert_eq!(r_new.samples, r_sur.samples, "seed {seed}");
+        assert_eq!(r_new.marginals, r_sur.marginals, "seed {seed}");
+
+        // Tombstoned vs compacted: bit-identical modulo the remap; dead
+        // claims report marginal 0 and never set a sample bit.
+        assert_eq!(r_old.samples.len(), r_new.samples.len(), "seed {seed}");
+        for c in 0..n_old {
+            match remap.claim(VarId(c as u32)) {
+                Some(nc) => {
+                    assert_eq!(
+                        r_old.marginals[c].to_bits(),
+                        r_new.marginals[nc.idx()].to_bits(),
+                        "seed {seed} claim {c}"
+                    );
+                    for (t, s) in r_old.samples.iter().enumerate() {
+                        assert_eq!(
+                            s.get(c),
+                            r_new.samples[t].get(nc.idx()),
+                            "seed {seed} claim {c} sample {t}"
+                        );
+                    }
+                }
+                None => {
+                    assert_eq!(r_old.marginals[c], 0.0, "seed {seed} dead claim {c}");
+                    for s in &r_old.samples {
+                        assert!(!s.get(c), "seed {seed} dead claim {c} sampled true");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deterministic multi-seed form of the lifecycle acceptance spec.
+    #[test]
+    fn retired_compacted_inference_is_bit_identical() {
+        for seed in 0..10u64 {
+            lifecycle_inference_spec(seed.wrapping_mul(97) ^ 0xACCE, 2 + (seed as usize % 5), 1);
+        }
+        // And with multi-chain pooling.
+        lifecycle_inference_spec(0x1234, 5, 3);
+    }
 }
 
 #[cfg(test)]
@@ -1929,6 +2106,19 @@ mod prop_tests {
             );
             prop_assert_eq!(r_grown.samples, r_batch.samples);
             prop_assert_eq!(r_grown.marginals, r_batch.marginals);
+        }
+
+        /// Lifecycle acceptance spec under proptest: random interleaved
+        /// grow/retire scripts, then compaction — scheduled inference on
+        /// the compacted model is bit-identical (modulo the remap) to the
+        /// tombstoned model *and* to the one-shot survivors build.
+        #[test]
+        fn prop_retired_compacted_inference_is_bit_identical(
+            seed in 0u64..40,
+            n_ops in 2usize..7,
+            chains in 1usize..3,
+        ) {
+            super::tests::lifecycle_inference_spec(seed ^ 0x51fe, n_ops, chains);
         }
 
         /// The optimised sampler equals the reference on random models and

@@ -20,32 +20,61 @@
 //! of the Gibbs sampler ("we weight the influence of causal interactions by
 //! the credibility of their contained claims").
 //!
-//! # Versioned growth (streaming arrivals, §7)
+//! # Versioned lifecycle (streaming arrivals and retirement, §7)
 //!
 //! A [`CrfModel`] is no longer frozen at [`CrfModelBuilder::build`] time:
-//! the streaming mode of Alg. 2 grows the factor graph **in place** as
-//! claims arrive. A [`ModelDelta`] collects new sources, documents, claims,
-//! and cliques against a base `(model_id, revision)` pair, and
-//! [`CrfModel::apply`] splices it into the CSR adjacency, bumping the
-//! [`CrfModel::revision`] counter while the build-lineage
-//! [`CrfModel::model_id`] is preserved.
+//! the streaming mode of Alg. 2 both **grows** and **shrinks** the factor
+//! graph in place as claims arrive and expire. The lifecycle has three
+//! operations, each bumping the [`CrfModel::revision`] counter while the
+//! build-lineage [`CrfModel::model_id`] is preserved:
+//!
+//! 1. **Grow** — a [`ModelDelta`] collects new sources, documents, claims,
+//!    and cliques against a base `(model_id, revision)` pair, and
+//!    [`CrfModel::apply`] splices it into the CSR adjacency.
+//! 2. **Retire** — a [`RetireSet`] names claims and sources to take out of
+//!    service; [`CrfModel::retire`] *tombstones* them in `O(touched)`:
+//!    entity ids and array layouts are untouched, dead entities are marked
+//!    in bitmaps, every clique incident to a retired claim or source is
+//!    marked dead with it, and the per-source live-claim counts that feed
+//!    the dynamic trust statistic are maintained. Inference skips dead
+//!    entities (dead claims are never swept, dead cliques contribute
+//!    exactly nothing) but pays no relocation cost per retire.
+//! 3. **Compact** — when the dead fraction warrants it (a threshold the
+//!    caller picks; see `stream`'s `RetentionPolicy`),
+//!    [`CrfModel::compact`] rebuilds the arrays to the **canonical layout**
+//!    of the surviving subgraph and publishes an [`IdRemap`] so every
+//!    model-keyed structure *relocates* its state instead of recomputing
+//!    it. Documents whose cliques all died are dropped with them — this is
+//!    what bounds the memory of a long-running stream.
 //!
 //! The contract model-derived caches rely on:
 //!
 //! * **Identity** — equal `model_id` means one build lineage; a cache keyed
 //!   on `(model_id, revision)` is exactly as fresh as the model content.
-//! * **Append-only entities** — existing claim/source/document indices and
-//!   clique ids never change meaning; a delta only adds. Clique ids are
-//!   assigned in arrival order, so `cliques()[k]` is stable for all time.
+//!   [`CrfModel::retire_ops`] and [`CrfModel::compactions`] distinguish the
+//!   three edit kinds within a revision jump.
+//! * **Stable ids between compactions** — existing claim/source/document
+//!   indices and clique ids never change meaning while tombstoned; a delta
+//!   only adds, a retire only marks. Clique ids are assigned in arrival
+//!   order, so `cliques()[k]` is stable until the next compaction.
 //! * **Canonical layout** — after any sequence of deltas the adjacency is
 //!   **identical** (same arrays, same element order) to building the final
-//!   model in one shot with the same insertion order. Claim-major spans
-//!   shift only when a claim gains cliques, and the claim-major position of
-//!   every old clique is recoverable from its id, which is what lets
-//!   [`crate::potentials::ScoreCache`] relocate cached scores instead of
-//!   recomputing them and [`crate::partition::Partition::grow`] union only
-//!   the new edges. Inference on a delta-grown model is therefore
-//!   bit-identical to inference on the equivalent one-shot build.
+//!   model in one shot with the same insertion order; after a
+//!   [`CrfModel::compact`] it is identical to a one-shot build of the
+//!   *surviving* entities in their original insertion order (the
+//!   [`IdRemap`] is exactly that order-preserving renumbering). Claim-major
+//!   spans shift only when a claim gains cliques, and the claim-major
+//!   position of every old clique is recoverable from its id, which is what
+//!   lets [`crate::potentials::ScoreCache`] relocate cached scores instead
+//!   of recomputing them and [`crate::partition::Partition`] touch only the
+//!   components a delta or retirement affected. Inference on a grown,
+//!   retired-then-compacted model is therefore bit-identical — modulo the
+//!   published [`IdRemap`] — to inference on a one-shot build of the
+//!   surviving subgraph.
+//! * **Remap availability** — the model keeps only the **latest**
+//!   compaction's [`IdRemap`] ([`CrfModel::last_compaction`]). A structure
+//!   that syncs at least once per compaction relocates in `O(state)`;
+//!   one that slept through two compactions must rebuild.
 //!
 //! Concurrent readers hold consistent snapshots through
 //! [`crate::handle::ModelHandle`], the shared read view used by the
@@ -150,10 +179,38 @@ pub struct CrfModel {
     /// freshness on this, so two independently built models can never be
     /// confused — not even same-shape models reusing a heap address.
     model_id: u64,
-    /// Growth counter within the lineage: 0 at build, +1 per applied
-    /// non-empty [`ModelDelta`]. `(model_id, revision)` identifies the
-    /// content exactly.
+    /// Edit counter within the lineage: 0 at build, +1 per applied
+    /// non-empty [`ModelDelta`], [`RetireSet`], or [`Self::compact`].
+    /// `(model_id, revision)` identifies the content exactly.
     revision: u64,
+    /// Number of [`Self::retire`] operations applied over the lineage's
+    /// lifetime (monotone; caches diff it to detect tombstone changes).
+    retire_ops: u64,
+    /// Number of [`Self::compact`] operations applied over the lineage's
+    /// lifetime (monotone; caches diff it to decide relocation vs rebuild).
+    compactions: u64,
+    /// Lifetime entity counters: grown by [`Self::apply`], never reduced by
+    /// retirement or compaction. Upstream stores (`FactDatabase`) key their
+    /// sync point on these, so records once ingested are never re-emitted
+    /// after the model lets them go.
+    ingested_claims: u64,
+    ingested_sources: u64,
+    ingested_docs: u64,
+    ingested_cliques: u64,
+    /// Tombstone bitmaps (empty ⇔ nothing dead of that kind). Cleared by
+    /// [`Self::compact`].
+    dead_claims: Vec<bool>,
+    dead_sources: Vec<bool>,
+    dead_cliques: Vec<bool>,
+    n_dead_claims: usize,
+    n_dead_sources: usize,
+    n_dead_cliques: usize,
+    /// Per-source count of **live** claims — the denominator of the dynamic
+    /// trust statistic. Empty ⇔ no tombstones (the CSR degree is the count).
+    live_claims_per_source: Vec<u32>,
+    /// The latest compaction's renumbering, kept so model-keyed structures
+    /// can relocate instead of rebuilding (see the module docs).
+    last_compaction: Option<IdRemap>,
     n_claims: usize,
     n_sources: usize,
     n_docs: usize,
@@ -201,6 +258,122 @@ impl CrfModel {
     #[inline]
     pub fn revision(&self) -> Revision {
         Revision(self.revision)
+    }
+
+    /// Number of [`Self::retire`] operations applied over the lineage's
+    /// lifetime; caches diff it against their synced value to detect
+    /// tombstone changes inside a revision jump.
+    #[inline]
+    pub fn retire_ops(&self) -> u64 {
+        self.retire_ops
+    }
+
+    /// Number of [`Self::compact`] operations applied over the lineage's
+    /// lifetime; caches diff it to decide between remap-relocation and a
+    /// full rebuild.
+    #[inline]
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// The renumbering published by the most recent [`Self::compact`]
+    /// (`None` before the first). Only the latest is kept: a structure that
+    /// slept through two compactions cannot relocate and must rebuild.
+    pub fn last_compaction(&self) -> Option<&IdRemap> {
+        self.last_compaction.as_ref()
+    }
+
+    /// Lifetime count of claims ever ingested into this lineage (monotone;
+    /// unaffected by retirement or compaction). The sync point for upstream
+    /// record stores.
+    pub fn ingested_claims(&self) -> usize {
+        self.ingested_claims as usize
+    }
+
+    /// Lifetime count of sources ever ingested (see [`Self::ingested_claims`]).
+    pub fn ingested_sources(&self) -> usize {
+        self.ingested_sources as usize
+    }
+
+    /// Lifetime count of documents ever ingested (see [`Self::ingested_claims`]).
+    pub fn ingested_docs(&self) -> usize {
+        self.ingested_docs as usize
+    }
+
+    /// Lifetime count of cliques ever ingested (see [`Self::ingested_claims`]).
+    pub fn ingested_cliques(&self) -> usize {
+        self.ingested_cliques as usize
+    }
+
+    /// Whether any entity is currently tombstoned (retired but not yet
+    /// compacted away).
+    #[inline]
+    pub fn has_tombstones(&self) -> bool {
+        self.n_dead_claims + self.n_dead_sources + self.n_dead_cliques > 0
+    }
+
+    /// Whether claim `c` is still in service (not tombstoned).
+    #[inline]
+    pub fn claim_live(&self, c: usize) -> bool {
+        self.dead_claims.is_empty() || !self.dead_claims[c]
+    }
+
+    /// Whether source `s` is still in service.
+    #[inline]
+    pub fn source_live(&self, s: usize) -> bool {
+        self.dead_sources.is_empty() || !self.dead_sources[s]
+    }
+
+    /// Whether clique `ci` is still in service (its claim *and* source are
+    /// live).
+    #[inline]
+    pub fn clique_live(&self, ci: usize) -> bool {
+        self.dead_cliques.is_empty() || !self.dead_cliques[ci]
+    }
+
+    /// Number of live (non-tombstoned) claims.
+    pub fn n_live_claims(&self) -> usize {
+        self.n_claims - self.n_dead_claims
+    }
+
+    /// Number of live sources.
+    pub fn n_live_sources(&self) -> usize {
+        self.n_sources - self.n_dead_sources
+    }
+
+    /// Number of live cliques.
+    pub fn n_live_cliques(&self) -> usize {
+        self.cliques.len() - self.n_dead_cliques
+    }
+
+    /// Number of **live** distinct claims of a source — the denominator of
+    /// the dynamic trust statistic `τ(s)`. Equals
+    /// [`Self::n_claims_of_source`] when nothing is tombstoned.
+    #[inline]
+    pub fn n_live_claims_of_source(&self, source: u32) -> usize {
+        if self.live_claims_per_source.is_empty() {
+            self.n_claims_of_source(source)
+        } else {
+            self.live_claims_per_source[source as usize] as usize
+        }
+    }
+
+    /// The fraction of the model that is tombstoned: the larger of the dead
+    /// claim and dead clique ratios. The threshold signal for
+    /// [`Self::compact`] (retention policies compact when it crosses their
+    /// configured bound).
+    pub fn dead_fraction(&self) -> f64 {
+        let claims = if self.n_claims == 0 {
+            0.0
+        } else {
+            self.n_dead_claims as f64 / self.n_claims as f64
+        };
+        let cliques = if self.cliques.is_empty() {
+            0.0
+        } else {
+            self.n_dead_cliques as f64 / self.cliques.len() as f64
+        };
+        claims.max(cliques)
     }
 
     /// Number of claim variables.
@@ -378,6 +551,26 @@ pub enum ModelError {
         /// Revision of the model the delta was applied to.
         model_revision: u64,
     },
+    /// An operation referenced an entity that has been retired: a delta
+    /// attaching evidence to a tombstoned claim or source, or a
+    /// [`RetireSet`] naming an entity that is already dead.
+    RetiredReference {
+        /// What kind of entity was referenced.
+        entity: &'static str,
+        /// The retired index.
+        index: usize,
+    },
+    /// The caller's entity ids were invalidated by compaction(s) it has not
+    /// observed — either the model compacted while the caller held raw ids
+    /// (`synced < model`), or more than one compaction elapsed so the
+    /// single retained [`IdRemap`] cannot bridge the gap. Re-synchronise
+    /// through the remap (or a `factdb` `SyncMap`).
+    Remapped {
+        /// Compactions the model has performed.
+        model: u64,
+        /// Compactions the caller had observed.
+        synced: u64,
+    },
     /// A model lags or leads the upstream store it is synchronised from
     /// (e.g. a `FactDatabase` emitting deltas for records added since the
     /// last sync found the model ahead of its own records).
@@ -412,6 +605,14 @@ impl std::fmt::Display for ModelError {
                 f,
                 "delta built for model {delta_model_id} r{delta_revision} cannot apply to \
                  model {model_id} r{model_revision}"
+            ),
+            ModelError::RetiredReference { entity, index } => {
+                write!(f, "{entity} {index} has been retired")
+            }
+            ModelError::Remapped { model, synced } => write!(
+                f,
+                "model ids were renumbered by compaction ({model} compactions vs {synced} \
+                 observed); re-sync through the IdRemap"
             ),
             ModelError::OutOfSync {
                 entity,
@@ -562,6 +763,20 @@ impl CrfModelBuilder {
         Ok(CrfModel {
             model_id: NEXT_MODEL_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             revision: 0,
+            retire_ops: 0,
+            compactions: 0,
+            ingested_claims: n_claims as u64,
+            ingested_sources: n_sources as u64,
+            ingested_docs: n_docs as u64,
+            ingested_cliques: self.cliques.len() as u64,
+            dead_claims: Vec::new(),
+            dead_sources: Vec::new(),
+            dead_cliques: Vec::new(),
+            n_dead_claims: 0,
+            n_dead_sources: 0,
+            n_dead_cliques: 0,
+            live_claims_per_source: Vec::new(),
+            last_compaction: None,
             n_claims,
             n_sources,
             n_docs,
@@ -893,6 +1108,20 @@ impl CrfModel {
                     len: n_sources,
                 });
             }
+            // Evidence cannot attach to retired entities (new entities of
+            // the delta itself are beyond the old ranges and always live).
+            if cl.claim.idx() < self.n_claims && !self.claim_live(cl.claim.idx()) {
+                return Err(ModelError::RetiredReference {
+                    entity: "claim",
+                    index: cl.claim.idx(),
+                });
+            }
+            if (cl.source as usize) < self.n_sources && !self.source_live(cl.source as usize) {
+                return Err(ModelError::RetiredReference {
+                    entity: "source",
+                    index: cl.source as usize,
+                });
+            }
         }
 
         // ---- Commit. Feature matrices and the clique list are pure
@@ -960,12 +1189,532 @@ impl CrfModel {
                 .collect(),
         );
 
+        self.ingested_claims += delta.new_claims as u64;
+        self.ingested_sources += delta.n_new_sources() as u64;
+        self.ingested_docs += delta.n_new_docs() as u64;
+        self.ingested_cliques += delta.new_cliques.len() as u64;
+
+        // Tombstone bookkeeping: grown bitmaps stay in step with the entity
+        // ranges, and the live-claim counts of every source the delta
+        // touched are re-derived from its (deduplicated) grown row.
+        if !self.dead_claims.is_empty() {
+            self.dead_claims.resize(n_claims, false);
+        }
+        if !self.dead_sources.is_empty() {
+            self.dead_sources.resize(n_sources, false);
+        }
+        if !self.dead_cliques.is_empty() {
+            self.dead_cliques
+                .resize(self.cliques.len() + delta.new_cliques.len(), false);
+        }
+        if !self.live_claims_per_source.is_empty() {
+            self.live_claims_per_source.resize(n_sources, 0);
+            let mut touched: Vec<u32> = delta.new_cliques.iter().map(|cl| cl.source).collect();
+            touched.sort_unstable();
+            touched.dedup();
+            for s in touched {
+                // Temporarily borrow-free recount over the merged row.
+                let lo = self.source_claim_offsets[s as usize] as usize;
+                let hi = self.source_claim_offsets[s as usize + 1] as usize;
+                let live = self.source_claim_ids[lo..hi]
+                    .iter()
+                    .filter(|&&c| self.dead_claims.is_empty() || !self.dead_claims[c as usize])
+                    .count();
+                self.live_claims_per_source[s as usize] = live as u32;
+            }
+        }
+
         self.cliques.extend(delta.new_cliques);
         self.n_claims = n_claims;
         self.n_sources = n_sources;
         self.n_docs = n_docs;
         self.revision += 1;
         Ok(Revision(self.revision))
+    }
+
+    /// Tombstone the claims and sources of `set` in `O(touched)`, returning
+    /// the new revision.
+    ///
+    /// The set must have been prepared against exactly this
+    /// `(model_id, revision)` state ([`ModelError::StaleDelta`] otherwise),
+    /// every named entity must exist ([`ModelError::DanglingReference`])
+    /// and still be live ([`ModelError::RetiredReference`]). On any error
+    /// the model is untouched; an empty set is a no-op that returns the
+    /// current revision without bumping it.
+    ///
+    /// Retirement marks, it does not move: entity ids, array layouts, and
+    /// clique ids are all preserved. Every clique incident to a retired
+    /// claim or source dies with it, and the per-source live-claim counts
+    /// feeding the dynamic trust statistic are maintained, so inference on
+    /// the tombstoned model equals inference on the surviving subgraph (see
+    /// the module docs). Reclaiming the memory is [`Self::compact`]'s job.
+    pub fn retire(&mut self, set: RetireSet) -> Result<Revision, ModelError> {
+        if set.base_model_id != self.model_id || set.base_revision != self.revision {
+            return Err(ModelError::StaleDelta {
+                delta_model_id: set.base_model_id,
+                delta_revision: set.base_revision,
+                model_id: self.model_id,
+                model_revision: self.revision,
+            });
+        }
+        let mut claims = set.claims;
+        claims.sort_unstable();
+        claims.dedup();
+        let mut sources = set.sources;
+        sources.sort_unstable();
+        sources.dedup();
+        for &c in &claims {
+            if c as usize >= self.n_claims {
+                return Err(ModelError::DanglingReference {
+                    entity: "claim",
+                    index: c as usize,
+                    len: self.n_claims,
+                });
+            }
+            if !self.claim_live(c as usize) {
+                return Err(ModelError::RetiredReference {
+                    entity: "claim",
+                    index: c as usize,
+                });
+            }
+        }
+        for &s in &sources {
+            if s as usize >= self.n_sources {
+                return Err(ModelError::DanglingReference {
+                    entity: "source",
+                    index: s as usize,
+                    len: self.n_sources,
+                });
+            }
+            if !self.source_live(s as usize) {
+                return Err(ModelError::RetiredReference {
+                    entity: "source",
+                    index: s as usize,
+                });
+            }
+        }
+        if claims.is_empty() && sources.is_empty() {
+            return Ok(Revision(self.revision));
+        }
+
+        // Materialise the tombstone state on first use.
+        if self.dead_claims.is_empty() {
+            self.dead_claims.resize(self.n_claims, false);
+        }
+        if self.dead_sources.is_empty() {
+            self.dead_sources.resize(self.n_sources, false);
+        }
+        if self.dead_cliques.is_empty() {
+            self.dead_cliques.resize(self.cliques.len(), false);
+        }
+        if self.live_claims_per_source.is_empty() {
+            self.live_claims_per_source = (0..self.n_sources)
+                .map(|s| self.source_claim_offsets[s + 1] - self.source_claim_offsets[s])
+                .collect();
+        }
+
+        for &c in &claims {
+            self.dead_claims[c as usize] = true;
+            self.n_dead_claims += 1;
+            let (lo, hi) = self.claim_clique_span(c as usize);
+            for k in lo..hi {
+                let ci = self.claim_clique_ids[k] as usize;
+                if !self.dead_cliques[ci] {
+                    self.dead_cliques[ci] = true;
+                    self.n_dead_cliques += 1;
+                }
+            }
+            let slo = self.claim_source_offsets[c as usize] as usize;
+            let shi = self.claim_source_offsets[c as usize + 1] as usize;
+            for k in slo..shi {
+                let s = self.claim_source_ids[k] as usize;
+                self.live_claims_per_source[s] -= 1;
+            }
+        }
+        for &s in &sources {
+            self.dead_sources[s as usize] = true;
+            self.n_dead_sources += 1;
+            // Kill the retired source's surviving cliques: walk its live
+            // claims' rows and mark the entries carrying this source.
+            let lo = self.source_claim_offsets[s as usize] as usize;
+            let hi = self.source_claim_offsets[s as usize + 1] as usize;
+            for k in lo..hi {
+                let c = self.source_claim_ids[k] as usize;
+                if self.dead_claims[c] {
+                    continue; // its cliques are already dead
+                }
+                let (clo, chi) = self.claim_clique_span(c);
+                for p in clo..chi {
+                    if self.claim_clique_sources[p] == s
+                        && !self.dead_cliques[self.claim_clique_ids[p] as usize]
+                    {
+                        self.dead_cliques[self.claim_clique_ids[p] as usize] = true;
+                        self.n_dead_cliques += 1;
+                    }
+                }
+            }
+        }
+        self.revision += 1;
+        self.retire_ops += 1;
+        Ok(Revision(self.revision))
+    }
+
+    /// Rebuild the arrays to the canonical layout of the surviving
+    /// subgraph, dropping every tombstoned claim, source, and clique —
+    /// and every document whose cliques all died — and publish the
+    /// order-preserving [`IdRemap`] from old to new ids.
+    ///
+    /// The compacted model is identical, array for array, to a one-shot
+    /// [`CrfModelBuilder`] build of the survivors in their original
+    /// insertion order; `model_id` is preserved, `revision` bumps, and the
+    /// remap is retained as [`Self::last_compaction`] (only the latest is
+    /// kept). With nothing to drop this is a no-op returning an identity
+    /// remap without bumping the revision. [`ModelError::Empty`] is
+    /// returned — and the model left untouched — when no clique would
+    /// survive; retire less, or keep the tombstoned model.
+    pub fn compact(&mut self) -> Result<IdRemap, ModelError> {
+        const DROP: u32 = u32::MAX;
+        // A document survives iff it never had cliques (feature-only row)
+        // or at least one of its cliques is live.
+        let mut doc_has_clique = vec![false; self.n_docs];
+        let mut doc_has_live = vec![false; self.n_docs];
+        for (ci, cl) in self.cliques.iter().enumerate() {
+            doc_has_clique[cl.doc as usize] = true;
+            if self.clique_live(ci) {
+                doc_has_live[cl.doc as usize] = true;
+            }
+        }
+        let drop_doc = |d: usize, has: &[bool], live: &[bool]| -> bool { has[d] && !live[d] };
+
+        if !self.has_tombstones()
+            && !(0..self.n_docs).any(|d| drop_doc(d, &doc_has_clique, &doc_has_live))
+        {
+            return Ok(IdRemap::identity(self));
+        }
+
+        let number = |n: usize, live: &dyn Fn(usize) -> bool| -> (Vec<u32>, u32) {
+            let mut map = vec![DROP; n];
+            let mut next = 0u32;
+            for (i, slot) in map.iter_mut().enumerate() {
+                if live(i) {
+                    *slot = next;
+                    next += 1;
+                }
+            }
+            (map, next)
+        };
+        let (claim_map, new_claims) = number(self.n_claims, &|c| self.claim_live(c));
+        let (source_map, new_sources) = number(self.n_sources, &|s| self.source_live(s));
+        let (doc_map, new_docs) = number(self.n_docs, &|d| {
+            !drop_doc(d, &doc_has_clique, &doc_has_live)
+        });
+        let (clique_map, new_cliques) = number(self.cliques.len(), &|ci| self.clique_live(ci));
+
+        // One-shot replay of the survivors, in original insertion order,
+        // through the builder — canonical layout by construction.
+        let mut b = CrfModelBuilder::new(self.m_source, self.m_doc);
+        for (s, &mapped) in source_map.iter().enumerate() {
+            if mapped != DROP {
+                b.add_source(self.source_feature_row(s as u32))?;
+            }
+        }
+        for _ in 0..new_claims {
+            b.add_claim();
+        }
+        for (d, &mapped) in doc_map.iter().enumerate() {
+            if mapped != DROP {
+                b.add_document(self.doc_feature_row(d as u32))?;
+            }
+        }
+        for (ci, cl) in self.cliques.iter().enumerate() {
+            if clique_map[ci] != DROP {
+                b.add_clique(
+                    VarId(claim_map[cl.claim.idx()]),
+                    doc_map[cl.doc as usize],
+                    source_map[cl.source as usize],
+                    cl.stance,
+                );
+            }
+        }
+        let built = b.build()?; // Empty when no clique survives; model untouched
+
+        let remap = IdRemap {
+            from_revision: self.revision,
+            to_revision: self.revision + 1,
+            claims: claim_map,
+            sources: source_map,
+            docs: doc_map,
+            cliques: clique_map,
+            new_claims,
+            new_sources,
+            new_docs,
+            new_cliques,
+        };
+
+        self.n_claims = built.n_claims;
+        self.n_sources = built.n_sources;
+        self.n_docs = built.n_docs;
+        self.cliques = built.cliques;
+        self.claim_clique_offsets = built.claim_clique_offsets;
+        self.claim_clique_ids = built.claim_clique_ids;
+        self.claim_clique_sources = built.claim_clique_sources;
+        self.source_claim_offsets = built.source_claim_offsets;
+        self.source_claim_ids = built.source_claim_ids;
+        self.claim_source_offsets = built.claim_source_offsets;
+        self.claim_source_ids = built.claim_source_ids;
+        self.doc_features = built.doc_features;
+        self.source_features = built.source_features;
+        self.dead_claims.clear();
+        self.dead_sources.clear();
+        self.dead_cliques.clear();
+        self.n_dead_claims = 0;
+        self.n_dead_sources = 0;
+        self.n_dead_cliques = 0;
+        self.live_claims_per_source.clear();
+        self.revision += 1;
+        self.compactions += 1;
+        self.last_compaction = Some(remap.clone());
+        Ok(remap)
+    }
+}
+
+/// One edit of the versioned model lifecycle — the generalisation of the
+/// original grow-only [`ModelDelta`] API to both directions. Every variant
+/// is prepared against a specific `(model_id, revision)` pair and applied
+/// through [`CrfModel::edit`] (or `ModelHandle::edit`), which rejects a
+/// stale edit with [`ModelError::StaleDelta`] exactly like the underlying
+/// operations.
+#[derive(Debug, Clone)]
+pub enum ModelEdit {
+    /// Grow the model by a delta ([`CrfModel::apply`]).
+    Grow(ModelDelta),
+    /// Tombstone a set of claims and sources ([`CrfModel::retire`]).
+    Retire(RetireSet),
+}
+
+impl From<ModelDelta> for ModelEdit {
+    fn from(delta: ModelDelta) -> Self {
+        ModelEdit::Grow(delta)
+    }
+}
+
+impl From<RetireSet> for ModelEdit {
+    fn from(set: RetireSet) -> Self {
+        ModelEdit::Retire(set)
+    }
+}
+
+impl CrfModel {
+    /// Apply one lifecycle edit, returning the new revision — the uniform
+    /// entry point over [`Self::apply`] and [`Self::retire`].
+    pub fn edit(&mut self, edit: impl Into<ModelEdit>) -> Result<Revision, ModelError> {
+        match edit.into() {
+            ModelEdit::Grow(delta) => self.apply(delta),
+            ModelEdit::Retire(set) => self.retire(set),
+        }
+    }
+}
+
+/// A batch of claims and sources to take out of service — the shrink-side
+/// dual of [`ModelDelta`]. Prepared against a specific
+/// `(model_id, revision)` pair via [`RetireSet::for_model`] (or
+/// `ModelHandle::retire_set`) and applied by [`CrfModel::retire`], which
+/// rejects anything else with [`ModelError::StaleDelta`]. Duplicates within
+/// the set are tolerated (deduplicated at apply time); naming an entity that
+/// is already dead is an error.
+#[derive(Debug, Clone)]
+pub struct RetireSet {
+    base_model_id: u64,
+    base_revision: u64,
+    claims: Vec<u32>,
+    sources: Vec<u32>,
+}
+
+impl RetireSet {
+    /// Start an empty retire set against the current state of `model`.
+    pub fn for_model(model: &CrfModel) -> Self {
+        RetireSet {
+            base_model_id: model.model_id,
+            base_revision: model.revision,
+            claims: Vec::new(),
+            sources: Vec::new(),
+        }
+    }
+
+    /// Name a claim for retirement.
+    pub fn retire_claim(&mut self, claim: VarId) {
+        self.claims.push(claim.0);
+    }
+
+    /// Name a source for retirement (its surviving cliques die with it;
+    /// its claims stay live).
+    pub fn retire_source(&mut self, source: u32) {
+        self.sources.push(source);
+    }
+
+    /// Number of claims named (before deduplication).
+    pub fn n_claims(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Number of sources named (before deduplication).
+    pub fn n_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether the set names nothing (applying it is a no-op).
+    pub fn is_empty(&self) -> bool {
+        self.claims.is_empty() && self.sources.is_empty()
+    }
+
+    /// The `(model_id, revision)` pair this set can be applied to.
+    pub fn base_revision(&self) -> (u64, Revision) {
+        (self.base_model_id, Revision(self.base_revision))
+    }
+}
+
+/// The order-preserving renumbering a [`CrfModel::compact`] publishes: for
+/// each entity kind, old id → new id, with dropped entities mapping to
+/// `None`. Survivors keep their relative order, which is what lets every
+/// model-keyed structure (score cache, partition, per-claim state,
+/// upstream sync maps) *relocate* its state instead of rebuilding it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IdRemap {
+    /// The revision whose ids form the domain of the maps.
+    from_revision: u64,
+    /// The revision whose ids form the codomain.
+    to_revision: u64,
+    claims: Vec<u32>,
+    sources: Vec<u32>,
+    docs: Vec<u32>,
+    cliques: Vec<u32>,
+    new_claims: u32,
+    new_sources: u32,
+    new_docs: u32,
+    new_cliques: u32,
+}
+
+impl IdRemap {
+    const DROPPED: u32 = u32::MAX;
+
+    /// The identity remap of a model's current state (what a no-op
+    /// [`CrfModel::compact`] returns).
+    fn identity(model: &CrfModel) -> Self {
+        IdRemap {
+            from_revision: model.revision,
+            to_revision: model.revision,
+            claims: (0..model.n_claims as u32).collect(),
+            sources: (0..model.n_sources as u32).collect(),
+            docs: (0..model.n_docs as u32).collect(),
+            cliques: (0..model.cliques.len() as u32).collect(),
+            new_claims: model.n_claims as u32,
+            new_sources: model.n_sources as u32,
+            new_docs: model.n_docs as u32,
+            new_cliques: model.cliques.len() as u32,
+        }
+    }
+
+    /// Whether the remap renumbers nothing (every entity survives in place).
+    pub fn is_identity(&self) -> bool {
+        self.from_revision == self.to_revision
+    }
+
+    /// The revision whose ids the remap consumes.
+    pub fn from_revision(&self) -> Revision {
+        Revision(self.from_revision)
+    }
+
+    /// The revision whose ids the remap produces.
+    pub fn to_revision(&self) -> Revision {
+        Revision(self.to_revision)
+    }
+
+    /// New id of an old claim (`None` when it was dropped).
+    #[inline]
+    pub fn claim(&self, old: VarId) -> Option<VarId> {
+        match self.claims[old.idx()] {
+            Self::DROPPED => None,
+            new => Some(VarId(new)),
+        }
+    }
+
+    /// New id of an old source (`None` when it was dropped).
+    #[inline]
+    pub fn source(&self, old: u32) -> Option<u32> {
+        match self.sources[old as usize] {
+            Self::DROPPED => None,
+            new => Some(new),
+        }
+    }
+
+    /// New id of an old document (`None` when it was dropped).
+    #[inline]
+    pub fn doc(&self, old: u32) -> Option<u32> {
+        match self.docs[old as usize] {
+            Self::DROPPED => None,
+            new => Some(new),
+        }
+    }
+
+    /// New id of an old clique (`None` when it was dropped).
+    #[inline]
+    pub fn clique(&self, old: CliqueId) -> Option<CliqueId> {
+        match self.cliques[old.idx()] {
+            Self::DROPPED => None,
+            new => Some(CliqueId(new)),
+        }
+    }
+
+    /// Claim count of the pre-compaction model (the domain size).
+    pub fn n_old_claims(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Source count of the pre-compaction model.
+    pub fn n_old_sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Document count of the pre-compaction model.
+    pub fn n_old_docs(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Clique count of the pre-compaction model.
+    pub fn n_old_cliques(&self) -> usize {
+        self.cliques.len()
+    }
+
+    /// Claim count of the compacted model.
+    pub fn n_new_claims(&self) -> usize {
+        self.new_claims as usize
+    }
+
+    /// Source count of the compacted model.
+    pub fn n_new_sources(&self) -> usize {
+        self.new_sources as usize
+    }
+
+    /// Document count of the compacted model.
+    pub fn n_new_docs(&self) -> usize {
+        self.new_docs as usize
+    }
+
+    /// Clique count of the compacted model.
+    pub fn n_new_cliques(&self) -> usize {
+        self.new_cliques as usize
+    }
+
+    /// The inverse clique map, new id → old id (survivors only); the
+    /// relocation index caches use to pull old state into the new layout.
+    pub fn inverse_cliques(&self) -> Vec<u32> {
+        let mut inv = vec![0u32; self.new_cliques as usize];
+        for (old, &new) in self.cliques.iter().enumerate() {
+            if new != Self::DROPPED {
+                inv[new as usize] = old as u32;
+            }
+        }
+        inv
     }
 }
 
@@ -1221,6 +1970,287 @@ pub(crate) mod test_support {
             model.apply(delta).unwrap();
         }
         model
+    }
+
+    /// One step of a random lifecycle script: either a growth chunk or a
+    /// retirement of currently-live entities.
+    #[derive(Debug, Clone)]
+    pub enum LifecycleOp {
+        /// Grow by one chunk (entities only reference live ids).
+        Grow(GrowthChunk),
+        /// Retire the named (live) claims and sources.
+        Retire {
+            /// Claims to tombstone.
+            claims: Vec<u32>,
+            /// Sources to tombstone.
+            sources: Vec<u32>,
+        },
+    }
+
+    /// A naive mirror of the lifecycle — the executable specification the
+    /// tombstone/compaction machinery is held against. It tracks entities
+    /// and liveness in plain vectors and can produce the one-shot
+    /// *survivors* build through the ordinary [`CrfModelBuilder`], entirely
+    /// independently of [`CrfModel::retire`] / [`CrfModel::compact`].
+    #[derive(Debug, Clone, Default)]
+    pub struct LifecycleSim {
+        /// Source feature rows.
+        pub sources: Vec<[f64; 2]>,
+        /// Liveness per source.
+        pub source_live: Vec<bool>,
+        /// Number of claims ever added.
+        pub claims: usize,
+        /// Liveness per claim.
+        pub claim_live: Vec<bool>,
+        /// Document feature rows.
+        pub docs: Vec<[f64; 2]>,
+        /// Cliques as `(claim, doc, source, refute)`.
+        pub cliques: Vec<(u32, u32, u32, bool)>,
+    }
+
+    impl LifecycleSim {
+        /// Whether clique `i` is live (claim and source both live).
+        pub fn clique_live(&self, i: usize) -> bool {
+            let (c, _, s, _) = self.cliques[i];
+            self.claim_live[c as usize] && self.source_live[s as usize]
+        }
+
+        /// Number of live cliques.
+        pub fn n_live_cliques(&self) -> usize {
+            (0..self.cliques.len())
+                .filter(|&i| self.clique_live(i))
+                .count()
+        }
+
+        /// Mirror one growth chunk (same id assignment as the builder/delta).
+        pub fn apply_chunk(&mut self, chunk: &GrowthChunk) {
+            for row in &chunk.sources {
+                self.sources.push(*row);
+                self.source_live.push(true);
+            }
+            for _ in 0..chunk.claims {
+                self.claims += 1;
+                self.claim_live.push(true);
+            }
+            for (row, links) in &chunk.docs {
+                let d = self.docs.len() as u32;
+                self.docs.push(*row);
+                for &(claim, source, refute) in links {
+                    self.cliques.push((claim, d, source, refute));
+                }
+            }
+        }
+
+        /// Mirror a retirement.
+        pub fn retire(&mut self, claims: &[u32], sources: &[u32]) {
+            for &c in claims {
+                self.claim_live[c as usize] = false;
+            }
+            for &s in sources {
+                self.source_live[s as usize] = false;
+            }
+        }
+
+        /// The one-shot build of the survivors, in original insertion
+        /// order, with the same document-drop rule the compactor uses (a
+        /// doc is dropped iff it had cliques and none survived). Returns
+        /// the model plus the old→new claim map (`u32::MAX` = dropped).
+        pub fn build_survivors(&self) -> (CrfModel, Vec<u32>) {
+            const DROP: u32 = u32::MAX;
+            let mut b = CrfModelBuilder::new(2, 2);
+            let mut source_map = vec![DROP; self.sources.len()];
+            for (s, row) in self.sources.iter().enumerate() {
+                if self.source_live[s] {
+                    source_map[s] = b.add_source(row).unwrap();
+                }
+            }
+            let mut claim_map = vec![DROP; self.claims];
+            for (c, slot) in claim_map.iter_mut().enumerate() {
+                if self.claim_live[c] {
+                    *slot = b.add_claim().0;
+                }
+            }
+            let mut doc_has = vec![false; self.docs.len()];
+            let mut doc_live = vec![false; self.docs.len()];
+            for (i, &(_, d, _, _)) in self.cliques.iter().enumerate() {
+                doc_has[d as usize] = true;
+                if self.clique_live(i) {
+                    doc_live[d as usize] = true;
+                }
+            }
+            let mut doc_map = vec![DROP; self.docs.len()];
+            for (d, row) in self.docs.iter().enumerate() {
+                if !doc_has[d] || doc_live[d] {
+                    doc_map[d] = b.add_document(row).unwrap();
+                }
+            }
+            for (i, &(c, d, s, refute)) in self.cliques.iter().enumerate() {
+                if self.clique_live(i) {
+                    let stance = if refute {
+                        Stance::Refute
+                    } else {
+                        Stance::Support
+                    };
+                    b.add_clique(
+                        VarId(claim_map[c as usize]),
+                        doc_map[d as usize],
+                        source_map[s as usize],
+                        stance,
+                    );
+                }
+            }
+            (b.build().unwrap(), claim_map)
+        }
+    }
+
+    /// A random interleaved grow/retire script. Op 0 is always a growth
+    /// chunk that seeds a buildable model; retire steps only name live
+    /// entities and never kill the last live clique, so the survivors
+    /// build always succeeds. Growth chunks only reference live claims and
+    /// sources (evidence cannot attach to retired entities).
+    pub fn random_lifecycle_script(seed: u64, n_ops: usize) -> Vec<LifecycleOp> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut sim = LifecycleSim::default();
+        let mut ops = Vec::with_capacity(n_ops);
+
+        let grow = |rng: &mut SmallRng, sim: &mut LifecycleSim, first: bool| -> GrowthChunk {
+            let live_sources: Vec<u32> = (0..sim.sources.len() as u32)
+                .filter(|&s| sim.source_live[s as usize])
+                .collect();
+            let live_claims: Vec<u32> = (0..sim.claims as u32)
+                .filter(|&c| sim.claim_live[c as usize])
+                .collect();
+            let n_new_sources = if first || live_sources.is_empty() {
+                rng.gen_range(1..3usize)
+            } else {
+                rng.gen_range(0..3usize)
+            };
+            let n_new_claims = if first || live_claims.is_empty() {
+                rng.gen_range(1..4)
+            } else {
+                rng.gen_range(0..4)
+            };
+            let mut chunk = GrowthChunk {
+                sources: (0..n_new_sources)
+                    .map(|_| [rng.gen::<f64>(), rng.gen::<f64>()])
+                    .collect(),
+                claims: n_new_claims,
+                docs: Vec::new(),
+            };
+            // Referencable pools: live old entities plus this chunk's new ones.
+            let mut claims_pool = live_claims;
+            claims_pool.extend(sim.claims as u32..(sim.claims + n_new_claims) as u32);
+            let mut sources_pool = live_sources;
+            sources_pool
+                .extend(sim.sources.len() as u32..(sim.sources.len() + n_new_sources) as u32);
+            let n_docs = if first {
+                rng.gen_range(1..5usize)
+            } else {
+                rng.gen_range(0..5usize)
+            };
+            for _ in 0..n_docs {
+                let row = [rng.gen::<f64>(), rng.gen::<f64>()];
+                let links = (0..rng.gen_range(1..3usize))
+                    .map(|_| {
+                        (
+                            claims_pool[rng.gen_range(0..claims_pool.len())],
+                            sources_pool[rng.gen_range(0..sources_pool.len())],
+                            rng.gen_bool(0.25),
+                        )
+                    })
+                    .collect();
+                chunk.docs.push((row, links));
+            }
+            sim.apply_chunk(&chunk);
+            chunk
+        };
+
+        ops.push(LifecycleOp::Grow(grow(&mut rng, &mut sim, true)));
+        for _ in 1..n_ops {
+            let retire_possible = sim.n_live_cliques() > 1;
+            if retire_possible && rng.gen_bool(0.45) {
+                // Candidate entities, shuffled-ish by random picks; accept
+                // each only while at least one live clique would remain.
+                let mut claims = Vec::new();
+                let mut sources = Vec::new();
+                let mut trial = sim.clone();
+                for _ in 0..rng.gen_range(1..4usize) {
+                    if rng.gen_bool(0.7) {
+                        let live: Vec<u32> = (0..trial.claims as u32)
+                            .filter(|&c| trial.claim_live[c as usize])
+                            .collect();
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let c = live[rng.gen_range(0..live.len())];
+                        let mut t = trial.clone();
+                        t.retire(&[c], &[]);
+                        if t.n_live_cliques() >= 1 {
+                            claims.push(c);
+                            trial = t;
+                        }
+                    } else {
+                        let live: Vec<u32> = (0..trial.sources.len() as u32)
+                            .filter(|&s| trial.source_live[s as usize])
+                            .collect();
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let s = live[rng.gen_range(0..live.len())];
+                        let mut t = trial.clone();
+                        t.retire(&[], &[s]);
+                        if t.n_live_cliques() >= 1 {
+                            sources.push(s);
+                            trial = t;
+                        }
+                    }
+                }
+                if claims.is_empty() && sources.is_empty() {
+                    ops.push(LifecycleOp::Grow(grow(&mut rng, &mut sim, false)));
+                } else {
+                    sim.retire(&claims, &sources);
+                    ops.push(LifecycleOp::Retire { claims, sources });
+                }
+            } else {
+                ops.push(LifecycleOp::Grow(grow(&mut rng, &mut sim, false)));
+            }
+        }
+        ops
+    }
+
+    /// Replay a lifecycle script against a live model (chunk 0 through the
+    /// builder, growth through [`CrfModel::apply`], retirement through
+    /// [`CrfModel::retire`]) while mirroring it in a [`LifecycleSim`].
+    pub fn replay_lifecycle(ops: &[LifecycleOp]) -> (CrfModel, LifecycleSim) {
+        let mut sim = LifecycleSim::default();
+        let LifecycleOp::Grow(first) = &ops[0] else {
+            panic!("script must start with growth");
+        };
+        sim.apply_chunk(first);
+        let mut model = build_batch(std::slice::from_ref(first));
+        for op in &ops[1..] {
+            match op {
+                LifecycleOp::Grow(chunk) => {
+                    let delta = chunk_delta(&model, chunk);
+                    model.apply(delta).unwrap();
+                    sim.apply_chunk(chunk);
+                }
+                LifecycleOp::Retire { claims, sources } => {
+                    let mut set = RetireSet::for_model(&model);
+                    for &c in claims {
+                        set.retire_claim(VarId(c));
+                    }
+                    for &s in sources {
+                        set.retire_source(s);
+                    }
+                    model.retire(set).unwrap();
+                    sim.retire(claims, sources);
+                }
+            }
+        }
+        (model, sim)
     }
 
     /// Assert two models have identical content (everything except the
@@ -1571,6 +2601,319 @@ mod tests {
             let batch = test_support::build_batch(&script);
             let grown = test_support::build_grown(&script);
             test_support::assert_same_content(&batch, &grown);
+        }
+    }
+
+    // ---------------------------------------------- retirement + compaction
+
+    #[test]
+    fn retire_tombstones_in_place() {
+        let mut m = tiny_model();
+        let id = m.model_id();
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(1));
+        assert_eq!(m.retire(set).unwrap(), Revision(1));
+        assert_eq!(m.model_id(), id);
+        assert_eq!(m.retire_ops(), 1);
+        assert_eq!(m.compactions(), 0);
+        // Layout untouched, liveness changed.
+        assert_eq!(m.n_claims(), 2);
+        assert_eq!(m.n_live_claims(), 1);
+        assert!(m.claim_live(0) && !m.claim_live(1));
+        assert!(!m.clique_live(2), "claim 1's clique dies with it");
+        assert!(m.clique_live(0) && m.clique_live(1));
+        assert_eq!(m.n_live_cliques(), 2);
+        // Source 0 served both claims; its live-claim count drops to 1.
+        assert_eq!(m.n_live_claims_of_source(0), 1);
+        assert_eq!(m.n_live_claims_of_source(1), 1);
+        assert!(m.has_tombstones());
+        assert!(m.dead_fraction() > 0.0);
+        // Lifetime counters are unaffected.
+        assert_eq!(m.ingested_claims(), 2);
+        assert_eq!(m.ingested_cliques(), 3);
+    }
+
+    #[test]
+    fn retire_source_kills_its_cliques_only() {
+        let mut m = tiny_model();
+        let mut set = RetireSet::for_model(&m);
+        set.retire_source(1);
+        m.retire(set).unwrap();
+        assert!(!m.source_live(1));
+        assert!(m.claim_live(0), "the source's claim stays live");
+        assert!(!m.clique_live(1), "clique via source 1 dies");
+        assert!(m.clique_live(0) && m.clique_live(2));
+        assert_eq!(
+            m.n_live_claims_of_source(1),
+            1,
+            "row counts stay claim-side"
+        );
+    }
+
+    #[test]
+    fn retire_rejects_stale_dangling_and_double() {
+        let mut m = tiny_model();
+        let stale = RetireSet::for_model(&m);
+        let mut bump = ModelDelta::for_model(&m);
+        bump.add_claim();
+        m.apply(bump).unwrap();
+        let mut stale = stale;
+        stale.retire_claim(VarId(0));
+        assert!(matches!(
+            m.retire(stale),
+            Err(ModelError::StaleDelta { .. })
+        ));
+
+        let mut bad = RetireSet::for_model(&m);
+        bad.retire_claim(VarId(99));
+        assert!(matches!(
+            m.retire(bad),
+            Err(ModelError::DanglingReference {
+                entity: "claim",
+                ..
+            })
+        ));
+
+        let mut first = RetireSet::for_model(&m);
+        first.retire_claim(VarId(0));
+        m.retire(first).unwrap();
+        let mut again = RetireSet::for_model(&m);
+        again.retire_claim(VarId(0));
+        assert!(matches!(
+            m.retire(again),
+            Err(ModelError::RetiredReference {
+                entity: "claim",
+                index: 0
+            })
+        ));
+        // Errors left the model untouched beyond the successful retire.
+        assert_eq!(m.n_dead_claims, 1);
+    }
+
+    /// The uniform edit entry point dispatches both directions and keeps
+    /// the revision-check semantics.
+    #[test]
+    fn model_edit_unifies_grow_and_retire() {
+        let mut m = tiny_model();
+        let mut delta = ModelDelta::for_model(&m);
+        delta.add_claim();
+        assert_eq!(m.edit(delta).unwrap(), Revision(1));
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(0));
+        assert_eq!(m.edit(ModelEdit::Retire(set)).unwrap(), Revision(2));
+        assert!(!m.claim_live(0));
+        let stale = RetireSet::for_model(&m);
+        let mut bump = ModelDelta::for_model(&m);
+        bump.add_claim();
+        m.edit(bump).unwrap();
+        let mut stale = stale;
+        stale.retire_claim(VarId(1));
+        assert!(matches!(m.edit(stale), Err(ModelError::StaleDelta { .. })));
+    }
+
+    #[test]
+    fn empty_retire_set_is_a_no_op() {
+        let mut m = tiny_model();
+        let set = RetireSet::for_model(&m);
+        assert!(set.is_empty());
+        assert_eq!(m.retire(set).unwrap(), Revision(0));
+        assert!(!m.has_tombstones());
+    }
+
+    #[test]
+    fn apply_rejects_evidence_for_retired_entities() {
+        let mut m = tiny_model();
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(0));
+        m.retire(set).unwrap();
+        let mut delta = ModelDelta::for_model(&m);
+        let d = delta.add_document(&[0.3]).unwrap();
+        delta.add_clique(VarId(0), d, 0, Stance::Support);
+        assert!(matches!(
+            m.apply(delta),
+            Err(ModelError::RetiredReference {
+                entity: "claim",
+                index: 0
+            })
+        ));
+        let rev = m.revision();
+        let mut delta = ModelDelta::for_model(&m);
+        let d = delta.add_document(&[0.3]).unwrap();
+        delta.add_clique(VarId(1), d, 0, Stance::Support);
+        assert_eq!(m.apply(delta).unwrap(), Revision(rev.0 + 1));
+    }
+
+    #[test]
+    fn compact_matches_one_shot_survivors_build() {
+        let mut m = tiny_model();
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(0));
+        m.retire(set).unwrap();
+        let id = m.model_id();
+        let remap = m.compact().unwrap();
+        assert!(!remap.is_identity());
+        assert_eq!(m.model_id(), id, "lineage survives compaction");
+        assert_eq!(m.compactions(), 1);
+        assert_eq!(m.revision(), Revision(2));
+        assert_eq!(m.last_compaction(), Some(&remap));
+        assert!(!m.has_tombstones());
+
+        // Survivors: claim 1 (now 0), both sources, doc 2 (now 0), clique 2.
+        assert_eq!(remap.claim(VarId(0)), None);
+        assert_eq!(remap.claim(VarId(1)), Some(VarId(0)));
+        assert_eq!(remap.doc(2), Some(0));
+        assert_eq!(remap.doc(0), None, "doc 0's only clique died");
+        assert_eq!(remap.clique(CliqueId(2)), Some(CliqueId(0)));
+        assert_eq!(remap.n_new_claims(), 1);
+
+        // Canonical: identical to the one-shot build of the survivors.
+        let mut b = CrfModelBuilder::new(1, 1);
+        b.add_source(&[0.9]).unwrap();
+        b.add_source(&[0.1]).unwrap();
+        let c = b.add_claim();
+        let d = b.add_document(&[0.5]).unwrap();
+        b.add_clique(c, d, 0, Stance::Support);
+        let expect = b.build().unwrap();
+        test_support::assert_same_content(&m, &expect);
+        // Lifetime counters remember everything ever ingested.
+        assert_eq!(m.ingested_claims(), 2);
+        assert_eq!(m.ingested_docs(), 3);
+    }
+
+    #[test]
+    fn compact_without_tombstones_is_identity() {
+        let mut m = tiny_model();
+        let remap = m.compact().unwrap();
+        assert!(remap.is_identity());
+        assert_eq!(m.revision(), Revision(0));
+        assert_eq!(m.compactions(), 0);
+        assert!(m.last_compaction().is_none());
+        assert_eq!(remap.claim(VarId(1)), Some(VarId(1)));
+    }
+
+    #[test]
+    fn compact_of_everything_dead_is_rejected() {
+        let mut m = tiny_model();
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(0));
+        set.retire_claim(VarId(1));
+        m.retire(set).unwrap();
+        assert!(matches!(m.compact(), Err(ModelError::Empty)));
+        // The failed compact left the tombstoned model intact.
+        assert_eq!(m.n_claims(), 2);
+        assert!(m.has_tombstones());
+    }
+
+    #[test]
+    fn grow_after_compact_stays_canonical() {
+        let mut m = tiny_model();
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(0));
+        m.retire(set).unwrap();
+        m.compact().unwrap();
+        let mut delta = ModelDelta::for_model(&m);
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.7]).unwrap();
+        delta.add_clique(c, d, 0, Stance::Refute);
+        delta.add_clique(VarId(0), d, 1, Stance::Support);
+        m.apply(delta).unwrap();
+
+        let mut b = CrfModelBuilder::new(1, 1);
+        b.add_source(&[0.9]).unwrap();
+        b.add_source(&[0.1]).unwrap();
+        let c0 = b.add_claim();
+        let c1 = b.add_claim();
+        let d0 = b.add_document(&[0.5]).unwrap();
+        b.add_clique(c0, d0, 0, Stance::Support);
+        let d1 = b.add_document(&[0.7]).unwrap();
+        b.add_clique(c1, d1, 0, Stance::Refute);
+        b.add_clique(c0, d1, 1, Stance::Support);
+        test_support::assert_same_content(&m, &b.build().unwrap());
+    }
+
+    #[test]
+    fn serde_keeps_lifecycle_state() {
+        let mut m = tiny_model();
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(1));
+        m.retire(set).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: CrfModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.revision(), m.revision());
+        assert_eq!(back.retire_ops(), 1);
+        assert!(!back.claim_live(1));
+        assert_eq!(back.n_live_claims_of_source(0), 1);
+        assert_eq!(back.ingested_claims(), 2);
+    }
+
+    /// The tentpole spec at the model layer: any interleaved grow/retire
+    /// script, compacted, equals a one-shot build of the survivors in
+    /// original insertion order — on fixed seeds and under proptest.
+    #[test]
+    fn lifecycle_compact_matches_survivors_build() {
+        for seed in 0..24u64 {
+            let ops = test_support::random_lifecycle_script(seed, 2 + (seed as usize % 7));
+            let (mut model, sim) = test_support::replay_lifecycle(&ops);
+            let (expect, claim_map) = sim.build_survivors();
+            let remap = model.compact().unwrap();
+            test_support::assert_same_content(&model, &expect);
+            for (old, &new) in claim_map.iter().enumerate() {
+                let got = remap.claim(VarId(old as u32));
+                if new == u32::MAX {
+                    assert_eq!(got, None, "seed {seed} claim {old}");
+                } else {
+                    assert_eq!(got, Some(VarId(new)), "seed {seed} claim {old}");
+                }
+            }
+        }
+    }
+
+    /// Tombstone invariants hold mid-script: live counts match bitmaps,
+    /// per-source live-claim counts match a direct recount.
+    #[test]
+    fn lifecycle_live_counts_are_consistent() {
+        for seed in 100..112u64 {
+            let ops = test_support::random_lifecycle_script(seed, 6);
+            let (model, sim) = test_support::replay_lifecycle(&ops);
+            assert_eq!(model.n_claims(), sim.claims);
+            assert_eq!(
+                model.n_live_claims(),
+                sim.claim_live.iter().filter(|&&l| l).count(),
+                "seed {seed}"
+            );
+            assert_eq!(model.n_live_cliques(), sim.n_live_cliques(), "seed {seed}");
+            for s in 0..model.n_sources() as u32 {
+                let direct = model
+                    .claims_of_source(s)
+                    .iter()
+                    .filter(|&&c| model.claim_live(c as usize))
+                    .count();
+                assert_eq!(
+                    model.n_live_claims_of_source(s),
+                    direct,
+                    "seed {seed} source {s}"
+                );
+            }
+            for (i, cl) in model.cliques().iter().enumerate() {
+                assert_eq!(
+                    model.clique_live(i),
+                    model.claim_live(cl.claim.idx()) && model.source_live(cl.source as usize),
+                    "seed {seed} clique {i}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Proptest form of the compaction spec over random interleaved
+        /// grow/retire scripts.
+        #[test]
+        fn prop_lifecycle_compact_matches_survivors(seed in 0u64..250, ops in 2usize..8) {
+            let ops = test_support::random_lifecycle_script(seed ^ 0xbead, ops);
+            let (mut model, sim) = test_support::replay_lifecycle(&ops);
+            let (expect, _) = sim.build_survivors();
+            model.compact().unwrap();
+            test_support::assert_same_content(&model, &expect);
         }
     }
 }

@@ -27,7 +27,7 @@
 //! across an inference call — so handle users cannot deadlock against the
 //! sampler.
 
-use crate::graph::{CrfModel, ModelDelta, ModelError, Revision};
+use crate::graph::{CrfModel, IdRemap, ModelDelta, ModelEdit, ModelError, RetireSet, Revision};
 use std::sync::{Arc, RwLock};
 
 /// A cloneable, versioned handle to one growable model lineage.
@@ -89,6 +89,42 @@ impl ModelHandle {
     pub fn apply(&self, delta: ModelDelta) -> Result<Revision, ModelError> {
         let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
         Arc::make_mut(&mut guard).apply(delta)
+    }
+
+    /// Start an empty [`RetireSet`] against the current revision. Like
+    /// [`Self::delta`], it is revision-checked at apply time: if any other
+    /// edit lands first, [`Self::retire`] rejects it with
+    /// [`ModelError::StaleDelta`].
+    pub fn retire_set(&self) -> RetireSet {
+        RetireSet::for_model(&self.snapshot())
+    }
+
+    /// Tombstone the set's claims and sources in place, returning the new
+    /// revision. Errors leave the model untouched; see [`CrfModel::retire`]
+    /// for the validation rules. Snapshots taken before the call keep
+    /// observing the old revision (the model is cloned once when pinned
+    /// snapshots are outstanding, exactly like [`Self::apply`]).
+    pub fn retire(&self, set: RetireSet) -> Result<Revision, ModelError> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        Arc::make_mut(&mut guard).retire(set)
+    }
+
+    /// Apply one lifecycle edit ([`ModelEdit`]) — the uniform,
+    /// revision-checked entry point over [`Self::apply`] and
+    /// [`Self::retire`].
+    pub fn edit(&self, edit: impl Into<ModelEdit>) -> Result<Revision, ModelError> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        Arc::make_mut(&mut guard).edit(edit)
+    }
+
+    /// Compact the model to the canonical layout of its surviving
+    /// subgraph, returning the published [`IdRemap`]; see
+    /// [`CrfModel::compact`]. Snapshots taken before the call keep
+    /// observing the tombstoned (pre-compaction) layout — readers are
+    /// never torn; they relocate when they next sync.
+    pub fn compact(&self) -> Result<IdRemap, ModelError> {
+        let mut guard = self.inner.write().unwrap_or_else(|e| e.into_inner());
+        Arc::make_mut(&mut guard).compact()
     }
 }
 
@@ -170,6 +206,160 @@ mod tests {
         stale.add_claim();
         assert!(matches!(h.apply(stale), Err(ModelError::StaleDelta { .. })));
         assert_eq!(h.revision(), Revision(1));
+    }
+
+    #[test]
+    fn retire_and_compact_through_the_handle() {
+        let h: ModelHandle = crate::graph::test_support::random_model(8, 3, 2, 5).into();
+        let pinned = h.snapshot();
+        let mut set = h.retire_set();
+        set.retire_claim(VarId(2));
+        assert_eq!(h.retire(set).unwrap(), Revision(1));
+        assert!(!h.snapshot().claim_live(2));
+        assert!(
+            pinned.claim_live(2),
+            "pinned snapshot observes no tombstone"
+        );
+
+        let stale = h.retire_set();
+        let remap = h.compact().unwrap();
+        assert_eq!(remap.claim(VarId(2)), None);
+        assert_eq!(h.snapshot().n_claims(), 7);
+        assert_eq!(pinned.n_claims(), 8, "pinned snapshot keeps the old layout");
+        // A retire set prepared before the compaction is stale.
+        let mut stale = stale;
+        stale.retire_claim(VarId(0));
+        assert!(matches!(
+            h.retire(stale),
+            Err(ModelError::StaleDelta { .. })
+        ));
+    }
+
+    /// Structural invariants a torn write would violate; checked by the
+    /// contention proptest on every concurrently taken snapshot.
+    fn assert_invariants(m: &crate::graph::CrfModel) {
+        assert_eq!(m.n_incidences(), m.cliques().len());
+        let mut incidences = 0;
+        for c in 0..m.n_claims() {
+            let v = VarId(c as u32);
+            let (lo, hi) = m.claim_clique_span(c);
+            assert!(lo <= hi && hi <= m.n_incidences());
+            let cliques = m.cliques_of(v);
+            let sources = m.clique_sources_of(v);
+            assert_eq!(cliques.len(), sources.len());
+            for (&ci, &s) in cliques.iter().zip(sources) {
+                let cl = &m.cliques()[ci as usize];
+                assert_eq!(cl.claim, v, "claim-major row points at a foreign clique");
+                assert_eq!(cl.source, s, "parallel source array out of step");
+            }
+            incidences += cliques.len();
+        }
+        assert_eq!(incidences, m.n_incidences());
+        let mut live = 0;
+        for s in 0..m.n_sources() as u32 {
+            let row = m.claims_of_source(s);
+            assert!(row.windows(2).all(|w| w[0] < w[1]), "row not sorted-dedup");
+            let recount = row.iter().filter(|&&c| m.claim_live(c as usize)).count();
+            assert_eq!(m.n_live_claims_of_source(s), recount);
+            live += recount;
+        }
+        let _ = live;
+        assert_eq!(
+            m.n_live_claims(),
+            (0..m.n_claims()).filter(|&c| m.claim_live(c)).count()
+        );
+    }
+
+    /// One edit kind a racer can prepare up front.
+    enum Edit {
+        Grow(crate::graph::ModelDelta),
+        Retire(crate::graph::RetireSet),
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::ProptestConfig::with_cases(12))]
+
+        /// Contention spec: racers prepare edits (grow or retire) against
+        /// one revision and apply them concurrently while readers hold and
+        /// take snapshot pins. Exactly one racer wins per round,
+        /// [`ModelError::StaleDelta`] fires on every loser, no snapshot is
+        /// ever torn, and pinned snapshots keep their pre-round content.
+        #[test]
+        fn prop_concurrent_pins_and_edits_never_tear(
+            seed in 0u64..1000,
+            racers in 2usize..5,
+            rounds in 1usize..4,
+        ) {
+            let h: ModelHandle =
+                crate::graph::test_support::random_model(24, 6, 2, seed).into();
+            for round in 0..rounds {
+                let start_rev = h.revision();
+                let pinned = h.snapshot();
+                let pinned_claims = pinned.n_claims();
+                let edits: Vec<Edit> = (0..racers)
+                    .map(|i| {
+                        if (i + round) % 2 == 0 {
+                            let mut d = h.delta();
+                            let c = d.add_claim();
+                            let doc = d.add_document(&[0.1, 0.9]).unwrap();
+                            d.add_clique(c, doc, 0, Stance::Support);
+                            Edit::Grow(d)
+                        } else {
+                            let victim = (0..pinned.n_claims() as u32)
+                                .find(|&c| c != 0 && pinned.claim_live(c as usize))
+                                .expect("a live claim to retire");
+                            let mut set = h.retire_set();
+                            set.retire_claim(VarId(victim));
+                            Edit::Retire(set)
+                        }
+                    })
+                    .collect();
+
+                let results: Vec<Result<Revision, ModelError>> = std::thread::scope(|s| {
+                    let readers: Vec<_> = (0..2)
+                        .map(|_| {
+                            let h = h.clone();
+                            s.spawn(move || {
+                                for _ in 0..8 {
+                                    assert_invariants(&h.snapshot());
+                                }
+                            })
+                        })
+                        .collect();
+                    let writers: Vec<_> = edits
+                        .into_iter()
+                        .map(|e| {
+                            let h = h.clone();
+                            s.spawn(move || match e {
+                                Edit::Grow(d) => h.apply(d),
+                                Edit::Retire(set) => h.retire(set),
+                            })
+                        })
+                        .collect();
+                    for r in readers {
+                        r.join().unwrap();
+                    }
+                    writers.into_iter().map(|t| t.join().unwrap()).collect()
+                });
+
+                let winners = results.iter().filter(|r| r.is_ok()).count();
+                proptest::prop_assert_eq!(winners, 1, "exactly one racer must win");
+                for r in &results {
+                    if let Err(e) = r {
+                        proptest::prop_assert!(
+                            matches!(e, ModelError::StaleDelta { .. }),
+                            "loser failed with {e:?}, not StaleDelta"
+                        );
+                    }
+                }
+                proptest::prop_assert_eq!(h.revision(), Revision(start_rev.0 + 1));
+                // Pinned snapshot is untouched by the round's winner.
+                proptest::prop_assert_eq!(pinned.revision(), start_rev);
+                proptest::prop_assert_eq!(pinned.n_claims(), pinned_claims);
+                assert_invariants(&pinned);
+                assert_invariants(&h.snapshot());
+            }
+        }
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub use bitset::Bitset;
 pub use em::{Icrf, IcrfConfig, IcrfStats};
 pub use gibbs::{GibbsConfig, GibbsResult, GibbsSampler, ScheduleMode};
 pub use graph::{
-    Clique, CliqueId, CrfModel, CrfModelBuilder, ModelDelta, ModelError, Revision, Stance, VarId,
+    Clique, CliqueId, CrfModel, CrfModelBuilder, IdRemap, ModelDelta, ModelEdit, ModelError,
+    RetireSet, Revision, Stance, VarId,
 };
 pub use handle::ModelHandle;
 pub use partition::Partition;

@@ -8,7 +8,7 @@
 //! and information-gain computations can each be confined to the component
 //! touched by a candidate claim.
 
-use crate::graph::{CrfModel, VarId};
+use crate::graph::{CrfModel, IdRemap, VarId};
 
 /// Disjoint-set union (union–find) with path halving and union by size.
 #[derive(Debug, Clone)]
@@ -75,18 +75,23 @@ impl Dsu {
     }
 }
 
-/// A partition of the claim variables into connected components.
+/// A partition of the **live** claim variables into connected components.
 ///
 /// The partition keeps its union–find structure, so it can be maintained
-/// **incrementally** under streaming arrivals: [`Partition::grow`] unions
-/// only the new edges of a [`crate::graph::CrfModel::apply`] delta and
-/// relabels, instead of recomputing the components from scratch. Component
-/// numbering is canonical (ascending in each component's lowest claim id),
-/// so a grown partition is equal — `component_of` and component listings —
-/// to [`Partition::of_model`] on the grown model.
+/// **incrementally** across the whole model lifecycle: [`Partition::grow`]
+/// unions only the new edges of a [`crate::graph::CrfModel::apply`] delta,
+/// [`Partition::update`] additionally resets and recomputes only the
+/// components containing claims a [`crate::graph::CrfModel::retire`]
+/// tombstoned, and [`Partition::compact`] renumbers through the
+/// [`IdRemap`] a compaction published — never re-scanning the whole edge
+/// set. Component numbering is canonical (ascending in each component's
+/// lowest live claim id), so a maintained partition is equal —
+/// `component_of` and component listings — to [`Partition::of_model`] on
+/// the current model. Dead claims belong to no component and must not be
+/// asked for one.
 #[derive(Debug, Clone)]
 pub struct Partition {
-    /// Component index per claim.
+    /// Component index per claim (`u32::MAX` for tombstoned claims).
     component_of: Vec<u32>,
     /// Claim indices per component, sorted ascending.
     components: Vec<Vec<usize>>,
@@ -95,49 +100,56 @@ pub struct Partition {
     dsu: Dsu,
 }
 
+/// Sentinel component index of a tombstoned claim.
+const NO_COMPONENT: u32 = u32::MAX;
+
 impl Partition {
-    /// Compute the connected components of `model`'s claim graph.
+    /// Compute the connected components of `model`'s live claim graph.
     pub fn of_model(model: &CrfModel) -> Self {
         let n = model.n_claims();
         let mut dsu = Dsu::new(n);
         for s in 0..model.n_sources() as u32 {
-            let claims = model.claims_of_source(s);
-            if let Some(&first) = claims.first() {
-                for &c in &claims[1..] {
-                    dsu.union(first as usize, c as usize);
-                }
+            if !model.source_live(s as usize) {
+                continue; // a dead source's cliques are all dead: no coupling
             }
+            union_live_row(&mut dsu, model, s);
         }
-        Self::from_dsu(dsu, n)
-    }
-
-    fn from_dsu(dsu: Dsu, n: usize) -> Self {
         let mut p = Partition {
             component_of: Vec::new(),
             components: Vec::new(),
             dsu,
         };
-        p.relabel(n);
+        p.relabel(model);
         p
     }
 
     /// Recompute the canonical component numbering from the union–find
-    /// state: components are numbered in order of their lowest claim id,
-    /// which depends only on the sets — never on union order.
-    fn relabel(&mut self, n: usize) {
-        let mut root_to_comp = std::collections::HashMap::new();
+    /// state: components are numbered in order of their lowest live claim
+    /// id, which depends only on the sets — never on union order. Dead
+    /// claims get the [`NO_COMPONENT`] sentinel.
+    fn relabel(&mut self, model: &CrfModel) {
+        let n = model.n_claims();
+        // Roots are claim ids, so a flat vector beats a hash map — this
+        // runs once per model edit and dominates small-edit maintenance.
+        let mut root_to_comp = vec![NO_COMPONENT; n];
         self.component_of.clear();
-        self.component_of.resize(n, 0);
+        self.component_of.resize(n, NO_COMPONENT);
         self.components.clear();
         for c in 0..n {
+            if !model.claim_live(c) {
+                continue;
+            }
             let r = self.dsu.find(c);
-            let next = self.components.len();
-            let comp = *root_to_comp.entry(r).or_insert_with(|| {
+            let comp = if root_to_comp[r] == NO_COMPONENT {
+                let next = self.components.len() as u32;
+                root_to_comp[r] = next;
                 self.components.push(Vec::new());
                 next
-            });
-            self.component_of[c] = comp as u32;
-            self.components[comp].push(c);
+            } else {
+                root_to_comp[r]
+            };
+            self.component_of[c] = comp;
+            self.components[comp as usize].push(c);
         }
     }
 
@@ -148,11 +160,30 @@ impl Partition {
     /// [`Partition::of_model`] on the grown model, at the cost of the new
     /// edges plus one relabel pass instead of the whole edge set.
     pub fn grow(&mut self, model: &CrfModel, first_new_clique: usize) {
+        self.update(model, first_new_clique, &[]);
+    }
+
+    /// Maintain the partition after `model` grew and/or retired entities:
+    /// `affected` lists claims whose connectivity a retirement may have
+    /// changed — the retired claims themselves plus, for every retired
+    /// *source*, the claims of that source (its cliques died with it). The
+    /// listed claims' `component_of` entries must still reflect the last
+    /// sync.
+    ///
+    /// Growth unions only the appended cliques' edges. Retirement cannot be
+    /// un-unioned, so the components containing affected claims — and only
+    /// those — are reset and recomputed from their own sources' rows
+    /// (cost: Σ degree(affected components)), which splits any component a
+    /// retired bridge claim or source was holding together. Numbering stays
+    /// canonical: the result equals [`Partition::of_model`] on the current
+    /// model.
+    pub fn update(&mut self, model: &CrfModel, first_new_clique: usize, affected: &[u32]) {
         let n = model.n_claims();
         self.dsu.extend_to(n);
+
         // All claims of one source are mutually connected. For every source
-        // a new clique touches, chain its (sorted, deduplicated) claim row
-        // with adjacent-pair unions: members that were already connected
+        // a new clique touches, chain its (sorted, deduplicated, live) claim
+        // row with adjacent-pair unions: members that were already connected
         // stay connected, and every member the delta added is linked
         // through its neighbours — including old members joining through a
         // claim lower than the whole previous row, which a union against
@@ -161,15 +192,82 @@ impl Partition {
             .iter()
             .map(|cl| cl.source)
             .collect();
+
+        if !affected.is_empty() {
+            // Components the retirement touched, by their pre-update index.
+            // Claims beyond the last sync (grown and possibly retired in
+            // the same revision gap) belong to no known component; their
+            // connectivity comes entirely from the growth unions below.
+            let mut comps: Vec<u32> = affected
+                .iter()
+                .filter(|&&c| (c as usize) < self.component_of.len())
+                .map(|&c| self.component_of[c as usize])
+                .filter(|&comp| comp != NO_COMPONENT)
+                .collect();
+            comps.sort_unstable();
+            comps.dedup();
+            for &comp in &comps {
+                for &m in &self.components[comp as usize] {
+                    // Reset every member (dead ones become permanent
+                    // singletons; live ones are re-unioned below).
+                    self.dsu.parent[m] = m as u32;
+                    self.dsu.size[m] = 1;
+                }
+            }
+            // Re-union the affected components from their live members'
+            // sources; rows re-chain only live claims, so a retired bridge
+            // splits its component.
+            for &comp in &comps {
+                for &m in &self.components[comp as usize] {
+                    if model.claim_live(m) {
+                        touched.extend_from_slice(model.sources_of_claim(VarId(m as u32)));
+                    }
+                }
+            }
+        }
+
         touched.sort_unstable();
         touched.dedup();
         for s in touched {
-            let row = model.claims_of_source(s);
-            for w in row.windows(2) {
-                self.dsu.union(w[0] as usize, w[1] as usize);
+            if model.source_live(s as usize) {
+                union_live_row(&mut self.dsu, model, s);
             }
         }
-        self.relabel(n);
+        self.relabel(model);
+    }
+
+    /// Relocate the partition through the [`IdRemap`] a
+    /// [`crate::graph::CrfModel::compact`] published. The partition must be
+    /// synced to the immediate pre-compaction state (tombstones already
+    /// reflected via [`Partition::update`]); survivors keep their relative
+    /// order under the remap, so the canonical numbering is preserved and
+    /// the result equals [`Partition::of_model`] on the compacted model —
+    /// at relocation cost, without re-scanning any edges.
+    pub fn compact(&mut self, remap: &IdRemap) {
+        let n_new = remap.n_new_claims();
+        let mut new_components: Vec<Vec<usize>> = Vec::with_capacity(self.components.len());
+        for comp in &self.components {
+            let mapped: Vec<usize> = comp
+                .iter()
+                .filter_map(|&c| remap.claim(VarId(c as u32)).map(|v| v.idx()))
+                .collect();
+            if !mapped.is_empty() {
+                new_components.push(mapped);
+            }
+        }
+        let mut dsu = Dsu::new(n_new);
+        let mut component_of = vec![NO_COMPONENT; n_new];
+        for (i, comp) in new_components.iter().enumerate() {
+            for w in comp.windows(2) {
+                dsu.union(w[0], w[1]);
+            }
+            for &c in comp {
+                component_of[c] = i as u32;
+            }
+        }
+        self.components = new_components;
+        self.component_of = component_of;
+        self.dsu = dsu;
     }
 
     /// Number of components.
@@ -187,8 +285,15 @@ impl Partition {
         self.components.is_empty()
     }
 
-    /// Index of the component containing `claim`.
+    /// Index of the component containing `claim`. Must not be asked for a
+    /// tombstoned claim (dead claims belong to no component).
     pub fn component_of(&self, claim: VarId) -> usize {
+        debug_assert_ne!(
+            self.component_of[claim.idx()],
+            NO_COMPONENT,
+            "claim {} is retired and belongs to no component",
+            claim.idx()
+        );
         self.component_of[claim.idx()] as usize
     }
 
@@ -205,6 +310,25 @@ impl Partition {
     /// Size of the largest component.
     pub fn max_component_size(&self) -> usize {
         self.components.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+}
+
+/// Chain the live claims of `source`'s (sorted, deduplicated) row with
+/// adjacent-pair unions — the shared union kernel of [`Partition::of_model`]
+/// and [`Partition::update`]. Skipping dead claims is what keeps a retired
+/// bridge claim from reconnecting the parts it used to join.
+fn union_live_row(dsu: &mut Dsu, model: &CrfModel, source: u32) {
+    let row = model.claims_of_source(source);
+    let mut prev: Option<usize> = None;
+    for &c in row {
+        let c = c as usize;
+        if !model.claim_live(c) {
+            continue;
+        }
+        if let Some(p) = prev {
+            dsu.union(p, c);
+        }
+        prev = Some(c);
     }
 }
 
@@ -323,6 +447,69 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert_eq!(p.component(0), &[0]);
         assert_eq!(p.component(1), &[1]);
+    }
+
+    /// Retiring the bridge claim splits its component back into two, with
+    /// canonical renumbering; compacting renumbers without re-merging.
+    #[test]
+    fn retiring_bridge_splits_component() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s0 = b.add_source(&[0.0]).unwrap();
+        let s1 = b.add_source(&[0.0]).unwrap();
+        let c0 = b.add_claim();
+        let c1 = b.add_claim();
+        let bridge = b.add_claim();
+        for (c, s) in [(c0, s0), (c1, s1), (bridge, s0), (bridge, s1)] {
+            let d = b.add_document(&[0.0]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let mut m = b.build().unwrap();
+        let mut p = Partition::of_model(&m);
+        assert_eq!(p.len(), 1);
+
+        let mut set = crate::graph::RetireSet::for_model(&m);
+        set.retire_claim(bridge);
+        m.retire(set).unwrap();
+        p.update(&m, m.cliques().len(), &[bridge.0]);
+        assert_eq!(p.len(), 2, "retired bridge must split the component");
+        assert_eq!(p.component(0), &[0]);
+        assert_eq!(p.component(1), &[1]);
+        assert_ne!(p.component_of(c0), p.component_of(c1));
+
+        let remap = m.compact().unwrap();
+        p.compact(&remap);
+        let fresh = Partition::of_model(&m);
+        assert_eq!(p.len(), fresh.len());
+        for i in 0..p.len() {
+            assert_eq!(p.component(i), fresh.component(i));
+        }
+        assert_eq!(p.n_claims(), 2);
+    }
+
+    /// A retired *source* can split a component too (its cliques die).
+    #[test]
+    fn retiring_source_splits_component() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s_bridge = b.add_source(&[0.0]).unwrap();
+        let s0 = b.add_source(&[0.0]).unwrap();
+        let s1 = b.add_source(&[0.0]).unwrap();
+        let c0 = b.add_claim();
+        let c1 = b.add_claim();
+        for (c, s) in [(c0, s0), (c1, s1), (c0, s_bridge), (c1, s_bridge)] {
+            let d = b.add_document(&[0.0]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let mut m = b.build().unwrap();
+        let mut p = Partition::of_model(&m);
+        assert_eq!(p.len(), 1);
+        let mut set = crate::graph::RetireSet::for_model(&m);
+        set.retire_source(s_bridge);
+        m.retire(set).unwrap();
+        // No claims died, but the affected component must still be
+        // recomputed: pass the claims of the retired source as the
+        // affected markers (what `Icrf::sync` does).
+        p.update(&m, m.cliques().len(), &[c0.0, c1.0]);
+        assert_eq!(p.len(), 2, "retired bridging source must split");
     }
 
     /// Reference connected components by breadth-first search over the
@@ -472,6 +659,69 @@ mod tests {
             }
             for i in 0..part.len() {
                 prop_assert_eq!(part.component(i), fresh.component(i), "component {}", i);
+            }
+        }
+
+        /// Lifecycle maintenance spec: replaying a random interleaved
+        /// grow/retire script with [`Partition::update`] after each edit
+        /// yields exactly the partition (numbering included) of a
+        /// from-scratch [`Partition::of_model`] on the tombstoned model —
+        /// and, after compaction, [`Partition::compact`] matches
+        /// `of_model` on the compacted model.
+        #[test]
+        fn prop_lifecycle_partition_matches_batch(seed in 0u64..250, n_ops in 2usize..8) {
+            use crate::graph::test_support as ts;
+            let ops = ts::random_lifecycle_script(seed ^ 0x7a11, n_ops);
+            let ts::LifecycleOp::Grow(first) = &ops[0] else { unreachable!() };
+            let mut model = ts::build_batch(std::slice::from_ref(first));
+            let mut part = Partition::of_model(&model);
+            for op in &ops[1..] {
+                match op {
+                    ts::LifecycleOp::Grow(chunk) => {
+                        let delta = ts::chunk_delta(&model, chunk);
+                        let first_new = model.cliques().len();
+                        model.apply(delta).unwrap();
+                        part.update(&model, first_new, &[]);
+                    }
+                    ts::LifecycleOp::Retire { claims, sources } => {
+                        let mut set = crate::graph::RetireSet::for_model(&model);
+                        for &c in claims { set.retire_claim(VarId(c)); }
+                        for &s in sources { set.retire_source(s); }
+                        // Affected claims: the retired ones plus the claims
+                        // of every retired source (their cliques die).
+                        let mut affected = claims.clone();
+                        for &s in sources {
+                            affected.extend_from_slice(model.claims_of_source(s));
+                        }
+                        let first_new = model.cliques().len();
+                        model.retire(set).unwrap();
+                        part.update(&model, first_new, &affected);
+                    }
+                }
+                let fresh = Partition::of_model(&model);
+                prop_assert_eq!(part.len(), fresh.len());
+                for i in 0..part.len() {
+                    prop_assert_eq!(part.component(i), fresh.component(i), "component {}", i);
+                }
+                for c in 0..model.n_claims() {
+                    if model.claim_live(c) {
+                        prop_assert_eq!(
+                            part.component_of(VarId(c as u32)),
+                            fresh.component_of(VarId(c as u32)),
+                            "claim {} numbering diverged", c
+                        );
+                    }
+                }
+            }
+            let remap = model.compact().unwrap();
+            if !remap.is_identity() {
+                part.compact(&remap);
+            }
+            let fresh = Partition::of_model(&model);
+            prop_assert_eq!(part.len(), fresh.len());
+            prop_assert_eq!(part.n_claims(), model.n_claims());
+            for i in 0..part.len() {
+                prop_assert_eq!(part.component(i), fresh.component(i), "compacted component {}", i);
             }
         }
 

@@ -139,7 +139,8 @@ pub fn clique_logit_contribution(
 }
 
 /// The full conditional logit of claim `c` given per-source trust values:
-/// the sum of its cliques' signed contributions.
+/// the sum of its **live** cliques' signed contributions (retired evidence
+/// contributes nothing).
 pub fn claim_logit(
     model: &CrfModel,
     weights: &Weights,
@@ -149,6 +150,7 @@ pub fn claim_logit(
     model
         .cliques_of(claim)
         .iter()
+        .filter(|&&ci| model.clique_live(ci as usize))
         .map(|&ci| {
             let cl = model.clique(crate::graph::CliqueId(ci));
             clique_logit_contribution(model, weights, cl, trust_of(cl.source))
@@ -215,6 +217,14 @@ pub struct ScoreCache {
     /// Revision ([`CrfModel::revision`]) of the cached layout; a newer
     /// model revision triggers the growth patch instead of a rebuild.
     revision: u64,
+    /// Retire-op counter ([`CrfModel::retire_ops`]) the cache last synced
+    /// to; a difference means tombstones changed and the dead cliques'
+    /// entries must be (re-)zeroed.
+    retire_ops: u64,
+    /// Compaction counter ([`CrfModel::compactions`]) the cache last synced
+    /// to; a jump of one relocates through the model's published
+    /// [`crate::graph::IdRemap`], a larger jump forces a rebuild.
+    compactions: u64,
 }
 
 /// How [`ScoreCache::update`] refreshed the cache for a new weight vector.
@@ -234,6 +244,31 @@ pub enum CacheRefresh {
     /// changed).
     Grown {
         /// Cliques appended since the cached revision.
+        added: usize,
+        /// Weight coordinates that changed since the last refresh.
+        moved: usize,
+    },
+    /// Entities were retired since the last refresh: the dead cliques'
+    /// cached scores were zeroed (a dead clique contributes exactly
+    /// nothing), any appended cliques were scored, and a weight-diff patch
+    /// was applied when `moved > 0`.
+    Retired {
+        /// Cliques currently tombstoned.
+        dead: usize,
+        /// Cliques appended since the cached revision.
+        added: usize,
+        /// Weight coordinates that changed since the last refresh.
+        moved: usize,
+    },
+    /// The model compacted since the last refresh: surviving cliques'
+    /// scores were relocated bit-for-bit through the published
+    /// [`crate::graph::IdRemap`], dropped cliques' entries were discarded,
+    /// post-compaction growth was scored, and a weight-diff patch was
+    /// applied when `moved > 0`.
+    Compacted {
+        /// Cliques dropped by the compaction.
+        dropped: usize,
+        /// Cliques appended since the compaction.
         added: usize,
         /// Weight coordinates that changed since the last refresh.
         moved: usize,
@@ -268,13 +303,20 @@ impl ScoreCache {
         let trust_w = weights.as_slice()[1 + model.m_doc() + model.m_source()];
         for claim in 0..model.n_claims() as u32 {
             for &ci in model.cliques_of(crate::graph::VarId(claim)) {
+                self.pos_of_clique[ci as usize] = self.signed_static.len() as u32;
+                if !model.clique_live(ci as usize) {
+                    // A tombstoned clique contributes exactly nothing; its
+                    // entry is zero so the sweep needs no liveness branch.
+                    self.signed_static.push(0.0);
+                    self.signed_trust_w.push(0.0);
+                    continue;
+                }
                 let clique = model.clique(crate::graph::CliqueId(ci));
                 let stat = clique_static_score(model, weights, clique);
                 let sign = match clique.stance {
                     Stance::Support => 1.0,
                     Stance::Refute => -1.0,
                 };
-                self.pos_of_clique[ci as usize] = self.signed_static.len() as u32;
                 self.signed_static.push(sign * stat);
                 self.signed_trust_w.push(sign * trust_w);
             }
@@ -283,6 +325,8 @@ impl ScoreCache {
         self.weights.extend_from_slice(weights.as_slice());
         self.model_id = model.model_id();
         self.revision = model.revision().0;
+        self.retire_ops = model.retire_ops();
+        self.compactions = model.compactions();
     }
 
     /// Patch the cache forward after the model grew: relocate every cached
@@ -293,14 +337,26 @@ impl ScoreCache {
     /// to the requested weights). Returns the number of cliques added.
     fn grow_sync(&mut self, model: &CrfModel) -> usize {
         let old_n = self.pos_of_clique.len();
-        let n = model.n_incidences();
         self.revision = model.revision().0;
-        let added = n - old_n;
+        let added = model.n_incidences() - old_n;
         if added == 0 {
             // Entity-only delta (sources/docs/claims without cliques):
             // nothing in the cache depends on it.
             return 0;
         }
+        // Pre-growth clique ids are their own old ids.
+        self.relocate(model, |ci| (ci < old_n).then_some(ci));
+        added
+    }
+
+    /// The shared relocation kernel of [`Self::grow_sync`] and
+    /// [`Self::compact_sync`]: rebuild the claim-major layout, pulling each
+    /// clique's cached scores bit-for-bit from its old position when
+    /// `old_id_of` maps its id into the previous layout, and scoring it at
+    /// the *cached* weights when it is new (the caller's weight-diff patch
+    /// then brings everything to the requested weights).
+    fn relocate(&mut self, model: &CrfModel, old_id_of: impl Fn(usize) -> Option<usize>) {
+        let n = model.n_incidences();
         let trust_w = self.weights[self.weights.len() - 1];
         let old_static = std::mem::take(&mut self.signed_static);
         let old_trust = std::mem::take(&mut self.signed_trust_w);
@@ -311,8 +367,8 @@ impl ScoreCache {
         for claim in 0..model.n_claims() as u32 {
             for &ci in model.cliques_of(crate::graph::VarId(claim)) {
                 self.pos_of_clique[ci as usize] = self.signed_static.len() as u32;
-                if (ci as usize) < old_n {
-                    let op = old_pos[ci as usize] as usize;
+                if let Some(old_id) = old_id_of(ci as usize) {
+                    let op = old_pos[old_id] as usize;
                     self.signed_static.push(old_static[op]);
                     self.signed_trust_w.push(old_trust[op]);
                 } else {
@@ -327,7 +383,43 @@ impl ScoreCache {
                 }
             }
         }
-        added
+    }
+
+    /// Patch the cache forward through a compaction: relocate every
+    /// surviving clique's cached scores bit-for-bit to the new claim-major
+    /// layout via the model's published [`crate::graph::IdRemap`], discard
+    /// the dropped cliques' entries, and compute (at the *cached* weights)
+    /// only the cliques appended after the compaction. Returns
+    /// `(added, dropped)`.
+    fn compact_sync(&mut self, model: &CrfModel) -> (usize, usize) {
+        let remap = model
+            .last_compaction()
+            .expect("caller verified a remap is available");
+        let inv = remap.inverse_cliques();
+        let n_from_compact = remap.n_new_cliques();
+        let dropped = remap.n_old_cliques() - n_from_compact;
+        let added = model.n_incidences() - n_from_compact;
+        // Compaction-era clique ids pull their old id through the inverse
+        // remap; anything beyond them is post-compaction growth.
+        self.relocate(model, |ci| (ci < n_from_compact).then(|| inv[ci] as usize));
+        self.revision = model.revision().0;
+        (added, dropped)
+    }
+
+    /// (Re-)zero the cached scores of every tombstoned clique — idempotent,
+    /// `O(n_cliques)` index traffic with no feature work. Returns the
+    /// number of dead cliques.
+    fn zero_dead(&mut self, model: &CrfModel) -> usize {
+        let mut dead = 0;
+        for ci in 0..self.pos_of_clique.len() {
+            if !model.clique_live(ci) {
+                let pos = self.pos_of_clique[ci] as usize;
+                self.signed_static[pos] = 0.0;
+                self.signed_trust_w[pos] = 0.0;
+                dead += 1;
+            }
+        }
+        dead
     }
 
     /// Refresh the cache for a new weight vector, incrementally where
@@ -350,41 +442,86 @@ impl ScoreCache {
     /// grown claim-major layout bit-for-bit and computes only the new
     /// cliques ([`CacheRefresh::Grown`]); with unchanged weights the grown
     /// cache equals a full rebuild exactly, not merely within tolerance.
+    /// Retirement zeroes the dead cliques' entries in place
+    /// ([`CacheRefresh::Retired`] — a zero entry contributes exactly
+    /// nothing, so the sweep needs no liveness branch), and a compaction
+    /// relocates the survivors through the model's published
+    /// [`crate::graph::IdRemap`] ([`CacheRefresh::Compacted`]); in both
+    /// cases the result equals a full rebuild bit for bit at unchanged
+    /// weights. Only a cache that slept through *two* compactions — or a
+    /// divergent clone — falls back to the rebuild.
     pub fn update(&mut self, model: &CrfModel, weights: &Weights) -> CacheRefresh {
         let dim = model.feature_dim();
-        if self.model_id != model.model_id()
-            || self.weights.len() != dim
-            || weights.dim() != dim
-            || model.n_incidences() < self.pos_of_clique.len()
-        {
-            // The last arm backstops divergent clones: `CrfModel` is
-            // `Clone` and `apply` is public, so two independently grown
-            // copies can share a `(model_id, revision)` pair with
-            // different content (see the caveat on [`CrfModel::apply`]).
-            // A clique count *below* the cached one can only come from
-            // such a divergence — growth within one lineage never shrinks.
+        if self.model_id != model.model_id() || self.weights.len() != dim || weights.dim() != dim {
             self.rebuild(model, weights);
             return CacheRefresh::Rebuilt;
         }
         let mut added = 0;
-        if self.revision != model.revision().0 {
-            added = self.grow_sync(model);
+        let mut dropped = 0;
+        let compacted = self.compactions != model.compactions();
+        if compacted {
+            // Relocation needs the single retained remap to bridge exactly
+            // the cache's layout: one compaction elapsed and the cache
+            // covered its full pre-compaction clique set.
+            let relocatable = model.compactions() == self.compactions + 1
+                && model
+                    .last_compaction()
+                    .is_some_and(|r| r.n_old_cliques() == self.pos_of_clique.len());
+            if !relocatable {
+                self.rebuild(model, weights);
+                return CacheRefresh::Rebuilt;
+            }
+            (added, dropped) = self.compact_sync(model);
+            self.compactions = model.compactions();
+        } else {
+            if model.n_incidences() < self.pos_of_clique.len() {
+                // Divergent-clone backstop: `CrfModel` is `Clone` and
+                // `apply` is public, so two independently grown copies can
+                // share a `(model_id, revision)` pair with different
+                // content (see the caveat on [`CrfModel::apply`]). Within
+                // one lineage the clique count only shrinks through a
+                // compaction, which the branch above handles.
+                self.rebuild(model, weights);
+                return CacheRefresh::Rebuilt;
+            }
+            if self.revision != model.revision().0 {
+                added = self.grow_sync(model);
+            }
+        }
+        let retired = self.retire_ops != model.retire_ops();
+        let mut dead = 0;
+        if retired || (compacted && model.has_tombstones()) {
+            dead = self.zero_dead(model);
+            self.retire_ops = model.retire_ops();
         }
         if self.signed_static.len() != model.n_incidences() {
-            // Same guard, other direction: equal `(model_id, revision)`
-            // but more cliques than the cache accounts for — a divergent
-            // clone again. Rebuild rather than serve another copy's scores.
+            // Divergent-clone backstop, other direction: equal counters but
+            // more cliques than the cache accounts for. Rebuild rather than
+            // serve another copy's scores.
             self.rebuild(model, weights);
             return CacheRefresh::Rebuilt;
         }
+        let refresh = |moved: usize| {
+            if compacted {
+                CacheRefresh::Compacted {
+                    dropped,
+                    added,
+                    moved,
+                }
+            } else if retired {
+                CacheRefresh::Retired { dead, added, moved }
+            } else if added > 0 {
+                CacheRefresh::Grown { added, moved }
+            } else if moved > 0 {
+                CacheRefresh::Incremental { moved }
+            } else {
+                CacheRefresh::Unchanged
+            }
+        };
         let beta = weights.as_slice();
         let moved: Vec<usize> = (0..dim).filter(|&i| self.weights[i] != beta[i]).collect();
         if moved.is_empty() {
-            return if added > 0 {
-                CacheRefresh::Grown { added, moved: 0 }
-            } else {
-                CacheRefresh::Unchanged
-            };
+            return refresh(0);
         }
         if moved.len() * 2 > dim {
             self.rebuild(model, weights);
@@ -414,6 +551,11 @@ impl ScoreCache {
         let mut k = 0;
         for claim in 0..model.n_claims() as u32 {
             for &ci in model.cliques_of(crate::graph::VarId(claim)) {
+                if !model.clique_live(ci as usize) {
+                    // Dead entries stay exactly zero under weight moves.
+                    k += 1;
+                    continue;
+                }
                 let clique = model.clique(crate::graph::CliqueId(ci));
                 let sign = match clique.stance {
                     Stance::Support => 1.0,
@@ -438,14 +580,7 @@ impl ScoreCache {
             }
         }
         self.weights.copy_from_slice(beta);
-        if added > 0 {
-            CacheRefresh::Grown {
-                added,
-                moved: moved.len(),
-            }
-        } else {
-            CacheRefresh::Incremental { moved: moved.len() }
-        }
+        refresh(moved.len())
     }
 
     /// Number of cached incidences.
@@ -717,6 +852,138 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    /// Retirement spec: zeroed dead entries make the cache bit-identical
+    /// to a from-scratch build on the tombstoned model, and a dead
+    /// clique's contribution is exactly 0 for any trust.
+    #[test]
+    fn retired_cache_is_bit_identical_to_rebuild() {
+        use crate::graph::{RetireSet, VarId};
+        let mut m = crate::graph::test_support::random_model(30, 8, 3, 44);
+        let w = Weights::from_vec(
+            (0..m.feature_dim())
+                .map(|i| 0.23 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        );
+        let mut cache = ScoreCache::build(&m, &w);
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(3));
+        set.retire_claim(VarId(17));
+        m.retire(set).unwrap();
+        let refresh = cache.update(&m, &w);
+        assert!(
+            matches!(refresh, CacheRefresh::Retired { dead, added: 0, moved: 0 } if dead > 0),
+            "{refresh:?}"
+        );
+        let fresh = ScoreCache::build(&m, &w);
+        assert_eq!(cache.len(), fresh.len());
+        for k in 0..fresh.len() {
+            assert_eq!(
+                cache.contribution(k, 0.41).to_bits(),
+                fresh.contribution(k, 0.41).to_bits(),
+                "incidence {k}"
+            );
+        }
+        // Dead cliques contribute exactly nothing at any trust.
+        for &ci in m.cliques_of(VarId(3)) {
+            let (lo, _) = m.claim_clique_span(3);
+            let _ = lo;
+            assert!(!m.clique_live(ci as usize));
+        }
+        let (lo, hi) = m.claim_clique_span(3);
+        for k in lo..hi {
+            for trust in [0.0, 0.3, 1.0] {
+                assert_eq!(cache.contribution(k, trust), 0.0);
+            }
+        }
+    }
+
+    /// Compaction spec: the cache relocates through the remap and is
+    /// bit-identical to a from-scratch build on the compacted model —
+    /// including when growth lands after the compaction, and when a
+    /// weight move rides along.
+    #[test]
+    fn compacted_cache_relocates_bit_identically() {
+        use crate::graph::test_support as ts;
+        for seed in 0..12u64 {
+            let ops = ts::random_lifecycle_script(seed ^ 0x0c0de, 5);
+            let (mut model, _) = ts::replay_lifecycle(&ops);
+            let dim = model.feature_dim();
+            let mut w = Weights::from_vec((0..dim).map(|i| 0.19 * (i as f64 + 1.0)).collect());
+            let mut cache = ScoreCache::build(&model, &w);
+            let remap = model.compact().unwrap();
+            if remap.is_identity() {
+                continue;
+            }
+            let refresh = cache.update(&model, &w);
+            assert!(
+                matches!(
+                    refresh,
+                    CacheRefresh::Compacted {
+                        added: 0,
+                        moved: 0,
+                        ..
+                    }
+                ),
+                "seed {seed}: {refresh:?}"
+            );
+            let fresh = ScoreCache::build(&model, &w);
+            assert_eq!(cache.len(), fresh.len(), "seed {seed}");
+            for k in 0..fresh.len() {
+                assert_eq!(
+                    cache.contribution(k, 0.37).to_bits(),
+                    fresh.contribution(k, 0.37).to_bits(),
+                    "seed {seed} incidence {k}"
+                );
+            }
+
+            // Growth after the compaction, plus a weight move, in one call.
+            let mut delta = crate::graph::ModelDelta::for_model(&model);
+            let c = delta.add_claim();
+            let d = delta.add_document(&[0.4, 0.6]).unwrap();
+            delta.add_clique(c, d, 0, Stance::Support);
+            model.apply(delta).unwrap();
+            w.as_mut_slice()[1] += 0.05;
+            let refresh = cache.update(&model, &w);
+            assert!(
+                matches!(refresh, CacheRefresh::Grown { added: 1, moved: 1 }),
+                "seed {seed}: {refresh:?}"
+            );
+            let fresh = ScoreCache::build(&model, &w);
+            for k in 0..fresh.len() {
+                let (a, b) = (cache.contribution(k, 0.6), fresh.contribution(k, 0.6));
+                assert!(
+                    (a - b).abs() < 1e-12,
+                    "seed {seed} incidence {k}: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    /// A cache that slept through two compactions cannot relocate (only
+    /// the latest remap is kept) and falls back to a full rebuild.
+    #[test]
+    fn double_compaction_forces_rebuild() {
+        use crate::graph::{RetireSet, VarId};
+        let mut m = crate::graph::test_support::random_model(20, 5, 2, 9);
+        let w = Weights::from_vec(vec![0.3; m.feature_dim()]);
+        let mut cache = ScoreCache::build(&m, &w);
+        for victim in [0u32, 1] {
+            let mut set = RetireSet::for_model(&m);
+            set.retire_claim(VarId(victim));
+            m.retire(set).unwrap();
+            m.compact().unwrap();
+        }
+        assert_eq!(m.compactions(), 2);
+        assert_eq!(cache.update(&m, &w), CacheRefresh::Rebuilt);
+        let fresh = ScoreCache::build(&m, &w);
+        for k in 0..fresh.len() {
+            assert_eq!(
+                cache.contribution(k, 0.5).to_bits(),
+                fresh.contribution(k, 0.5).to_bits()
+            );
         }
     }
 

@@ -206,21 +206,38 @@ impl FactDatabase {
     /// Emit a [`ModelDelta`] covering every record added to this database
     /// since `model` was last synchronised from it — the streaming bridge
     /// between the record store and the live factor graph. The model's
-    /// entity counts define the sync point (records beyond them are new),
-    /// so no separate bookkeeping is needed; a model that is *ahead* of the
-    /// database is rejected with [`ModelError::OutOfSync`].
+    /// **lifetime** ingestion counters ([`CrfModel::ingested_claims`] &
+    /// co.) define the sync point, so retirement — which shrinks the live
+    /// counts but not the lifetime ones — never causes records to be
+    /// re-emitted; a model *ahead* of the database is rejected with
+    /// [`ModelError::OutOfSync`].
+    ///
+    /// Retirement symmetry: document–claim links pointing at claims the
+    /// model has retired are dropped (the model no longer accepts evidence
+    /// for them), as are documents whose source retired. This keeps db ids
+    /// aligned with model ids, which only holds while the model has never
+    /// **compacted** — after a compaction the ids are renumbered and this
+    /// method refuses with [`ModelError::Remapped`]; sync through a
+    /// [`SyncMap`] instead ([`Self::sync_delta_mapped`]).
     ///
     /// Feature rows for the new records are standardised against the
     /// statistics of the **current** corpus; rows already in the model keep
-    /// the standardisation of their own sync epoch. (Exact z-scores over a
-    /// growing corpus would require rewriting history — the drift vanishes
-    /// as the corpus grows and is irrelevant to the graph structure, which
-    /// is identical to a one-shot build.)
+    /// the standardisation of their own sync epoch (use
+    /// [`Self::sync_into_logged`] to record which epoch that was). Exact
+    /// z-scores over a growing corpus would require rewriting history —
+    /// the drift vanishes as the corpus grows and is irrelevant to the
+    /// graph structure, which is identical to a one-shot build.
     pub fn sync_delta(&self, model: &CrfModel) -> Result<ModelDelta, ModelError> {
+        if model.compactions() > 0 {
+            return Err(ModelError::Remapped {
+                model: model.compactions(),
+                synced: 0,
+            });
+        }
         for (entity, in_model, upstream) in [
-            ("source", model.n_sources(), self.n_sources()),
-            ("claim", model.n_claims(), self.n_claims()),
-            ("document", model.n_docs(), self.n_documents()),
+            ("source", model.ingested_sources(), self.n_sources()),
+            ("claim", model.ingested_claims(), self.n_claims()),
+            ("document", model.ingested_docs(), self.n_documents()),
         ] {
             if in_model > upstream {
                 return Err(ModelError::OutOfSync {
@@ -233,20 +250,29 @@ impl FactDatabase {
         let sf = features::source_features(self);
         let df = features::doc_features(self);
         let mut delta = ModelDelta::for_model(model);
-        for i in model.n_sources()..self.n_sources() {
+        for i in model.ingested_sources()..self.n_sources() {
             delta.add_source(
                 &sf[i * features::N_SOURCE_FEATURES..(i + 1) * features::N_SOURCE_FEATURES],
             )?;
         }
-        for _ in model.n_claims()..self.n_claims() {
+        for _ in model.ingested_claims()..self.n_claims() {
             delta.add_claim();
         }
-        for i in model.n_docs()..self.n_documents() {
+        for i in model.ingested_docs()..self.n_documents() {
             let doc = &self.documents[i];
+            // The document row is always added (the sync point counts it);
+            // links to retired claims — and all links of a retired source —
+            // are dropped: expired evidence stays expired.
             let d = delta.add_document(
                 &df[i * features::N_DOC_FEATURES..(i + 1) * features::N_DOC_FEATURES],
             )?;
+            if (doc.source.idx()) < model.n_sources() && !model.source_live(doc.source.idx()) {
+                continue;
+            }
             for (c, stance) in &doc.claims {
+                if c.idx() < model.n_claims() && !model.claim_live(c.idx()) {
+                    continue;
+                }
                 delta.add_clique(crf::VarId(c.0), d, doc.source.0, *stance);
             }
         }
@@ -261,6 +287,119 @@ impl FactDatabase {
         model.apply(delta)
     }
 
+    /// Like [`Self::sync_into`], additionally recording the
+    /// standardisation epoch of every row the sync emitted in `log`, so
+    /// the scale each feature row lives on is never silently lost. Call
+    /// [`Self::standardisation_log`] once after the initial
+    /// [`Self::to_crf_model`] to seed epoch 0.
+    pub fn sync_into_logged(
+        &self,
+        model: &mut CrfModel,
+        log: &mut StandardisationLog,
+    ) -> Result<Revision, ModelError> {
+        let delta = self.sync_delta(model)?;
+        let rev = model.apply(delta)?;
+        log.record(self);
+        Ok(rev)
+    }
+
+    /// A fresh [`StandardisationLog`] whose epoch 0 covers every row
+    /// currently in the database — the log of a model just produced by
+    /// [`Self::to_crf_model`].
+    pub fn standardisation_log(&self) -> StandardisationLog {
+        let mut log = StandardisationLog::default();
+        log.record(self);
+        log
+    }
+
+    /// Like [`Self::sync_delta`], but for a model lineage that retires
+    /// *and compacts*: `map` carries the db-id → model-id correspondence
+    /// across renumberings. Returns the delta plus the successor map;
+    /// commit the successor only after the delta applied (the convenience
+    /// wrapper [`Self::sync_into_mapped`] does both). Links to retired or
+    /// dropped claims are dropped, and documents with no surviving links
+    /// are skipped entirely — their feature rows never enter the model,
+    /// which is the memory-respecting behaviour a windowed stream wants.
+    pub fn sync_delta_mapped(
+        &self,
+        model: &CrfModel,
+        map: &SyncMap,
+    ) -> Result<(ModelDelta, SyncMap), ModelError> {
+        let mut next = map.clone();
+        next.catch_up(model)?;
+        if next.claims.len() > self.n_claims()
+            || next.sources.len() > self.n_sources()
+            || next.docs_synced > self.n_documents()
+        {
+            return Err(ModelError::OutOfSync {
+                entity: "record",
+                model: next.docs_synced,
+                upstream: self.n_documents(),
+            });
+        }
+        let sf = features::source_features(self);
+        let df = features::doc_features(self);
+        let mut delta = ModelDelta::for_model(model);
+        let first_new_source = next.sources.len();
+        for i in first_new_source..self.n_sources() {
+            let id = delta.add_source(
+                &sf[i * features::N_SOURCE_FEATURES..(i + 1) * features::N_SOURCE_FEATURES],
+            )?;
+            next.sources.push(id);
+        }
+        let first_new_claim = next.claims.len();
+        for _ in first_new_claim..self.n_claims() {
+            next.claims.push(delta.add_claim().0);
+        }
+        for i in next.docs_synced..self.n_documents() {
+            let doc = &self.documents[i];
+            let src = next.sources[doc.source.idx()];
+            if src == SyncMap::DROPPED
+                || ((src as usize) < model.n_sources() && !model.source_live(src as usize))
+            {
+                continue; // the source retired: its evidence is dropped
+            }
+            let links: Vec<(u32, crf::Stance)> = doc
+                .claims
+                .iter()
+                .filter_map(|&(c, stance)| {
+                    let id = next.claims[c.idx()];
+                    if id == SyncMap::DROPPED
+                        || ((id as usize) < model.n_claims() && !model.claim_live(id as usize))
+                    {
+                        None
+                    } else {
+                        Some((id, stance))
+                    }
+                })
+                .collect();
+            if links.is_empty() {
+                continue; // nothing this document says survives
+            }
+            let d = delta.add_document(
+                &df[i * features::N_DOC_FEATURES..(i + 1) * features::N_DOC_FEATURES],
+            )?;
+            for (c, stance) in links {
+                delta.add_clique(crf::VarId(c), d, src, stance);
+            }
+        }
+        next.docs_synced = self.n_documents();
+        Ok((delta, next))
+    }
+
+    /// Apply [`Self::sync_delta_mapped`] to `model` and commit the
+    /// successor map, returning the model's new revision.
+    pub fn sync_into_mapped(
+        &self,
+        model: &mut CrfModel,
+        map: &mut SyncMap,
+    ) -> Result<Revision, ModelError> {
+        let (delta, next) = self.sync_delta_mapped(model, map)?;
+        let rev = model.apply(delta)?;
+        *map = next;
+        Ok(rev)
+    }
+
     /// Serialise to a JSON string.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("database serialises")
@@ -269,6 +408,176 @@ impl FactDatabase {
     /// Deserialise from a JSON string.
     pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(json)
+    }
+}
+
+/// The db-id → model-id correspondence for a model lineage that retires
+/// and compacts. Database record ids are stable forever; model ids are
+/// renumbered by every [`CrfModel::compact`]. The map carries the
+/// translation across those renumberings (catching up through the model's
+/// published [`crf::IdRemap`] on each sync), so a long-running store can
+/// keep feeding a bounded-memory model without ever re-emitting or
+/// mis-addressing a record.
+///
+/// Obtain one with [`SyncMap::for_built_model`] right after
+/// [`FactDatabase::to_crf_model`], then thread it through
+/// [`FactDatabase::sync_delta_mapped`] / [`FactDatabase::sync_into_mapped`].
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SyncMap {
+    /// Model claim id per db claim id ([`SyncMap::DROPPED`] = compacted
+    /// away).
+    claims: Vec<u32>,
+    /// Model source id per db source id.
+    sources: Vec<u32>,
+    /// Database documents consumed so far (documents are never referenced
+    /// again once ingested, so a count suffices).
+    docs_synced: usize,
+    /// Compaction count of the model state the ids are valid against.
+    compactions: u64,
+}
+
+impl SyncMap {
+    /// Sentinel for a record whose model entity was compacted away.
+    pub const DROPPED: u32 = u32::MAX;
+
+    /// The identity map for a model freshly built from `db` by
+    /// [`FactDatabase::to_crf_model`]. Rejects a model whose entity counts
+    /// do not match the database's with [`ModelError::OutOfSync`].
+    pub fn for_built_model(db: &FactDatabase, model: &CrfModel) -> Result<Self, ModelError> {
+        for (entity, in_model, upstream) in [
+            ("source", model.n_sources(), db.n_sources()),
+            ("claim", model.n_claims(), db.n_claims()),
+            ("document", model.n_docs(), db.n_documents()),
+        ] {
+            if in_model != upstream {
+                return Err(ModelError::OutOfSync {
+                    entity,
+                    model: in_model,
+                    upstream,
+                });
+            }
+        }
+        Ok(SyncMap {
+            claims: (0..db.n_claims() as u32).collect(),
+            sources: (0..db.n_sources() as u32).collect(),
+            docs_synced: db.n_documents(),
+            compactions: model.compactions(),
+        })
+    }
+
+    /// Current model id of a db claim (`None` once compacted away).
+    pub fn model_claim(&self, claim: ClaimId) -> Option<crf::VarId> {
+        match *self.claims.get(claim.idx())? {
+            Self::DROPPED => None,
+            id => Some(crf::VarId(id)),
+        }
+    }
+
+    /// Current model id of a db source (`None` once compacted away).
+    pub fn model_source(&self, source: SourceId) -> Option<u32> {
+        match *self.sources.get(source.idx())? {
+            Self::DROPPED => None,
+            id => Some(id),
+        }
+    }
+
+    /// Database documents consumed so far.
+    pub fn docs_synced(&self) -> usize {
+        self.docs_synced
+    }
+
+    /// Re-point every id at the model's current numbering. Fails with
+    /// [`ModelError::Remapped`] when more than one compaction elapsed
+    /// since the last sync (only the latest remap is retained).
+    fn catch_up(&mut self, model: &CrfModel) -> Result<(), ModelError> {
+        if self.compactions == model.compactions() {
+            return Ok(());
+        }
+        let remap = model.last_compaction();
+        if model.compactions() != self.compactions + 1 || remap.is_none() {
+            return Err(ModelError::Remapped {
+                model: model.compactions(),
+                synced: self.compactions,
+            });
+        }
+        let remap = remap.expect("checked above");
+        for slot in self.claims.iter_mut() {
+            if *slot != Self::DROPPED {
+                *slot = remap
+                    .claim(crf::VarId(*slot))
+                    .map_or(Self::DROPPED, |v| v.0);
+            }
+        }
+        for slot in self.sources.iter_mut() {
+            if *slot != Self::DROPPED {
+                *slot = remap.source(*slot).unwrap_or(Self::DROPPED);
+            }
+        }
+        self.compactions = model.compactions();
+        Ok(())
+    }
+}
+
+/// Per-epoch z-score statistics of one sync ([`FactDatabase::sync_into_logged`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochStats {
+    /// Sources in the corpus when the epoch's statistics were computed.
+    pub n_sources: usize,
+    /// Documents in the corpus at the epoch.
+    pub n_docs: usize,
+    /// Claims in the corpus at the epoch.
+    pub n_claims: usize,
+    /// Source-column statistics the epoch's rows were standardised under.
+    pub source: features::ColumnStats,
+    /// Document-column statistics of the epoch.
+    pub doc: features::ColumnStats,
+}
+
+/// A record of which standardisation epoch every feature row was emitted
+/// under. The corpus z-scores drift as the corpus grows; rows already in
+/// the model keep the scale of their own sync epoch, and this log is what
+/// makes that mixing *explicit* instead of silent: for every source and
+/// document row it names the epoch, and for every epoch it keeps the
+/// exact `(mean, sd)` per column — enough to re-derive (or un-do) any
+/// row's standardisation later.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct StandardisationLog {
+    /// Statistics per epoch, in sync order (epoch 0 = the initial build).
+    pub epochs: Vec<EpochStats>,
+    /// Epoch id per db source id.
+    pub source_epochs: Vec<u32>,
+    /// Epoch id per db document id.
+    pub doc_epochs: Vec<u32>,
+}
+
+impl StandardisationLog {
+    /// Record the database's current statistics as a new epoch and tag
+    /// every not-yet-tagged row with it. A no-op when no untagged rows
+    /// exist (an epoch with no rows would never be referenced).
+    pub fn record(&mut self, db: &FactDatabase) {
+        if self.source_epochs.len() >= db.n_sources() && self.doc_epochs.len() >= db.n_documents() {
+            return;
+        }
+        let epoch = self.epochs.len() as u32;
+        self.epochs.push(EpochStats {
+            n_sources: db.n_sources(),
+            n_docs: db.n_documents(),
+            n_claims: db.n_claims(),
+            source: features::source_stats(db),
+            doc: features::doc_stats(db),
+        });
+        self.source_epochs.resize(db.n_sources(), epoch);
+        self.doc_epochs.resize(db.n_documents(), epoch);
+    }
+
+    /// Epoch a db source row was standardised under.
+    pub fn source_epoch(&self, source: SourceId) -> Option<u32> {
+        self.source_epochs.get(source.idx()).copied()
+    }
+
+    /// Epoch a db document row was standardised under.
+    pub fn doc_epoch(&self, doc: DocId) -> Option<u32> {
+        self.doc_epochs.get(doc.idx()).copied()
     }
 }
 
@@ -432,6 +741,181 @@ mod tests {
                 upstream: 2,
             })
         ));
+    }
+
+    /// Retirement symmetry of the plain sync: lifetime counters keep the
+    /// sync point, so retired records are never re-emitted, and new
+    /// evidence for retired claims is dropped instead of rejected.
+    #[test]
+    fn sync_survives_retirement_without_reemitting() {
+        let mut db = sample_db();
+        let mut model = db.to_crf_model().unwrap();
+        let mut set = crf::RetireSet::for_model(&model);
+        set.retire_claim(crf::VarId(1));
+        model.retire(set).unwrap();
+
+        // No new records: the sync is a no-op even though the live counts
+        // now lag the database's.
+        assert_eq!(db.sync_into(&mut model).unwrap(), model.revision());
+        assert_eq!(model.n_live_claims(), 1);
+
+        // A new document citing both the retired claim and a live one:
+        // only the live link lands.
+        let s2 = db.add_source(source("c.org"));
+        db.add_document(DocumentRecord {
+            source: s2,
+            claims: vec![(ClaimId(0), Stance::Support), (ClaimId(1), Stance::Refute)],
+            tokens: vec!["mixed".into()],
+        })
+        .unwrap();
+        let before = model.cliques().len();
+        db.sync_into(&mut model).unwrap();
+        assert_eq!(model.cliques().len(), before + 1, "retired link dropped");
+        assert_eq!(model.ingested_docs(), 3);
+        // Syncing again re-emits nothing.
+        let rev = model.revision();
+        assert_eq!(db.sync_into(&mut model).unwrap(), rev);
+    }
+
+    /// After a compaction the raw-id sync refuses; the mapped sync keeps
+    /// the correspondence across the renumbering.
+    #[test]
+    fn mapped_sync_tracks_ids_across_compaction() {
+        let mut db = sample_db();
+        let mut model = db.to_crf_model().unwrap();
+        let mut map = SyncMap::for_built_model(&db, &model).unwrap();
+
+        let mut set = crf::RetireSet::for_model(&model);
+        set.retire_claim(crf::VarId(0));
+        model.retire(set).unwrap();
+        model.compact().unwrap();
+        assert!(matches!(
+            db.sync_delta(&model),
+            Err(ModelError::Remapped {
+                model: 1,
+                synced: 0
+            })
+        ));
+
+        // New records: a document about the surviving claim and a new one.
+        let s2 = db.add_source(source("c.org"));
+        let c2 = db.add_claim(claim("claim two", true));
+        db.add_document(DocumentRecord {
+            source: s2,
+            claims: vec![(c2, Stance::Support), (ClaimId(1), Stance::Support)],
+            tokens: vec!["fresh".into()],
+        })
+        .unwrap();
+        // And one only about the dropped claim: skipped entirely.
+        db.add_document(DocumentRecord {
+            source: s2,
+            claims: vec![(ClaimId(0), Stance::Refute)],
+            tokens: vec!["stale".into()],
+        })
+        .unwrap();
+
+        let docs_before = model.n_docs();
+        db.sync_into_mapped(&mut model, &mut map).unwrap();
+        assert_eq!(map.model_claim(ClaimId(0)), None, "dropped by compaction");
+        assert_eq!(
+            map.model_claim(ClaimId(1)),
+            Some(crf::VarId(0)),
+            "renumbered"
+        );
+        let c2_model = map.model_claim(c2).unwrap();
+        assert!(model.claim_live(c2_model.idx()));
+        assert_eq!(
+            model.n_docs(),
+            docs_before + 1,
+            "the dead-claim-only document never entered the model"
+        );
+        assert_eq!(map.docs_synced(), db.n_documents());
+        // Nothing re-emits on the next sync.
+        let rev = model.revision();
+        assert_eq!(db.sync_into_mapped(&mut model, &mut map).unwrap(), rev);
+    }
+
+    /// A map that sleeps through two compactions cannot catch up (only the
+    /// latest remap is retained).
+    #[test]
+    fn mapped_sync_rejects_compaction_gap() {
+        let mut db = sample_db();
+        let s = db.add_source(source("c.org"));
+        let c = db.add_claim(claim("claim two", true));
+        db.add_document(DocumentRecord {
+            source: s,
+            claims: vec![(c, Stance::Support)],
+            tokens: vec!["extra".into()],
+        })
+        .unwrap();
+        let mut model = db.to_crf_model().unwrap();
+        let map = SyncMap::for_built_model(&db, &model).unwrap();
+        for _ in 0..2 {
+            let mut set = crf::RetireSet::for_model(&model);
+            set.retire_claim(crf::VarId(0));
+            model.retire(set).unwrap();
+            model.compact().unwrap();
+        }
+        db.add_claim(claim("late", true));
+        assert!(matches!(
+            db.sync_delta_mapped(&model, &map),
+            Err(ModelError::Remapped {
+                model: 2,
+                synced: 0
+            })
+        ));
+    }
+
+    /// Per-epoch standardisation regression: every model feature row must
+    /// equal a full re-featurise of the corpus **as it stood at the row's
+    /// recorded epoch** — the log's epoch tags and stored statistics are
+    /// faithful, and no row silently changes scale after it is emitted.
+    #[test]
+    fn standardisation_log_matches_full_refeaturise_per_epoch() {
+        let mut db = sample_db();
+        let mut model = db.to_crf_model().unwrap();
+        let mut log = db.standardisation_log();
+        let mut snapshots = vec![db.clone()]; // db state per epoch
+
+        for step in 0..3 {
+            let s = db.add_source(source(&format!("extra{step}.org")));
+            let c = db.add_claim(claim(&format!("claim {step}"), step % 2 == 0));
+            db.add_document(DocumentRecord {
+                source: s,
+                claims: vec![(c, Stance::Support), (ClaimId(0), Stance::Refute)],
+                tokens: vec!["because".into(), "therefore".into(), format!("w{step}")],
+            })
+            .unwrap();
+            db.sync_into_logged(&mut model, &mut log).unwrap();
+            snapshots.push(db.clone());
+        }
+        assert_eq!(log.epochs.len(), 4);
+        assert_eq!(log.source_epochs.len(), db.n_sources());
+        assert_eq!(log.doc_epochs.len(), db.n_documents());
+
+        for i in 0..db.n_sources() {
+            let e = log.source_epoch(SourceId(i as u32)).unwrap() as usize;
+            let full = features::source_features(&snapshots[e]);
+            let expect =
+                &full[i * features::N_SOURCE_FEATURES..(i + 1) * features::N_SOURCE_FEATURES];
+            assert_eq!(
+                model.source_feature_row(i as u32),
+                expect,
+                "source {i} (epoch {e}) diverged from the epoch re-featurise"
+            );
+            // The recorded statistics are the epoch corpus's statistics.
+            assert_eq!(log.epochs[e].source, features::source_stats(&snapshots[e]));
+        }
+        for i in 0..db.n_documents() {
+            let e = log.doc_epoch(crate::model::DocId(i as u32)).unwrap() as usize;
+            let full = features::doc_features(&snapshots[e]);
+            let expect = &full[i * features::N_DOC_FEATURES..(i + 1) * features::N_DOC_FEATURES];
+            assert_eq!(
+                model.doc_feature_row(i as u32),
+                expect,
+                "doc {i} (epoch {e}) diverged from the epoch re-featurise"
+            );
+        }
     }
 
     #[test]

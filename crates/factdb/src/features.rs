@@ -11,6 +11,7 @@ use crate::db::FactDatabase;
 use crate::graph_metrics::{hits, pagerank, DiGraph};
 use crate::linguistic;
 use crate::model::SourceKind;
+use serde::{Deserialize, Serialize};
 
 /// Number of source features produced by [`source_features`].
 pub const N_SOURCE_FEATURES: usize = 4;
@@ -21,20 +22,67 @@ pub const N_DOC_FEATURES: usize = linguistic::N_DOC_FEATURES;
 /// Standardise a column in place to zero mean and unit variance; constant
 /// columns become all-zero instead of dividing by zero.
 pub fn zscore(column: &mut [f64]) {
+    let (mean, sd) = column_stats(column);
+    apply_zscore(column, mean, sd);
+}
+
+/// The `(mean, sd)` a [`zscore`] of this column would use (`sd == 0.0`
+/// encodes "constant column: zero it").
+fn column_stats(column: &[f64]) -> (f64, f64) {
     let n = column.len();
     if n == 0 {
-        return;
+        return (0.0, 0.0);
     }
     let mean = column.iter().sum::<f64>() / n as f64;
     let var = column.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
     let sd = var.sqrt();
     if sd > 1e-12 {
+        (mean, sd)
+    } else {
+        (mean, 0.0)
+    }
+}
+
+#[inline]
+fn apply_zscore(column: &mut [f64], mean: f64, sd: f64) {
+    if sd > 0.0 {
         for x in column.iter_mut() {
             *x = (*x - mean) / sd;
         }
     } else {
         for x in column.iter_mut() {
             *x = 0.0;
+        }
+    }
+}
+
+/// The z-score statistics of one feature matrix — a *standardisation
+/// epoch*. Feature rows emitted under different corpus states are
+/// standardised under different statistics; recording the epoch's stats is
+/// what lets a sync log say exactly which scale each row lives on (see
+/// `FactDatabase::sync_into_logged`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Per-column mean at the epoch.
+    pub mean: Vec<f64>,
+    /// Per-column standard deviation (`0.0` = constant column, zeroed).
+    pub sd: Vec<f64>,
+}
+
+impl ColumnStats {
+    fn of_columns(cols: &[Vec<f64>]) -> Self {
+        let (mean, sd) = cols.iter().map(|c| column_stats(c)).unzip();
+        ColumnStats { mean, sd }
+    }
+
+    /// Standardise `row` (one value per column) under these statistics.
+    pub fn standardise_row(&self, row: &mut [f64]) {
+        for (i, x) in row.iter_mut().enumerate() {
+            if self.sd[i] > 0.0 {
+                *x = (*x - self.mean[i]) / self.sd[i];
+            } else {
+                *x = 0.0;
+            }
         }
     }
 }
@@ -80,9 +128,8 @@ pub fn cocitation_graph(db: &FactDatabase) -> DiGraph {
     g
 }
 
-/// Compute the standardised source feature matrix, row-major
-/// `n_sources × N_SOURCE_FEATURES`.
-pub fn source_features(db: &FactDatabase) -> Vec<f64> {
+/// The raw (pre-standardisation) source feature columns.
+fn raw_source_columns(db: &FactDatabase) -> Vec<Vec<f64>> {
     let n = db.n_sources();
     let g = cocitation_graph(db);
     let pr = pagerank(&g, 0.85, 50);
@@ -91,8 +138,7 @@ pub fn source_features(db: &FactDatabase) -> Vec<f64> {
     for doc in db.documents() {
         doc_count[doc.source.idx()] += 1;
     }
-
-    let mut cols: [Vec<f64>; N_SOURCE_FEATURES] = [
+    vec![
         pr,
         auth,
         doc_count.iter().map(|&c| (1.0 + c as f64).ln()).collect(),
@@ -104,23 +150,11 @@ pub fn source_features(db: &FactDatabase) -> Vec<f64> {
                 SourceKind::Website => hub[i],
             })
             .collect(),
-    ];
-    for col in cols.iter_mut() {
-        zscore(col);
-    }
-
-    let mut out = Vec::with_capacity(n * N_SOURCE_FEATURES);
-    for i in 0..n {
-        for col in &cols {
-            out.push(col[i]);
-        }
-    }
-    out
+    ]
 }
 
-/// Compute the standardised document feature matrix, row-major
-/// `n_docs × N_DOC_FEATURES`.
-pub fn doc_features(db: &FactDatabase) -> Vec<f64> {
+/// The raw (pre-standardisation) document feature columns.
+fn raw_doc_columns(db: &FactDatabase) -> Vec<Vec<f64>> {
     let n = db.n_documents();
     let mut cols: Vec<Vec<f64>> = std::iter::repeat_with(|| Vec::with_capacity(n))
         .take(N_DOC_FEATURES)
@@ -131,16 +165,48 @@ pub fn doc_features(db: &FactDatabase) -> Vec<f64> {
             c.push(v);
         }
     }
-    for col in cols.iter_mut() {
-        zscore(col);
-    }
-    let mut out = Vec::with_capacity(n * N_DOC_FEATURES);
+    cols
+}
+
+fn interleave_columns(cols: &[Vec<f64>], n: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n * cols.len());
     for i in 0..n {
-        for col in &cols {
+        for col in cols {
             out.push(col[i]);
         }
     }
     out
+}
+
+/// The z-score statistics of the current corpus's source columns — the
+/// standardisation epoch a sync of this state would stamp on its rows.
+pub fn source_stats(db: &FactDatabase) -> ColumnStats {
+    ColumnStats::of_columns(&raw_source_columns(db))
+}
+
+/// The z-score statistics of the current corpus's document columns.
+pub fn doc_stats(db: &FactDatabase) -> ColumnStats {
+    ColumnStats::of_columns(&raw_doc_columns(db))
+}
+
+/// Compute the standardised source feature matrix, row-major
+/// `n_sources × N_SOURCE_FEATURES`.
+pub fn source_features(db: &FactDatabase) -> Vec<f64> {
+    let mut cols = raw_source_columns(db);
+    for col in cols.iter_mut() {
+        zscore(col);
+    }
+    interleave_columns(&cols, db.n_sources())
+}
+
+/// Compute the standardised document feature matrix, row-major
+/// `n_docs × N_DOC_FEATURES`.
+pub fn doc_features(db: &FactDatabase) -> Vec<f64> {
+    let mut cols = raw_doc_columns(db);
+    for col in cols.iter_mut() {
+        zscore(col);
+    }
+    interleave_columns(&cols, db.n_documents())
 }
 
 #[cfg(test)]

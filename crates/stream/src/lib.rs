@@ -1,4 +1,4 @@
-//! Streaming fact checking (§7, Alg. 2).
+//! Streaming fact checking (§7, Alg. 2) with bounded-memory retention.
 //!
 //! Instead of validating a fixed corpus, claims arrive continuously and the
 //! factor graph **grows in place** as they do: each arrival carries a
@@ -15,13 +15,35 @@
 //! the previous solution as a warm start, which is what makes each update
 //! linear-time (Prop. 3).
 //!
-//! * [`online_em`] — the stochastic-approximation parameter maintenance,
+//! # Retention: what a long-running stream lets go
+//!
+//! Growth alone rules out long-running deployments — every claim ever
+//! ingested would stay hot forever. Retention is therefore a first-class
+//! concern of this crate: a [`stream::RetentionPolicy`] bounds the live
+//! set by arrival recency (a sliding window over the arrival index), by
+//! size (a cap on live claims, oldest first), or both. An expired claim is
+//! *retired* — `O(touched)` tombstoning through [`crf::CrfModel::retire`];
+//! its evidence immediately stops contributing to inference and to the
+//! dynamic source-trust statistic, and sources left serving no live claim
+//! retire with it. The memory itself comes back in batches: once the dead
+//! fraction crosses the policy threshold, the checker triggers
+//! [`crf::CrfModel::compact`], which rebuilds the arrays to the canonical
+//! layout of the survivors (dropping the dead claims' documents — the bulk
+//! of the memory) and publishes a [`crf::IdRemap`] that the checker, the
+//! offline engine, and every model-keyed cache use to *relocate* their
+//! state instead of rebuilding it. Array sizes are then bounded by
+//! `live set / (1 − compact_threshold)` for any stream length — the
+//! windowed benchmark in `benches/stream.rs` shows the plateau.
+//!
+//! * [`online_em`] — the stochastic-approximation parameter maintenance
+//!   (its instance buffer has always been retention-bounded: old arrivals
+//!   decay geometrically and are dropped below a weight floor),
 //! * [`stream`] — [`stream::StreamingChecker`], the Alg. 2 loop that
 //!   ingests arrivals (growing the graph, or replaying a prebuilt corpus
 //!   in posting-time order as §8.8 does — the executable spec of the
-//!   growth path), estimates the credibility of each new claim, and
-//!   exchanges parameters with the offline validation process (Alg. 1 /
-//!   the `factcheck` crate), and
+//!   growth path), estimates the credibility of each new claim, runs the
+//!   retention sweep, and exchanges parameters with the offline validation
+//!   process (Alg. 1 / the `factcheck` crate), and
 //! * [`interleave`] — running both algorithms side by side over one shared
 //!   model lineage, producing the validation sequences compared in Table 2.
 
@@ -33,4 +55,4 @@ pub mod stream;
 
 pub use interleave::{offline_sequence, streaming_sequence, InterleaveConfig};
 pub use online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError, StepSchedule};
-pub use stream::StreamingChecker;
+pub use stream::{ExpiryStats, RetentionPolicy, StreamingChecker};

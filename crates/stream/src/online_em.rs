@@ -141,6 +141,13 @@ pub struct ArrivalStats {
     pub retained_instances: usize,
     /// Wall-clock time of the update.
     pub elapsed: Duration,
+    /// Claims the retention sweep riding on this arrival tombstoned
+    /// (always 0 under an unbounded [`crate::stream::RetentionPolicy`]).
+    pub retired_claims: usize,
+    /// Sources the retention sweep tombstoned as orphans.
+    pub retired_sources: usize,
+    /// Whether the retention sweep ended in a compaction.
+    pub compacted: bool,
 }
 
 struct WeightedInstance {
@@ -180,19 +187,6 @@ impl OnlineEm {
             tron_scratch: TronScratch::new(),
             w_buf: vec![0.0; dim],
         })
-    }
-
-    /// Fresh estimator over `dim`-dimensional clique features.
-    ///
-    /// # Panics
-    /// On an invalid configuration (see [`Self::try_new`] for the fallible
-    /// form) — at construction, never mid-stream.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `OnlineEm::try_new` and handle the configuration error"
-    )]
-    pub fn new(dim: usize, config: OnlineEmConfig) -> Self {
-        Self::try_new(dim, config).expect("invalid OnlineEm configuration")
     }
 
     /// Current parameters `W_t`.
@@ -253,6 +247,9 @@ impl OnlineEm {
                 coords_moved: 0,
                 retained_instances: 0,
                 elapsed: started.elapsed(),
+                retired_claims: 0,
+                retired_sources: 0,
+                compacted: false,
             };
         }
 
@@ -288,6 +285,9 @@ impl OnlineEm {
             coords_moved: if accepted { res.coords_moved } else { 0 },
             retained_instances: self.instances.len(),
             elapsed: started.elapsed(),
+            retired_claims: 0,
+            retired_sources: 0,
+            compacted: false,
         }
     }
 }
@@ -353,20 +353,6 @@ mod tests {
         }
         .validate()
         .is_ok());
-    }
-
-    #[test]
-    #[should_panic(expected = "invalid OnlineEm configuration")]
-    #[allow(deprecated)]
-    fn new_panics_at_construction_on_bad_kappa() {
-        let config = OnlineEmConfig {
-            schedule: StepSchedule {
-                kappa: 0.2,
-                t0: 1.0,
-            },
-            ..Default::default()
-        };
-        let _ = OnlineEm::new(1, config);
     }
 
     /// Feeding consistent data drives the weights towards the batch

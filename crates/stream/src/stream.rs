@@ -35,8 +35,101 @@
 use crate::online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError};
 use crf::em::source_trust_from_probs;
 use crf::potentials::{claim_probability, clique_features};
-use crf::{CliqueId, CrfModel, Icrf, ModelDelta, ModelError, ModelHandle, Stance, VarId};
+use crf::{
+    CliqueId, CrfModel, Icrf, ModelDelta, ModelError, ModelHandle, RetireSet, Stance, VarId,
+};
 use std::sync::Arc;
+
+/// The resource-retention contract of a long-running stream: which claims
+/// may be let go, and when the tombstones they leave behind are worth
+/// compacting away.
+///
+/// Without a policy the factor graph grows without bound — every claim,
+/// document, and clique ever ingested stays hot forever. A policy bounds
+/// the live set by **arrival recency** ([`RetentionPolicy::window`]: a
+/// sliding window over the arrival index) and/or by **size**
+/// ([`RetentionPolicy::max_live_claims`]), retiring the oldest arrivals
+/// first. Retirement is `O(touched)` tombstoning
+/// ([`crf::CrfModel::retire`]); the memory comes back when the dead
+/// fraction crosses [`RetentionPolicy::compact_threshold`] and the checker
+/// triggers a [`crf::CrfModel::compact`], which also drops every document
+/// whose evidence died with its claims. Together they give a memory
+/// *plateau*: array sizes are bounded by
+/// `live set / (1 − compact_threshold)` regardless of stream length.
+#[derive(Debug, Clone)]
+pub struct RetentionPolicy {
+    /// Retire a claim once `window` further arrivals have landed after it
+    /// (`None` = no recency bound). Claims prebuilt into the model count
+    /// from the arrival that exposed them.
+    pub window: Option<u64>,
+    /// Cap on the model's live claims; the oldest arrivals are retired
+    /// first to get back under it (`None` = no size bound).
+    pub max_live_claims: Option<usize>,
+    /// Also retire a source when every live claim it serves expires in the
+    /// same sweep (a directory entry kept alive only by expired stories).
+    pub retire_orphan_sources: bool,
+    /// Compact when [`crf::CrfModel::dead_fraction`] reaches this value.
+    /// `1.0` effectively defers compaction forever; `0.0` compacts after
+    /// every retirement sweep. The default `0.25` bounds tombstone bloat
+    /// at a third of the live set while amortising the compaction cost
+    /// over many arrivals.
+    pub compact_threshold: f64,
+}
+
+impl Default for RetentionPolicy {
+    /// Unbounded retention (the pre-lifecycle behaviour): nothing expires.
+    fn default() -> Self {
+        RetentionPolicy::unbounded()
+    }
+}
+
+impl RetentionPolicy {
+    /// Keep everything forever (no window, no cap).
+    pub fn unbounded() -> Self {
+        RetentionPolicy {
+            window: None,
+            max_live_claims: None,
+            retire_orphan_sources: true,
+            compact_threshold: 0.25,
+        }
+    }
+
+    /// A sliding window over the arrival index: a claim expires once
+    /// `window` further arrivals have landed.
+    pub fn sliding_window(window: u64) -> Self {
+        RetentionPolicy {
+            window: Some(window),
+            ..RetentionPolicy::unbounded()
+        }
+    }
+
+    /// A hard cap on live claims, oldest arrivals retired first.
+    pub fn max_claims(cap: usize) -> Self {
+        RetentionPolicy {
+            max_live_claims: Some(cap),
+            ..RetentionPolicy::unbounded()
+        }
+    }
+
+    /// Whether the policy can ever retire anything.
+    pub fn is_unbounded(&self) -> bool {
+        self.window.is_none() && self.max_live_claims.is_none()
+    }
+}
+
+/// What one retention sweep ([`StreamingChecker::expire_old`]) did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExpiryStats {
+    /// Claims tombstoned by this sweep.
+    pub retired_claims: usize,
+    /// Sources tombstoned by this sweep (orphaned by their claims).
+    pub retired_sources: usize,
+    /// Whether the sweep ended in a compaction.
+    pub compacted: bool,
+}
+
+/// Claims that never arrived carry this sentinel in the arrival log.
+const NEVER: u64 = u64::MAX;
 
 /// The streaming fact checker of Alg. 2.
 pub struct StreamingChecker {
@@ -49,6 +142,12 @@ pub struct StreamingChecker {
     model: Option<Arc<CrfModel>>,
     visible: Vec<bool>,
     probs: Vec<f64>,
+    /// Arrival index per claim ([`NEVER`] = not yet arrived); what the
+    /// retention window slides over. Relocated across compactions.
+    arrival_seq: Vec<u64>,
+    /// Compaction count of the snapshot the per-claim state is keyed to.
+    compactions: u64,
+    policy: RetentionPolicy,
     online: OnlineEm,
     arrivals: usize,
 }
@@ -73,27 +172,37 @@ impl StreamingChecker {
         let model = handle.snapshot();
         let n = model.n_claims();
         let dim = model.feature_dim();
+        let compactions = model.compactions();
         Ok(StreamingChecker {
             handle,
             model: Some(model),
             visible: vec![false; n],
             probs: vec![0.5; n],
+            arrival_seq: vec![NEVER; n],
+            compactions,
+            policy: RetentionPolicy::unbounded(),
             online: OnlineEm::try_new(dim, config)?,
             arrivals: 0,
         })
     }
 
-    /// A checker over the (eventual) model; no claims are visible yet.
-    ///
-    /// # Panics
-    /// On an invalid configuration (see [`Self::try_new`]) — at
-    /// construction, never inside the stream loop.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `StreamingChecker::try_new` and handle the configuration error"
-    )]
-    pub fn new(model: Arc<CrfModel>, config: OnlineEmConfig) -> Self {
-        Self::try_new(model, config).expect("invalid OnlineEm configuration")
+    /// Builder-style retention configuration: bound the live set (and
+    /// therefore the memory of a long-running stream) by the given policy.
+    /// [`Self::arrive_new`] runs a retention sweep after every ingest;
+    /// [`Self::expire_old`] runs one on demand.
+    pub fn with_retention(mut self, policy: RetentionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Replace the retention policy of a live checker.
+    pub fn set_retention(&mut self, policy: RetentionPolicy) {
+        self.policy = policy;
+    }
+
+    /// The active retention policy.
+    pub fn retention(&self) -> &RetentionPolicy {
+        &self.policy
     }
 
     /// The checker's snapshot of the model, pinned at the revision its
@@ -116,26 +225,75 @@ impl StreamingChecker {
     }
 
     /// Catch the per-claim state up with the current handle revision (the
-    /// model may have been grown by another holder of the handle). New
-    /// claims start invisible at probability 0.5. Also re-pins the snapshot
-    /// after [`Self::arrive_new`] released it.
+    /// model may have been grown, retired, or compacted by another holder
+    /// of the handle). New claims start invisible at probability 0.5;
+    /// tombstoned claims drop out of the visible set; a compaction
+    /// relocates the per-claim state through the published remap (or, when
+    /// two compactions elapsed unseen, resets it). Also re-pins the
+    /// snapshot after [`Self::arrive_new`] released it.
     fn sync(&mut self) {
         let current = self.handle.revision();
-        if self.model.as_ref().map(|m| m.revision()) != Some(current) {
-            let model = self.handle.snapshot();
-            let n = model.n_claims();
-            self.visible.resize(n, false);
-            self.probs.resize(n, 0.5);
-            self.model = Some(model);
+        if self.model.as_ref().map(|m| m.revision()) == Some(current) {
+            return;
         }
+        let model = self.handle.snapshot();
+        if model.compactions() != self.compactions {
+            let relocatable = model.compactions() == self.compactions + 1
+                && model
+                    .last_compaction()
+                    .is_some_and(|r| r.n_old_claims() >= self.visible.len());
+            let n = model.n_claims();
+            let mut visible = vec![false; n];
+            let mut probs = vec![0.5; n];
+            let mut seq = vec![NEVER; n];
+            if relocatable {
+                let remap = model.last_compaction().expect("checked above");
+                for c in 0..self.visible.len() {
+                    if let Some(nc) = remap.claim(VarId(c as u32)) {
+                        visible[nc.idx()] = self.visible[c];
+                        probs[nc.idx()] = self.probs[c];
+                        seq[nc.idx()] = self.arrival_seq[c];
+                    }
+                }
+            } else {
+                // Outran the single retained remap: provenance is lost and
+                // the per-claim state resets. Visibility cannot be
+                // reconstructed, but retention must keep working — treat
+                // every live claim as having arrived *now*, so nothing
+                // becomes immortal under the window or the live-claim cap.
+                for (c, slot) in seq.iter_mut().enumerate() {
+                    if model.claim_live(c) {
+                        *slot = self.arrivals as u64;
+                    }
+                }
+            }
+            self.visible = visible;
+            self.probs = probs;
+            self.arrival_seq = seq;
+            self.compactions = model.compactions();
+        }
+        let n = model.n_claims();
+        self.visible.resize(n, false);
+        self.probs.resize(n, 0.5);
+        self.arrival_seq.resize(n, NEVER);
+        if model.has_tombstones() {
+            for (c, v) in self.visible.iter_mut().enumerate() {
+                if *v && !model.claim_live(c) {
+                    *v = false; // expired: out of the visible working set
+                }
+            }
+        }
+        self.model = Some(model);
     }
 
-    /// Claims that have arrived so far.
+    /// Claims that have arrived and are still in service (retired claims
+    /// drop out of the visible set).
     pub fn visible_claims(&self) -> Vec<VarId> {
+        let model = self.model();
         self.visible
             .iter()
             .enumerate()
-            .filter_map(|(i, &v)| v.then_some(VarId(i as u32)))
+            .filter_map(|(i, &v)| (v && model.claim_live(i)).then_some(VarId(i as u32)))
             .collect()
     }
 
@@ -180,6 +338,13 @@ impl StreamingChecker {
     /// Cliques the delta attaches to *old* claims (a newly arrived document
     /// discussing an already-seen claim) contribute training rows too,
     /// targeted at the claim's current estimate.
+    ///
+    /// Under a bounded [`RetentionPolicy`] a retention sweep rides on every
+    /// successful ingest; the sweep's outcome lands in the returned stats
+    /// (`retired_claims`/`retired_sources`/`compacted`). An error from this
+    /// method always means the arrival itself was **not** ingested — a
+    /// sweep that loses a revision race to another handle holder does not
+    /// fail the call (it re-runs on the next arrival).
     pub fn arrive_new(&mut self, delta: ModelDelta) -> Result<ArrivalStats, ModelError> {
         // The arrival window comes from the delta itself, not from a
         // snapshot diff: `apply` only succeeds against exactly the
@@ -209,6 +374,7 @@ impl StreamingChecker {
         for c in first_new_claim..first_new_claim + n_new_claims {
             self.visible[c] = true;
             self.arrivals += 1;
+            self.arrival_seq[c] = self.arrivals as u64;
             self.probs[c] =
                 claim_probability(&model, self.online.weights(), VarId(c as u32), |s| {
                     trust[s as usize]
@@ -228,7 +394,134 @@ impl StreamingChecker {
             };
             rows.push((row, target));
         }
-        Ok(self.online.observe(&rows))
+        let mut stats = self.online.observe(&rows);
+
+        // Retention rides on the ingest path: expired claims are tombstoned
+        // and, past the dead-fraction threshold, compacted away — this is
+        // what keeps a windowed stream's memory on a plateau. The arrival
+        // itself is already committed at this point (model grown, online
+        // update done), so a sweep losing the revision race to another
+        // handle holder must NOT fail the call — the loser's sweep simply
+        // re-runs on the next arrival (or via [`Self::expire_old`]). Any
+        // other sweep error would be an internal invariant violation and
+        // still surfaces.
+        if !self.policy.is_unbounded() {
+            match self.run_retention() {
+                Ok(expiry) => {
+                    stats.retired_claims = expiry.retired_claims;
+                    stats.retired_sources = expiry.retired_sources;
+                    stats.compacted = expiry.compacted;
+                }
+                Err(ModelError::StaleDelta { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Run one retention sweep on demand: retire every claim the policy
+    /// says has expired (plus orphaned sources), and compact when the dead
+    /// fraction crosses the policy threshold. A no-op returning zeroed
+    /// stats under an unbounded policy or when nothing has expired.
+    /// [`Self::arrive_new`] calls this automatically after every ingest.
+    ///
+    /// Retirement is revision-checked like every other edit: if another
+    /// holder of the handle edits the model concurrently, the sweep
+    /// surfaces [`ModelError::StaleDelta`] and can simply be retried.
+    pub fn expire_old(&mut self) -> Result<ExpiryStats, ModelError> {
+        self.sync();
+        self.run_retention()
+    }
+
+    /// The retention sweep proper; expects a fresh snapshot pin.
+    fn run_retention(&mut self) -> Result<ExpiryStats, ModelError> {
+        let mut out = ExpiryStats::default();
+        let model = self.model().clone();
+
+        // ---- Which claims expire. Only arrived, still-live claims are
+        // candidates; prebuilt claims that never arrived are not the
+        // stream's to retire.
+        let mut expire: Vec<u32> = Vec::new();
+        let mut expiring = vec![false; model.n_claims()];
+        if let Some(window) = self.policy.window {
+            for (c, flag) in expiring.iter_mut().enumerate() {
+                if self.arrival_seq[c] != NEVER
+                    && self.arrival_seq[c] + window <= self.arrivals as u64
+                    && model.claim_live(c)
+                {
+                    expire.push(c as u32);
+                    *flag = true;
+                }
+            }
+        }
+        if let Some(cap) = self.policy.max_live_claims {
+            let live_after_window = model.n_live_claims() - expire.len();
+            if live_after_window > cap {
+                // Oldest arrivals first.
+                let mut candidates: Vec<(u64, u32)> = (0..model.n_claims())
+                    .filter(|&c| {
+                        self.arrival_seq[c] != NEVER && model.claim_live(c) && !expiring[c]
+                    })
+                    .map(|c| (self.arrival_seq[c], c as u32))
+                    .collect();
+                candidates.sort_unstable();
+                for &(_, c) in candidates.iter().take(live_after_window - cap) {
+                    expire.push(c);
+                    expiring[c as usize] = true;
+                }
+            }
+        }
+
+        if !expire.is_empty() {
+            let mut set = RetireSet::for_model(&model);
+            let mut retired_sources = 0;
+            for &c in &expire {
+                set.retire_claim(VarId(c));
+            }
+            if self.policy.retire_orphan_sources {
+                // A source orphaned by this sweep: every live claim it
+                // serves is expiring.
+                let mut touched: Vec<u32> = expire
+                    .iter()
+                    .flat_map(|&c| model.sources_of_claim(VarId(c)).iter().copied())
+                    .collect();
+                touched.sort_unstable();
+                touched.dedup();
+                for s in touched {
+                    if model.source_live(s as usize)
+                        && model
+                            .claims_of_source(s)
+                            .iter()
+                            .filter(|&&c| model.claim_live(c as usize))
+                            .all(|&c| expiring[c as usize])
+                    {
+                        set.retire_source(s);
+                        retired_sources += 1;
+                    }
+                }
+            }
+            self.model = None; // release the pin: tombstone in place
+            let retired = self.handle.retire(set);
+            self.sync();
+            retired?;
+            out.retired_claims = expire.len();
+            out.retired_sources = retired_sources;
+        }
+
+        // ---- Deferred compaction: reclaim the memory once tombstones are
+        // worth the rebuild. `Empty` means the policy retired everything —
+        // keep the tombstoned model; the next arrival revives it.
+        if self.model().dead_fraction() >= self.policy.compact_threshold {
+            self.model = None;
+            let compacted = self.handle.compact();
+            self.sync();
+            match compacted {
+                Ok(remap) => out.compacted = !remap.is_identity(),
+                Err(ModelError::Empty) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(out)
     }
 
     /// Process the arrival of `claim` by exposing it from a prebuilt model
@@ -238,6 +531,7 @@ impl StreamingChecker {
         self.sync();
         self.visible[claim.idx()] = true;
         self.arrivals += 1;
+        self.arrival_seq[claim.idx()] = self.arrivals as u64;
 
         // Estimate the new claim's credibility under current parameters
         // using the trust statistics of the visible neighbourhood.
@@ -269,6 +563,7 @@ impl StreamingChecker {
         self.sync();
         self.visible[claim.idx()] = true;
         self.arrivals += 1;
+        self.arrival_seq[claim.idx()] = self.arrivals as u64;
         let p = if credible { 1.0 } else { 0.0 };
         self.probs[claim.idx()] = p;
         let model = self.model().clone();
@@ -485,6 +780,210 @@ mod tests {
         assert_eq!(s.arrivals(), 0, "no claim arrived — only evidence");
         assert!(stats.retained_instances > 0);
         assert_eq!(s.model().cliques().len(), 2);
+    }
+
+    /// One synthetic arrival: a fresh claim with one document from a fresh
+    /// source.
+    fn ingest_one(s: &mut StreamingChecker, k: usize) -> ArrivalStats {
+        let mut delta = s.delta();
+        let src = delta.add_source(&[0.1 + (k % 7) as f64 * 0.1]).unwrap();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.2 + (k % 5) as f64 * 0.1]).unwrap();
+        delta.add_clique(c, d, src, Stance::Support);
+        s.arrive_new(delta).unwrap()
+    }
+
+    /// The tentpole behaviour: under a sliding window the live set — and,
+    /// through deferred compaction, the backing arrays — plateau instead
+    /// of growing with the stream, while the lineage id survives and the
+    /// telemetry reports the retire/compact traffic.
+    #[test]
+    fn sliding_window_bounds_model_size() {
+        let handle = seed_handle();
+        let mut s = StreamingChecker::try_new(handle.clone(), OnlineEmConfig::default())
+            .unwrap()
+            .with_retention(RetentionPolicy::sliding_window(5));
+        let id = handle.model_id();
+        let mut total_retired = 0;
+        let mut compactions_seen = 0;
+        for k in 0..40 {
+            let stats = ingest_one(&mut s, k);
+            total_retired += stats.retired_claims;
+            compactions_seen += usize::from(stats.compacted);
+            let m = s.model();
+            // Live set bounded by the window (+1 for the immortal seed
+            // claim that never arrived).
+            assert!(
+                m.n_live_claims() <= 6,
+                "arrival {k}: {} live claims",
+                m.n_live_claims()
+            );
+            // The arrays themselves plateau: live / (1 - threshold) + the
+            // current sweep's tombstones.
+            assert!(
+                m.n_claims() <= 10,
+                "arrival {k}: arrays grew to {} claims",
+                m.n_claims()
+            );
+            assert!(
+                m.n_docs() <= 12,
+                "arrival {k}: {} docs retained",
+                m.n_docs()
+            );
+        }
+        assert_eq!(
+            handle.model_id(),
+            id,
+            "lineage survives the whole lifecycle"
+        );
+        assert!(total_retired >= 30, "retired only {total_retired}");
+        assert!(compactions_seen >= 2, "compacted only {compactions_seen}x");
+        assert_eq!(
+            s.model().ingested_claims(),
+            1 + 40,
+            "lifetime counter keeps history"
+        );
+        assert!(s.visible_claims().len() <= 6);
+        // The online estimator is unaffected: parameters stay finite.
+        assert!(s.weights().as_slice().iter().all(|w| w.is_finite()));
+    }
+
+    /// A live-claim cap retires the oldest arrivals first.
+    #[test]
+    fn max_claims_cap_retires_oldest_first() {
+        let handle = seed_handle();
+        let mut s = StreamingChecker::try_new(handle, OnlineEmConfig::default())
+            .unwrap()
+            .with_retention(RetentionPolicy {
+                max_live_claims: Some(4),
+                compact_threshold: 1.0, // never compact: ids stay stable
+                ..RetentionPolicy::unbounded()
+            });
+        for k in 0..6 {
+            ingest_one(&mut s, k);
+        }
+        let m = s.model().clone();
+        assert_eq!(m.n_live_claims(), 4);
+        // The sweep runs per arrival, so the three oldest arrivals (claims
+        // 1–3) have expired; the seed claim 0 never arrived and is not the
+        // stream's to retire.
+        assert!(m.claim_live(0));
+        assert!((1..4).all(|c| !m.claim_live(c)));
+        assert!((4..7).all(|c| m.claim_live(c)));
+        assert_eq!(s.visible_claims(), vec![VarId(4), VarId(5), VarId(6)]);
+    }
+
+    /// `expire_old` works on demand, retires orphaned sources with their
+    /// claims, and compacts past the threshold — relocating the checker's
+    /// own per-claim state through the remap.
+    #[test]
+    fn expire_old_retires_compacts_and_relocates() {
+        let handle = seed_handle();
+        let mut s = StreamingChecker::try_new(handle.clone(), OnlineEmConfig::default()).unwrap();
+        for k in 0..6 {
+            ingest_one(&mut s, k);
+        }
+        assert_eq!(s.model().n_claims(), 7);
+        let nothing = s.expire_old().unwrap();
+        assert_eq!(
+            nothing,
+            ExpiryStats::default(),
+            "unbounded policy is a no-op"
+        );
+
+        s.set_retention(RetentionPolicy {
+            window: Some(2),
+            compact_threshold: 0.1,
+            ..RetentionPolicy::unbounded()
+        });
+        let stats = s.expire_old().unwrap();
+        assert_eq!(
+            stats.retired_claims, 4,
+            "arrivals 1-4 of 6 are outside the window"
+        );
+        assert_eq!(
+            stats.retired_sources, 4,
+            "their sources served nothing else"
+        );
+        assert!(stats.compacted);
+        let m = s.model().clone();
+        assert!(!m.has_tombstones(), "compaction reclaimed the tombstones");
+        assert_eq!(m.n_claims(), 3, "seed claim + the last two arrivals");
+        assert_eq!(m.compactions(), 1);
+        // The survivors' visibility and probabilities relocated.
+        assert_eq!(s.visible_claims().len(), 2);
+        assert!(s.probs().iter().all(|p| (0.0..=1.0).contains(p)));
+        // The stream keeps flowing on the compacted model (the sweep rides
+        // on the ingest, so the window keeps sliding).
+        let st = ingest_one(&mut s, 99);
+        assert!(st.retained_instances > 0);
+        assert_eq!(
+            s.model().n_live_claims(),
+            3,
+            "seed + the window's two claims"
+        );
+    }
+
+    /// A checker that outran the single retained remap (two compactions by
+    /// another holder between its calls) resets its per-claim state — but
+    /// the surviving claims must stay evictable, or the bounded-memory
+    /// promise silently erodes.
+    #[test]
+    fn double_compaction_reset_keeps_claims_evictable() {
+        let handle = seed_handle();
+        let mut s = StreamingChecker::try_new(handle.clone(), OnlineEmConfig::default()).unwrap();
+        for k in 0..5 {
+            ingest_one(&mut s, k);
+        }
+        // Another holder retires + compacts twice, unseen by the checker.
+        for _ in 0..2 {
+            let mut set = handle.retire_set();
+            set.retire_claim(VarId(1));
+            handle.retire(set).unwrap();
+            handle.compact().unwrap();
+        }
+        assert_eq!(handle.snapshot().compactions(), 2);
+        s.set_retention(RetentionPolicy {
+            max_live_claims: Some(2),
+            compact_threshold: 1.0,
+            ..RetentionPolicy::unbounded()
+        });
+        let stats = s.expire_old().unwrap();
+        assert_eq!(
+            stats.retired_claims, 2,
+            "post-reset live claims must remain cap-evictable"
+        );
+        assert_eq!(s.model().n_live_claims(), 2);
+    }
+
+    /// Retirement done by the checker is visible to an offline engine
+    /// sharing the handle — and vice versa the engine keeps inferring on
+    /// the survivors.
+    #[test]
+    fn expired_claims_leave_the_offline_engine() {
+        let handle = seed_handle();
+        let mut s = StreamingChecker::try_new(handle.clone(), OnlineEmConfig::default())
+            .unwrap()
+            .with_retention(RetentionPolicy {
+                window: Some(3),
+                compact_threshold: 0.3,
+                ..RetentionPolicy::unbounded()
+            });
+        let mut icrf = Icrf::new(handle.clone(), crf::IcrfConfig::default());
+        icrf.run();
+        for k in 0..8 {
+            ingest_one(&mut s, k);
+            if k % 3 == 2 {
+                icrf.run(); // engine periodically syncs through the lifecycle
+            }
+        }
+        icrf.run();
+        assert_eq!(icrf.probs().len(), handle.snapshot().n_claims());
+        assert_eq!(icrf.partition().n_claims(), icrf.probs().len());
+        assert!(
+            handle.snapshot().n_claims() < 9,
+            "retention kept the model small"
+        );
     }
 
     /// The growth is shared: an offline engine holding a clone of the
