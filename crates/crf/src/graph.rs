@@ -76,6 +76,31 @@
 //!   that syncs at least once per compaction relocates in `O(state)`;
 //!   one that slept through two compactions must rebuild.
 //!
+//! # Edits as log records (LSN ↔ lineage mapping)
+//!
+//! Every lifecycle operation is reified as a [`ModelEdit`] — a grow delta,
+//! a retire set, or a compact marker — and every edit is prepared against
+//! one `(model_id, revision)` pair ([`ModelEdit::base_revision`]) and, when
+//! it commits, bumps the revision by **exactly one**. The edit stream of a
+//! lineage is therefore totally ordered by revision, which is what lets a
+//! write-ahead log (the `durability` crate) assign each record a monotonic
+//! log sequence number with the invariant
+//!
+//! ```text
+//! record lsn L  ⇔  edit with base revision R0 + (L − L0)
+//! ```
+//!
+//! where `(L0, R0)` anchor the log segment. Replaying the records in LSN
+//! order through [`CrfModel::edit`] reproduces the model **bit-identically**
+//! (the canonical-layout contract above): a grow replays its exact delta, a
+//! retire its exact tombstone set, and a compact marker re-runs
+//! [`CrfModel::compact`] — which is a deterministic function of the model
+//! state, so the regenerated [`IdRemap`] equals the original and need not
+//! be logged. [`ModelEdit`] (and its payloads [`ModelDelta`], [`RetireSet`],
+//! [`IdRemap`]) serialise with `serde` for exactly this purpose; a
+//! deserialised edit applies to the same revision and produces the same
+//! canonical layout as the original.
+//!
 //! Concurrent readers hold consistent snapshots through
 //! [`crate::handle::ModelHandle`], the shared read view used by the
 //! inference engine and the streaming checker.
@@ -898,7 +923,7 @@ fn merge_into_csr(
 /// New cliques may reference both new and pre-existing claims, documents,
 /// and sources; referential integrity is checked at apply time with the
 /// same [`ModelError`] values the builder uses.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ModelDelta {
     base_model_id: u64,
     base_revision: u64,
@@ -1479,17 +1504,105 @@ impl CrfModel {
 }
 
 /// One edit of the versioned model lifecycle — the generalisation of the
-/// original grow-only [`ModelDelta`] API to both directions. Every variant
-/// is prepared against a specific `(model_id, revision)` pair and applied
-/// through [`CrfModel::edit`] (or `ModelHandle::edit`), which rejects a
-/// stale edit with [`ModelError::StaleDelta`] exactly like the underlying
-/// operations.
+/// original grow-only [`ModelDelta`] API to both directions, plus the
+/// compact marker. Every variant is prepared against a specific
+/// `(model_id, revision)` pair and applied through [`CrfModel::edit`] (or
+/// `ModelHandle::edit`), which rejects a stale edit with
+/// [`ModelError::StaleDelta`] exactly like the underlying operations.
+///
+/// `ModelEdit` is also the **log-record contract** of the `durability`
+/// crate's write-ahead edit log: it round-trips through `serde`
+/// (deserialising to an edit that applies to the same revision and
+/// produces the same canonical layout), and the compact variant is a bare
+/// *marker* — [`CrfModel::compact`] is a deterministic function of the
+/// model state, so replaying the marker regenerates the original
+/// [`IdRemap`] without logging it. See the module docs for the
+/// LSN ↔ lineage mapping.
 #[derive(Debug, Clone)]
 pub enum ModelEdit {
     /// Grow the model by a delta ([`CrfModel::apply`]).
     Grow(ModelDelta),
     /// Tombstone a set of claims and sources ([`CrfModel::retire`]).
     Retire(RetireSet),
+    /// Compact to the canonical survivor layout ([`CrfModel::compact`]).
+    /// Carries only the base `(model_id, revision)` pair: the resulting
+    /// remap is deterministically regenerated on replay.
+    Compact {
+        /// Lineage id of the model state the compaction ran against.
+        base_model_id: u64,
+        /// Revision the compaction ran against.
+        base_revision: u64,
+    },
+}
+
+impl ModelEdit {
+    /// A compact marker against the current state of `model`.
+    pub fn compact_marker(model: &CrfModel) -> Self {
+        ModelEdit::Compact {
+            base_model_id: model.model_id,
+            base_revision: model.revision,
+        }
+    }
+
+    /// The `(model_id, revision)` pair this edit can be applied to.
+    pub fn base_revision(&self) -> (u64, Revision) {
+        match self {
+            ModelEdit::Grow(delta) => delta.base_revision(),
+            ModelEdit::Retire(set) => set.base_revision(),
+            ModelEdit::Compact {
+                base_model_id,
+                base_revision,
+            } => (*base_model_id, Revision(*base_revision)),
+        }
+    }
+}
+
+// The derive shim does not support newtype enum variants, so the
+// log-record encoding of `ModelEdit` is hand-written: a tagged object
+// `{"op": "grow"|"retire"|"compact", ...payload}` whose payload field
+// reuses the derived encodings of `ModelDelta` / `RetireSet`.
+impl Serialize for ModelEdit {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        match self {
+            ModelEdit::Grow(delta) => Value::Object(vec![
+                ("op".to_string(), Value::Str("grow".to_string())),
+                ("delta".to_string(), delta.to_value()),
+            ]),
+            ModelEdit::Retire(set) => Value::Object(vec![
+                ("op".to_string(), Value::Str("retire".to_string())),
+                ("set".to_string(), set.to_value()),
+            ]),
+            ModelEdit::Compact {
+                base_model_id,
+                base_revision,
+            } => Value::Object(vec![
+                ("op".to_string(), Value::Str("compact".to_string())),
+                ("base_model_id".to_string(), base_model_id.to_value()),
+                ("base_revision".to_string(), base_revision.to_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for ModelEdit {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        match value.field("op")?.as_str()? {
+            "grow" => Ok(ModelEdit::Grow(ModelDelta::from_value(
+                value.field("delta")?,
+            )?)),
+            "retire" => Ok(ModelEdit::Retire(RetireSet::from_value(
+                value.field("set")?,
+            )?)),
+            "compact" => Ok(ModelEdit::Compact {
+                base_model_id: u64::from_value(value.field("base_model_id")?)?,
+                base_revision: u64::from_value(value.field("base_revision")?)?,
+            }),
+            other => Err(serde::DeError::new(format!(
+                "unknown ModelEdit op `{other}`"
+            ))),
+        }
+    }
 }
 
 impl From<ModelDelta> for ModelEdit {
@@ -1506,11 +1619,30 @@ impl From<RetireSet> for ModelEdit {
 
 impl CrfModel {
     /// Apply one lifecycle edit, returning the new revision — the uniform
-    /// entry point over [`Self::apply`] and [`Self::retire`].
+    /// entry point over [`Self::apply`], [`Self::retire`], and
+    /// [`Self::compact`]. A compact edit is revision-checked like the
+    /// others (the underlying `compact` is unconditional) and discards the
+    /// regenerated remap; callers that need the remap use
+    /// [`Self::compact`] directly.
     pub fn edit(&mut self, edit: impl Into<ModelEdit>) -> Result<Revision, ModelError> {
         match edit.into() {
             ModelEdit::Grow(delta) => self.apply(delta),
             ModelEdit::Retire(set) => self.retire(set),
+            ModelEdit::Compact {
+                base_model_id,
+                base_revision,
+            } => {
+                if base_model_id != self.model_id || base_revision != self.revision {
+                    return Err(ModelError::StaleDelta {
+                        delta_model_id: base_model_id,
+                        delta_revision: base_revision,
+                        model_id: self.model_id,
+                        model_revision: self.revision,
+                    });
+                }
+                self.compact()?;
+                Ok(Revision(self.revision))
+            }
         }
     }
 }
@@ -1522,7 +1654,7 @@ impl CrfModel {
 /// rejects anything else with [`ModelError::StaleDelta`]. Duplicates within
 /// the set are tolerated (deduplicated at apply time); naming an entity that
 /// is already dead is an error.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RetireSet {
     base_model_id: u64,
     base_revision: u64,
@@ -2709,6 +2841,89 @@ mod tests {
         let mut stale = stale;
         stale.retire_claim(VarId(1));
         assert!(matches!(m.edit(stale), Err(ModelError::StaleDelta { .. })));
+    }
+
+    // ------------------------------------------- log-record serde contract
+
+    /// The WAL log-record contract (module docs, "Edits as log records"):
+    /// a deserialised `ModelEdit` applies to the same revision and produces
+    /// the same canonical layout — and, since clones of one model share a
+    /// `model_id`, the identical serialised model state — as the original.
+    #[test]
+    fn model_edit_serde_round_trip_applies_identically() {
+        let round_trip = |edit: &ModelEdit| -> ModelEdit {
+            serde_json::from_str(&serde_json::to_string(edit).unwrap()).unwrap()
+        };
+        let apply_both = |base: &CrfModel, edit: ModelEdit| -> CrfModel {
+            let back = round_trip(&edit);
+            assert_eq!(back.base_revision(), edit.base_revision());
+            let (mut a, mut b) = (base.clone(), base.clone());
+            assert_eq!(a.edit(edit).unwrap(), b.edit(back).unwrap());
+            test_support::assert_same_content(&a, &b);
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "full model state (liveness, lineage, remap) must match"
+            );
+            a
+        };
+        for seed in 0..12u64 {
+            let script = test_support::random_growth_script(seed.wrapping_mul(37) ^ 0x51, 2);
+            let base = test_support::build_batch(&script[..1]);
+
+            // Grow: the delta payload carries every entity kind.
+            let delta = test_support::chunk_delta(&base, &script[1]);
+            let grown = apply_both(&base, ModelEdit::Grow(delta));
+
+            // Retire: both payload vectors populated.
+            let mut set = RetireSet::for_model(&grown);
+            set.retire_claim(VarId(0));
+            set.retire_source(0);
+            let retired = apply_both(&grown, ModelEdit::Retire(set));
+
+            // Compact: the marker carries only the base pair; the remap is
+            // regenerated deterministically on both sides (checked through
+            // the serialised `last_compaction` field above). Skipped when
+            // the retire left no survivors (compact would refuse `Empty`).
+            if retired.n_live_cliques() > 0 {
+                let compacted = apply_both(&retired, ModelEdit::compact_marker(&retired));
+                assert_eq!(compacted.compactions(), 1);
+            }
+        }
+    }
+
+    /// A round-tripped compact marker is revision-checked like any other
+    /// edit: against a moved-on model it is refused with `StaleDelta`.
+    #[test]
+    fn compact_marker_round_trip_keeps_revision_check() {
+        let mut m = tiny_model();
+        let marker = ModelEdit::compact_marker(&m);
+        let back: ModelEdit =
+            serde_json::from_str(&serde_json::to_string(&marker).unwrap()).unwrap();
+        let mut delta = ModelDelta::for_model(&m);
+        delta.add_claim();
+        m.apply(delta).unwrap();
+        assert!(matches!(m.edit(back), Err(ModelError::StaleDelta { .. })));
+    }
+
+    /// `IdRemap` itself round-trips value-identically — checkpoints carry
+    /// the retained remap so recovered caches can still relocate.
+    #[test]
+    fn id_remap_serde_round_trip_is_identity() {
+        let mut m = test_support::random_model(20, 6, 2, 7);
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(3));
+        set.retire_claim(VarId(11));
+        m.retire(set).unwrap();
+        let remap = m.compact().unwrap();
+        let back: IdRemap = serde_json::from_str(&serde_json::to_string(&remap).unwrap()).unwrap();
+        assert_eq!(back, remap);
+    }
+
+    #[test]
+    fn model_edit_rejects_unknown_op() {
+        let err = serde_json::from_str::<ModelEdit>(r#"{"op":"merge"}"#);
+        assert!(err.is_err());
     }
 
     #[test]

@@ -44,12 +44,12 @@ pub mod potentials;
 pub mod tron;
 
 pub use bitset::Bitset;
-pub use em::{Icrf, IcrfConfig, IcrfStats};
+pub use em::{Icrf, IcrfConfig, IcrfState, IcrfStats};
 pub use gibbs::{GibbsConfig, GibbsResult, GibbsSampler, ScheduleMode};
 pub use graph::{
     Clique, CliqueId, CrfModel, CrfModelBuilder, IdRemap, ModelDelta, ModelEdit, ModelError,
     RetireSet, Revision, Stance, VarId,
 };
-pub use handle::ModelHandle;
+pub use handle::{EditObserver, ModelHandle};
 pub use partition::Partition;
 pub use potentials::{CacheRefresh, ScoreCache, Weights};

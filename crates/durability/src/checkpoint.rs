@@ -1,0 +1,150 @@
+//! Atomic state snapshots that truncate the log.
+//!
+//! A checkpoint file `ckpt-{lsn:020}.json` holds one CRC-framed JSON
+//! payload: the complete serialised state of the recovering component
+//! (model, warm inference state, checker bookkeeping — the `stream` layer
+//! defines the payload type, this module only moves framed bytes). `lsn`
+//! is the LSN of the **last edit the snapshot covers**: recovery loads the
+//! newest valid checkpoint and replays only log records with a greater
+//! LSN.
+//!
+//! Publication is atomic ([`crate::storage::Storage::write_atomic`]: temp
+//! file, sync, rename), so a crash mid-checkpoint leaves either the
+//! previous checkpoint set intact or the new file complete — never a
+//! half-written snapshot that shadows a good one. On load, a checkpoint
+//! whose frame or CRC fails (possible only through storage corruption,
+//! not through any crash point of the writer) is skipped in favour of the
+//! next-newest, so one bad file degrades recovery to a longer replay
+//! instead of a failure.
+
+use crate::storage::Storage;
+use crate::wal::{frame, read_frame, WalError};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+fn checkpoint_name(lsn: u64) -> String {
+    format!("ckpt-{lsn:020}.json")
+}
+
+fn checkpoint_lsn(name: &str) -> Option<u64> {
+    name.strip_prefix("ckpt-")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+/// Atomically publish `state` as the checkpoint covering everything up to
+/// and including `lsn` (use `lsn = start − 1`, i.e. the LSN before the
+/// first logged record, for the initial checkpoint of a fresh lineage —
+/// with LSNs anchored at 1, that is 0).
+pub fn write<T: Serialize>(
+    storage: &Arc<dyn Storage>,
+    lsn: u64,
+    state: &T,
+) -> Result<(), WalError> {
+    let payload = serde_json::to_string(state)
+        .map_err(|e| WalError::Corrupt(format!("unserialisable checkpoint: {e}")))?;
+    storage.write_atomic(&checkpoint_name(lsn), &frame(payload.as_bytes()))?;
+    Ok(())
+}
+
+/// Load the newest valid checkpoint: its covered LSN and deserialised
+/// state. Invalid or unparsable files are skipped (next-newest wins);
+/// `None` when no checkpoint exists.
+pub fn latest<T: Deserialize>(storage: &Arc<dyn Storage>) -> Result<Option<(u64, T)>, WalError> {
+    let mut names: Vec<(u64, String)> = storage
+        .list()?
+        .into_iter()
+        .filter_map(|n| checkpoint_lsn(&n).map(|l| (l, n)))
+        .collect();
+    names.sort();
+    for (lsn, name) in names.into_iter().rev() {
+        let bytes = storage.read(&name)?;
+        let Some((payload, rest)) = read_frame(&bytes) else {
+            continue;
+        };
+        if !rest.is_empty() {
+            continue;
+        }
+        let Some(state) = std::str::from_utf8(payload)
+            .ok()
+            .and_then(|s| serde_json::from_str::<T>(s).ok())
+        else {
+            continue;
+        };
+        return Ok(Some((lsn, state)));
+    }
+    Ok(None)
+}
+
+/// Delete every checkpoint older than `keep_lsn` (after a new checkpoint
+/// lands; keeping exactly the newest bounds the directory).
+pub fn prune(storage: &Arc<dyn Storage>, keep_lsn: u64) -> Result<(), WalError> {
+    for name in storage.list()? {
+        if let Some(lsn) = checkpoint_lsn(&name) {
+            if lsn < keep_lsn {
+                storage.remove(&name)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::{FaultFs, MemFs};
+
+    #[test]
+    fn newest_valid_checkpoint_wins() {
+        let storage: Arc<dyn Storage> = Arc::new(MemFs::new());
+        write(&storage, 5, &"five".to_string()).unwrap();
+        write(&storage, 9, &"nine".to_string()).unwrap();
+        let (lsn, state) = latest::<String>(&storage).unwrap().unwrap();
+        assert_eq!((lsn, state.as_str()), (9, "nine"));
+        prune(&storage, 9).unwrap();
+        assert_eq!(storage.list().unwrap(), vec![checkpoint_name(9)]);
+    }
+
+    #[test]
+    fn empty_store_has_no_checkpoint() {
+        let storage: Arc<dyn Storage> = Arc::new(MemFs::new());
+        assert!(latest::<String>(&storage).unwrap().is_none());
+    }
+
+    #[test]
+    fn crash_mid_publication_keeps_the_old_checkpoint() {
+        let mem = MemFs::new();
+        let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+        write(&storage, 3, &"old".to_string()).unwrap();
+        // Kill the writer at every byte of the second publication: the
+        // survivor must always recover "old" at LSN 3.
+        let probe = serde_json::to_string(&"newer".to_string()).unwrap();
+        let full_cost = frame(probe.as_bytes()).len() as u64 + crate::storage::RENAME_COST;
+        for budget in 0..full_cost {
+            let faulty = Arc::new(FaultFs::new(mem.survivor(true), budget));
+            let as_storage: Arc<dyn Storage> = faulty.clone();
+            assert!(write(&as_storage, 7, &"newer".to_string()).is_err());
+            let survivor: Arc<dyn Storage> = Arc::new(faulty.crash(true));
+            let (lsn, state) = latest::<String>(&survivor).unwrap().unwrap();
+            assert_eq!((lsn, state.as_str()), (3, "old"));
+        }
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_next() {
+        let mem = MemFs::new();
+        let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+        write(&storage, 2, &"good".to_string()).unwrap();
+        write(&storage, 8, &"bad".to_string()).unwrap();
+        // Storage-level corruption of the newest file.
+        let name = checkpoint_name(8);
+        let mut bytes = mem.read(&name).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        mem.truncate(&name, 0).unwrap();
+        mem.append(&name, &bytes).unwrap();
+        let (lsn, state) = latest::<String>(&storage).unwrap().unwrap();
+        assert_eq!((lsn, state.as_str()), (2, "good"));
+    }
+}

@@ -1,0 +1,517 @@
+//! Storage abstraction under the log and checkpoint layers.
+//!
+//! Everything the durability layer does to stable storage goes through the
+//! object-safe [`Storage`] trait: a flat namespace of append-only-ish files
+//! with explicit durability points ([`Storage::sync`]) and one atomic
+//! publication primitive ([`Storage::write_atomic`], the temp-file + rename
+//! idiom). Three implementations:
+//!
+//! * [`DiskFs`] — a directory on the real filesystem; what production uses.
+//! * [`MemFs`] — an in-memory filesystem with the same durability
+//!   semantics, shared between clones; the substrate of the crash tests.
+//! * [`FaultFs`] — a [`MemFs`] wrapper with a byte budget that kills the
+//!   "process" at an exact write offset — mid-record, at a record
+//!   boundary, or between a checkpoint's temp write and its rename — and
+//!   then exposes what survived.
+//!
+//! # Crash model
+//!
+//! A *process* crash loses buffered writes that the OS never saw — but
+//! everything handed to the OS survives, synced or not. A *machine* crash
+//! additionally loses unsynced OS buffers, keeping only what was explicitly
+//! [`Storage::sync`]ed (plus atomically published files, which sync before
+//! renaming). [`MemFs`] tracks both: every byte written is visible to
+//! readers immediately, and each file also records its **durable prefix**
+//! — the length at the last sync. [`FaultFs::crash`] takes the model to
+//! apply: `keep_unsynced = true` simulates a process kill, `false` a power
+//! loss. Recovery code never sees the difference — it reads whatever
+//! bytes survive and trims at the first frame that fails its CRC.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// A flat namespace of files with explicit durability points. Object-safe
+/// so the log and checkpoint layers are storage-agnostic; see the module
+/// docs for the crash model the implementations honour.
+pub trait Storage: Send + Sync {
+    /// Full contents of `name`. `NotFound` if it does not exist.
+    fn read(&self, name: &str) -> io::Result<Vec<u8>>;
+    /// Append `data` to `name`, creating it if missing. The bytes are
+    /// visible to readers immediately but durable only after
+    /// [`Self::sync`].
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Cut `name` to its first `len` bytes (tear-trim on recovery).
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()>;
+    /// Force every written byte of `name` to stable storage.
+    fn sync(&self, name: &str) -> io::Result<()>;
+    /// Publish `data` as `name` atomically: readers (and crashes) see
+    /// either the complete old file or the complete new one, never a
+    /// prefix. Implementations write a temp file, sync it, and rename.
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()>;
+    /// Every file name in the store, sorted.
+    fn list(&self) -> io::Result<Vec<String>>;
+    /// Delete `name`. Deleting a missing file is an error.
+    fn remove(&self, name: &str) -> io::Result<()>;
+}
+
+// --------------------------------------------------------------- DiskFs
+
+/// [`Storage`] over one real directory (created on construction). File
+/// names are flat; the temp files of [`Storage::write_atomic`] carry a
+/// `.tmp` suffix and are ignored by [`Storage::list`] — a crash between
+/// write and rename leaves only droppable garbage.
+pub struct DiskFs {
+    root: PathBuf,
+}
+
+impl DiskFs {
+    /// Open (creating if needed) the directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> io::Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(DiskFs { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+impl Storage for DiskFs {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        std::fs::read(self.path(name))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        use std::io::Write;
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(self.path(name))?;
+        f.write_all(data)
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))?;
+        f.set_len(len)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        std::fs::OpenOptions::new()
+            .read(true)
+            .open(self.path(name))?
+            .sync_all()
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let tmp = self.path(&format!("{name}.tmp"));
+        std::fs::write(&tmp, data)?;
+        std::fs::OpenOptions::new()
+            .read(true)
+            .open(&tmp)?
+            .sync_all()?;
+        std::fs::rename(&tmp, self.path(name))?;
+        // Make the rename itself durable (directory entry).
+        #[cfg(unix)]
+        if let Ok(dir) = std::fs::File::open(&self.root) {
+            let _ = dir.sync_all();
+        }
+        Ok(())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        let mut names: Vec<String> = std::fs::read_dir(&self.root)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_type().map(|t| t.is_file()).unwrap_or(false))
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| !n.ends_with(".tmp"))
+            .collect();
+        names.sort();
+        Ok(names)
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        std::fs::remove_file(self.path(name))
+    }
+}
+
+// ---------------------------------------------------------------- MemFs
+
+/// One in-memory file: all written bytes, plus the prefix length known
+/// durable (advanced by `sync` and by atomic publication).
+#[derive(Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    durable: usize,
+}
+
+#[derive(Default)]
+struct MemState {
+    files: BTreeMap<String, MemFile>,
+}
+
+/// An in-memory [`Storage`] with the same durability bookkeeping as the
+/// disk (see the module docs). Clones share the state — hand one clone to
+/// the checker under test and keep another to inspect or crash it.
+#[derive(Clone, Default)]
+pub struct MemFs {
+    state: Arc<Mutex<MemState>>,
+}
+
+impl MemFs {
+    /// A fresh, empty store.
+    pub fn new() -> Self {
+        MemFs::default()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut MemState) -> R) -> R {
+        f(&mut self.state.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Total bytes currently written across every file (crash-point
+    /// enumeration uses this to place the next fault).
+    pub fn total_bytes(&self) -> usize {
+        self.with(|s| s.files.values().map(|f| f.data.len()).sum())
+    }
+
+    /// A deep, independent copy of the current contents — the "surviving
+    /// disk" a crashed run hands to recovery. With `keep_unsynced` the
+    /// copy keeps every written byte (process-kill model); without, each
+    /// file is cut to its durable prefix and empty files vanish
+    /// (power-loss model).
+    pub fn survivor(&self, keep_unsynced: bool) -> MemFs {
+        let state = self.with(|s| {
+            let mut files = BTreeMap::new();
+            for (name, f) in &s.files {
+                let len = if keep_unsynced {
+                    f.data.len()
+                } else {
+                    f.durable
+                };
+                if len > 0 || keep_unsynced {
+                    files.insert(
+                        name.clone(),
+                        MemFile {
+                            data: f.data[..len].to_vec(),
+                            durable: len,
+                        },
+                    );
+                }
+            }
+            MemState { files }
+        });
+        MemFs {
+            state: Arc::new(Mutex::new(state)),
+        }
+    }
+}
+
+impl Storage for MemFs {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        self.with(|s| {
+            s.files
+                .get(name)
+                .map(|f| f.data.clone())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+        })
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.with(|s| {
+            s.files
+                .entry(name.to_string())
+                .or_default()
+                .data
+                .extend_from_slice(data);
+            Ok(())
+        })
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        self.with(|s| {
+            let f = s
+                .files
+                .get_mut(name)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+            f.data.truncate(len as usize);
+            f.durable = f.durable.min(f.data.len());
+            Ok(())
+        })
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        self.with(|s| {
+            let f = s
+                .files
+                .get_mut(name)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+            f.durable = f.data.len();
+            Ok(())
+        })
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        self.with(|s| {
+            s.files.insert(
+                name.to_string(),
+                MemFile {
+                    data: data.to_vec(),
+                    durable: data.len(),
+                },
+            );
+            Ok(())
+        })
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        self.with(|s| Ok(s.files.keys().cloned().collect()))
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        self.with(|s| {
+            s.files
+                .remove(name)
+                .map(|_| ())
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))
+        })
+    }
+}
+
+// -------------------------------------------------------------- FaultFs
+
+/// A [`MemFs`] wrapper that kills the write path after a configured number
+/// of bytes — the fault-injection harness. Every byte appended or staged
+/// for atomic publication draws down the budget; the write that exhausts
+/// it lands **partially** (a torn record, or a checkpoint temp file that
+/// never renames — the atomic write only publishes when the budget covers
+/// the full payload *plus* its rename token), and every operation after
+/// that fails. The surviving bytes come back through [`FaultFs::crash`].
+///
+/// Reads, syncs, truncates, and removes consume no budget: the harness
+/// places faults on the *write* path, which is the only place torn state
+/// can originate.
+pub struct FaultFs {
+    inner: MemFs,
+    /// Bytes the write path may still accept; `None` once crashed.
+    budget: Mutex<Option<u64>>,
+}
+
+/// The extra budget an atomic publication needs beyond its payload before
+/// it renames — crash points in `payload_len..payload_len + RENAME_COST`
+/// leave a complete temp file but no published target.
+pub const RENAME_COST: u64 = 1;
+
+impl FaultFs {
+    /// Wrap `inner`, allowing `budget` more bytes of writes before the
+    /// crash. Pass a clone of the [`MemFs`] under test.
+    pub fn new(inner: MemFs, budget: u64) -> Self {
+        FaultFs {
+            inner,
+            budget: Mutex::new(Some(budget)),
+        }
+    }
+
+    /// Whether the budget has been exhausted (the fault has fired).
+    pub fn crashed(&self) -> bool {
+        self.budget
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_none()
+    }
+
+    /// Bytes of write budget left (`None` once the fault has fired).
+    /// Running a workload under a generous budget and reading this off
+    /// measures its total write volume — the sweep range for a
+    /// crash-at-every-point harness.
+    pub fn remaining(&self) -> Option<u64> {
+        *self.budget.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The surviving contents after the fault (or at any earlier point):
+    /// an independent [`MemFs`] for recovery to open. See
+    /// [`MemFs::survivor`] for the `keep_unsynced` crash models.
+    pub fn crash(&self, keep_unsynced: bool) -> MemFs {
+        self.inner.survivor(keep_unsynced)
+    }
+
+    /// Draw `want` bytes from the budget: how many may land, and whether
+    /// the op may complete. Exhausting the budget marks the crash.
+    fn draw(&self, want: u64) -> (u64, bool) {
+        let mut budget = self.budget.lock().unwrap_or_else(|e| e.into_inner());
+        match *budget {
+            None => (0, false),
+            Some(left) if left >= want => {
+                *budget = Some(left - want);
+                (want, true)
+            }
+            Some(left) => {
+                *budget = None;
+                (left, false)
+            }
+        }
+    }
+
+    fn crashed_err() -> io::Error {
+        io::Error::other("fault injected: process crashed")
+    }
+}
+
+impl Storage for FaultFs {
+    fn read(&self, name: &str) -> io::Result<Vec<u8>> {
+        if self.crashed() {
+            return Err(Self::crashed_err());
+        }
+        self.inner.read(name)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let (landed, ok) = self.draw(data.len() as u64);
+        if landed > 0 {
+            self.inner.append(name, &data[..landed as usize])?;
+        }
+        if ok {
+            Ok(())
+        } else {
+            Err(Self::crashed_err())
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> io::Result<()> {
+        if self.crashed() {
+            return Err(Self::crashed_err());
+        }
+        self.inner.truncate(name, len)
+    }
+
+    fn sync(&self, name: &str) -> io::Result<()> {
+        if self.crashed() {
+            return Err(Self::crashed_err());
+        }
+        self.inner.sync(name)
+    }
+
+    fn write_atomic(&self, name: &str, data: &[u8]) -> io::Result<()> {
+        let (landed, ok) = self.draw(data.len() as u64 + RENAME_COST);
+        if ok {
+            return self.inner.write_atomic(name, data);
+        }
+        // Torn mid-temp-write or mid-rename: the temp file holds whatever
+        // landed, the target is untouched. Temp files are invisible to
+        // `list`/`read` by name, but keep the bytes so `total_bytes`
+        // reflects them for crash-point enumeration.
+        let landed = (landed as usize).min(data.len());
+        if landed > 0 {
+            self.inner.append(&format!("{name}.tmp"), &data[..landed])?;
+        }
+        Err(Self::crashed_err())
+    }
+
+    fn list(&self) -> io::Result<Vec<String>> {
+        if self.crashed() {
+            return Err(Self::crashed_err());
+        }
+        Ok(self
+            .inner
+            .list()?
+            .into_iter()
+            .filter(|n| !n.ends_with(".tmp"))
+            .collect())
+    }
+
+    fn remove(&self, name: &str) -> io::Result<()> {
+        if self.crashed() {
+            return Err(Self::crashed_err());
+        }
+        self.inner.remove(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memfs_tracks_durable_prefix() {
+        let fs = MemFs::new();
+        fs.append("a", b"hello").unwrap();
+        fs.sync("a").unwrap();
+        fs.append("a", b" world").unwrap();
+        assert_eq!(fs.read("a").unwrap(), b"hello world");
+        // Power loss keeps only the synced prefix.
+        let lost = fs.survivor(false);
+        assert_eq!(lost.read("a").unwrap(), b"hello");
+        // A process kill keeps everything handed to the OS.
+        let killed = fs.survivor(true);
+        assert_eq!(killed.read("a").unwrap(), b"hello world");
+    }
+
+    #[test]
+    fn memfs_clones_share_state() {
+        let fs = MemFs::new();
+        let other = fs.clone();
+        fs.append("x", b"abc").unwrap();
+        assert_eq!(other.read("x").unwrap(), b"abc");
+        let survivor = fs.survivor(true);
+        fs.append("x", b"def").unwrap();
+        assert_eq!(survivor.read("x").unwrap(), b"abc", "survivor is a copy");
+    }
+
+    #[test]
+    fn write_atomic_is_all_or_nothing() {
+        let fs = MemFs::new();
+        fs.write_atomic("c", b"v1").unwrap();
+        assert_eq!(fs.read("c").unwrap(), b"v1");
+        assert_eq!(fs.survivor(false).read("c").unwrap(), b"v1");
+    }
+
+    #[test]
+    fn faultfs_tears_the_exhausting_append() {
+        let mem = MemFs::new();
+        let fs = FaultFs::new(mem.clone(), 7);
+        fs.append("log", b"aaaa").unwrap();
+        assert!(fs.append("log", b"bbbb").is_err(), "budget 7 < 8");
+        assert!(fs.crashed());
+        assert!(fs.append("log", b"c").is_err(), "dead after the fault");
+        assert_eq!(fs.crash(true).read("log").unwrap(), b"aaaabbb");
+    }
+
+    #[test]
+    fn faultfs_kills_mid_rename() {
+        let mem = MemFs::new();
+        // Budget covers the payload but not the rename token.
+        let fs = FaultFs::new(mem.clone(), 5);
+        assert!(fs.write_atomic("ckpt", b"state").is_err());
+        let survivor = fs.crash(true);
+        assert!(survivor.read("ckpt").is_err(), "target never published");
+        // The complete temp file is on disk but droppable garbage.
+        assert_eq!(survivor.read("ckpt.tmp").unwrap(), b"state");
+    }
+
+    #[test]
+    fn faultfs_tears_the_checkpoint_temp_file() {
+        let mem = MemFs::new();
+        let fs = FaultFs::new(mem.clone(), 3);
+        assert!(fs.write_atomic("ckpt", b"state").is_err());
+        let survivor = fs.crash(true);
+        assert!(survivor.read("ckpt").is_err());
+        assert_eq!(survivor.read("ckpt.tmp").unwrap(), b"sta");
+    }
+
+    #[test]
+    fn faultfs_passes_through_under_budget() {
+        let mem = MemFs::new();
+        let fs = FaultFs::new(mem.clone(), 1000);
+        fs.append("log", b"data").unwrap();
+        fs.write_atomic("ckpt", b"state").unwrap();
+        assert!(!fs.crashed());
+        assert_eq!(mem.read("ckpt").unwrap(), b"state");
+        assert_eq!(
+            fs.list().unwrap(),
+            vec!["ckpt".to_string(), "log".to_string()]
+        );
+    }
+}

@@ -1,0 +1,663 @@
+//! Crash-recoverable streaming: the checker wired to the durability
+//! layer.
+//!
+//! [`DurableChecker`] wraps a [`StreamingChecker`] so that every model
+//! edit — the grow delta of an arrival, the retire set and compact marker
+//! of a retention sweep — is appended to a write-ahead
+//! [`durability::EditLog`] *as it commits*, via the
+//! [`crf::EditObserver`] chokepoint of the shared [`ModelHandle`]. The
+//! observer fires inside the handle's write lock in commit order, so the
+//! log's LSN sequence is exactly the lineage's revision sequence: record
+//! at LSN `L` carries the edit that produced revision `R₀ + (L − L₀)`.
+//!
+//! Periodically (every [`DurabilityConfig::checkpoint_every`] arrivals,
+//! and at the natural trigger of a compaction) the full state — the
+//! serialised [`crf::CrfModel`] plus the checker's volatile bookkeeping
+//! and online-EM buffers — is published as an atomic checkpoint and the
+//! log rotates.
+//!
+//! # Recovery
+//!
+//! [`DurableChecker::recover`] (or the [`StreamingChecker::recover`]
+//! convenience over a directory) loads the newest valid checkpoint,
+//! rebuilds the checker at exactly the checkpointed lineage position, and
+//! replays the log suffix:
+//!
+//! * a grow record tagged as an **arrival** replays through
+//!   [`StreamingChecker::arrive_new`] — probabilities are re-estimated,
+//!   the online update re-runs, and the retention sweep re-fires, all
+//!   deterministic functions of (restored state, edit);
+//! * the retire/compact records that sweep regenerated are recognised by
+//!   their base revision already being behind the replayed model and
+//!   skipped;
+//! * everything else (an on-demand [`StreamingChecker::expire_old`]
+//!   sweep, an edit by another holder of the handle) replays through
+//!   [`ModelHandle::edit`].
+//!
+//! The result is **bit-identical** to the uninterrupted run: same model
+//! arrays, same probabilities, same online weights (see the crash tests
+//! in `tests/`). Only the true-streaming ingest path is logged — the
+//! prebuilt-replay paths ([`StreamingChecker::arrive`] /
+//! [`StreamingChecker::arrive_labelled`]) edit no model and are covered
+//! by checkpoints alone.
+
+use crate::online_em::{ArrivalStats, OnlineEmConfig, OnlineEmError};
+use crate::stream::{CheckerState, ExpiryStats, RetentionPolicy, StreamingChecker};
+use crf::{
+    CrfModel, EditObserver, IdRemap, ModelDelta, ModelEdit, ModelError, ModelHandle, RetireSet,
+    Revision,
+};
+use durability::{checkpoint, DiskFs, EditLog, LogRecord, Storage, SyncPolicy, WalError};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// How the durable checker writes and snapshots.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Fsync policy of the edit log (see the [`SyncPolicy`] loss-window
+    /// table).
+    pub sync_policy: SyncPolicy,
+    /// Publish a checkpoint every `n` successful arrivals (`None` =
+    /// only on demand / on compaction). Each checkpoint rotates the log,
+    /// so this bounds both recovery replay length and log size.
+    pub checkpoint_every: Option<u64>,
+    /// Also checkpoint whenever a retention sweep compacts — the natural
+    /// trigger: compaction is the one edit that *shrinks* the serialised
+    /// model, and replaying across it costs a full rebuild.
+    pub checkpoint_on_compact: bool,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            sync_policy: SyncPolicy::Batched(16),
+            checkpoint_every: Some(64),
+            checkpoint_on_compact: true,
+        }
+    }
+}
+
+/// Errors of the durable checker: storage/log failures, model-edit
+/// failures during replay, and recovery-specific conditions.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The log or checkpoint store failed.
+    Wal(WalError),
+    /// A model edit failed (during ingest or replay).
+    Model(ModelError),
+    /// The online-EM configuration was rejected.
+    Online(OnlineEmError),
+    /// Recovery found no checkpoint (the store was never initialised, or
+    /// every checkpoint file is corrupt).
+    NoCheckpoint,
+    /// The log contradicts the checkpointed lineage — a record's base
+    /// `(model_id, revision)` neither matches the replayed model nor lies
+    /// behind it. Recovery refuses to guess.
+    Diverged(String),
+}
+
+impl std::fmt::Display for DurableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DurableError::Wal(e) => write!(f, "durability storage error: {e}"),
+            DurableError::Model(e) => write!(f, "model edit failed: {e}"),
+            DurableError::Online(e) => write!(f, "online EM config rejected: {e}"),
+            DurableError::NoCheckpoint => write!(f, "no usable checkpoint found"),
+            DurableError::Diverged(why) => write!(f, "log diverged from checkpoint: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<WalError> for DurableError {
+    fn from(e: WalError) -> Self {
+        DurableError::Wal(e)
+    }
+}
+
+impl From<ModelError> for DurableError {
+    fn from(e: ModelError) -> Self {
+        DurableError::Model(e)
+    }
+}
+
+impl From<OnlineEmError> for DurableError {
+    fn from(e: OnlineEmError) -> Self {
+        DurableError::Online(e)
+    }
+}
+
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Wal(WalError::Io(e))
+    }
+}
+
+/// The checkpoint payload: the model itself plus the checker's volatile
+/// state, both keyed to the same `(model_id, revision)`.
+#[derive(Serialize, Deserialize)]
+struct DurableState {
+    model: CrfModel,
+    checker: CheckerState,
+}
+
+/// The WAL hook: an [`EditObserver`] appending every committing edit as a
+/// [`LogRecord`]. Callbacks run inside the handle's write lock, so append
+/// order is commit order and LSNs track revisions exactly. Log failures
+/// cannot be returned from the callback; they are stashed and surfaced by
+/// the next [`DurableChecker`] operation.
+struct WalObserver {
+    log: Mutex<EditLog>,
+    model_id: u64,
+    /// Set by [`DurableChecker::arrive_new`] just before the ingest: the
+    /// first grow this observer sees is that arrival (the flag is
+    /// consumed), so the record replays through `arrive_new` instead of a
+    /// bare `apply`.
+    arrival: AtomicBool,
+    error: Mutex<Option<WalError>>,
+}
+
+impl WalObserver {
+    fn append(&self, arrival: bool, edit: ModelEdit) {
+        let mut log = self.log.lock().expect("edit log poisoned");
+        if let Err(e) = log.append(arrival, &edit) {
+            *self.error.lock().expect("error slot poisoned") = Some(e);
+        }
+    }
+}
+
+impl EditObserver for WalObserver {
+    fn grown(&self, delta: &ModelDelta, _rev: Revision) {
+        let arrival = self.arrival.swap(false, Ordering::SeqCst);
+        self.append(arrival, ModelEdit::Grow(delta.clone()));
+    }
+
+    fn retired(&self, set: &RetireSet, _rev: Revision) {
+        self.append(false, ModelEdit::Retire(set.clone()));
+    }
+
+    fn compacted(&self, base: Revision, _remap: &IdRemap, _rev: Revision) {
+        self.append(
+            false,
+            ModelEdit::Compact {
+                base_model_id: self.model_id,
+                base_revision: base.0,
+            },
+        );
+    }
+}
+
+/// A [`StreamingChecker`] whose whole lifecycle is crash-recoverable:
+/// edits ahead-logged, state checkpointed, recovery bit-identical. See
+/// the module docs for the protocol.
+pub struct DurableChecker {
+    checker: StreamingChecker,
+    storage: Arc<dyn Storage>,
+    observer: Arc<WalObserver>,
+    config: DurabilityConfig,
+    arrivals_since_checkpoint: u64,
+}
+
+impl DurableChecker {
+    /// Initialise a fresh durable lineage in `storage`: build the checker,
+    /// publish checkpoint 0 (the pre-log state), start the edit log at
+    /// LSN 1, and attach the WAL observer. Any stale log segments in the
+    /// store are removed — use [`Self::recover`] to continue one instead.
+    pub fn create(
+        storage: Arc<dyn Storage>,
+        model: impl Into<ModelHandle>,
+        online: OnlineEmConfig,
+        retention: RetentionPolicy,
+        config: DurabilityConfig,
+    ) -> Result<Self, DurableError> {
+        let mut checker = StreamingChecker::try_new(model, online)?.with_retention(retention);
+        let state = DurableState {
+            model: (**checker.model()).clone(),
+            checker: checker.export_state(),
+        };
+        checkpoint::write(&storage, 0, &state)?;
+        let log = EditLog::create(storage.clone(), 1, config.sync_policy)?;
+        let observer = Arc::new(WalObserver {
+            log: Mutex::new(log),
+            model_id: checker.handle().model_id(),
+            arrival: AtomicBool::new(false),
+            error: Mutex::new(None),
+        });
+        checker.handle().set_observer(Some(observer.clone()));
+        Ok(DurableChecker {
+            checker,
+            storage,
+            observer,
+            config,
+            arrivals_since_checkpoint: 0,
+        })
+    }
+
+    /// Rebuild a crashed checker from `storage`: newest valid checkpoint,
+    /// then the log suffix replayed through the ordinary edit machinery
+    /// (see the module docs for why the result is bit-identical to the
+    /// uninterrupted run). Finishes by publishing a fresh checkpoint, so
+    /// a crash loop cannot accumulate replay work.
+    pub fn recover(
+        storage: Arc<dyn Storage>,
+        online: OnlineEmConfig,
+        config: DurabilityConfig,
+    ) -> Result<Self, DurableError> {
+        let (ckpt_lsn, state) =
+            checkpoint::latest::<DurableState>(&storage)?.ok_or(DurableError::NoCheckpoint)?;
+        let handle = ModelHandle::new(state.model);
+        let mut checker = StreamingChecker::try_new(handle.clone(), online)?;
+        checker.restore_state(state.checker)?;
+
+        // Replay the suffix with the observer *detached*: the records are
+        // already in the log, and an arrival's regenerated retention edits
+        // must not be logged twice.
+        let (log, records) = match EditLog::open(storage.clone(), config.sync_policy)? {
+            Some(opened) => opened,
+            None => (
+                EditLog::create(storage.clone(), ckpt_lsn + 1, config.sync_policy)?,
+                Vec::new(),
+            ),
+        };
+        for LogRecord { lsn, arrival, edit } in records {
+            if lsn <= ckpt_lsn {
+                continue; // covered by the checkpoint (log not yet rotated)
+            }
+            let (base_id, base_rev) = edit.base_revision();
+            if base_id != handle.model_id() {
+                return Err(DurableError::Diverged(format!(
+                    "record {lsn} edits lineage {base_id}, checkpoint is lineage {}",
+                    handle.model_id()
+                )));
+            }
+            let current = handle.revision();
+            if base_rev < current {
+                // Regenerated during replay: an arrival's retention sweep
+                // re-produced this retire/compact when its grow replayed.
+                continue;
+            }
+            if base_rev > current {
+                return Err(DurableError::Diverged(format!(
+                    "record {lsn} expects {base_rev}, model is at {current}: \
+                     a preceding edit is missing from the log"
+                )));
+            }
+            match edit {
+                ModelEdit::Grow(delta) if arrival => {
+                    checker.arrive_new(delta)?;
+                }
+                other => {
+                    handle.edit(other)?;
+                    // Re-sync per record, as the original run did: two
+                    // compactions absorbed in one sync would take the
+                    // provenance-losing reset path and diverge.
+                    checker.sync();
+                }
+            }
+        }
+
+        let observer = Arc::new(WalObserver {
+            log: Mutex::new(log),
+            model_id: handle.model_id(),
+            arrival: AtomicBool::new(false),
+            error: Mutex::new(None),
+        });
+        checker.handle().set_observer(Some(observer.clone()));
+        let mut recovered = DurableChecker {
+            checker,
+            storage,
+            observer,
+            config,
+            arrivals_since_checkpoint: 0,
+        };
+        recovered.checkpoint()?;
+        Ok(recovered)
+    }
+
+    /// Ingest an arrival with ahead-logging: the grow delta (and any
+    /// retention edits its sweep commits) land in the edit log as they
+    /// commit, then the configured checkpoint triggers run.
+    pub fn arrive_new(&mut self, delta: ModelDelta) -> Result<ArrivalStats, DurableError> {
+        self.observer.arrival.store(true, Ordering::SeqCst);
+        let result = self.checker.arrive_new(delta);
+        // A rejected delta never reached the observer; clear the flag so
+        // an unrelated later grow is not mis-tagged as this arrival.
+        self.observer.arrival.store(false, Ordering::SeqCst);
+        let stats = result?;
+        self.take_log_error()?;
+        self.arrivals_since_checkpoint += 1;
+        let on_compact = self.config.checkpoint_on_compact && stats.compacted;
+        let on_count = self
+            .config
+            .checkpoint_every
+            .is_some_and(|n| self.arrivals_since_checkpoint >= n.max(1));
+        if on_compact || on_count {
+            self.checkpoint()?;
+        }
+        Ok(stats)
+    }
+
+    /// Run an on-demand retention sweep; its edits are logged like any
+    /// others, and a resulting compaction triggers a checkpoint when
+    /// configured.
+    pub fn expire_old(&mut self) -> Result<ExpiryStats, DurableError> {
+        let stats = self.checker.expire_old()?;
+        self.take_log_error()?;
+        if self.config.checkpoint_on_compact && stats.compacted {
+            self.checkpoint()?;
+        }
+        Ok(stats)
+    }
+
+    /// Publish a checkpoint of the complete current state, rotate the log
+    /// behind it, and prune superseded checkpoint files. Returns the LSN
+    /// the checkpoint covers.
+    pub fn checkpoint(&mut self) -> Result<u64, DurableError> {
+        self.take_log_error()?;
+        let state = DurableState {
+            checker: self.checker.export_state(),
+            model: (**self.checker.model()).clone(),
+        };
+        let lsn = self
+            .observer
+            .log
+            .lock()
+            .expect("edit log poisoned")
+            .next_lsn()
+            - 1;
+        checkpoint::write(&self.storage, lsn, &state)?;
+        self.observer
+            .log
+            .lock()
+            .expect("edit log poisoned")
+            .rotate(lsn)?;
+        checkpoint::prune(&self.storage, lsn)?;
+        self.arrivals_since_checkpoint = 0;
+        Ok(lsn)
+    }
+
+    /// Force the log durable right now, regardless of the batched policy
+    /// (e.g. before a planned shutdown).
+    pub fn sync_log(&mut self) -> Result<(), DurableError> {
+        self.take_log_error()?;
+        self.observer
+            .log
+            .lock()
+            .expect("edit log poisoned")
+            .sync()?;
+        Ok(())
+    }
+
+    /// The LSN the next logged edit will carry.
+    pub fn next_lsn(&self) -> u64 {
+        self.observer
+            .log
+            .lock()
+            .expect("edit log poisoned")
+            .next_lsn()
+    }
+
+    /// The wrapped checker.
+    pub fn checker(&self) -> &StreamingChecker {
+        &self.checker
+    }
+
+    /// Mutable access to the wrapped checker. Model edits made through it
+    /// (its handle) are still logged — the observer hangs off the handle,
+    /// not off this wrapper. The prebuilt-replay arrival paths, however,
+    /// edit no model and are therefore only as durable as the last
+    /// checkpoint.
+    pub fn checker_mut(&mut self) -> &mut StreamingChecker {
+        &mut self.checker
+    }
+
+    /// The backing store.
+    pub fn storage(&self) -> &Arc<dyn Storage> {
+        &self.storage
+    }
+
+    /// Detach the observer and return the inner checker (the store stays
+    /// as it is; a later [`Self::recover`] resumes from it).
+    pub fn into_inner(self) -> StreamingChecker {
+        self.checker.handle().set_observer(None);
+        self.checker
+    }
+
+    fn take_log_error(&self) -> Result<(), DurableError> {
+        match self
+            .observer
+            .error
+            .lock()
+            .expect("error slot poisoned")
+            .take()
+        {
+            Some(e) => Err(e.into()),
+            None => Ok(()),
+        }
+    }
+}
+
+impl StreamingChecker {
+    /// Recover a crashed durable checker from the files under `dir` —
+    /// the directory-backed convenience over [`DurableChecker::recover`]
+    /// with a [`DiskFs`] store.
+    pub fn recover(
+        dir: impl AsRef<Path>,
+        online: OnlineEmConfig,
+        config: DurabilityConfig,
+    ) -> Result<DurableChecker, DurableError> {
+        let storage: Arc<dyn Storage> = Arc::new(DiskFs::open(dir.as_ref())?);
+        DurableChecker::recover(storage, online, config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crf::graph::{CrfModelBuilder, Stance};
+    use durability::MemFs;
+
+    /// One seed model, serialised: deserialising per run keeps the
+    /// `model_id`, so an interrupted and an uninterrupted run share the
+    /// exact lineage and can be compared byte for byte.
+    fn seed_json() -> String {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[0.8]).unwrap();
+        let c = b.add_claim();
+        let d = b.add_document(&[0.6]).unwrap();
+        b.add_clique(c, d, s, Stance::Support);
+        serde_json::to_string(&b.build().unwrap()).unwrap()
+    }
+
+    fn seed(json: &str) -> CrfModel {
+        serde_json::from_str(json).unwrap()
+    }
+
+    /// The k-th synthetic arrival: a fresh claim with one document from a
+    /// fresh source (deterministic in `k`).
+    fn arrival_delta(s: &StreamingChecker, k: usize) -> ModelDelta {
+        let mut delta = s.delta();
+        let src = delta.add_source(&[0.1 + (k % 7) as f64 * 0.1]).unwrap();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.2 + (k % 5) as f64 * 0.1]).unwrap();
+        delta.add_clique(c, d, src, Stance::Support);
+        delta
+    }
+
+    /// Bit-identity: model content, probabilities, online weights, and
+    /// arrival bookkeeping all agree exactly.
+    fn assert_bit_identical(a: &StreamingChecker, b: &StreamingChecker) {
+        assert_eq!(
+            serde_json::to_string(&**a.model()).unwrap(),
+            serde_json::to_string(&**b.model()).unwrap(),
+            "model content diverged"
+        );
+        assert_eq!(a.arrivals(), b.arrivals());
+        assert_eq!(a.visible_claims(), b.visible_claims());
+        assert_eq!(a.probs().len(), b.probs().len());
+        for (i, (x, y)) in a.probs().iter().zip(b.probs()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "prob {i} diverged");
+        }
+        for (i, (x, y)) in a
+            .weights()
+            .as_slice()
+            .iter()
+            .zip(b.weights().as_slice())
+            .enumerate()
+        {
+            assert_eq!(x.to_bits(), y.to_bits(), "weight {i} diverged");
+        }
+    }
+
+    /// The tentpole contract, in-crate edition: kill the checker after an
+    /// arbitrary arrival (drop it — a process crash keeps all written
+    /// bytes), recover from the surviving files, continue the stream, and
+    /// land bit-identical to the run that never crashed. The window +
+    /// compaction policy makes the log carry all three edit kinds.
+    #[test]
+    fn crash_recover_continue_is_bit_identical() {
+        let json = seed_json();
+        let policy = || RetentionPolicy {
+            window: Some(4),
+            compact_threshold: 0.2,
+            ..RetentionPolicy::unbounded()
+        };
+        let total = 17;
+
+        // Uninterrupted reference.
+        let mut reference = StreamingChecker::try_new(seed(&json), OnlineEmConfig::default())
+            .unwrap()
+            .with_retention(policy());
+        for k in 0..total {
+            let delta = arrival_delta(&reference, k);
+            reference.arrive_new(delta).unwrap();
+        }
+
+        // Interrupted run: crash after each of several arrival counts.
+        for crash_after in [1, 5, 9, 13] {
+            let mem = MemFs::new();
+            let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+            let config = DurabilityConfig {
+                sync_policy: SyncPolicy::Batched(8),
+                checkpoint_every: Some(6),
+                checkpoint_on_compact: true,
+            };
+            let mut durable = DurableChecker::create(
+                storage,
+                seed(&json),
+                OnlineEmConfig::default(),
+                policy(),
+                config.clone(),
+            )
+            .unwrap();
+            for k in 0..crash_after {
+                let delta = arrival_delta(durable.checker(), k);
+                durable.arrive_new(delta).unwrap();
+            }
+            drop(durable); // process crash: written bytes survive, state is gone
+
+            let survivor: Arc<dyn Storage> = Arc::new(mem.survivor(true));
+            let mut recovered =
+                DurableChecker::recover(survivor, OnlineEmConfig::default(), config).unwrap();
+            assert_eq!(recovered.checker().arrivals(), crash_after);
+            for k in crash_after..total {
+                let delta = arrival_delta(recovered.checker(), k);
+                recovered.arrive_new(delta).unwrap();
+            }
+            assert_bit_identical(recovered.checker(), &reference);
+        }
+    }
+
+    /// Recovery from a store that was never initialised refuses cleanly.
+    #[test]
+    fn recover_without_checkpoint_is_refused() {
+        let storage: Arc<dyn Storage> = Arc::new(MemFs::new());
+        assert!(matches!(
+            DurableChecker::recover(
+                storage,
+                OnlineEmConfig::default(),
+                DurabilityConfig::default()
+            ),
+            Err(DurableError::NoCheckpoint)
+        ));
+    }
+
+    /// An immediate recovery (no arrivals after the checkpoint) and a
+    /// recovery with an empty log suffix both work, and `into_inner`
+    /// detaches the observer so later edits are no longer logged.
+    #[test]
+    fn recover_fresh_store_and_detach() {
+        let json = seed_json();
+        let mem = MemFs::new();
+        let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+        let durable = DurableChecker::create(
+            storage,
+            seed(&json),
+            OnlineEmConfig::default(),
+            RetentionPolicy::unbounded(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        drop(durable);
+
+        let survivor: Arc<dyn Storage> = Arc::new(mem.survivor(true));
+        let recovered = DurableChecker::recover(
+            survivor.clone(),
+            OnlineEmConfig::default(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        let files_before = survivor.list().unwrap().len();
+        let mut checker = recovered.into_inner();
+        let delta = arrival_delta(&checker, 0);
+        checker.arrive_new(delta).unwrap();
+        assert_eq!(
+            survivor.list().unwrap().len(),
+            files_before,
+            "detached checker must not touch the store"
+        );
+    }
+
+    /// Manual checkpoints rotate the log and prune old checkpoint files:
+    /// the store stays bounded no matter how long the stream runs.
+    #[test]
+    fn checkpointing_bounds_the_store() {
+        let json = seed_json();
+        let mem = MemFs::new();
+        let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+        let mut durable = DurableChecker::create(
+            storage.clone(),
+            seed(&json),
+            OnlineEmConfig::default(),
+            RetentionPolicy {
+                window: Some(3),
+                compact_threshold: 0.2,
+                ..RetentionPolicy::unbounded()
+            },
+            DurabilityConfig {
+                sync_policy: SyncPolicy::PerRecord,
+                checkpoint_every: Some(4),
+                checkpoint_on_compact: true,
+            },
+        )
+        .unwrap();
+        let mut peak = 0usize;
+        for k in 0..30 {
+            let delta = arrival_delta(durable.checker(), k);
+            durable.arrive_new(delta).unwrap();
+            // Exactly one checkpoint + at most one log segment... plus the
+            // transient second segment between rotate steps is invisible
+            // here (rotation is atomic w.r.t. this thread).
+            let files = storage.list().unwrap().len();
+            peak = peak.max(files);
+        }
+        assert!(
+            peak <= 3,
+            "store should stay at one checkpoint + one or two segments, saw {peak} files"
+        );
+        assert!(durable.next_lsn() > 1, "edits were logged");
+    }
+}

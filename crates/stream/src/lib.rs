@@ -45,14 +45,23 @@
 //!   retention sweep, and exchanges parameters with the offline validation
 //!   process (Alg. 1 / the `factcheck` crate), and
 //! * [`interleave`] — running both algorithms side by side over one shared
-//!   model lineage, producing the validation sequences compared in Table 2.
+//!   model lineage, producing the validation sequences compared in Table 2,
+//!   and
+//! * [`durable`] — the crash-recoverable wrapper
+//!   ([`durable::DurableChecker`]): every edit ahead-logged through the
+//!   `durability` crate's WAL, state checkpointed atomically, and recovery
+//!   bit-identical to the uninterrupted run.
 
 #![warn(missing_docs)]
 
+pub mod durable;
 pub mod interleave;
 pub mod online_em;
 pub mod stream;
 
+pub use durable::{DurabilityConfig, DurableChecker, DurableError};
 pub use interleave::{offline_sequence, streaming_sequence, InterleaveConfig};
-pub use online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError, StepSchedule};
+pub use online_em::{
+    ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError, OnlineEmState, StepSchedule,
+};
 pub use stream::{ExpiryStats, RetentionPolicy, StreamingChecker};

@@ -15,6 +15,8 @@
 use crf::logistic::{Dataset, LogisticObjective};
 use crf::potentials::Weights;
 use crf::tron::{self, TronConfig, TronScratch};
+use crf::{IdRemap, VarId};
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -47,6 +49,14 @@ pub enum OnlineEmError {
     /// `t0` negative or non-finite: the earliest step sizes would be
     /// undefined or larger than 1.
     InvalidT0(f64),
+    /// A restored [`OnlineEmState`] was built for a different feature
+    /// dimension than the estimator it is being restored into.
+    DimMismatch {
+        /// The estimator's feature dimension.
+        expected: usize,
+        /// The state's feature dimension.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for OnlineEmError {
@@ -58,6 +68,12 @@ impl std::fmt::Display for OnlineEmError {
             ),
             OnlineEmError::InvalidT0(t0) => {
                 write!(f, "t0 = {t0} must be finite and non-negative")
+            }
+            OnlineEmError::DimMismatch { expected, got } => {
+                write!(
+                    f,
+                    "restored state has feature dim {got}, estimator expects {expected}"
+                )
             }
         }
     }
@@ -150,10 +166,35 @@ pub struct ArrivalStats {
     pub compacted: bool,
 }
 
+/// One retained term of the running objective: a clique's feature row and
+/// soft target, carrying its decayed blend weight and (when known) the
+/// claim the clique belongs to. The claim tag ties the instance's lifetime
+/// to the claim's: when retention retires the claim, the instance is
+/// dropped immediately ([`OnlineEm::prune_dead_claims`]) instead of
+/// lingering until geometric decay pushes it under the weight floor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct WeightedInstance {
+    claim: Option<u32>,
     row: Vec<f64>,
     target: f64,
     weight: f64,
+}
+
+/// The complete serialisable state of an [`OnlineEm`] — weights, arrival
+/// counter, and the retained instance set with claim tags and blend
+/// weights. Round-tripping through [`OnlineEm::export_state`] /
+/// [`OnlineEm::restore_state`] resumes the estimator bit-identically: the
+/// next [`OnlineEm::observe`] rebuilds its solver buffers from the
+/// restored instances, and every weight is carried as an exact `f64`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineEmState {
+    /// Feature dimension the state was exported at.
+    pub dim: u64,
+    /// Arrivals processed (`t` of the step schedule).
+    pub arrivals: u64,
+    /// Parameters `W_t`.
+    pub weights: Weights,
+    instances: Vec<WeightedInstance>,
 }
 
 /// The online parameter estimator.
@@ -212,8 +253,28 @@ impl OnlineEm {
 
     /// Incorporate a new arrival: `rows` holds one `(features, soft target)`
     /// pair per clique of the new claim (Eq. 29's expectation term), then
-    /// re-estimate `W_t` (Eq. 30).
+    /// re-estimate `W_t` (Eq. 30). Instances ingested this way carry no
+    /// claim tag — they expire only by decay; the streaming checker uses
+    /// [`Self::observe_for_claims`] so retirement can reclaim them early.
     pub fn observe(&mut self, rows: &[(Vec<f64>, f64)]) -> ArrivalStats {
+        self.ingest(rows.iter().map(|(row, target)| (None, row, *target)))
+    }
+
+    /// [`Self::observe`] with each row tagged by the claim its clique
+    /// belongs to, so a later [`Self::prune_dead_claims`] can drop the
+    /// instances of retired claims instead of waiting for geometric decay
+    /// to push them under the weight floor.
+    pub fn observe_for_claims(&mut self, rows: &[(u32, Vec<f64>, f64)]) -> ArrivalStats {
+        self.ingest(
+            rows.iter()
+                .map(|(claim, row, target)| (Some(*claim), row, *target)),
+        )
+    }
+
+    fn ingest<'a>(
+        &mut self,
+        rows: impl Iterator<Item = (Option<u32>, &'a Vec<f64>, f64)>,
+    ) -> ArrivalStats {
         let started = Instant::now();
         self.t += 1;
         let gamma = self.config.schedule.gamma(self.t);
@@ -224,9 +285,10 @@ impl OnlineEm {
             inst.weight *= decay;
         }
         // Blend in the new expectation term: γ·E[ℓ_t].
-        for (row, target) in rows {
+        for (claim, row, target) in rows {
             assert_eq!(row.len(), self.dim, "feature row width mismatch");
             self.instances.push_back(WeightedInstance {
+                claim,
                 row: row.clone(),
                 target: target.clamp(0.0, 1.0),
                 weight: gamma,
@@ -289,6 +351,78 @@ impl OnlineEm {
             retired_sources: 0,
             compacted: false,
         }
+    }
+
+    /// Drop every instance whose claim tag fails `live` (untagged
+    /// instances are kept — their lifetime is decay-only). Called by the
+    /// streaming checker's retention sweep, so a retired claim's buffered
+    /// cliques stop contributing to the objective the moment the claim
+    /// leaves service rather than at window wrap. Returns the number of
+    /// instances dropped. The objective change is exactly the retirement
+    /// semantics: the retired claim's expectation terms leave `Q_t`; the
+    /// weights re-settle on the next arrival's M-step.
+    pub fn prune_dead_claims(&mut self, live: impl Fn(u32) -> bool) -> usize {
+        let before = self.instances.len();
+        self.instances.retain(|i| i.claim.is_none_or(&live));
+        before - self.instances.len()
+    }
+
+    /// Relocate claim tags through a compaction `remap`: surviving claims
+    /// are re-tagged with their new ids, instances of dropped claims are
+    /// removed (compaction only drops tombstoned claims, so this is the
+    /// same contract as [`Self::prune_dead_claims`]). Returns the number
+    /// of instances dropped.
+    pub fn remap_claims(&mut self, remap: &IdRemap) -> usize {
+        let before = self.instances.len();
+        self.instances.retain_mut(|i| match i.claim {
+            None => true,
+            Some(c) => match remap.claim(VarId(c)) {
+                Some(nc) => {
+                    i.claim = Some(nc.0);
+                    true
+                }
+                None => false,
+            },
+        });
+        before - self.instances.len()
+    }
+
+    /// Forget all claim tags (instances stay, expiring by decay only).
+    /// The reset path: when the checker outruns the single retained remap
+    /// its claim-id provenance is lost, and a stale tag must not cause a
+    /// live claim's instances to be pruned as dead.
+    pub fn clear_claim_tags(&mut self) {
+        for inst in self.instances.iter_mut() {
+            inst.claim = None;
+        }
+    }
+
+    /// Snapshot the complete estimator state for a checkpoint.
+    pub fn export_state(&self) -> OnlineEmState {
+        OnlineEmState {
+            dim: self.dim as u64,
+            arrivals: self.t,
+            weights: self.weights.clone(),
+            instances: self.instances.iter().cloned().collect(),
+        }
+    }
+
+    /// Restore a checkpointed state. The estimator resumes bit-identically:
+    /// the arrival counter continues the step schedule where it left off,
+    /// and the instance buffer (tags, targets, decayed weights) is exact.
+    /// Fails with [`OnlineEmError::DimMismatch`] when the state was
+    /// exported at a different feature dimension.
+    pub fn restore_state(&mut self, state: OnlineEmState) -> Result<(), OnlineEmError> {
+        if state.dim as usize != self.dim {
+            return Err(OnlineEmError::DimMismatch {
+                expected: self.dim,
+                got: state.dim as usize,
+            });
+        }
+        self.weights = state.weights;
+        self.t = state.arrivals;
+        self.instances = state.instances.into();
+        Ok(())
     }
 }
 
@@ -425,5 +559,96 @@ mod tests {
         let mut em = OnlineEm::try_new(3, OnlineEmConfig::default()).unwrap();
         let stats = em.observe(&[]);
         assert_eq!(stats.retained_instances, 0);
+    }
+
+    /// Retiring a claim reclaims its buffered instances immediately —
+    /// untagged instances and instances of live claims are untouched.
+    #[test]
+    fn dead_claims_instances_are_pruned() {
+        let mut em = OnlineEm::try_new(1, OnlineEmConfig::default()).unwrap();
+        em.observe_for_claims(&[(3, vec![1.0], 1.0), (4, vec![-1.0], 0.0)]);
+        em.observe(&[(vec![0.5], 1.0)]); // untagged: decay-only lifetime
+        assert_eq!(em.retained(), 3);
+        let dropped = em.prune_dead_claims(|c| c != 3);
+        assert_eq!(dropped, 1);
+        assert_eq!(em.retained(), 2);
+        // Idempotent: a second sweep with the same live set drops nothing.
+        assert_eq!(em.prune_dead_claims(|c| c != 3), 0);
+    }
+
+    /// A compaction remap relocates surviving tags and drops the rest;
+    /// clearing tags makes instances immune to later pruning.
+    #[test]
+    fn remap_relocates_tags_and_clear_detaches_them() {
+        use crf::graph::{CrfModelBuilder, Stance};
+        use crf::{RetireSet, VarId};
+        // Build a real remap: retire claim 0 of a two-claim model, compact.
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[0.8]).unwrap();
+        for _ in 0..2 {
+            let c = b.add_claim();
+            let d = b.add_document(&[0.5]).unwrap();
+            b.add_clique(c, d, s, Stance::Support);
+        }
+        let mut m = b.build().unwrap();
+        let mut set = RetireSet::for_model(&m);
+        set.retire_claim(VarId(0));
+        m.retire(set).unwrap();
+        let remap = m.compact().unwrap();
+        assert!(remap.claim(VarId(0)).is_none());
+
+        let mut em = OnlineEm::try_new(1, OnlineEmConfig::default()).unwrap();
+        em.observe_for_claims(&[(0, vec![1.0], 1.0), (1, vec![-1.0], 0.0)]);
+        let dropped = em.remap_claims(&remap);
+        assert_eq!(dropped, 1, "claim 0's instance dies with the claim");
+        assert_eq!(em.retained(), 1);
+        // The survivor was re-tagged to the claim's new id: pruning with
+        // "new id is live" keeps it, pruning with the old id does nothing.
+        let new_id = remap.claim(VarId(1)).unwrap().0;
+        assert_eq!(em.prune_dead_claims(|c| c == new_id), 0);
+        em.clear_claim_tags();
+        assert_eq!(em.prune_dead_claims(|_| false), 0, "untagged = unprunable");
+        assert_eq!(em.retained(), 1);
+    }
+
+    /// Export → serde round-trip → restore resumes bit-identically: the
+    /// restored estimator's subsequent updates produce exactly the same
+    /// weights as the uninterrupted one.
+    #[test]
+    fn state_round_trip_resumes_bit_identically() {
+        let mut em = OnlineEm::try_new(2, OnlineEmConfig::default()).unwrap();
+        for i in 0..20 {
+            let x = if i % 2 == 0 { 1.0 } else { -1.0 };
+            em.observe_for_claims(&[(i as u32, vec![1.0, x], f64::from(u8::from(x > 0.0)))]);
+        }
+        let json = serde_json::to_string(&em.export_state()).unwrap();
+        let state: OnlineEmState = serde_json::from_str(&json).unwrap();
+
+        let mut restored = OnlineEm::try_new(2, OnlineEmConfig::default()).unwrap();
+        restored.restore_state(state).unwrap();
+        assert_eq!(restored.arrivals(), em.arrivals());
+        assert_eq!(restored.retained(), em.retained());
+        for i in 20..30 {
+            let x = if i % 3 == 0 { 1.0 } else { -1.0 };
+            let rows = [(i as u32, vec![1.0, x], 0.7)];
+            em.observe_for_claims(&rows);
+            restored.observe_for_claims(&rows);
+        }
+        let (a, b) = (em.weights().as_slice(), restored.weights().as_slice());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits(), "weights diverged after restore");
+        }
+
+        // Dimension mismatch is refused.
+        let mut other = OnlineEm::try_new(3, OnlineEmConfig::default()).unwrap();
+        let state: OnlineEmState = serde_json::from_str(&json).unwrap();
+        assert!(matches!(
+            other.restore_state(state),
+            Err(OnlineEmError::DimMismatch {
+                expected: 3,
+                got: 2
+            })
+        ));
     }
 }

@@ -32,12 +32,13 @@
 //! 4. can feed the updated parameters back into Alg. 1
 //!    ([`StreamingChecker::feed_into`], line 10).
 
-use crate::online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError};
+use crate::online_em::{ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError, OnlineEmState};
 use crf::em::source_trust_from_probs;
 use crf::potentials::{claim_probability, clique_features};
 use crf::{
     CliqueId, CrfModel, Icrf, ModelDelta, ModelError, ModelHandle, RetireSet, Stance, VarId,
 };
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// The resource-retention contract of a long-running stream: which claims
@@ -56,7 +57,7 @@ use std::sync::Arc;
 /// whose evidence died with its claims. Together they give a memory
 /// *plateau*: array sizes are bounded by
 /// `live set / (1 − compact_threshold)` regardless of stream length.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RetentionPolicy {
     /// Retire a claim once `window` further arrivals have landed after it
     /// (`None` = no recency bound). Claims prebuilt into the model count
@@ -231,7 +232,7 @@ impl StreamingChecker {
     /// relocates the per-claim state through the published remap (or, when
     /// two compactions elapsed unseen, resets it). Also re-pins the
     /// snapshot after [`Self::arrive_new`] released it.
-    fn sync(&mut self) {
+    pub(crate) fn sync(&mut self) {
         let current = self.handle.revision();
         if self.model.as_ref().map(|m| m.revision()) == Some(current) {
             return;
@@ -255,6 +256,10 @@ impl StreamingChecker {
                         seq[nc.idx()] = self.arrival_seq[c];
                     }
                 }
+                // The online buffer relocates with us: surviving claims'
+                // instances are re-tagged, dropped claims' instances die
+                // with the claim.
+                self.online.remap_claims(remap);
             } else {
                 // Outran the single retained remap: provenance is lost and
                 // the per-claim state resets. Visibility cannot be
@@ -266,6 +271,10 @@ impl StreamingChecker {
                         *slot = self.arrivals as u64;
                     }
                 }
+                // Claim-id provenance is lost with the remap: stale tags
+                // must not get a live claim's instances pruned as dead, so
+                // the buffered instances fall back to decay-only lifetime.
+                self.online.clear_claim_tags();
             }
             self.visible = visible;
             self.probs = probs;
@@ -282,6 +291,11 @@ impl StreamingChecker {
                     *v = false; // expired: out of the visible working set
                 }
             }
+            // A retired claim's buffered training instances are reclaimed
+            // with the claim — the point of tagging them — instead of
+            // accumulating until decay pushes them under the weight floor.
+            self.online
+                .prune_dead_claims(|c| (c as usize) < n && model.claim_live(c as usize));
         }
         self.model = Some(model);
     }
@@ -381,7 +395,8 @@ impl StreamingChecker {
                 });
         }
 
-        // One (features, soft target) row per clique the delta added.
+        // One claim-tagged (features, soft target) row per clique the
+        // delta added; the tag lets retirement reclaim the instance early.
         let dim = model.feature_dim();
         let mut rows = Vec::new();
         for cl in &model.cliques()[first_new_clique..first_new_clique + n_new_cliques] {
@@ -392,9 +407,9 @@ impl StreamingChecker {
                 Stance::Support => p,
                 Stance::Refute => 1.0 - p,
             };
-            rows.push((row, target));
+            rows.push((cl.claim.0, row, target));
         }
-        let mut stats = self.online.observe(&rows);
+        let mut stats = self.online.observe_for_claims(&rows);
 
         // Retention rides on the ingest path: expired claims are tombstoned
         // and, past the dead-fraction threshold, compacted away — this is
@@ -540,7 +555,8 @@ impl StreamingChecker {
         let p = claim_probability(&model, self.online.weights(), claim, |s| trust[s as usize]);
         self.probs[claim.idx()] = p;
 
-        // One (features, soft target) row per clique of the new claim.
+        // One claim-tagged (features, soft target) row per clique of the
+        // new claim.
         let dim = model.feature_dim();
         let mut rows = Vec::new();
         for &ci in model.cliques_of(claim) {
@@ -551,9 +567,9 @@ impl StreamingChecker {
                 Stance::Support => p,
                 Stance::Refute => 1.0 - p,
             };
-            rows.push((row, target));
+            rows.push((claim.0, row, target));
         }
-        self.online.observe(&rows)
+        self.online.observe_for_claims(&rows)
     }
 
     /// Process a labelled arrival: the claim comes with user input already
@@ -578,10 +594,78 @@ impl StreamingChecker {
                 Stance::Support => p,
                 Stance::Refute => 1.0 - p,
             };
-            rows.push((row, target));
+            rows.push((claim.0, row, target));
         }
-        self.online.observe(&rows)
+        self.online.observe_for_claims(&rows)
     }
+
+    /// Snapshot the checker's complete volatile state — per-claim
+    /// bookkeeping, retention policy, online estimator — keyed to the
+    /// model lineage position it is sized for. The checkpoint payload of
+    /// the durability layer (the model itself is serialised alongside by
+    /// [`crate::durable`]).
+    pub(crate) fn export_state(&mut self) -> CheckerState {
+        self.sync();
+        let model = self.model();
+        CheckerState {
+            model_id: model.model_id(),
+            revision: model.revision().0,
+            visible: self.visible.clone(),
+            probs: self.probs.clone(),
+            arrival_seq: self.arrival_seq.clone(),
+            compactions: self.compactions,
+            arrivals: self.arrivals as u64,
+            policy: self.policy.clone(),
+            online: self.online.export_state(),
+        }
+    }
+
+    /// Restore a checkpointed state. The handle must already sit at
+    /// exactly the `(model_id, revision)` the state was exported at —
+    /// recovery rebuilds the model first, then restores the checker —
+    /// otherwise the restore is refused with [`ModelError::StaleDelta`]
+    /// and the checker is left untouched.
+    pub(crate) fn restore_state(&mut self, state: CheckerState) -> Result<(), ModelError> {
+        self.sync();
+        let model = self.model().clone();
+        if (model.model_id(), model.revision().0) != (state.model_id, state.revision) {
+            return Err(ModelError::StaleDelta {
+                delta_model_id: state.model_id,
+                delta_revision: state.revision,
+                model_id: model.model_id(),
+                model_revision: model.revision().0,
+            });
+        }
+        debug_assert_eq!(state.probs.len(), model.n_claims());
+        self.visible = state.visible;
+        self.probs = state.probs;
+        self.arrival_seq = state.arrival_seq;
+        self.compactions = state.compactions;
+        self.arrivals = state.arrivals as usize;
+        self.policy = state.policy;
+        self.online
+            .restore_state(state.online)
+            .expect("same lineage position implies same feature dim");
+        Ok(())
+    }
+}
+
+/// The serialisable volatile state of a [`StreamingChecker`]
+/// ([`StreamingChecker::export_state`] /
+/// [`StreamingChecker::restore_state`]) — everything the checker holds
+/// besides the model itself, keyed to the exact lineage position it is
+/// sized for.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct CheckerState {
+    pub model_id: u64,
+    pub revision: u64,
+    pub visible: Vec<bool>,
+    pub probs: Vec<f64>,
+    pub arrival_seq: Vec<u64>,
+    pub compactions: u64,
+    pub arrivals: u64,
+    pub policy: RetentionPolicy,
+    pub online: OnlineEmState,
 }
 
 #[cfg(test)]
