@@ -23,12 +23,13 @@ use crf::partition::Partition;
 use crf::potentials::{ScoreCache, Weights};
 use crf::{ModelHandle, VarId};
 use criterion::black_box;
-use durability::{DiskFs, MemFs, Storage, SyncPolicy};
+use durability::{DiskFs, FaultFs, MemFs, Storage, SyncPolicy};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 use streamcheck::{
-    DurabilityConfig, DurableChecker, OnlineEmConfig, RetentionPolicy, StreamingChecker,
+    DurabilityConfig, DurableChecker, DurableError, OnlineEmConfig, RetentionPolicy,
+    StreamingChecker,
 };
 
 const DOCS_PER_ARRIVAL: usize = 3;
@@ -390,6 +391,7 @@ fn quick_recovery_smoke() {
         sync_policy: SyncPolicy::Batched(16),
         checkpoint_every: Some(50),
         checkpoint_on_compact: true,
+        full_every: 3,
     };
     let mut durable = DurableChecker::create(
         storage,
@@ -464,8 +466,12 @@ fn quick_recovery_smoke() {
 /// its interval), and `create`'s checkpoint 0 lies outside the timed
 /// loop; what is measured is serialise + framed append + fsync policy.
 fn logged_ingest_us(base: &CrfModel, arrivals: &[Arrival], sync_policy: SyncPolicy) -> f64 {
+    let tag: String = format!("{sync_policy:?}")
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect();
     let dir = format!(
-        "{}/../../target/bench-durability-{sync_policy:?}",
+        "{}/../../target/bench-durability-{tag}",
         env!("CARGO_MANIFEST_DIR")
     );
     let _ = std::fs::remove_dir_all(&dir);
@@ -479,6 +485,7 @@ fn logged_ingest_us(base: &CrfModel, arrivals: &[Arrival], sync_policy: SyncPoli
             sync_policy,
             checkpoint_every: None,
             checkpoint_on_compact: false,
+            full_every: 8,
         },
     )
     .unwrap();
@@ -492,6 +499,10 @@ fn logged_ingest_us(base: &CrfModel, arrivals: &[Arrival], sync_policy: SyncPoli
         }
         durable.arrive_new(delta).unwrap();
     }
+    // Close the loss window before stopping the clock so every policy is
+    // measured to the same durability point — for group commit this is the
+    // watermark barrier, amortised over the whole run.
+    durable.sync_log().unwrap();
     t.elapsed().as_secs_f64() * 1e6 / arrivals.len() as f64
 }
 
@@ -524,6 +535,7 @@ fn recovery_ms(json: &str, records: usize) -> f64 {
         sync_policy: SyncPolicy::Batched(16),
         checkpoint_every: None,
         checkpoint_on_compact: false,
+        full_every: 8,
     };
     let mut durable = DurableChecker::create(
         storage,
@@ -551,6 +563,262 @@ fn recovery_ms(json: &str, records: usize) -> f64 {
     elapsed
 }
 
+/// One arrival shaped for whatever feature dimensions the live model has —
+/// the [`durable_arrival`] story (claim + own source + one document per
+/// clique) generalised past the 8-dim seed.
+fn economy_arrival(s: &StreamingChecker, k: usize) -> ModelDelta {
+    let (ms, md) = {
+        let m = s.model();
+        (m.m_source(), m.m_doc())
+    };
+    let mut delta = s.delta();
+    let srow: Vec<f64> = (0..ms).map(|f| ((k * 13 + f) % 89) as f64 / 89.0).collect();
+    let src = delta.add_source(&srow).unwrap();
+    let c = delta.add_claim();
+    for j in 0..DOCS_PER_ARRIVAL {
+        let drow: Vec<f64> = (0..md)
+            .map(|f| ((k * 31 + j * 7 + f) % 97) as f64 / 97.0)
+            .collect();
+        let d = delta.add_document(&drow).unwrap();
+        delta.add_clique(c, d, src, Stance::Support);
+    }
+    delta
+}
+
+struct CheckpointEconomy {
+    model_claims: usize,
+    window: u64,
+    cadence: u64,
+    full_bytes: f64,
+    increment_bytes: f64,
+    ratio: f64,
+    chain_len: usize,
+    chain_recovery_ms: f64,
+}
+
+/// Full-vs-incremental checkpoint economy: a large *persistent* base
+/// model with a small arrival window. A full checkpoint serialises the
+/// whole model; an increment serialises only the arrivals since its
+/// parent plus the small volatile state — so increment bytes track the
+/// window while full bytes track the model. Measures both (sampling each
+/// checkpoint file the moment it appears, before GC can take it) and
+/// times a recovery through the assembled chain: newest full → linked
+/// increments → log suffix.
+fn checkpoint_economy() -> CheckpointEconomy {
+    let base = synthetic_model(5_000, 250, 3, 16, 16, 0xECC0_5EED);
+    let model_claims = base.n_claims();
+    let (window, cadence, total) = (100u64, 100u64, 350usize);
+    let mem = MemFs::new();
+    let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+    let config = DurabilityConfig {
+        sync_policy: SyncPolicy::Batched(16),
+        checkpoint_every: Some(cadence),
+        checkpoint_on_compact: false,
+        // Out of reach for this run: every cadence checkpoint is an
+        // increment, and the only full is `create`'s checkpoint 0.
+        full_every: 16,
+    };
+    let mut durable = DurableChecker::create(
+        storage.clone(),
+        base,
+        OnlineEmConfig::default(),
+        RetentionPolicy {
+            window: Some(window),
+            compact_threshold: 0.25,
+            ..RetentionPolicy::unbounded()
+        },
+        config.clone(),
+    )
+    .unwrap();
+    let mut seen = std::collections::HashSet::new();
+    let (mut fulls, mut incs): (Vec<f64>, Vec<f64>) = (Vec::new(), Vec::new());
+    for k in 0..=total {
+        for name in storage.list().unwrap() {
+            if seen.insert(name.clone()) {
+                let bytes = storage.read(&name).unwrap().len() as f64;
+                if name.starts_with("ckpt-") {
+                    fulls.push(bytes);
+                } else if name.starts_with("inc-") {
+                    incs.push(bytes);
+                }
+            }
+        }
+        if k < total {
+            durable
+                .arrive_new(economy_arrival(durable.checker(), k))
+                .unwrap();
+        }
+    }
+    drop(durable);
+
+    let chain_survivor: Arc<dyn Storage> = Arc::new(mem.survivor(true));
+    let chain_len = streamcheck::verify_store(&chain_survivor)
+        .unwrap()
+        .chain_len;
+    let survivor: Arc<dyn Storage> = Arc::new(mem.survivor(true));
+    let t = Instant::now();
+    let recovered = DurableChecker::recover(survivor, OnlineEmConfig::default(), config).unwrap();
+    let chain_recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(recovered.checker().arrivals(), total);
+    assert!(chain_len >= 3, "economy run built no increment chain");
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let (full_bytes, increment_bytes) = (mean(&fulls), mean(&incs));
+    CheckpointEconomy {
+        model_claims,
+        window,
+        cadence,
+        full_bytes,
+        increment_bytes,
+        ratio: full_bytes / increment_bytes,
+        chain_len,
+        chain_recovery_ms,
+    }
+}
+
+/// Quick-mode crash matrix: the three PR-7 crash surfaces — the
+/// group-commit sync window, the increment boundary, and mid-GC (deletes
+/// charge the same fault budget as writes) — each swept over a spread of
+/// byte budgets under both crash models (unsynced bytes kept and
+/// dropped). Every trial must recover to exactly some per-arrival state
+/// and continue bit-identically to the uninterrupted reference.
+fn quick_crash_matrix() {
+    const TOTAL: usize = 12;
+    let json = durable_seed_json();
+    let policy = || RetentionPolicy {
+        window: Some(4),
+        compact_threshold: 0.25,
+        ..RetentionPolicy::unbounded()
+    };
+    let snap = |c: &StreamingChecker| {
+        (
+            serde_json::to_string(&**c.model()).unwrap(),
+            c.probs().iter().map(|p| p.to_bits()).collect::<Vec<u64>>(),
+        )
+    };
+    let mut reference = StreamingChecker::try_new(
+        serde_json::from_str::<CrfModel>(&json).unwrap(),
+        OnlineEmConfig::default(),
+    )
+    .unwrap()
+    .with_retention(policy());
+    let mut refs = vec![snap(&reference)];
+    for k in 0..TOTAL {
+        let delta = durable_arrival(&reference, k);
+        reference.arrive_new(delta).unwrap();
+        refs.push(snap(&reference));
+    }
+
+    let surfaces = [
+        (
+            "group-commit window",
+            DurabilityConfig {
+                sync_policy: SyncPolicy::GroupCommit {
+                    window_micros: 300,
+                    max_batch: 3,
+                },
+                checkpoint_every: Some(3),
+                checkpoint_on_compact: true,
+                full_every: 1,
+            },
+        ),
+        (
+            "increment boundary",
+            DurabilityConfig {
+                sync_policy: SyncPolicy::Batched(4),
+                checkpoint_every: Some(2),
+                checkpoint_on_compact: false,
+                full_every: 3,
+            },
+        ),
+        (
+            "mid-GC",
+            DurabilityConfig {
+                sync_policy: SyncPolicy::PerRecord,
+                checkpoint_every: Some(2),
+                checkpoint_on_compact: true,
+                full_every: 2,
+            },
+        ),
+    ];
+
+    let run = |fault: &Arc<FaultFs>, config: &DurabilityConfig| -> (bool, bool) {
+        let storage: Arc<dyn Storage> = fault.clone();
+        match DurableChecker::create(
+            storage,
+            serde_json::from_str::<CrfModel>(&json).unwrap(),
+            OnlineEmConfig::default(),
+            policy(),
+            config.clone(),
+        ) {
+            Ok(mut durable) => {
+                for k in 0..TOTAL {
+                    let delta = durable_arrival(durable.checker(), k);
+                    if durable.arrive_new(delta).is_err() {
+                        return (true, true);
+                    }
+                }
+                let got = snap(durable.checker());
+                assert_eq!(got, refs[TOTAL], "uncrashed run diverged");
+                (true, false)
+            }
+            Err(_) => (false, true),
+        }
+    };
+
+    let mut trials = 0usize;
+    for (name, config) in &surfaces {
+        const GENEROUS: u64 = 1 << 30;
+        let gauge = Arc::new(FaultFs::new(MemFs::new(), GENEROUS));
+        run(&gauge, config);
+        let workload = GENEROUS - gauge.remaining().expect("generous budget never fires");
+
+        for i in 0..8u64 {
+            let budget = workload * i / 7;
+            let keep_unsynced = i % 2 == 0;
+            let ctx = format!("{name}, budget {budget}, keep_unsynced {keep_unsynced}");
+            let fault = Arc::new(FaultFs::new(MemFs::new(), budget));
+            let (created, crashed) = run(&fault, config);
+            if !crashed {
+                continue;
+            }
+            let survivor: Arc<dyn Storage> = Arc::new(fault.crash(keep_unsynced));
+            let mut recovered = match DurableChecker::recover(
+                survivor,
+                OnlineEmConfig::default(),
+                config.clone(),
+            ) {
+                Ok(r) => r,
+                Err(DurableError::NoCheckpoint) if !created => continue,
+                Err(e) => panic!("{ctx}: recovery failed: {e}"),
+            };
+            let k = recovered.checker().arrivals();
+            assert!(k <= TOTAL, "{ctx}: recovered past the crash");
+            assert_eq!(
+                snap(recovered.checker()),
+                refs[k],
+                "{ctx}: recovery landed between arrivals"
+            );
+            for j in k..TOTAL {
+                let delta = durable_arrival(recovered.checker(), j);
+                recovered.arrive_new(delta).unwrap();
+            }
+            assert_eq!(
+                snap(recovered.checker()),
+                refs[TOTAL],
+                "{ctx}: continuation diverged from the uninterrupted run"
+            );
+            trials += 1;
+        }
+    }
+    println!(
+        "crash matrix: {trials} crashed trials across 3 surfaces \
+         (group-commit window, increment boundary, mid-GC) — every recovery \
+         landed on a per-arrival state and continued bit-identically"
+    );
+    assert!(trials >= 6, "crash matrix barely crashed: {trials} trials");
+}
+
 fn main() {
     // Quick mode (CI smoke): a tiny windowed run asserting the plateau and
     // relocation invariants — no timing gate, no JSON, no 10k-claim graph.
@@ -571,6 +839,7 @@ fn main() {
         assert!(report.retired >= 400, "quick run retired too little");
         println!("memory-plateau invariant holds");
         quick_recovery_smoke();
+        quick_crash_matrix();
         return;
     }
 
@@ -649,12 +918,22 @@ fn main() {
     let no_log_us = unlogged_ingest_us(&base, &logged_arrivals);
     let batched_us = logged_ingest_us(&base, &logged_arrivals, SyncPolicy::Batched(16));
     let per_record_us = logged_ingest_us(&base, &logged_arrivals, SyncPolicy::PerRecord);
+    let group_us = logged_ingest_us(
+        &base,
+        &logged_arrivals,
+        SyncPolicy::GroupCommit {
+            window_micros: 5_000,
+            max_batch: 64,
+        },
+    );
     let batched_overhead = batched_us / no_log_us - 1.0;
+    let group_vs_batched = group_us / batched_us;
     let durable_json = durable_seed_json();
     let recovery: Vec<(usize, f64)> = [64usize, 256, 1024]
         .into_iter()
         .map(|n| (n, recovery_ms(&durable_json, n)))
         .collect();
+    let economy = checkpoint_economy();
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
     let incr_mean = mean(&incr_us);
@@ -706,9 +985,26 @@ fn main() {
         batched_overhead * 100.0,
         (per_record_us / no_log_us - 1.0) * 100.0
     );
+    println!(
+        "  group commit (5ms window, batch 64): {group_us:>7.1} us \
+         ({group_vs_batched:.2}x of batched(16))"
+    );
     for (n, ms) in &recovery {
         println!("  recovery of a {n:>5}-record log suffix: {ms:>8.1} ms");
     }
+    println!(
+        "checkpoint economy ({} base claims, window {}, cadence {}):",
+        economy.model_claims, economy.window, economy.cadence
+    );
+    println!(
+        "  full checkpoint: {:>9.0} bytes | increment: {:>8.0} bytes ({:.1}x smaller) | \
+         chain of {} recovered in {:.1} ms",
+        economy.full_bytes,
+        economy.increment_bytes,
+        economy.ratio,
+        economy.chain_len,
+        economy.chain_recovery_ms
+    );
 
     let recovery_json = recovery
         .iter()
@@ -716,7 +1012,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(", ");
     let json = format!(
-        "{{\n  \"bench\": \"stream_arrival_latency\",\n  \"graph\": {{ \"claims\": {}, \"cliques\": {}, \"sources\": {}, \"feature_dim\": {} }},\n  \"arrival\": {{ \"claims\": 1, \"documents\": {DOCS_PER_ARRIVAL}, \"cliques\": {DOCS_PER_ARRIVAL}, \"samples\": {ARRIVALS} }},\n  \"incremental\": {{ \"variant\": \"delta_apply_partition_grow_cache_patch\", \"mean_us\": {:.1}, \"worst_us\": {:.1} }},\n  \"arrive_new\": {{ \"variant\": \"streaming_checker_ingest_estimate_online_em\", \"mean_us\": {:.1} }},\n  \"rebuild\": {{ \"variant\": \"builder_partition_scorecache_from_scratch\", \"mean_us\": {:.1}, \"best_us\": {:.1} }},\n  \"speedup\": {:.1},\n  \"speedup_worst_vs_best\": {:.1},\n  \"windowed\": {{ \"arrivals\": {}, \"window\": {}, \"compact_threshold\": 0.25, \"amortised_us\": {:.1}, \"survivor_rebuild_mean_us\": {:.1}, \"speedup\": {:.1}, \"retired\": {}, \"compactions\": {}, \"peak_claims\": {}, \"peak_docs\": {}, \"peak_cliques\": {}, \"final_live_claims\": {} }},\n  \"durability\": {{ \"samples\": {LOGGED_SAMPLES}, \"store\": \"DiskFs\", \"no_log_us\": {no_log_us:.1}, \"batched16_us\": {batched_us:.1}, \"per_record_us\": {per_record_us:.1}, \"batched_overhead\": {batched_overhead:.3}, \"recovery\": [{recovery_json}] }},\n  \"gate\": \"incremental >= 5x rebuild per single-claim arrival; windowed amortised lifecycle >= 5x survivor rebuild; windowed arrays plateau; batched-fsync logged ingest <= 1.25x unlogged\"\n}}\n",
+        "{{\n  \"bench\": \"stream_arrival_latency\",\n  \"graph\": {{ \"claims\": {}, \"cliques\": {}, \"sources\": {}, \"feature_dim\": {} }},\n  \"arrival\": {{ \"claims\": 1, \"documents\": {DOCS_PER_ARRIVAL}, \"cliques\": {DOCS_PER_ARRIVAL}, \"samples\": {ARRIVALS} }},\n  \"incremental\": {{ \"variant\": \"delta_apply_partition_grow_cache_patch\", \"mean_us\": {:.1}, \"worst_us\": {:.1} }},\n  \"arrive_new\": {{ \"variant\": \"streaming_checker_ingest_estimate_online_em\", \"mean_us\": {:.1} }},\n  \"rebuild\": {{ \"variant\": \"builder_partition_scorecache_from_scratch\", \"mean_us\": {:.1}, \"best_us\": {:.1} }},\n  \"speedup\": {:.1},\n  \"speedup_worst_vs_best\": {:.1},\n  \"windowed\": {{ \"arrivals\": {}, \"window\": {}, \"compact_threshold\": 0.25, \"amortised_us\": {:.1}, \"survivor_rebuild_mean_us\": {:.1}, \"speedup\": {:.1}, \"retired\": {}, \"compactions\": {}, \"peak_claims\": {}, \"peak_docs\": {}, \"peak_cliques\": {}, \"final_live_claims\": {} }},\n  \"durability\": {{ \"samples\": {LOGGED_SAMPLES}, \"store\": \"DiskFs\", \"no_log_us\": {no_log_us:.1}, \"batched16_us\": {batched_us:.1}, \"per_record_us\": {per_record_us:.1}, \"group_commit_us\": {group_us:.1}, \"batched_overhead\": {batched_overhead:.3}, \"group_vs_batched\": {group_vs_batched:.3}, \"recovery\": [{recovery_json}], \"checkpoints\": {{ \"model_claims\": {}, \"window\": {}, \"cadence\": {}, \"full_bytes\": {:.0}, \"increment_bytes\": {:.0}, \"full_vs_increment\": {:.1}, \"chain_len\": {}, \"chain_recovery_ms\": {:.1} }} }},\n  \"gate\": \"incremental >= 5x rebuild per single-claim arrival; windowed amortised lifecycle >= 5x survivor rebuild; windowed arrays plateau; batched-fsync logged ingest <= 1.25x unlogged; group-commit logged ingest <= 1.10x batched(16); incremental checkpoint <= 1/4 the bytes of a full\"\n}}\n",
         base.n_claims(),
         base.cliques().len(),
         base.n_sources(),
@@ -739,6 +1035,14 @@ fn main() {
         windowed.peak_docs,
         windowed.peak_incidences,
         windowed.final_live_claims,
+        economy.model_claims,
+        economy.window,
+        economy.cadence,
+        economy.full_bytes,
+        economy.increment_bytes,
+        economy.ratio,
+        economy.chain_len,
+        economy.chain_recovery_ms,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_stream.json");
     std::fs::write(path, &json).expect("write BENCH_stream.json");
@@ -769,6 +1073,21 @@ fn main() {
             "FAIL: batched-fsync logged ingest costs {:.1}% over the unlogged lifecycle; \
              the acceptance criterion allows <=25% (see BENCH_stream.json)",
             batched_overhead * 100.0
+        );
+        std::process::exit(1);
+    }
+    if group_vs_batched > 1.10 {
+        eprintln!(
+            "FAIL: group-commit logged ingest is {group_vs_batched:.2}x of batched(16); the \
+             acceptance criterion allows <=1.10x (see BENCH_stream.json)"
+        );
+        std::process::exit(1);
+    }
+    if economy.increment_bytes * 4.0 > economy.full_bytes {
+        eprintln!(
+            "FAIL: an incremental checkpoint averages {:.0} bytes against {:.0} for a full — \
+             not O(window); the gate requires <=1/4 (see BENCH_stream.json)",
+            economy.increment_bytes, economy.full_bytes
         );
         std::process::exit(1);
     }

@@ -28,38 +28,70 @@
 //! it. Segment and checkpoint names zero-pad their LSN to 20 digits so
 //! lexicographic listing order is LSN order.
 //!
-//! # Fsync policy trade-offs
+//! # Fsync policy trade-offs: loss windows and acknowledgement
 //!
-//! [`wal::SyncPolicy`] picks the durability point: `PerRecord` fsyncs
-//! every append (zero loss window, one storage round-trip per arrival),
-//! `Batched(n)` amortises one fsync over `n` records (machine-crash loss
-//! window of `n − 1` records, near-unlogged throughput), `OsBuffered`
-//! never fsyncs (the OS flushes when it pleases). A plain process crash
-//! loses nothing under any policy; only power loss consumes the loss
-//! window. `benches/stream.rs` commits the measured overhead of each
-//! policy and gates `Batched` at ≤ 25% over unlogged ingest.
+//! [`wal::SyncPolicy`] picks the durability point. The **loss window** is
+//! what a power loss can take; a plain process crash loses nothing under
+//! any policy, because appends always reach the storage layer before
+//! `append` returns.
 //!
-//! # Checkpoint / truncation protocol
+//! * `PerRecord` — fsync on every append. Loss window zero; the append
+//!   *is* the acknowledgement. One storage round-trip per arrival.
+//! * `Batched(n)` — one fsync per `n` appends. Loss window `n − 1`
+//!   records; an append is acknowledged when the batch boundary fsync it
+//!   rode in lands ([`wal::EditLog::last_acked_lsn`] tracks this).
+//! * `GroupCommit { window_micros, max_batch }` — appends return
+//!   immediately; a dedicated sync thread coalesces everything that
+//!   arrived within the window (or up to `max_batch` records, whichever
+//!   comes first) into one fsync and publishes the **acknowledged-LSN
+//!   watermark**. Loss window: one sync window plus at most the one
+//!   record in flight. Callers that need a hard guarantee block on
+//!   [`wal::EditLog::wait_durable`], which forces an early sync; a sync
+//!   *failure* is terminal for the log (surfaces as an error on the next
+//!   barrier rather than being silently retried).
+//! * `OsBuffered` — never fsyncs; the OS flushes when it pleases.
 //!
-//! A checkpoint `ckpt-{lsn:020}.json` (same frame format, one frame) is
-//! the complete serialised checker state covering log records `… ≤ lsn`.
-//! It is published atomically — temp file, sync, rename — then the log
-//! **rotates**: a new segment anchored at `lsn + 1` is created and older
-//! segments are deleted ([`wal::EditLog::rotate`]), then older checkpoint
-//! files are pruned ([`checkpoint::prune`]). Every step is individually
-//! crash-safe; a crash between any two leaves a superset of one
-//! consistent state (extra segments or checkpoints that the next recovery
-//! reads past or supersedes). Compaction is the natural checkpoint
-//! trigger: it is the one edit that shrinks the serialised model, and
-//! checkpointing there keeps the log suffix short.
+//! `benches/stream.rs` commits the measured overhead of each policy and
+//! gates `Batched` at ≤ 25% over unlogged ingest and group commit at
+//! ≤ 1.10× of `Batched(16)`.
+//!
+//! # Checkpoint / truncation protocol — full and incremental
+//!
+//! A **full** checkpoint `ckpt-{lsn:020}.json` is the complete serialised
+//! checker state covering log records `… ≤ lsn`. An **incremental**
+//! checkpoint `inc-{lsn:020}.json` covers the same prefix but stores only
+//! the delta since its parent checkpoint — the logged [`crf::ModelEdit`]s
+//! between the two plus the small volatile state — so checkpoint bytes
+//! scale with the retention window, not the model. Both kinds wrap their
+//! payload in the log's CRC frame **plus a length + CRC footer**
+//! (see [`checkpoint`]) so truncation is a structural integrity failure,
+//! not an incidental JSON parse failure; a file failing the check is
+//! reported as [`checkpoint::CorruptCheckpoint`] and recovery falls back
+//! to the newest intact chain.
+//!
+//! Each checkpoint is published atomically — temp file, sync, rename —
+//! then the log **rotates**: a new segment anchored at `lsn + 1` is
+//! created and segments wholly covered by the checkpoint are deleted
+//! ([`wal::EditLog::rotate`]). **GC is by coverage**: a full checkpoint
+//! supersedes every older chain and every increment, so publishing one
+//! also prunes all other checkpoint files ([`checkpoint::prune`]);
+//! increments never prune (their parent chain must stay alive). Every
+//! step is individually crash-safe; a crash between any two — including
+//! mid-GC — leaves a superset of one consistent state that the next
+//! recovery reads past or re-deletes. Compaction is the natural *full*
+//! checkpoint trigger: it is the one edit that shrinks the serialised
+//! model, and checkpointing there keeps both the log suffix and the
+//! increment chain short.
 //!
 //! # Recovery and the bit-identity contract
 //!
-//! Recovery (`StreamingChecker::recover` in the `stream` crate) loads the
-//! newest valid checkpoint, opens the log, trims its torn tail
+//! Recovery (`StreamingChecker::recover` in the `stream` crate) assembles
+//! the newest **intact chain** — newest valid full checkpoint, then each
+//! increment whose stored parent LSN links it to the chain, skipping
+//! corrupt or unlinked files — opens the log, trims its torn tail
 //! ([`wal::EditLog::open`] keeps the longest consistent prefix — framing,
 //! CRC, and LSN contiguity all checked), and replays the records with
-//! `lsn > checkpoint` through the ordinary `apply`/`retire`/`compact`
+//! `lsn >` the chain tip through the ordinary `apply`/`retire`/`compact`
 //! machinery. The contract, enforced by the crash tests: the recovered
 //! checker's model arrays, warm probabilities, and subsequent
 //! `run_scheduled` samples and marginals are **bit-identical** (modulo
@@ -73,15 +105,22 @@
 //!
 //! Storage is abstracted behind [`storage::Storage`] ([`storage::DiskFs`]
 //! for production, [`storage::MemFs`] for tests, [`storage::FaultFs`] for
-//! killing writes at an exact byte offset), so the whole recovery path is
-//! exercised against injected faults without touching a real disk.
+//! killing writes at an exact byte offset, failing reads of chosen files,
+//! and charging deletions so GC can die halfway), plus deterministic
+//! seeded bit-flip corruption ([`storage::MemFs::flip_bit`]), so the
+//! whole recovery path — torn tails, corrupt checkpoints, interrupted
+//! GC — is exercised against injected faults without touching a real
+//! disk.
 
 #![warn(missing_docs)]
 
 pub mod checkpoint;
+pub mod scrub;
 pub mod storage;
 pub mod wal;
 
+pub use checkpoint::{CheckpointEntry, CheckpointKind, CorruptCheckpoint};
+pub use scrub::{ScrubReport, SegmentReport};
 pub use storage::{DiskFs, FaultFs, MemFs, Storage};
 pub use wal::{EditLog, LogRecord, SyncPolicy, WalError};
 

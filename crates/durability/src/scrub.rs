@@ -1,0 +1,215 @@
+//! Read-only integrity scrub of a durability store.
+//!
+//! [`scrub`] walks every retained log segment and checkpoint file,
+//! validating what can be validated without knowing the payload types:
+//! frame structure, CRCs, LSN contiguity, segment-name anchoring, and
+//! the checkpoint envelope (header frame + footer). Unlike
+//! [`crate::wal::EditLog::open`] it **never modifies the store** — torn
+//! tails are reported, not trimmed — so it is safe to run against a
+//! store another process may still recover from.
+//!
+//! The `stream` crate's `verify_store` builds on this, adding the
+//! lineage-chain checks that need the payload types (parent links
+//! between increments, replayability of the log suffix from the chain
+//! tip).
+
+use crate::checkpoint::{self, CheckpointEntry, CorruptCheckpoint};
+use crate::storage::Storage;
+use crate::wal::{read_frame, segment_lsn, WalError};
+use std::sync::Arc;
+
+/// What [`scrub`] found in one log segment.
+#[derive(Debug, Clone)]
+pub struct SegmentReport {
+    /// The segment file name.
+    pub name: String,
+    /// Valid records in the longest consistent prefix.
+    pub records: usize,
+    /// LSN range `(first, last)` of those records, if any.
+    pub lsns: Option<(u64, u64)>,
+    /// Why scanning stopped early, if it did (torn tail, CRC mismatch,
+    /// LSN discontinuity, unreadable file).
+    pub issue: Option<String>,
+}
+
+/// The full store scan: every segment and checkpoint, with issues.
+#[derive(Debug, Clone, Default)]
+pub struct ScrubReport {
+    /// Log segments in LSN order.
+    pub segments: Vec<SegmentReport>,
+    /// Checkpoint files that passed the envelope check, in LSN order.
+    pub checkpoints: Vec<CheckpointEntry>,
+    /// Checkpoint files that failed it.
+    pub corrupt: Vec<CorruptCheckpoint>,
+}
+
+impl ScrubReport {
+    /// Total valid log records across all segments.
+    pub fn records(&self) -> usize {
+        self.segments.iter().map(|s| s.records).sum()
+    }
+
+    /// True when nothing failed a check.
+    pub fn clean(&self) -> bool {
+        self.corrupt.is_empty() && self.segments.iter().all(|s| s.issue.is_none())
+    }
+}
+
+/// Minimal shape of a log record for LSN extraction — the full payload
+/// belongs to the caller's types.
+#[derive(serde::Deserialize)]
+struct LsnOnly {
+    lsn: u64,
+}
+
+/// Scan one segment's bytes: frames, CRCs, LSN contiguity from `anchor`.
+fn scan_segment(name: &str, bytes: &[u8], anchor: u64) -> SegmentReport {
+    let mut rest = bytes;
+    let mut records = 0usize;
+    let mut first_last: Option<(u64, u64)> = None;
+    let mut expect = anchor;
+    let mut issue = None;
+    while !rest.is_empty() {
+        let Some((payload, tail)) = read_frame(rest) else {
+            issue = Some(format!(
+                "torn or corrupt frame at offset {}",
+                bytes.len() - rest.len()
+            ));
+            break;
+        };
+        let lsn = match std::str::from_utf8(payload)
+            .ok()
+            .and_then(|s| serde_json::from_str::<LsnOnly>(s).ok())
+        {
+            Some(r) => r.lsn,
+            None => {
+                issue = Some(format!(
+                    "unparseable record at offset {}",
+                    bytes.len() - rest.len()
+                ));
+                break;
+            }
+        };
+        if lsn != expect {
+            issue = Some(format!("LSN {lsn} where {expect} was expected"));
+            break;
+        }
+        records += 1;
+        first_last = Some((first_last.map_or(lsn, |(f, _)| f), lsn));
+        expect = lsn + 1;
+        rest = tail;
+    }
+    SegmentReport {
+        name: name.to_string(),
+        records,
+        lsns: first_last,
+        issue,
+    }
+}
+
+/// Walk the whole store read-only: every log segment (frames, CRCs, LSN
+/// contiguity within and across segments) and every checkpoint file
+/// (envelope check via [`checkpoint::verify`]). Nothing is trimmed,
+/// truncated, or deleted — issues are reported in the result.
+pub fn scrub(storage: &Arc<dyn Storage>) -> Result<ScrubReport, WalError> {
+    let mut report = ScrubReport::default();
+
+    let mut names: Vec<(u64, String)> = storage
+        .list()?
+        .into_iter()
+        .filter_map(|n| segment_lsn(&n).map(|lsn| (lsn, n)))
+        .collect();
+    names.sort();
+    for (anchor, name) in names {
+        match storage.read(&name) {
+            Ok(bytes) => report.segments.push(scan_segment(&name, &bytes, anchor)),
+            Err(e) => report.segments.push(SegmentReport {
+                name,
+                records: 0,
+                lsns: None,
+                issue: Some(format!("unreadable: {e}")),
+            }),
+        }
+    }
+
+    for entry in checkpoint::entries(storage)? {
+        match checkpoint::verify(storage, &entry.name) {
+            Ok(()) => report.checkpoints.push(entry),
+            Err(c) => report.corrupt.push(c),
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemFs;
+    use crate::wal::{EditLog, SyncPolicy};
+    use crf::ModelEdit;
+
+    fn edit(rev: u64) -> ModelEdit {
+        ModelEdit::Compact {
+            base_model_id: 7,
+            base_revision: rev,
+        }
+    }
+
+    #[test]
+    fn scrub_reads_a_healthy_store_clean_and_unmodified() {
+        let mem = MemFs::new();
+        let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+        let mut log = EditLog::create(storage.clone(), 1, SyncPolicy::PerRecord).unwrap();
+        for i in 0..4 {
+            log.append(false, &edit(i)).unwrap();
+        }
+        crate::checkpoint::write(&storage, 4, &"state".to_string()).unwrap();
+        let before = mem.read("wal-00000000000000000001.log").unwrap();
+        let report = scrub(&storage).unwrap();
+        assert!(report.clean(), "healthy store: {report:?}");
+        assert_eq!(report.records(), 4);
+        assert_eq!(report.checkpoints.len(), 1);
+        assert_eq!(
+            mem.read("wal-00000000000000000001.log").unwrap(),
+            before,
+            "scrub must not modify the store"
+        );
+    }
+
+    #[test]
+    fn scrub_reports_torn_tail_without_trimming_it() {
+        let mem = MemFs::new();
+        let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+        let mut log = EditLog::create(storage.clone(), 1, SyncPolicy::PerRecord).unwrap();
+        log.append(false, &edit(0)).unwrap();
+        log.append(false, &edit(1)).unwrap();
+        drop(log);
+        let name = "wal-00000000000000000001.log";
+        let len = mem.read(name).unwrap().len();
+        mem.truncate(name, len as u64 - 3).unwrap();
+        let torn = mem.read(name).unwrap();
+        let report = scrub(&storage).unwrap();
+        assert!(!report.clean());
+        assert_eq!(report.segments[0].records, 1);
+        assert!(report.segments[0]
+            .issue
+            .as_deref()
+            .unwrap()
+            .contains("torn"));
+        assert_eq!(mem.read(name).unwrap(), torn, "tail must not be trimmed");
+    }
+
+    #[test]
+    fn scrub_flags_bit_flipped_checkpoints() {
+        let mem = MemFs::new();
+        let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+        crate::checkpoint::write(&storage, 3, &"good".to_string()).unwrap();
+        crate::checkpoint::write(&storage, 9, &"bad".to_string()).unwrap();
+        mem.flip_bit("ckpt-00000000000000000009.json", 42).unwrap();
+        let report = scrub(&storage).unwrap();
+        assert_eq!(report.checkpoints.len(), 1);
+        assert_eq!(report.checkpoints[0].lsn, 3);
+        assert_eq!(report.corrupt.len(), 1);
+        assert!(report.corrupt[0].path.contains("09.json"));
+    }
+}

@@ -178,6 +178,35 @@ impl MemFs {
         self.with(|s| s.files.values().map(|f| f.data.len()).sum())
     }
 
+    /// Flip one bit of `name` in place — deterministic storage-rot
+    /// injection for the scrub tests. The offset and bit are drawn from
+    /// `seed` by a fixed LCG, so a given `(file, seed)` always corrupts
+    /// the same bit. Returns `(offset, bit)`; errors on a missing or
+    /// empty file. The durable prefix is untouched: the corruption models
+    /// at-rest decay, not a lost write.
+    pub fn flip_bit(&self, name: &str, seed: u64) -> io::Result<(usize, u8)> {
+        self.with(|s| {
+            let f = s
+                .files
+                .get_mut(name)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, name.to_string()))?;
+            if f.data.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("{name} is empty: nothing to corrupt"),
+                ));
+            }
+            // One step of the MMIX LCG spreads a small seed across the file.
+            let r = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let offset = (r >> 16) as usize % f.data.len();
+            let bit = (r >> 8) as u8 & 7;
+            f.data[offset] ^= 1 << bit;
+            Ok((offset, bit))
+        })
+    }
+
     /// A deep, independent copy of the current contents — the "surviving
     /// disk" a crashed run hands to recovery. With `keep_unsynced` the
     /// copy keeps every written byte (process-kill model); without, each
@@ -291,19 +320,29 @@ impl Storage for MemFs {
 /// the full payload *plus* its rename token), and every operation after
 /// that fails. The surviving bytes come back through [`FaultFs::crash`].
 ///
-/// Reads, syncs, truncates, and removes consume no budget: the harness
-/// places faults on the *write* path, which is the only place torn state
-/// can originate.
+/// Reads, syncs, and truncates consume no budget: the harness places
+/// faults on the mutating path, where torn or half-deleted state can
+/// originate. A `remove` draws [`REMOVE_COST`], so a sweep reaches the
+/// crash points *between* the individual deletions of a GC pass. The
+/// read path has its own, orthogonal fault switch
+/// ([`FaultFs::fail_reads_of`]) for exercising fallback on unreadable
+/// files.
 pub struct FaultFs {
     inner: MemFs,
     /// Bytes the write path may still accept; `None` once crashed.
     budget: Mutex<Option<u64>>,
+    /// File names whose reads fail (read-path fault injection).
+    read_faults: Mutex<Vec<String>>,
 }
 
 /// The extra budget an atomic publication needs beyond its payload before
 /// it renames — crash points in `payload_len..payload_len + RENAME_COST`
 /// leave a complete temp file but no published target.
 pub const RENAME_COST: u64 = 1;
+
+/// The budget one [`Storage::remove`] draws, so deleting `n` files has
+/// `n − 1` interior crash points — a GC pass can die halfway through.
+pub const REMOVE_COST: u64 = 1;
 
 impl FaultFs {
     /// Wrap `inner`, allowing `budget` more bytes of writes before the
@@ -312,7 +351,18 @@ impl FaultFs {
         FaultFs {
             inner,
             budget: Mutex::new(Some(budget)),
+            read_faults: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Make every read of `name` fail with an I/O error (without touching
+    /// its bytes): the read-path fault the scrub tests use to prove
+    /// recovery falls back rather than dying on an unreadable file.
+    pub fn fail_reads_of(&self, name: &str) {
+        self.read_faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(name.to_string());
     }
 
     /// Whether the budget has been exhausted (the fault has fired).
@@ -364,6 +414,15 @@ impl Storage for FaultFs {
     fn read(&self, name: &str) -> io::Result<Vec<u8>> {
         if self.crashed() {
             return Err(Self::crashed_err());
+        }
+        if self
+            .read_faults
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .any(|n| n == name)
+        {
+            return Err(io::Error::other(format!("fault injected: read of {name}")));
         }
         self.inner.read(name)
     }
@@ -423,7 +482,8 @@ impl Storage for FaultFs {
     }
 
     fn remove(&self, name: &str) -> io::Result<()> {
-        if self.crashed() {
+        let (_, ok) = self.draw(REMOVE_COST);
+        if !ok {
             return Err(Self::crashed_err());
         }
         self.inner.remove(name)
@@ -499,6 +559,73 @@ mod tests {
         let survivor = fs.crash(true);
         assert!(survivor.read("ckpt").is_err());
         assert_eq!(survivor.read("ckpt.tmp").unwrap(), b"sta");
+    }
+
+    #[test]
+    fn flip_bit_is_deterministic_and_detectable() {
+        let fs = MemFs::new();
+        fs.append("f", b"some framed payload bytes").unwrap();
+        let before = fs.read("f").unwrap();
+        let (off, bit) = fs.flip_bit("f", 42).unwrap();
+        let after = fs.read("f").unwrap();
+        assert_ne!(before, after);
+        assert_eq!(before[off] ^ (1 << bit), after[off]);
+        // Same (file, seed) on an identical copy flips the same bit.
+        let twin = MemFs::new();
+        twin.append("f", &before).unwrap();
+        assert_eq!(twin.flip_bit("f", 42).unwrap(), (off, bit));
+        // Different seeds eventually pick different positions.
+        assert!((0..16u64).any(|s| {
+            let t = MemFs::new();
+            t.append("f", &before).unwrap();
+            t.flip_bit("f", s).unwrap() != (off, bit)
+        }));
+        assert!(fs.flip_bit("missing", 0).is_err());
+    }
+
+    #[test]
+    fn faultfs_injects_read_faults_per_file() {
+        let mem = MemFs::new();
+        let fs = FaultFs::new(mem.clone(), 1000);
+        fs.append("a", b"aaa").unwrap();
+        fs.append("b", b"bbb").unwrap();
+        fs.fail_reads_of("a");
+        assert!(fs.read("a").is_err(), "designated file unreadable");
+        assert_eq!(fs.read("b").unwrap(), b"bbb", "others untouched");
+        assert_eq!(mem.read("a").unwrap(), b"aaa", "bytes themselves intact");
+        assert!(!fs.crashed(), "a read fault is not a crash");
+    }
+
+    #[test]
+    fn faultfs_charges_removes_so_gc_can_die_halfway() {
+        let mem = MemFs::new();
+        for name in ["a", "b", "c"] {
+            mem.append(name, b"x").unwrap();
+        }
+        // Budget covers exactly one remove: the second marks the crash.
+        let fs = FaultFs::new(mem.clone(), REMOVE_COST);
+        fs.remove("a").unwrap();
+        assert!(fs.remove("b").is_err());
+        assert!(fs.crashed());
+        let survivor = fs.crash(true);
+        assert!(survivor.read("a").is_err(), "first delete landed");
+        assert_eq!(survivor.read("b").unwrap(), b"x", "second did not");
+        assert_eq!(survivor.read("c").unwrap(), b"x");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn diskfs_skips_non_utf8_names_without_panicking() {
+        use std::os::unix::ffi::OsStrExt;
+        let dir = std::env::temp_dir().join(format!("durability-nonutf8-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = DiskFs::open(&dir).unwrap();
+        fs.append("wal-00000000000000000000.log", b"data").unwrap();
+        let weird = dir.join(std::ffi::OsStr::from_bytes(b"wal-\xff\xfe.log"));
+        std::fs::write(&weird, b"junk").unwrap();
+        let names = fs.list().unwrap();
+        assert_eq!(names, vec!["wal-00000000000000000000.log".to_string()]);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -11,17 +11,39 @@
 //! at LSN `L` carries the edit that produced revision `R₀ + (L − L₀)`.
 //!
 //! Periodically (every [`DurabilityConfig::checkpoint_every`] arrivals,
-//! and at the natural trigger of a compaction) the full state — the
-//! serialised [`crf::CrfModel`] plus the checker's volatile bookkeeping
-//! and online-EM buffers — is published as an atomic checkpoint and the
-//! log rotates.
+//! and at the natural trigger of a compaction) the state is published as
+//! an atomic checkpoint and the log rotates. Checkpoints come in two
+//! kinds (see [`durability::CheckpointKind`]): most cadence checkpoints
+//! are **incremental** — the [`crf::ModelEdit`]s committed since the
+//! previous checkpoint plus the checker's volatile bookkeeping, O(window)
+//! bytes — while every [`DurabilityConfig::full_every`]-th one, every
+//! compaction-triggered one, and every explicit
+//! [`DurableChecker::checkpoint`] is **full** (the complete serialised
+//! [`crf::CrfModel`] + state). A full checkpoint supersedes everything
+//! before it and prunes the store; increments only rotate the log.
+//!
+//! # Durability acknowledgement
+//!
+//! [`DurableChecker::arrive_new`] returns when the arrival's edits are
+//! *appended*; whether they are *fsynced* depends on the
+//! [`SyncPolicy`]. [`DurableChecker::last_acked_lsn`] reports the
+//! acknowledged-LSN watermark (everything at or below it survives power
+//! loss) and [`DurableChecker::wait_durable`] blocks until a given LSN is
+//! acknowledged, forcing an early group-commit sync if necessary — the
+//! per-record-grade guarantee at near-batched cost.
 //!
 //! # Recovery
 //!
 //! [`DurableChecker::recover`] (or the [`StreamingChecker::recover`]
-//! convenience over a directory) loads the newest valid checkpoint,
-//! rebuilds the checker at exactly the checkpointed lineage position, and
-//! replays the log suffix:
+//! convenience over a directory) assembles the newest **intact chain**:
+//! the newest full checkpoint that passes its integrity check, plus each
+//! later increment whose stored `parent_lsn` links it to the chain —
+//! corrupt files ([`durability::CorruptCheckpoint`]) and stale or
+//! unlinked increments are skipped and reported via
+//! [`DurableChecker::corrupt_checkpoints`]. It rebuilds the checker at
+//! exactly the chain-tip lineage position (replaying each increment's
+//! edits, then restoring the tip's volatile state) and replays the log
+//! suffix:
 //!
 //! * a grow record tagged as an **arrival** replays through
 //!   [`StreamingChecker::arrive_new`] — probabilities are re-estimated,
@@ -36,10 +58,19 @@
 //!
 //! The result is **bit-identical** to the uninterrupted run: same model
 //! arrays, same probabilities, same online weights (see the crash tests
-//! in `tests/`). Only the true-streaming ingest path is logged — the
-//! prebuilt-replay paths ([`StreamingChecker::arrive`] /
-//! [`StreamingChecker::arrive_labelled`]) edit no model and are covered
-//! by checkpoints alone.
+//! in `tests/`). When corruption forced a fall-back to an older chain,
+//! log records the newer (corrupt) checkpoint's rotation already deleted
+//! may be unreachable; recovery then lands on the newest per-arrival
+//! state the intact files cover, discards the unreplayable log suffix,
+//! and reports what it skipped — it never guesses. Only the
+//! true-streaming ingest path is logged — the prebuilt-replay paths
+//! ([`StreamingChecker::arrive`] / [`StreamingChecker::arrive_labelled`])
+//! edit no model and are covered by checkpoints alone.
+//!
+//! [`verify_store`] is the offline scrub: it walks every retained
+//! segment and checkpoint, validates frames, CRCs, and the lineage
+//! chain, and reports what a recovery would find — without modifying
+//! the store.
 
 use crate::online_em::{ArrivalStats, OnlineEmConfig, OnlineEmError};
 use crate::stream::{CheckerState, ExpiryStats, RetentionPolicy, StreamingChecker};
@@ -47,7 +78,10 @@ use crf::{
     CrfModel, EditObserver, IdRemap, ModelDelta, ModelEdit, ModelError, ModelHandle, RetireSet,
     Revision,
 };
-use durability::{checkpoint, DiskFs, EditLog, LogRecord, Storage, SyncPolicy, WalError};
+use durability::{
+    checkpoint, scrub, CheckpointKind, CorruptCheckpoint, DiskFs, EditLog, LogRecord, Storage,
+    SyncPolicy, WalError,
+};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -65,8 +99,15 @@ pub struct DurabilityConfig {
     pub checkpoint_every: Option<u64>,
     /// Also checkpoint whenever a retention sweep compacts — the natural
     /// trigger: compaction is the one edit that *shrinks* the serialised
-    /// model, and replaying across it costs a full rebuild.
+    /// model, and replaying across it costs a full rebuild. Compaction
+    /// checkpoints are always **full**.
     pub checkpoint_on_compact: bool,
+    /// Every `n`-th cadence checkpoint is full; the `n − 1` between are
+    /// incremental (delta since the previous checkpoint, O(window)
+    /// bytes). `1` makes every checkpoint full. Compaction-triggered and
+    /// explicit [`DurableChecker::checkpoint`] calls are full regardless,
+    /// and reset the count.
+    pub full_every: u64,
 }
 
 impl Default for DurabilityConfig {
@@ -75,6 +116,7 @@ impl Default for DurabilityConfig {
             sync_policy: SyncPolicy::Batched(16),
             checkpoint_every: Some(64),
             checkpoint_on_compact: true,
+            full_every: 8,
         }
     }
 }
@@ -89,12 +131,20 @@ pub enum DurableError {
     Model(ModelError),
     /// The online-EM configuration was rejected.
     Online(OnlineEmError),
-    /// Recovery found no checkpoint (the store was never initialised, or
-    /// every checkpoint file is corrupt).
+    /// Recovery found no checkpoint at all (the store was never
+    /// initialised).
     NoCheckpoint,
+    /// Checkpoint files exist but every full checkpoint failed its
+    /// integrity check — there is no intact chain to fall back to.
+    /// `path` names the newest corrupt file.
+    CorruptCheckpoint {
+        /// The newest checkpoint file that failed its integrity check.
+        path: String,
+    },
     /// The log contradicts the checkpointed lineage — a record's base
     /// `(model_id, revision)` neither matches the replayed model nor lies
-    /// behind it. Recovery refuses to guess.
+    /// behind it, and no corruption was observed that would explain the
+    /// gap. Recovery refuses to guess.
     Diverged(String),
 }
 
@@ -105,6 +155,9 @@ impl std::fmt::Display for DurableError {
             DurableError::Model(e) => write!(f, "model edit failed: {e}"),
             DurableError::Online(e) => write!(f, "online EM config rejected: {e}"),
             DurableError::NoCheckpoint => write!(f, "no usable checkpoint found"),
+            DurableError::CorruptCheckpoint { path } => {
+                write!(f, "every full checkpoint is corrupt (newest: {path})")
+            }
             DurableError::Diverged(why) => write!(f, "log diverged from checkpoint: {why}"),
         }
     }
@@ -136,11 +189,24 @@ impl From<std::io::Error> for DurableError {
     }
 }
 
-/// The checkpoint payload: the model itself plus the checker's volatile
-/// state, both keyed to the same `(model_id, revision)`.
+/// The **full**-checkpoint payload: the model itself plus the checker's
+/// volatile state, both keyed to the same `(model_id, revision)`.
 #[derive(Serialize, Deserialize)]
 struct DurableState {
     model: CrfModel,
+    checker: CheckerState,
+}
+
+/// The **incremental**-checkpoint payload: the delta since the parent
+/// checkpoint — every [`ModelEdit`] committed between `parent_lsn` and
+/// this file's LSN, in commit order, plus the checker's volatile state at
+/// the tip. `ModelEdit` is already the system's diff unit, and
+/// [`CheckerState`] is O(retention window), so an increment's size scales
+/// with the window, not the model.
+#[derive(Serialize, Deserialize)]
+struct IncrementState {
+    parent_lsn: u64,
+    edits: Vec<ModelEdit>,
     checker: CheckerState,
 }
 
@@ -158,14 +224,34 @@ struct WalObserver {
     /// bare `apply`.
     arrival: AtomicBool,
     error: Mutex<Option<WalError>>,
+    /// Every edit committed since the last checkpoint, in commit order —
+    /// the body of the next incremental checkpoint. Cleared by
+    /// checkpoints of either kind.
+    pending: Mutex<Vec<ModelEdit>>,
 }
 
 impl WalObserver {
+    fn new(log: EditLog, model_id: u64) -> Arc<Self> {
+        Arc::new(WalObserver {
+            log: Mutex::new(log),
+            model_id,
+            arrival: AtomicBool::new(false),
+            error: Mutex::new(None),
+            pending: Mutex::new(Vec::new()),
+        })
+    }
+
     fn append(&self, arrival: bool, edit: ModelEdit) {
-        let mut log = self.log.lock().expect("edit log poisoned");
-        if let Err(e) = log.append(arrival, &edit) {
-            *self.error.lock().expect("error slot poisoned") = Some(e);
+        {
+            let mut log = self.log.lock().expect("edit log poisoned");
+            if let Err(e) = log.append(arrival, &edit) {
+                *self.error.lock().expect("error slot poisoned") = Some(e);
+            }
         }
+        // Buffered even when the append failed: the edit committed to the
+        // in-memory model either way, and the stashed error will abort the
+        // next checkpoint before an inconsistent increment could land.
+        self.pending.lock().expect("pending poisoned").push(edit);
     }
 }
 
@@ -199,6 +285,77 @@ pub struct DurableChecker {
     observer: Arc<WalObserver>,
     config: DurabilityConfig,
     arrivals_since_checkpoint: u64,
+    /// LSN of the newest published checkpoint (of either kind) — the
+    /// parent of the next increment.
+    last_checkpoint_lsn: u64,
+    /// Incremental checkpoints published since the last full one.
+    increments_since_full: u64,
+    /// Corrupt checkpoint files the last recovery skipped (empty for a
+    /// fresh [`Self::create`]).
+    corrupt_seen: Vec<CorruptCheckpoint>,
+}
+
+/// The newest intact checkpoint chain: the newest full checkpoint that
+/// passes its integrity check, plus every later increment whose stored
+/// `parent_lsn` links it in. Corrupt files met along the way ride in
+/// `corrupt`; stale increments (linked to some abandoned chain) are
+/// silently irrelevant — a full checkpoint supersedes them.
+struct ChainPlan {
+    full_lsn: u64,
+    full: DurableState,
+    increments: Vec<(u64, IncrementState)>,
+    corrupt: Vec<CorruptCheckpoint>,
+}
+
+impl ChainPlan {
+    fn tip(&self) -> u64 {
+        self.increments.last().map_or(self.full_lsn, |(l, _)| *l)
+    }
+}
+
+fn assemble_chain(storage: &Arc<dyn Storage>) -> Result<ChainPlan, DurableError> {
+    let entries = checkpoint::entries(storage)?;
+    if entries.is_empty() {
+        return Err(DurableError::NoCheckpoint);
+    }
+    let mut corrupt = Vec::new();
+    let mut base = None;
+    for e in entries
+        .iter()
+        .rev()
+        .filter(|e| e.kind == CheckpointKind::Full)
+    {
+        match checkpoint::read::<DurableState>(storage, &e.name) {
+            Ok(state) => {
+                base = Some((e.lsn, state));
+                break;
+            }
+            Err(c) => corrupt.push(c),
+        }
+    }
+    let Some((full_lsn, full)) = base else {
+        return Err(match corrupt.into_iter().next() {
+            Some(newest) => DurableError::CorruptCheckpoint { path: newest.path },
+            None => DurableError::NoCheckpoint,
+        });
+    };
+    let mut plan = ChainPlan {
+        full_lsn,
+        full,
+        increments: Vec::new(),
+        corrupt,
+    };
+    for e in entries
+        .iter()
+        .filter(|e| e.kind == CheckpointKind::Increment && e.lsn > full_lsn)
+    {
+        match checkpoint::read::<IncrementState>(storage, &e.name) {
+            Ok(inc) if inc.parent_lsn == plan.tip() => plan.increments.push((e.lsn, inc)),
+            Ok(_) => {} // unlinked: belongs to a stale or broken chain
+            Err(c) => plan.corrupt.push(c),
+        }
+    }
+    Ok(plan)
 }
 
 impl DurableChecker {
@@ -220,12 +377,7 @@ impl DurableChecker {
         };
         checkpoint::write(&storage, 0, &state)?;
         let log = EditLog::create(storage.clone(), 1, config.sync_policy)?;
-        let observer = Arc::new(WalObserver {
-            log: Mutex::new(log),
-            model_id: checker.handle().model_id(),
-            arrival: AtomicBool::new(false),
-            error: Mutex::new(None),
-        });
+        let observer = WalObserver::new(log, checker.handle().model_id());
         checker.handle().set_observer(Some(observer.clone()));
         Ok(DurableChecker {
             checker,
@@ -233,24 +385,51 @@ impl DurableChecker {
             observer,
             config,
             arrivals_since_checkpoint: 0,
+            last_checkpoint_lsn: 0,
+            increments_since_full: 0,
+            corrupt_seen: Vec::new(),
         })
     }
 
-    /// Rebuild a crashed checker from `storage`: newest valid checkpoint,
-    /// then the log suffix replayed through the ordinary edit machinery
-    /// (see the module docs for why the result is bit-identical to the
-    /// uninterrupted run). Finishes by publishing a fresh checkpoint, so
-    /// a crash loop cannot accumulate replay work.
+    /// Rebuild a crashed checker from `storage`: newest intact checkpoint
+    /// chain (full base + linked increments), then the log suffix
+    /// replayed through the ordinary edit machinery (see the module docs
+    /// for why the result is bit-identical to the uninterrupted run).
+    /// Corrupt checkpoint files are skipped and reported via
+    /// [`Self::corrupt_checkpoints`]; when corruption forced a fall-back
+    /// past records the newer chain's rotation already deleted, replay
+    /// stops at the newest reachable per-arrival state and the
+    /// unreplayable suffix is discarded. Finishes by publishing a fresh
+    /// **full** checkpoint, so a crash loop cannot accumulate replay work
+    /// and corrupt or stale files are garbage-collected.
     pub fn recover(
         storage: Arc<dyn Storage>,
         online: OnlineEmConfig,
         config: DurabilityConfig,
     ) -> Result<Self, DurableError> {
-        let (ckpt_lsn, state) =
-            checkpoint::latest::<DurableState>(&storage)?.ok_or(DurableError::NoCheckpoint)?;
-        let handle = ModelHandle::new(state.model);
+        let plan = assemble_chain(&storage)?;
+        let ChainPlan {
+            full_lsn,
+            full,
+            increments,
+            corrupt,
+        } = plan;
+        let handle = ModelHandle::new(full.model);
         let mut checker = StreamingChecker::try_new(handle.clone(), online)?;
-        checker.restore_state(state.checker)?;
+
+        // Walk the chain: each increment's edits advance the model; only
+        // the tip's volatile state matters (restore_state overwrites
+        // everything the intermediate syncs would have touched).
+        let mut chain_tip = full_lsn;
+        let mut tip_state = full.checker;
+        for (lsn, inc) in increments {
+            for edit in inc.edits {
+                handle.edit(edit)?;
+            }
+            chain_tip = lsn;
+            tip_state = inc.checker;
+        }
+        checker.restore_state(tip_state)?;
 
         // Replay the suffix with the observer *detached*: the records are
         // already in the log, and an arrival's regenerated retention edits
@@ -258,13 +437,15 @@ impl DurableChecker {
         let (log, records) = match EditLog::open(storage.clone(), config.sync_policy)? {
             Some(opened) => opened,
             None => (
-                EditLog::create(storage.clone(), ckpt_lsn + 1, config.sync_policy)?,
+                EditLog::create(storage.clone(), chain_tip + 1, config.sync_policy)?,
                 Vec::new(),
             ),
         };
+        let rev_at_tip = handle.revision().0;
+        let mut unreachable_suffix = false;
         for LogRecord { lsn, arrival, edit } in records {
-            if lsn <= ckpt_lsn {
-                continue; // covered by the checkpoint (log not yet rotated)
+            if lsn <= chain_tip {
+                continue; // covered by the chain (log not yet rotated)
             }
             let (base_id, base_rev) = edit.base_revision();
             if base_id != handle.model_id() {
@@ -280,10 +461,18 @@ impl DurableChecker {
                 continue;
             }
             if base_rev > current {
-                return Err(DurableError::Diverged(format!(
-                    "record {lsn} expects {base_rev}, model is at {current}: \
-                     a preceding edit is missing from the log"
-                )));
+                if corrupt.is_empty() {
+                    return Err(DurableError::Diverged(format!(
+                        "record {lsn} expects {base_rev}, model is at {current}: \
+                         a preceding edit is missing from the log"
+                    )));
+                }
+                // The records bridging the intact chain to this one were
+                // rotated away behind a checkpoint that is now corrupt.
+                // Stop at the newest reachable state; the suffix is
+                // unrecoverable without guessing.
+                unreachable_suffix = true;
+                break;
             }
             match edit {
                 ModelEdit::Grow(delta) if arrival => {
@@ -298,13 +487,18 @@ impl DurableChecker {
                 }
             }
         }
+        let log = if unreachable_suffix {
+            // LSN ↔ revision: the state now sits at chain_tip plus the
+            // revisions replay advanced. Restart the log there; `create`
+            // removes the unreplayable segments.
+            drop(log);
+            let reached = chain_tip + (handle.revision().0 - rev_at_tip);
+            EditLog::create(storage.clone(), reached + 1, config.sync_policy)?
+        } else {
+            log
+        };
 
-        let observer = Arc::new(WalObserver {
-            log: Mutex::new(log),
-            model_id: handle.model_id(),
-            arrival: AtomicBool::new(false),
-            error: Mutex::new(None),
-        });
+        let observer = WalObserver::new(log, handle.model_id());
         checker.handle().set_observer(Some(observer.clone()));
         let mut recovered = DurableChecker {
             checker,
@@ -312,6 +506,9 @@ impl DurableChecker {
             observer,
             config,
             arrivals_since_checkpoint: 0,
+            last_checkpoint_lsn: chain_tip,
+            increments_since_full: 0,
+            corrupt_seen: corrupt,
         };
         recovered.checkpoint()?;
         Ok(recovered)
@@ -334,8 +531,10 @@ impl DurableChecker {
             .config
             .checkpoint_every
             .is_some_and(|n| self.arrivals_since_checkpoint >= n.max(1));
-        if on_compact || on_count {
+        if on_compact {
             self.checkpoint()?;
+        } else if on_count {
+            self.checkpoint_auto()?;
         }
         Ok(stats)
     }
@@ -352,52 +551,114 @@ impl DurableChecker {
         Ok(stats)
     }
 
-    /// Publish a checkpoint of the complete current state, rotate the log
-    /// behind it, and prune superseded checkpoint files. Returns the LSN
-    /// the checkpoint covers.
+    /// Publish a **full** checkpoint of the complete current state,
+    /// rotate the log behind it, and prune every superseded checkpoint
+    /// file (older fulls, all increments). Returns the LSN the checkpoint
+    /// covers.
     pub fn checkpoint(&mut self) -> Result<u64, DurableError> {
         self.take_log_error()?;
         let state = DurableState {
             checker: self.checker.export_state(),
             model: (**self.checker.model()).clone(),
         };
-        let lsn = self
-            .observer
-            .log
-            .lock()
-            .expect("edit log poisoned")
-            .next_lsn()
-            - 1;
+        let lsn = self.log_lock().next_lsn() - 1;
         checkpoint::write(&self.storage, lsn, &state)?;
-        self.observer
-            .log
-            .lock()
-            .expect("edit log poisoned")
-            .rotate(lsn)?;
+        self.log_lock().rotate(lsn)?;
         checkpoint::prune(&self.storage, lsn)?;
+        self.observer
+            .pending
+            .lock()
+            .expect("pending poisoned")
+            .clear();
         self.arrivals_since_checkpoint = 0;
+        self.last_checkpoint_lsn = lsn;
+        self.increments_since_full = 0;
         Ok(lsn)
+    }
+
+    /// Publish an **incremental** checkpoint — the edits committed since
+    /// the previous checkpoint plus the O(window) volatile state — and
+    /// rotate the log behind it. Nothing is pruned: the parent chain must
+    /// stay alive until the next full checkpoint supersedes it. A no-op
+    /// (returning the parent's LSN) when nothing committed since.
+    pub fn checkpoint_increment(&mut self) -> Result<u64, DurableError> {
+        self.take_log_error()?;
+        let lsn = self.log_lock().next_lsn() - 1;
+        if lsn == self.last_checkpoint_lsn {
+            return Ok(lsn);
+        }
+        let edits = std::mem::take(&mut *self.observer.pending.lock().expect("pending poisoned"));
+        let state = IncrementState {
+            parent_lsn: self.last_checkpoint_lsn,
+            edits,
+            checker: self.checker.export_state(),
+        };
+        if let Err(e) = checkpoint::write_increment(&self.storage, lsn, &state) {
+            // The edits are not covered by any checkpoint yet; put them
+            // back so a later attempt still has the full delta.
+            *self.observer.pending.lock().expect("pending poisoned") = state.edits;
+            return Err(e.into());
+        }
+        self.log_lock().rotate(lsn)?;
+        self.arrivals_since_checkpoint = 0;
+        self.last_checkpoint_lsn = lsn;
+        self.increments_since_full += 1;
+        Ok(lsn)
+    }
+
+    /// The cadence trigger: every [`DurabilityConfig::full_every`]-th
+    /// checkpoint is full, the rest incremental.
+    fn checkpoint_auto(&mut self) -> Result<u64, DurableError> {
+        if self.increments_since_full + 1 >= self.config.full_every.max(1) {
+            self.checkpoint()
+        } else {
+            self.checkpoint_increment()
+        }
     }
 
     /// Force the log durable right now, regardless of the batched policy
     /// (e.g. before a planned shutdown).
     pub fn sync_log(&mut self) -> Result<(), DurableError> {
         self.take_log_error()?;
-        self.observer
-            .log
-            .lock()
-            .expect("edit log poisoned")
-            .sync()?;
+        self.log_lock().sync()?;
         Ok(())
+    }
+
+    /// Block until the record at `lsn` is acknowledged durable, forcing
+    /// an early sync if the policy is still holding it — the explicit
+    /// durability acknowledgement for group commit (a no-op once the
+    /// watermark has passed `lsn`).
+    pub fn wait_durable(&mut self, lsn: u64) -> Result<(), DurableError> {
+        self.take_log_error()?;
+        self.log_lock().wait_durable(lsn)?;
+        Ok(())
+    }
+
+    /// The acknowledged-LSN watermark: every record at or below it has
+    /// been fsynced and survives power loss.
+    pub fn last_acked_lsn(&self) -> u64 {
+        self.log_lock().last_acked_lsn()
+    }
+
+    /// Corrupt checkpoint files the recovery that built this checker
+    /// skipped on its way to the newest intact chain (empty for a fresh
+    /// [`Self::create`] or a clean recovery).
+    pub fn corrupt_checkpoints(&self) -> &[CorruptCheckpoint] {
+        &self.corrupt_seen
+    }
+
+    /// Scrub this checker's own store — see [`verify_store`].
+    pub fn verify(&self) -> Result<StoreReport, DurableError> {
+        verify_store(&self.storage)
     }
 
     /// The LSN the next logged edit will carry.
     pub fn next_lsn(&self) -> u64 {
-        self.observer
-            .log
-            .lock()
-            .expect("edit log poisoned")
-            .next_lsn()
+        self.log_lock().next_lsn()
+    }
+
+    fn log_lock(&self) -> std::sync::MutexGuard<'_, EditLog> {
+        self.observer.log.lock().expect("edit log poisoned")
     }
 
     /// The wrapped checker.
@@ -438,6 +699,79 @@ impl DurableChecker {
             None => Ok(()),
         }
     }
+}
+
+/// What [`verify_store`] found: integrity of every retained file and the
+/// shape of the recoverable chain.
+#[derive(Debug)]
+pub struct StoreReport {
+    /// Valid log records across all retained segments.
+    pub log_records: usize,
+    /// Per-segment issues the read-only scan hit (torn tail, CRC
+    /// mismatch, LSN discontinuity, unreadable file), as `name: issue`.
+    pub segment_issues: Vec<String>,
+    /// Checkpoint files that failed an integrity check — envelope
+    /// (frame, footer, CRC) or typed payload.
+    pub corrupt: Vec<CorruptCheckpoint>,
+    /// LSN of the newest recoverable chain tip (newest intact full plus
+    /// its linked increments); `None` when no intact full exists.
+    pub chain_tip: Option<u64>,
+    /// Files in that chain (1 full + n increments).
+    pub chain_len: usize,
+    /// The last LSN a recovery would reach: the chain tip advanced by
+    /// the contiguous valid log records above it.
+    pub recoverable_to: Option<u64>,
+}
+
+/// The offline scrub pass: walk every retained log segment and
+/// checkpoint **read-only** (nothing is trimmed or deleted), validate
+/// frames, CRCs, footers, and the increment chain's parent links, and
+/// report what a [`DurableChecker::recover`] would find. Safe to run on
+/// a store a crashed process left behind, before deciding to recover.
+pub fn verify_store(storage: &Arc<dyn Storage>) -> Result<StoreReport, DurableError> {
+    let scrubbed = scrub::scrub(storage)?;
+    let mut report = StoreReport {
+        log_records: scrubbed.records(),
+        segment_issues: scrubbed
+            .segments
+            .iter()
+            .filter_map(|s| s.issue.as_ref().map(|i| format!("{}: {i}", s.name)))
+            .collect(),
+        corrupt: scrubbed.corrupt.clone(),
+        chain_tip: None,
+        chain_len: 0,
+        recoverable_to: None,
+    };
+    match assemble_chain(storage) {
+        Ok(plan) => {
+            let tip = plan.tip();
+            report.chain_tip = Some(tip);
+            report.chain_len = 1 + plan.increments.len();
+            // Typed corruption (intact envelope, undeserialisable
+            // payload) that the type-blind scrub cannot see.
+            for c in plan.corrupt {
+                if !report.corrupt.iter().any(|x| x.path == c.path) {
+                    report.corrupt.push(c);
+                }
+            }
+            let mut reach = tip;
+            for seg in &scrubbed.segments {
+                if let Some((first, last)) = seg.lsns {
+                    if first > reach + 1 {
+                        break; // gap: later records are unreachable
+                    }
+                    reach = reach.max(last);
+                }
+                if seg.issue.is_some() {
+                    break;
+                }
+            }
+            report.recoverable_to = Some(reach);
+        }
+        Err(DurableError::NoCheckpoint) | Err(DurableError::CorruptCheckpoint { .. }) => {}
+        Err(e) => return Err(e),
+    }
+    Ok(report)
 }
 
 impl StreamingChecker {
@@ -544,6 +878,7 @@ mod tests {
                 sync_policy: SyncPolicy::Batched(8),
                 checkpoint_every: Some(6),
                 checkpoint_on_compact: true,
+                full_every: 2,
             };
             let mut durable = DurableChecker::create(
                 storage,
@@ -569,6 +904,104 @@ mod tests {
             }
             assert_bit_identical(recovered.checker(), &reference);
         }
+    }
+
+    /// Incremental checkpoints: with compaction triggers off and a short
+    /// cadence, the store accumulates an `inc-` chain; recovery walks
+    /// full → increments → log suffix and continues bit-identically.
+    /// Corrupting a mid-chain increment then truncates the chain at the
+    /// previous link, and recovery lands on the newest *reachable*
+    /// per-arrival state instead of failing.
+    #[test]
+    fn incremental_chain_recovers_bit_identically() {
+        let json = seed_json();
+        let total = 11;
+        let config = DurabilityConfig {
+            sync_policy: SyncPolicy::Batched(4),
+            checkpoint_every: Some(2),
+            checkpoint_on_compact: false,
+            full_every: 4,
+        };
+
+        let mut reference = StreamingChecker::try_new(seed(&json), OnlineEmConfig::default())
+            .unwrap()
+            .with_retention(RetentionPolicy::unbounded());
+        for k in 0..total {
+            let delta = arrival_delta(&reference, k);
+            reference.arrive_new(delta).unwrap();
+        }
+
+        let mem = MemFs::new();
+        let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+        let mut durable = DurableChecker::create(
+            storage.clone(),
+            seed(&json),
+            OnlineEmConfig::default(),
+            RetentionPolicy::unbounded(),
+            config.clone(),
+        )
+        .unwrap();
+        for k in 0..7 {
+            let delta = arrival_delta(durable.checker(), k);
+            durable.arrive_new(delta).unwrap();
+        }
+        let incs: Vec<String> = storage
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| n.starts_with("inc-"))
+            .collect();
+        assert_eq!(
+            incs,
+            vec![
+                "inc-00000000000000000002.json",
+                "inc-00000000000000000004.json",
+                "inc-00000000000000000006.json"
+            ],
+            "cadence 2 with full_every 4 should have chained three increments"
+        );
+        drop(durable); // crash
+
+        // The scrub sees the whole chain and the one-record log suffix.
+        let survivor: Arc<dyn Storage> = Arc::new(mem.survivor(true));
+        let report = verify_store(&survivor).unwrap();
+        assert!(report.corrupt.is_empty() && report.segment_issues.is_empty());
+        assert_eq!(report.chain_tip, Some(6));
+        assert_eq!(report.chain_len, 4);
+        assert_eq!(report.recoverable_to, Some(7));
+
+        // Clean recovery: all 7 arrivals back, continue to bit-identity.
+        let mut recovered =
+            DurableChecker::recover(survivor, OnlineEmConfig::default(), config.clone()).unwrap();
+        assert!(recovered.corrupt_checkpoints().is_empty());
+        assert_eq!(recovered.checker().arrivals(), 7);
+        for k in 7..total {
+            let delta = arrival_delta(recovered.checker(), k);
+            recovered.arrive_new(delta).unwrap();
+        }
+        assert_bit_identical(recovered.checker(), &reference);
+
+        // Corrupt the middle increment: the chain now ends at inc-2, the
+        // log suffix (rotated behind inc-6) is unreachable, and recovery
+        // falls back to the newest intact per-arrival state — arrival 2.
+        let wounded = mem.survivor(true);
+        wounded
+            .flip_bit("inc-00000000000000000004.json", 1)
+            .unwrap();
+        let survivor: Arc<dyn Storage> = Arc::new(wounded);
+        let report = verify_store(&survivor).unwrap();
+        assert_eq!(report.chain_tip, Some(2));
+        assert_eq!(report.corrupt.len(), 1);
+        let mut recovered =
+            DurableChecker::recover(survivor, OnlineEmConfig::default(), config).unwrap();
+        assert_eq!(recovered.corrupt_checkpoints().len(), 1);
+        assert!(recovered.corrupt_checkpoints()[0].path.contains("04.json"));
+        assert_eq!(recovered.checker().arrivals(), 2);
+        for k in 2..total {
+            let delta = arrival_delta(recovered.checker(), k);
+            recovered.arrive_new(delta).unwrap();
+        }
+        assert_bit_identical(recovered.checker(), &reference);
     }
 
     /// Recovery from a store that was never initialised refuses cleanly.
@@ -641,6 +1074,7 @@ mod tests {
                 sync_policy: SyncPolicy::PerRecord,
                 checkpoint_every: Some(4),
                 checkpoint_on_compact: true,
+                full_every: 1,
             },
         )
         .unwrap();

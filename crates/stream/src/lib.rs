@@ -49,8 +49,15 @@
 //!   and
 //! * [`durable`] — the crash-recoverable wrapper
 //!   ([`durable::DurableChecker`]): every edit ahead-logged through the
-//!   `durability` crate's WAL, state checkpointed atomically, and recovery
-//!   bit-identical to the uninterrupted run.
+//!   `durability` crate's WAL (per-record, batched, or group-commit fsync
+//!   with an acknowledged-LSN watermark), state checkpointed atomically —
+//!   full snapshots interleaved with O(window) incremental diffs, garbage
+//!   collected by coverage — and recovery, which reassembles the newest
+//!   intact checkpoint chain (falling past corrupt files) and replays the
+//!   log suffix, bit-identical to the uninterrupted run.
+//!   [`durable::verify_store`] scrubs a store offline: CRC every frame,
+//!   check every checkpoint envelope, and report how far the surviving
+//!   bytes can recover.
 
 #![warn(missing_docs)]
 
@@ -59,7 +66,7 @@ pub mod interleave;
 pub mod online_em;
 pub mod stream;
 
-pub use durable::{DurabilityConfig, DurableChecker, DurableError};
+pub use durable::{verify_store, DurabilityConfig, DurableChecker, DurableError, StoreReport};
 pub use interleave::{offline_sequence, streaming_sequence, InterleaveConfig};
 pub use online_em::{
     ArrivalStats, OnlineEm, OnlineEmConfig, OnlineEmError, OnlineEmState, StepSchedule,

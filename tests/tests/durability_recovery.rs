@@ -215,7 +215,10 @@ fn run_trial(budget: u64, keep_unsynced: bool, config: &DurabilityConfig) {
 /// Deterministic sweep: byte-granular over the early region (checkpoint 0
 /// temp write, its rename, the log anchor, the first torn records), then
 /// strided across the rest of the workload, alternating process-kill and
-/// power-loss semantics so both crash models cover both regions.
+/// power-loss semantics so both crash models cover both regions. Since
+/// deletions are charged too ([`durability::storage::FaultFs`]'s remove
+/// cost), the stride also lands *between* the removes of a rotation or a
+/// checkpoint prune — the mid-GC crash surface.
 #[test]
 fn crash_at_swept_write_offsets_recovers_bit_identically() {
     let (json, _) = fixture();
@@ -223,6 +226,7 @@ fn crash_at_swept_write_offsets_recovers_bit_identically() {
         sync_policy: SyncPolicy::Batched(4),
         checkpoint_every: Some(3),
         checkpoint_on_compact: true,
+        full_every: 1,
     };
     let w = workload_bytes(json, &config);
     let coarse = (w / 150).max(1);
@@ -245,7 +249,8 @@ proptest::proptest! {
     #![proptest_config(proptest::ProptestConfig::with_cases(24))]
 
     /// Randomised companion to the sweep: random fault offset, random
-    /// fsync batching, random checkpoint cadence, both crash models. The
+    /// fsync policy (per-record, batched, or group commit), random
+    /// checkpoint cadence and full/increment mix, both crash models. The
     /// invariant is the same; the workload geometry (and so the set of
     /// reachable torn states) varies per case.
     #[test]
@@ -253,21 +258,206 @@ proptest::proptest! {
         frac in 0.0f64..1.0,
         batch in 1u64..12,
         every in 1u64..6,
+        full_every in 1u64..4,
         coin in 0u64..2,
     ) {
         let (json, _) = fixture();
         let config = DurabilityConfig {
-            sync_policy: if batch == 1 {
-                SyncPolicy::PerRecord
-            } else {
-                SyncPolicy::Batched(batch as u32)
+            sync_policy: match batch {
+                1 => SyncPolicy::PerRecord,
+                2..=8 => SyncPolicy::Batched(batch as u32),
+                _ => SyncPolicy::GroupCommit {
+                    window_micros: 200,
+                    max_batch: batch as u32 - 7,
+                },
             },
             checkpoint_every: Some(every),
             checkpoint_on_compact: true,
+            full_every,
         };
         let w = workload_bytes(json, &config);
         run_trial((frac * w as f64) as u64, coin == 0, &config);
     }
+}
+
+/// The two new commit-pipeline features together, swept: group-commit
+/// fsyncs ride a background thread (crashes land mid-window, with an
+/// unsynced tail whose length depends on sync timing — clause 1 accepts
+/// *any* per-arrival prefix) while checkpoints alternate full and
+/// incremental (crashes land between an increment and its rotation, and
+/// between the removes of a full checkpoint's GC).
+#[test]
+fn group_commit_incremental_sweep_recovers_bit_identically() {
+    let (json, _) = fixture();
+    let config = DurabilityConfig {
+        sync_policy: SyncPolicy::GroupCommit {
+            window_micros: 400,
+            max_batch: 4,
+        },
+        checkpoint_every: Some(2),
+        checkpoint_on_compact: true,
+        full_every: 3,
+    };
+    let w = workload_bytes(json, &config);
+    let step = (w / 60).max(3);
+    let mut budget = 0u64;
+    let mut trial = 0u64;
+    while budget <= w {
+        run_trial(budget, trial.is_multiple_of(2), &config);
+        trial += 1;
+        budget += step;
+    }
+    run_trial(w, true, &config);
+}
+
+/// The acknowledgement contract of group commit: after
+/// [`DurableChecker::wait_durable`] returns for an arrival's last LSN, a
+/// power loss — which drops *every* unsynced byte — loses nothing. The
+/// sync window is set far beyond the test's runtime, so only the explicit
+/// barrier can have made the records durable.
+#[test]
+fn group_commit_acknowledgement_closes_the_loss_window() {
+    let (json, refs) = fixture();
+    let config = DurabilityConfig {
+        sync_policy: SyncPolicy::GroupCommit {
+            window_micros: 30_000_000,
+            max_batch: 1_000_000,
+        },
+        checkpoint_every: None,
+        checkpoint_on_compact: false,
+        full_every: 1,
+    };
+    let mem = MemFs::new();
+    let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+    let mut durable = DurableChecker::create(
+        storage,
+        seed(json),
+        OnlineEmConfig::default(),
+        policy(),
+        config.clone(),
+    )
+    .unwrap();
+    for k in 0..TOTAL {
+        let delta = arrival_delta(durable.checker(), k);
+        durable.arrive_new(delta).unwrap();
+        let lsn = durable.next_lsn() - 1;
+        durable.wait_durable(lsn).unwrap();
+        assert!(
+            durable.last_acked_lsn() >= lsn,
+            "watermark must cover the acknowledged LSN"
+        );
+        // Power loss right now: everything acknowledged must be there.
+        let survivor: Arc<dyn Storage> = Arc::new(mem.survivor(false));
+        let recovered =
+            DurableChecker::recover(survivor, OnlineEmConfig::default(), config.clone())
+                .unwrap_or_else(|e| panic!("after ack of arrival {k}: {e}"));
+        assert_eq!(
+            recovered.checker().arrivals(),
+            k + 1,
+            "acknowledged arrival {k} was lost to power loss"
+        );
+        assert_snapshot_eq(
+            &snapshot(recovered.checker()),
+            &refs[k + 1],
+            &format!("power loss after ack of arrival {k}"),
+        );
+    }
+}
+
+/// Recovery amid clutter: a store holding a stale full checkpoint, a
+/// multi-increment chain with its newest link bit-flipped, a corrupt
+/// would-be-newest full, an unlinked increment copied from another chain
+/// position, foreign operator files, and a garbage `wal-` name. Recovery
+/// must assemble the newest *intact* chain, land on exactly a
+/// per-arrival state, report every corrupt file, and continue
+/// bit-identically; `verify_store` must see the same chain read-only.
+#[test]
+fn recovery_amid_clutter_and_corruption_falls_back_to_intact_chain() {
+    let (json, refs) = fixture();
+    let config = DurabilityConfig {
+        sync_policy: SyncPolicy::PerRecord,
+        checkpoint_every: Some(2),
+        checkpoint_on_compact: false,
+        full_every: 5,
+    };
+    let mem = MemFs::new();
+    let storage: Arc<dyn Storage> = Arc::new(mem.clone());
+    let mut durable = DurableChecker::create(
+        storage,
+        seed(json),
+        OnlineEmConfig::default(),
+        policy(),
+        config.clone(),
+    )
+    .unwrap();
+    for k in 0..TOTAL {
+        let delta = arrival_delta(durable.checker(), k);
+        durable.arrive_new(delta).unwrap();
+    }
+    drop(durable); // process crash
+
+    let wounded = mem.survivor(true);
+    let incs: Vec<String> = wounded
+        .list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("inc-"))
+        .collect();
+    assert!(
+        incs.len() >= 3,
+        "fixture must have built an increment chain, found {incs:?}"
+    );
+    // Clutter the store.
+    wounded.append("notes.txt", b"operator scribbles").unwrap();
+    wounded.append("wal-not-a-number.log", b"junk").unwrap();
+    wounded
+        .append("ckpt-00000000000000009999.json", b"\x01\x02garbage")
+        .unwrap();
+    let copied = wounded.read(&incs[1]).unwrap();
+    wounded
+        .append("inc-00000000000000000777.json", &copied)
+        .unwrap();
+    // And corrupt the newest real increment.
+    wounded.flip_bit(incs.last().unwrap(), 11).unwrap();
+
+    let survivor: Arc<dyn Storage> = Arc::new(wounded);
+    let report = streamcheck::verify_store(&survivor).unwrap();
+    assert!(
+        report.corrupt.len() >= 2,
+        "scrub must flag the garbage full and the flipped increment: {:?}",
+        report.corrupt
+    );
+    assert!(report.chain_tip.is_some(), "an intact chain must remain");
+
+    let mut recovered =
+        DurableChecker::recover(survivor, OnlineEmConfig::default(), config.clone())
+            .expect("clutter must not block recovery");
+    assert!(
+        recovered.corrupt_checkpoints().len() >= 2,
+        "recovery must report what it skipped: {:?}",
+        recovered.corrupt_checkpoints()
+    );
+    let k = recovered.checker().arrivals();
+    assert!(0 < k && k < TOTAL, "fallback must cost some arrivals");
+    assert_snapshot_eq(&snapshot(recovered.checker()), &refs[k], "clutter recovery");
+    for j in k..TOTAL {
+        let delta = arrival_delta(recovered.checker(), j);
+        recovered.arrive_new(delta).unwrap();
+    }
+    assert_snapshot_eq(
+        &snapshot(recovered.checker()),
+        &refs[TOTAL],
+        "clutter recovery continuation",
+    );
+    // The finishing full checkpoint garbage-collected the clutter's
+    // checkpoint files (foreign non-checkpoint names are left alone).
+    let left = recovered.storage().list().unwrap();
+    assert!(
+        !left
+            .iter()
+            .any(|n| n.contains("9999") || n.contains("0777")),
+        "stale and corrupt checkpoint files must be pruned: {left:?}"
+    );
 }
 
 // ------------------------------------------------- factdb sync recovery
@@ -335,6 +525,7 @@ fn db_config() -> DurabilityConfig {
         sync_policy: SyncPolicy::Batched(4),
         checkpoint_every: Some(2),
         checkpoint_on_compact: true,
+        full_every: 2,
     }
 }
 
