@@ -191,6 +191,8 @@ impl<S: SelectionStrategy, U: User> ValidationProcess<S, U> {
         if !self.can_continue() {
             return None;
         }
+        // det-ok: feeds the iteration-record latency stat only; selection
+        // and sampling never read it.
         let started = Instant::now();
 
         // ---- (1) Select a claim (with skip fallbacks, Fig. 8).

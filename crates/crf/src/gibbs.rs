@@ -1306,7 +1306,7 @@ mod tests {
     /// component (all their claims are inside it by construction).
     pub(super) fn induced_submodel(m: &CrfModel, comp: &[usize]) -> CrfModel {
         let mut b = CrfModelBuilder::new(m.m_source(), m.m_doc());
-        let mut src_map = std::collections::HashMap::new();
+        let mut src_map = std::collections::BTreeMap::new();
         for s in 0..m.n_sources() as u32 {
             let owned = m
                 .claims_of_source(s)

@@ -517,7 +517,7 @@ impl CrfModel {
     /// (excluding itself). A proxy for how strongly user input on this claim
     /// propagates.
     pub fn neighbourhood_size(&self, claim: VarId) -> usize {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for &s in self.sources_of_claim(claim) {
             for &c in self.claims_of_source(s) {
                 if c as usize != claim.idx() {

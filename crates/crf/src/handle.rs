@@ -43,7 +43,11 @@
 //! reacquire the handle.
 
 use crate::graph::{CrfModel, IdRemap, ModelDelta, ModelEdit, ModelError, RetireSet, Revision};
-use std::sync::{Arc, RwLock};
+#[cfg(loom)]
+use loom::sync::RwLock;
+use std::sync::Arc;
+#[cfg(not(loom))]
+use std::sync::RwLock;
 
 /// A sink for the committed edit stream of one [`ModelHandle`] lineage —
 /// the write-ahead-log hook. Callbacks fire inside the handle's write

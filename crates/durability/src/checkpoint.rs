@@ -117,6 +117,8 @@ pub fn parse_name(name: &str) -> Option<(u64, CheckpointKind)> {
 /// Frame `payload` with the checkpoint footer appended (see module docs).
 fn enveloped(payload: &[u8]) -> Vec<u8> {
     let mut bytes = frame(payload);
+    // panic-ok: write path, not decode — frame() always emits an 8-byte
+    // header before the payload.
     let footer = bytes[0..8].to_vec();
     bytes.extend_from_slice(&footer);
     bytes
@@ -133,7 +135,10 @@ fn open_envelope(bytes: &[u8]) -> Result<&[u8], String> {
             rest.len()
         ));
     }
-    if rest != &bytes[0..8] {
+    let Some(header) = bytes.get(0..8) else {
+        return Err("envelope shorter than a frame header".to_string());
+    };
+    if rest != header {
         return Err("footer does not match the header".to_string());
     }
     Ok(payload)
@@ -271,6 +276,22 @@ mod tests {
 
     fn full_name(lsn: u64) -> String {
         checkpoint_name(CheckpointKind::Full, lsn)
+    }
+
+    /// Truncated envelopes — shorter than a frame header, or cut between
+    /// header and footer — surface as typed errors, never a panic.
+    #[test]
+    fn torn_envelopes_are_typed_errors() {
+        assert!(open_envelope(&[]).is_err());
+        assert!(open_envelope(b"tiny").is_err());
+        let whole = enveloped(b"payload");
+        assert!(open_envelope(&whole).is_ok());
+        for cut in [whole.len() - 1, whole.len() - 8, 9, 7] {
+            assert!(
+                open_envelope(&whole[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
     }
 
     #[test]

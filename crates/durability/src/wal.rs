@@ -20,8 +20,24 @@ use crate::storage::Storage;
 use crf::ModelEdit;
 use serde::{Deserialize, Serialize};
 use std::io;
-use std::sync::{Arc, Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::sync::Arc;
+use std::time::Duration;
+
+// Under `--cfg loom` the group-commit protocol's primitives come from the
+// model checker so `tests/loom_group_commit.rs` can explore its schedules;
+// the swap covers exactly the state the sync thread shares with appenders.
+#[cfg(loom)]
+use loom::{
+    sync::{Condvar, Mutex, MutexGuard},
+    thread,
+    time::Instant,
+};
+#[cfg(not(loom))]
+use std::{
+    sync::{Condvar, Mutex, MutexGuard},
+    thread,
+    time::Instant,
+};
 
 /// When appended records become durable.
 ///
@@ -134,12 +150,11 @@ pub(crate) fn frame(payload: &[u8]) -> Vec<u8> {
 /// Split one frame off `bytes`: `Some((payload, rest))` if the header,
 /// length, and CRC all check out, `None` at a torn or corrupt boundary.
 pub(crate) fn read_frame(bytes: &[u8]) -> Option<(&[u8], &[u8])> {
-    if bytes.len() < 8 {
-        return None;
-    }
-    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize;
-    let crc = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
-    let rest = &bytes[8..];
+    let len_bytes: [u8; 4] = bytes.get(0..4)?.try_into().ok()?;
+    let crc_bytes: [u8; 4] = bytes.get(4..8)?.try_into().ok()?;
+    let len = u32::from_le_bytes(len_bytes) as usize;
+    let crc = u32::from_le_bytes(crc_bytes);
+    let rest = bytes.get(8..)?;
     if rest.len() < len {
         return None;
     }
@@ -175,7 +190,7 @@ struct GroupShared {
 }
 
 impl GroupShared {
-    fn lock(&self) -> std::sync::MutexGuard<'_, GroupState> {
+    fn lock(&self) -> MutexGuard<'_, GroupState> {
         self.state.lock().unwrap_or_else(|e| e.into_inner())
     }
 }
@@ -193,8 +208,11 @@ fn group_sync_loop(shared: Arc<GroupShared>, window: Duration, max_batch: u64) {
             return;
         }
         if !st.sync_now && st.appended_next - st.acked_next < max_batch {
+            // det-ok: wall-clock only gates fsync *coalescing*; it never
+            // affects logged bytes (and is loom-shimmed under the model).
             let deadline = Instant::now() + window;
             loop {
+                // det-ok: same coalescing window as above.
                 let now = Instant::now();
                 if now >= deadline
                     || st.shutdown
@@ -259,7 +277,7 @@ pub struct EditLog {
     /// `lsn < acked_next` are known durable.
     acked_next: u64,
     /// The sync thread, present only under [`SyncPolicy::GroupCommit`].
-    group: Option<(Arc<GroupShared>, std::thread::JoinHandle<()>)>,
+    group: Option<(Arc<GroupShared>, thread::JoinHandle<()>)>,
     /// Anomalies [`Self::open`] skipped or truncated (unparseable segment
     /// names, gap segments, torn tails) — surfaced instead of panicking.
     warnings: Vec<String>,
@@ -333,7 +351,7 @@ impl EditLog {
                 });
                 let thread_shared = shared.clone();
                 let window = Duration::from_micros(window_micros);
-                let handle = std::thread::spawn(move || {
+                let handle = thread::spawn(move || {
                     group_sync_loop(thread_shared, window, max_batch.max(1) as u64)
                 });
                 Some((shared, handle))
@@ -457,10 +475,15 @@ impl EditLog {
             }
         }
         // Drop segments past the consistent prefix.
-        for (_, name) in &segments[live..] {
+        for (_, name) in segments.get(live..).unwrap_or(&[]) {
             storage.remove(name)?;
         }
-        let segment = segments[live - 1].1.clone();
+        let Some((_, live_name)) = live.checked_sub(1).and_then(|i| segments.get(i)) else {
+            return Err(WalError::Corrupt(
+                "no live segment survived open".to_string(),
+            ));
+        };
+        let segment = live_name.clone();
         Ok(Some((
             Self::finish(storage, segment, expected, policy, warnings),
             records,
@@ -751,6 +774,43 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(1));
         }
         false
+    }
+
+    /// Every torn-byte shape a crash can leave at a frame boundary is a
+    /// clean `None`, never a panic: short header, length past the buffer,
+    /// CRC mismatch.
+    #[test]
+    fn read_frame_rejects_short_and_corrupt_buffers() {
+        assert!(read_frame(&[]).is_none());
+        assert!(read_frame(&[0x55; 7]).is_none(), "shorter than a header");
+        let whole = frame(b"payload");
+        assert!(read_frame(&whole).is_some());
+        let torn = &whole[..whole.len() - 1];
+        assert!(read_frame(torn).is_none(), "length runs past the buffer");
+        let mut bad_crc = whole.clone();
+        let last = bad_crc.len() - 1;
+        bad_crc[last] ^= 0xff;
+        assert!(read_frame(&bad_crc).is_none(), "payload bit flip");
+        let mut over = whole.clone();
+        over[0] = 0xff;
+        assert!(read_frame(&over).is_none(), "declared length overruns");
+    }
+
+    /// A crash can tear mid-*header* too (fewer than 8 tail bytes): open
+    /// trims exactly that tail and keeps the intact prefix.
+    #[test]
+    fn open_trims_a_header_short_tail() {
+        let fs = MemFs::new();
+        let mut log = EditLog::create(Arc::new(fs.clone()), 0, SyncPolicy::PerRecord).unwrap();
+        log.append(true, &edits(1)[0]).unwrap();
+        let name = segment_name(0);
+        let intact = fs.read(&name).unwrap().len();
+        fs.append(&name, &[0xAA; 5]).unwrap();
+        let (_, records) = EditLog::open(Arc::new(fs.clone()), SyncPolicy::PerRecord)
+            .unwrap()
+            .unwrap();
+        assert_eq!(records.len(), 1, "intact record survives");
+        assert_eq!(fs.read(&name).unwrap().len(), intact, "5-byte tail gone");
     }
 
     #[test]

@@ -1,0 +1,527 @@
+//! The execution runtime: a cooperative "baton" scheduler plus a DFS over
+//! scheduling decisions.
+//!
+//! Every model thread is a real OS thread, but at most one holds the
+//! *baton* (is scheduled) at a time, so an execution is a deterministic
+//! serialisation of the threads' synchronisation operations. Each point
+//! where more than one thread could run next is a **decision**; the
+//! schedule of an execution is the vector of decisions taken. [`explore`]
+//! enumerates schedules depth-first — after each execution the last
+//! decision with an untried alternative is advanced (odometer style) and
+//! the prefix is replayed — until the space is exhausted or the iteration
+//! cap is reached.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Global execution generation: lets a sync object detect that it was
+/// created in (or survived into) a different execution and re-register.
+static EXEC_GEN: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The runtime of the execution the calling thread belongs to, if any.
+pub(crate) fn current() -> Option<(Arc<Rt>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Bind the calling OS thread to model thread `tid` of `rt`.
+pub(crate) fn enter(rt: Arc<Rt>, tid: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((rt, tid)));
+}
+
+/// Unbind the calling OS thread from its model.
+pub(crate) fn exit() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+/// Why a condvar waiter resumed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Wake {
+    /// Not woken yet (still blocked, or never waited).
+    None,
+    /// A `notify_all` moved it to the ready set.
+    Notified,
+    /// The scheduler chose to fire its timeout.
+    TimedOut,
+}
+
+/// Scheduler-visible state of one model thread.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum TState {
+    /// Runnable: will be offered at the next decision.
+    Ready,
+    /// Waiting for a mutex (by object id) to be released.
+    Mutex(usize),
+    /// Waiting to acquire a read lock.
+    RwRead(usize),
+    /// Waiting to acquire a write lock.
+    RwWrite(usize),
+    /// Waiting on a condvar; with a deadline the scheduler may also
+    /// resume it by firing the timeout.
+    Cv {
+        /// Condvar object id.
+        cv: usize,
+        /// Logical-clock deadline of a timed wait.
+        deadline: Option<u128>,
+    },
+    /// Waiting for another thread (by id) to finish.
+    Join(usize),
+    /// Done; never scheduled again.
+    Finished,
+}
+
+struct ThreadInfo {
+    state: TState,
+    wake: Wake,
+}
+
+/// Mutable scheduler state, behind the runtime's one real mutex.
+pub(crate) struct RtState {
+    threads: Vec<ThreadInfo>,
+    running: Option<usize>,
+    done: bool,
+    failure: Option<String>,
+    /// Decision prefix to replay, then extend (DFS cursor state).
+    schedule: Vec<u8>,
+    /// Number of alternatives at each decision of this execution.
+    options: Vec<u8>,
+    cursor: usize,
+    /// Logical nanoseconds; advanced only by fired timeouts.
+    pub(crate) clock: u128,
+    mutexes: Vec<bool>,
+    /// Per rwlock: (active readers, writer held).
+    rwlocks: Vec<(usize, bool)>,
+    n_cvs: usize,
+}
+
+/// One execution's runtime: scheduler state + the condvar every parked
+/// thread waits on.
+pub(crate) struct Rt {
+    pub(crate) generation: u64,
+    state: Mutex<RtState>,
+    cv: Condvar,
+}
+
+impl Rt {
+    fn new(schedule: Vec<u8>) -> Arc<Rt> {
+        Arc::new(Rt {
+            generation: EXEC_GEN.fetch_add(1, Ordering::Relaxed),
+            state: Mutex::new(RtState {
+                threads: Vec::new(),
+                running: None,
+                done: false,
+                failure: None,
+                schedule,
+                options: Vec::new(),
+                cursor: 0,
+                clock: 0,
+                mutexes: Vec::new(),
+                rwlocks: Vec::new(),
+                n_cvs: 0,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn lock(&self) -> MutexGuard<'_, RtState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pick the next thread to run. Called with the baton free (the
+    /// previous holder blocked, yielded, or finished).
+    fn decide(st: &mut RtState) {
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                matches!(
+                    t.state,
+                    TState::Ready
+                        | TState::Cv {
+                            deadline: Some(_),
+                            ..
+                        }
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if st.threads.iter().all(|t| t.state == TState::Finished) {
+                st.done = true;
+            } else if st.failure.is_none() {
+                let states: Vec<String> = st
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .map(|(i, t)| format!("thread {i}: {:?}", t.state))
+                    .collect();
+                st.failure = Some(format!("deadlock — {}", states.join(", ")));
+            }
+            st.running = None;
+            return;
+        }
+        let idx = if runnable.len() == 1 {
+            0
+        } else {
+            let choice = if st.cursor < st.schedule.len() {
+                (st.schedule[st.cursor] as usize).min(runnable.len() - 1)
+            } else {
+                st.schedule.push(0);
+                0
+            };
+            if st.cursor < st.options.len() {
+                st.options[st.cursor] = runnable.len() as u8;
+            } else {
+                st.options.push(runnable.len() as u8);
+            }
+            st.cursor += 1;
+            choice
+        };
+        let tid = runnable[idx];
+        // Scheduling a timed condvar waiter = firing its timeout: the
+        // logical clock jumps to the deadline so the waiter observes it
+        // elapsed.
+        if let TState::Cv {
+            deadline: Some(d), ..
+        } = st.threads[tid].state
+        {
+            st.clock = st.clock.max(d);
+            st.threads[tid].wake = Wake::TimedOut;
+            st.threads[tid].state = TState::Ready;
+        }
+        st.running = Some(tid);
+    }
+
+    /// Wait (on the real condvar) until this thread is scheduled. On a
+    /// failed execution the thread is intentionally left parked forever:
+    /// unwinding it through arbitrary user state would be worse than
+    /// leaking a detached thread.
+    fn park<'a>(&'a self, mut st: MutexGuard<'a, RtState>, tid: usize) {
+        loop {
+            if st.failure.is_none() && st.running == Some(tid) {
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A preemption point: offer the baton to every runnable thread
+    /// (including the caller) and wait to be rescheduled.
+    pub(crate) fn yield_point(self: &Arc<Rt>, tid: usize) {
+        let mut st = self.lock();
+        st.threads[tid].state = TState::Ready;
+        Self::decide(&mut st);
+        self.cv.notify_all();
+        self.park(st, tid);
+    }
+
+    /// Register a new model thread; it starts ready but unscheduled.
+    pub(crate) fn add_thread(&self) -> usize {
+        let mut st = self.lock();
+        st.threads.push(ThreadInfo {
+            state: TState::Ready,
+            wake: Wake::None,
+        });
+        st.threads.len() - 1
+    }
+
+    /// First park of a freshly spawned thread (it runs only once chosen).
+    pub(crate) fn wait_first_schedule(self: &Arc<Rt>, tid: usize) {
+        let st = self.lock();
+        self.park(st, tid);
+    }
+
+    /// Mark the thread finished, wake joiners, and hand the baton on.
+    /// `panic_msg` aborts the whole execution (a model failure).
+    pub(crate) fn thread_exit(self: &Arc<Rt>, tid: usize, panic_msg: Option<String>) {
+        let mut st = self.lock();
+        st.threads[tid].state = TState::Finished;
+        for t in st.threads.iter_mut() {
+            if t.state == TState::Join(tid) {
+                t.state = TState::Ready;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            if st.failure.is_none() {
+                st.failure = Some(msg);
+            }
+            st.running = None;
+        } else {
+            Self::decide(&mut st);
+        }
+        self.cv.notify_all();
+    }
+
+    // ---- object registration ----
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(false);
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_rwlock(&self) -> usize {
+        let mut st = self.lock();
+        st.rwlocks.push((0, false));
+        st.rwlocks.len() - 1
+    }
+
+    pub(crate) fn register_cv(&self) -> usize {
+        let mut st = self.lock();
+        st.n_cvs += 1;
+        st.n_cvs - 1
+    }
+
+    // ---- blocking operations (no leading preemption point; callers add
+    // one where the *operation itself* should be a decision) ----
+
+    /// Acquire mutex `mid` in the scheduler's bookkeeping, blocking the
+    /// thread while it is held elsewhere.
+    pub(crate) fn mutex_lock(self: &Arc<Rt>, tid: usize, mid: usize) {
+        loop {
+            let mut st = self.lock();
+            if !st.mutexes[mid] {
+                st.mutexes[mid] = true;
+                return;
+            }
+            st.threads[tid].state = TState::Mutex(mid);
+            Self::decide(&mut st);
+            self.cv.notify_all();
+            self.park(st, tid);
+        }
+    }
+
+    /// Release mutex `mid` and ready its waiters (the releaser keeps the
+    /// baton until its next preemption point).
+    pub(crate) fn mutex_unlock(self: &Arc<Rt>, mid: usize) {
+        let mut st = self.lock();
+        st.mutexes[mid] = false;
+        for t in st.threads.iter_mut() {
+            if t.state == TState::Mutex(mid) {
+                t.state = TState::Ready;
+            }
+        }
+    }
+
+    pub(crate) fn rw_read_lock(self: &Arc<Rt>, tid: usize, rid: usize) {
+        loop {
+            let mut st = self.lock();
+            let (_, writer) = st.rwlocks[rid];
+            if !writer {
+                st.rwlocks[rid].0 += 1;
+                return;
+            }
+            st.threads[tid].state = TState::RwRead(rid);
+            Self::decide(&mut st);
+            self.cv.notify_all();
+            self.park(st, tid);
+        }
+    }
+
+    pub(crate) fn rw_write_lock(self: &Arc<Rt>, tid: usize, rid: usize) {
+        loop {
+            let mut st = self.lock();
+            if st.rwlocks[rid] == (0, false) {
+                st.rwlocks[rid].1 = true;
+                return;
+            }
+            st.threads[tid].state = TState::RwWrite(rid);
+            Self::decide(&mut st);
+            self.cv.notify_all();
+            self.park(st, tid);
+        }
+    }
+
+    pub(crate) fn rw_unlock(self: &Arc<Rt>, rid: usize, write: bool) {
+        let mut st = self.lock();
+        if write {
+            st.rwlocks[rid].1 = false;
+        } else {
+            st.rwlocks[rid].0 -= 1;
+        }
+        if st.rwlocks[rid] == (0, false) {
+            for t in st.threads.iter_mut() {
+                if t.state == TState::RwRead(rid) || t.state == TState::RwWrite(rid) {
+                    t.state = TState::Ready;
+                }
+            }
+        } else if !write {
+            // Readers may still join while other readers hold the lock.
+            for t in st.threads.iter_mut() {
+                if t.state == TState::RwRead(rid) {
+                    t.state = TState::Ready;
+                }
+            }
+        }
+    }
+
+    /// Block on condvar `cvid` (the caller must have released the paired
+    /// mutex first). Returns whether the wake was a fired timeout.
+    pub(crate) fn cv_wait(
+        self: &Arc<Rt>,
+        tid: usize,
+        cvid: usize,
+        timeout: Option<Duration>,
+    ) -> bool {
+        let mut st = self.lock();
+        let deadline = timeout.map(|d| st.clock + d.as_nanos());
+        st.threads[tid].state = TState::Cv { cv: cvid, deadline };
+        st.threads[tid].wake = Wake::None;
+        Self::decide(&mut st);
+        self.cv.notify_all();
+        self.park(st, tid);
+        let st = self.lock();
+        st.threads[tid].wake == Wake::TimedOut
+    }
+
+    /// Ready every waiter of condvar `cvid` (they still re-acquire their
+    /// mutex before resuming user code).
+    pub(crate) fn cv_notify_all(self: &Arc<Rt>, cvid: usize) {
+        let mut st = self.lock();
+        for t in st.threads.iter_mut() {
+            if matches!(t.state, TState::Cv { cv, .. } if cv == cvid) {
+                t.state = TState::Ready;
+                t.wake = Wake::Notified;
+            }
+        }
+    }
+
+    /// Block until thread `target` finishes.
+    pub(crate) fn join(self: &Arc<Rt>, tid: usize, target: usize) {
+        loop {
+            let mut st = self.lock();
+            if st.threads[target].state == TState::Finished {
+                return;
+            }
+            st.threads[tid].state = TState::Join(target);
+            Self::decide(&mut st);
+            self.cv.notify_all();
+            self.park(st, tid);
+        }
+    }
+}
+
+/// Advance `schedule` to the next untried branch (odometer over the
+/// recorded `options`); `false` when the space is exhausted.
+fn advance(schedule: &mut Vec<u8>, options: &[u8]) -> bool {
+    let mut i = schedule.len().min(options.len());
+    while i > 0 {
+        i -= 1;
+        if schedule[i] + 1 < options[i] {
+            schedule[i] += 1;
+            schedule.truncate(i + 1);
+            return true;
+        }
+    }
+    false
+}
+
+/// Run `f` under every explored schedule. Panics (on the caller's thread)
+/// with the failing schedule if any execution deadlocks or panics.
+pub(crate) fn explore<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let max_iters: u64 = std::env::var("LOOM_MAX_ITERATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(50_000);
+    let f = Arc::new(f);
+    let mut schedule: Vec<u8> = Vec::new();
+    let mut iters: u64 = 0;
+    loop {
+        iters += 1;
+        let rt = Rt::new(schedule.clone());
+        let root = rt.add_thread();
+        {
+            let rt = rt.clone();
+            let f = f.clone();
+            std::thread::spawn(move || {
+                enter(rt.clone(), root);
+                rt.wait_first_schedule(root);
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f()));
+                let panic_msg = out.err().map(|p| panic_message(p.as_ref()));
+                exit();
+                rt.thread_exit(root, panic_msg);
+            });
+        }
+        let (failure, options) = {
+            let mut st = rt.lock();
+            Rt::decide(&mut st);
+            rt.cv.notify_all();
+            while !st.done && st.failure.is_none() {
+                st = rt.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+            // The execution extended the replayed prefix with every new
+            // decision it made; take the full schedule back so `advance`
+            // has the complete odometer to step.
+            schedule = std::mem::take(&mut st.schedule);
+            (st.failure.clone(), std::mem::take(&mut st.options))
+        };
+        if let Some(why) = failure {
+            panic!(
+                "loom model failed on execution {iters}: {why}\n  schedule: {schedule:?}\n  \
+                 (re-run explores the same schedule deterministically)"
+            );
+        }
+        if !advance(&mut schedule, &options) {
+            if std::env::var("LOOM_LOG").is_ok() {
+                eprintln!("loom shim: explored {iters} executions exhaustively");
+            }
+            return;
+        }
+        if iters >= max_iters {
+            eprintln!(
+                "loom shim: stopping after {iters} executions (LOOM_MAX_ITERATIONS); \
+                 exploration is bounded, not exhaustive"
+            );
+            return;
+        }
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked".to_string()
+    }
+}
+
+/// Lazily bound per-execution object id: a sync object created in one
+/// execution re-registers when first touched by a later one.
+#[derive(Default)]
+pub(crate) struct ObjId {
+    gen: AtomicU64,
+    id: AtomicU64,
+}
+
+impl ObjId {
+    pub(crate) const fn new() -> ObjId {
+        ObjId {
+            gen: AtomicU64::new(0),
+            id: AtomicU64::new(0),
+        }
+    }
+
+    /// The object's id within `rt`, registering via `alloc` on first use
+    /// in this execution. Model threads are serialised by the baton, so
+    /// the relaxed load/store pair cannot race within an execution.
+    pub(crate) fn get(&self, rt: &Rt, alloc: impl FnOnce() -> usize) -> usize {
+        if self.gen.load(Ordering::Acquire) != rt.generation {
+            let id = alloc() as u64;
+            self.id.store(id, Ordering::Relaxed);
+            self.gen.store(rt.generation, Ordering::Release);
+        }
+        self.id.load(Ordering::Relaxed) as usize
+    }
+}

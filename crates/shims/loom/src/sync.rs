@@ -1,0 +1,344 @@
+//! Scheduler-aware drop-ins for `std::sync` primitives.
+//!
+//! Inside [`crate::model`] every acquire, condvar wait, and timeout is a
+//! scheduling decision the explorer branches on; outside a model the
+//! types degrade to thin wrappers over the real `std::sync` primitives,
+//! so code compiled with `--cfg loom` still works in ordinary tests.
+//!
+//! Each primitive *also* holds its real `std` counterpart and genuinely
+//! acquires it — the scheduler only decides ordering — so guard lifetimes
+//! and data access behave exactly like `std`.
+
+use crate::rt::{self, ObjId, Rt};
+pub use std::sync::Arc;
+use std::sync::{LockResult, TryLockError};
+use std::time::Duration;
+
+fn std_lock<T>(l: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    l.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Take the real lock that the scheduler just granted us; poison from a
+/// previous (failed, leaked) execution is ignored.
+fn granted<T>(l: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match l.try_lock() {
+        Ok(g) => g,
+        Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        Err(TryLockError::WouldBlock) => {
+            unreachable!("baton scheduler granted a lock that is really held")
+        }
+    }
+}
+
+/// A mutex whose lock-acquisition order the model explores.
+#[derive(Default)]
+pub struct Mutex<T> {
+    std: std::sync::Mutex<T>,
+    id: ObjId,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            std: std::sync::Mutex::new(value),
+            id: ObjId::new(),
+        }
+    }
+
+    fn obj(&self, rt: &Rt) -> usize {
+        self.id.get(rt, || rt.register_mutex())
+    }
+
+    /// Acquire the mutex; inside a model this is a preemption point.
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        match rt::current() {
+            Some((rt, tid)) => {
+                let mid = self.obj(&rt);
+                rt.yield_point(tid);
+                rt.mutex_lock(tid, mid);
+                Ok(MutexGuard {
+                    lock: self,
+                    inner: Some(granted(&self.std)),
+                    ctx: Some((rt, tid, mid)),
+                })
+            }
+            None => Ok(MutexGuard {
+                inner: Some(std_lock(&self.std)),
+                lock: self,
+                ctx: None,
+            }),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard of [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    ctx: Option<(Arc<Rt>, usize, usize)>,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the real lock before the bookkeeping
+        if let Some((rt, _tid, mid)) = self.ctx.take() {
+            rt.mutex_unlock(mid);
+        }
+    }
+}
+
+/// Result of a timed condvar wait; mirrors `std::sync::WaitTimeoutResult`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable; inside a model, timed waits resume either by
+/// notification or by the scheduler choosing to fire the timeout, so both
+/// interleavings are explored.
+#[derive(Default)]
+pub struct Condvar {
+    std: std::sync::Condvar,
+    id: ObjId,
+}
+
+impl Condvar {
+    /// Create a new condvar.
+    pub fn new() -> Condvar {
+        Condvar {
+            std: std::sync::Condvar::new(),
+            id: ObjId::new(),
+        }
+    }
+
+    fn obj(&self, rt: &Rt) -> usize {
+        self.id.get(rt, || rt.register_cv())
+    }
+
+    /// Release the guard's mutex, wait to be notified, re-acquire.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+        match guard.ctx.take() {
+            Some((rt, tid, mid)) => {
+                guard.inner = None;
+                rt.mutex_unlock(mid);
+                let cvid = self.obj(&rt);
+                rt.cv_wait(tid, cvid, None);
+                rt.mutex_lock(tid, mid);
+                guard.inner = Some(granted(&guard.lock.std));
+                guard.ctx = Some((rt, tid, mid));
+                Ok(guard)
+            }
+            None => {
+                let inner = guard.inner.take().expect("guard holds the lock");
+                let inner = self.std.wait(inner).unwrap_or_else(|e| e.into_inner());
+                guard.inner = Some(inner);
+                Ok(guard)
+            }
+        }
+    }
+
+    /// Like [`Self::wait`] with a timeout; the model explores both the
+    /// notified and the timed-out resume.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        dur: Duration,
+    ) -> LockResult<(MutexGuard<'a, T>, WaitTimeoutResult)> {
+        match guard.ctx.take() {
+            Some((rt, tid, mid)) => {
+                guard.inner = None;
+                rt.mutex_unlock(mid);
+                let cvid = self.obj(&rt);
+                let timed_out = rt.cv_wait(tid, cvid, Some(dur));
+                rt.mutex_lock(tid, mid);
+                guard.inner = Some(granted(&guard.lock.std));
+                guard.ctx = Some((rt, tid, mid));
+                Ok((guard, WaitTimeoutResult(timed_out)))
+            }
+            None => {
+                let inner = guard.inner.take().expect("guard holds the lock");
+                let (inner, res) = self
+                    .std
+                    .wait_timeout(inner, dur)
+                    .unwrap_or_else(|e| e.into_inner());
+                guard.inner = Some(inner);
+                Ok((guard, WaitTimeoutResult(res.timed_out())))
+            }
+        }
+    }
+
+    /// Wake every waiter.
+    pub fn notify_all(&self) {
+        if let Some((rt, _tid)) = rt::current() {
+            let cvid = self.obj(&rt);
+            rt.cv_notify_all(cvid);
+        }
+        self.std.notify_all();
+    }
+
+    /// Wake a waiter. The shim conservatively wakes all (a spurious wake
+    /// `std` also permits), so every schedule it explores is legal.
+    pub fn notify_one(&self) {
+        self.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+/// A reader-writer lock whose acquisition order the model explores.
+#[derive(Default)]
+pub struct RwLock<T> {
+    std: std::sync::RwLock<T>,
+    id: ObjId,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new rwlock.
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock {
+            std: std::sync::RwLock::new(value),
+            id: ObjId::new(),
+        }
+    }
+
+    fn obj(&self, rt: &Rt) -> usize {
+        self.id.get(rt, || rt.register_rwlock())
+    }
+
+    /// Acquire a shared read lock; a preemption point inside a model.
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        match rt::current() {
+            Some((rt, tid)) => {
+                let rid = self.obj(&rt);
+                rt.yield_point(tid);
+                rt.rw_read_lock(tid, rid);
+                let inner = match self.std.try_read() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("baton scheduler granted a read lock that is write-held")
+                    }
+                };
+                Ok(RwLockReadGuard {
+                    inner: Some(inner),
+                    ctx: Some((rt, rid)),
+                })
+            }
+            None => Ok(RwLockReadGuard {
+                inner: Some(self.std.read().unwrap_or_else(|e| e.into_inner())),
+                ctx: None,
+            }),
+        }
+    }
+
+    /// Acquire the exclusive write lock; a preemption point inside a model.
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        match rt::current() {
+            Some((rt, tid)) => {
+                let rid = self.obj(&rt);
+                rt.yield_point(tid);
+                rt.rw_write_lock(tid, rid);
+                let inner = match self.std.try_write() {
+                    Ok(g) => g,
+                    Err(TryLockError::Poisoned(p)) => p.into_inner(),
+                    Err(TryLockError::WouldBlock) => {
+                        unreachable!("baton scheduler granted a write lock that is held")
+                    }
+                };
+                Ok(RwLockWriteGuard {
+                    inner: Some(inner),
+                    ctx: Some((rt, rid)),
+                })
+            }
+            None => Ok(RwLockWriteGuard {
+                inner: Some(self.std.write().unwrap_or_else(|e| e.into_inner())),
+                ctx: None,
+            }),
+        }
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+/// RAII guard of [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T> {
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+    ctx: Option<(Arc<Rt>, usize)>,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((rt, rid)) = self.ctx.take() {
+            rt.rw_unlock(rid, false);
+        }
+    }
+}
+
+/// RAII guard of [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T> {
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    ctx: Option<(Arc<Rt>, usize)>,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard holds the lock")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard holds the lock")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((rt, rid)) = self.ctx.take() {
+            rt.rw_unlock(rid, true);
+        }
+    }
+}

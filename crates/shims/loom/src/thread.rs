@@ -1,0 +1,86 @@
+//! Scheduler-aware `std::thread` drop-ins.
+
+use crate::rt::{self, Rt};
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    /// Spawned outside a model: a real, freely scheduled thread.
+    Native(std::thread::JoinHandle<T>),
+    /// A model thread; `join` is a scheduler blocking point.
+    Model {
+        rt: Arc<Rt>,
+        tid: usize,
+        result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    },
+}
+
+/// Handle to a spawned thread; mirrors `std::thread::JoinHandle`.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and take its result. Inside a model
+    /// this blocks in the scheduler (a deadlock here is a model failure,
+    /// reported with the schedule that produced it).
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Native(h) => h.join(),
+            Inner::Model { rt, tid, result } => {
+                let (_, me) = rt::current().expect("join called outside the model");
+                rt.join(me, tid);
+                result
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("model thread finished without storing a result")
+            }
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle").finish_non_exhaustive()
+    }
+}
+
+/// Spawn a thread. Inside a model the new thread participates in the
+/// schedule exploration; outside it is a plain `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current() {
+        Some((rt, _parent)) => {
+            let tid = rt.add_thread();
+            let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+            {
+                let rt = rt.clone();
+                let result = result.clone();
+                std::thread::spawn(move || {
+                    rt::enter(rt.clone(), tid);
+                    rt.wait_first_schedule(tid);
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    let panic_msg = out
+                        .as_ref()
+                        .err()
+                        .map(|p| crate::rt::panic_message(p.as_ref()));
+                    *result.lock().unwrap_or_else(|e| e.into_inner()) = Some(out);
+                    rt::exit();
+                    rt.thread_exit(tid, panic_msg);
+                });
+            }
+            JoinHandle(Inner::Model { rt, tid, result })
+        }
+        None => JoinHandle(Inner::Native(std::thread::spawn(f))),
+    }
+}
+
+/// Hand the baton to any runnable thread (a pure preemption point);
+/// outside a model, a real `yield_now`.
+pub fn yield_now() {
+    match rt::current() {
+        Some((rt, tid)) => rt.yield_point(tid),
+        None => std::thread::yield_now(),
+    }
+}

@@ -1,0 +1,51 @@
+//! A logical-clock `Instant` for deterministic timeout modelling.
+//!
+//! Inside a model, time only advances when the scheduler *fires* a
+//! timeout ([`crate::sync::Condvar::wait_timeout`]); `Instant::now` reads
+//! that logical clock, so deadline arithmetic in code under test is a
+//! deterministic function of the schedule. Outside a model it falls back
+//! to real monotonic time.
+
+use crate::rt;
+use std::ops::{Add, Sub};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+fn epoch() -> std::time::Instant {
+    static EPOCH: OnceLock<std::time::Instant> = OnceLock::new();
+    *EPOCH.get_or_init(std::time::Instant::now)
+}
+
+/// A monotonic timestamp; logical inside a model, real outside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Instant(u128);
+
+impl Instant {
+    /// The current (logical or real) time.
+    pub fn now() -> Instant {
+        match rt::current() {
+            Some((rt, _)) => Instant(rt.lock().clock),
+            None => Instant(epoch().elapsed().as_nanos()),
+        }
+    }
+
+    /// Time elapsed since this instant (zero if the clock has not moved).
+    pub fn elapsed(&self) -> Duration {
+        Instant::now() - *self
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant(self.0 + rhs.as_nanos())
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        let nanos = self.0.saturating_sub(rhs.0);
+        Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+    }
+}

@@ -243,15 +243,18 @@ impl WalObserver {
 
     fn append(&self, arrival: bool, edit: ModelEdit) {
         {
-            let mut log = self.log.lock().expect("edit log poisoned");
+            let mut log = self.log.lock().unwrap_or_else(|e| e.into_inner());
             if let Err(e) = log.append(arrival, &edit) {
-                *self.error.lock().expect("error slot poisoned") = Some(e);
+                *self.error.lock().unwrap_or_else(|e| e.into_inner()) = Some(e);
             }
         }
         // Buffered even when the append failed: the edit committed to the
         // in-memory model either way, and the stashed error will abort the
         // next checkpoint before an inconsistent increment could land.
-        self.pending.lock().expect("pending poisoned").push(edit);
+        self.pending
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(edit);
     }
 }
 
@@ -568,7 +571,7 @@ impl DurableChecker {
         self.observer
             .pending
             .lock()
-            .expect("pending poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .clear();
         self.arrivals_since_checkpoint = 0;
         self.last_checkpoint_lsn = lsn;
@@ -587,7 +590,13 @@ impl DurableChecker {
         if lsn == self.last_checkpoint_lsn {
             return Ok(lsn);
         }
-        let edits = std::mem::take(&mut *self.observer.pending.lock().expect("pending poisoned"));
+        let edits = std::mem::take(
+            &mut *self
+                .observer
+                .pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
         let state = IncrementState {
             parent_lsn: self.last_checkpoint_lsn,
             edits,
@@ -596,7 +605,11 @@ impl DurableChecker {
         if let Err(e) = checkpoint::write_increment(&self.storage, lsn, &state) {
             // The edits are not covered by any checkpoint yet; put them
             // back so a later attempt still has the full delta.
-            *self.observer.pending.lock().expect("pending poisoned") = state.edits;
+            *self
+                .observer
+                .pending
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()) = state.edits;
             return Err(e.into());
         }
         self.log_lock().rotate(lsn)?;
@@ -658,7 +671,7 @@ impl DurableChecker {
     }
 
     fn log_lock(&self) -> std::sync::MutexGuard<'_, EditLog> {
-        self.observer.log.lock().expect("edit log poisoned")
+        self.observer.log.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// The wrapped checker.
@@ -692,7 +705,7 @@ impl DurableChecker {
             .observer
             .error
             .lock()
-            .expect("error slot poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .take()
         {
             Some(e) => Err(e.into()),

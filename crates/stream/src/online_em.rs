@@ -275,6 +275,8 @@ impl OnlineEm {
         &mut self,
         rows: impl Iterator<Item = (Option<u32>, &'a Vec<f64>, f64)>,
     ) -> ArrivalStats {
+        // det-ok: feeds elapsed-time telemetry only; no sampled or logged
+        // byte depends on it.
         let started = Instant::now();
         self.t += 1;
         let gamma = self.config.schedule.gamma(self.t);

@@ -1,0 +1,69 @@
+//! `cargo xtask` — workspace automation.
+//!
+//! Subcommands:
+//!
+//! * `analyze` — run the determinism/concurrency lints over every crate
+//!   (see the library docs and `docs/determinism.md`); exits non-zero on
+//!   any finding, so CI can gate on it.
+//! * `analyze --list-files` — print the files the pass covers.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The workspace root, two levels up from this crate's manifest. The env
+/// var is expanded at compile time by Cargo, not read from the ambient
+/// environment at run time.
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/xtask has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("analyze") => analyze(args[1..].iter().any(|a| a == "--list-files")),
+        _ => {
+            eprintln!("usage: cargo xtask analyze [--list-files]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn analyze(list_files: bool) -> ExitCode {
+    let root = workspace_root();
+    let cfg = xtask::Config::workspace();
+    if list_files {
+        match xtask::workspace_files(&root) {
+            Ok(files) => {
+                for f in files {
+                    println!("{f}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("xtask analyze: walking {} failed: {e}", root.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match xtask::analyze_workspace(&root, &cfg) {
+        Ok(findings) if findings.is_empty() => {
+            println!("xtask analyze: clean");
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            println!("xtask analyze: {} finding(s)", findings.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,35 @@
+// Clean fixture: deterministic, panic-free, lock-disciplined code that
+// must produce zero findings under every lint even on the strictest
+// scoping (det-critical path + recovery fns + revisioned type).
+use std::collections::BTreeMap;
+
+pub struct CrfModel {
+    revision: u64,
+    cells: BTreeMap<u64, u64>,
+}
+
+impl CrfModel {
+    pub fn apply(&mut self, k: u64, v: u64) -> u64 {
+        self.cells.insert(k, v);
+        self.revision += 1;
+        self.revision
+    }
+
+    pub fn get(&self, k: u64) -> Option<u64> {
+        self.cells.get(&k).copied()
+    }
+}
+
+pub fn open(bytes: &[u8]) -> Result<u64, String> {
+    let head: [u8; 8] = bytes
+        .get(0..8)
+        .and_then(|s| s.try_into().ok())
+        .ok_or_else(|| "short header".to_string())?;
+    Ok(u64::from_le_bytes(head))
+}
+
+// Strings and chars that merely *mention* trouble must not trip the
+// lexer: "HashMap::new()", 'u', '\'', r#"unsafe { panic!() }"#.
+pub fn red_herrings() -> (&'static str, char, &'static str) {
+    ("HashMap::new()", '\'', r#"unsafe { panic!() }"#)
+}

@@ -1,0 +1,28 @@
+// Known-bad D1 fixture: unordered containers in a det-critical path.
+// Analyzed under a spoofed determinism-critical path; NOT compiled.
+use std::collections::HashMap; // line 3: a `use` is not a finding
+
+fn tally(xs: &[u32]) -> Vec<(u32, u32)> {
+    let mut m = HashMap::new(); // line 6: finding
+    for &x in xs {
+        *m.entry(x).or_insert(0u32) += 1;
+    }
+    m.into_iter().collect()
+}
+
+fn dedup(xs: &[u32]) -> usize {
+    let mut s = std::collections::HashSet::new(); // line 14: finding
+    for &x in xs {
+        s.insert(x);
+    }
+    s.len()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_order_dependent() {
+        let m = super::super::HashMap::new(); // line 25: finding (tests too)
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+// D1 fixture with justification markers: zero findings expected.
+
+fn lookup_only(keys: &[u32]) -> usize {
+    // det-ok: insert+len only, never iterated — order cannot leak.
+    let mut s = std::collections::HashSet::new();
+    for &k in keys {
+        s.insert(k);
+    }
+    s.len()
+}
+
+fn same_line(n: usize) -> usize {
+    let m: std::collections::HashMap<u32, u32> = Default::default(); // det-ok: counted, not iterated
+    m.len() + n
+}
+
+fn unjustified_marker_does_not_count() {
+    // det-ok:
+    let _m: std::collections::HashMap<u32, u32> = Default::default(); // line 19: finding (empty why)
+}

@@ -1,0 +1,35 @@
+// Known-bad D2 fixture: ambient nondeterminism.
+use std::time::{Instant, SystemTime};
+
+fn stamp() -> u64 {
+    let t = SystemTime::now(); // line 5: finding
+    t.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+fn timing() -> std::time::Duration {
+    let started = Instant::now(); // line 10: finding
+    started.elapsed()
+}
+
+fn ambient_rng() -> u8 {
+    let _rng = rand::thread_rng(); // line 15: finding
+    4
+}
+
+fn ambient_env() -> Option<String> {
+    std::env::var("SPEED_OVERRIDE").ok() // line 20: finding
+}
+
+fn justified() -> std::time::Duration {
+    // det-ok: telemetry only; nothing downstream reads it.
+    let started = Instant::now();
+    started.elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_time_themselves() {
+        let _t = std::time::Instant::now(); // no finding: cfg(test)
+    }
+}

@@ -1,0 +1,29 @@
+// Known-bad R1 fixture: panicking decode in the recovery read path.
+// Analyzed under a spoofed recovery path where `open` and `read_frame`
+// are in scope and `helper` is not.
+
+pub fn open(bytes: &[u8]) -> Vec<u8> {
+    let len = u32::from_le_bytes(bytes[0..4].try_into().unwrap()) as usize; // line 6: two findings
+    let body = bytes.get(4..4 + len).expect("short read"); // line 7: finding
+    if body.is_empty() {
+        unreachable!("empty body"); // line 9: finding
+    }
+    body.to_vec()
+}
+
+pub fn read_frame(bytes: &[u8]) -> u8 {
+    // panic-ok: length checked two lines up by the caller's contract.
+    bytes[0]
+}
+
+pub fn helper(bytes: &[u8]) -> u8 {
+    bytes[0] // not in scope: no finding
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn open_round_trips() {
+        assert!(super::open(&[0, 0, 0, 0]).is_empty()); // cfg(test): no finding
+    }
+}

@@ -1,0 +1,42 @@
+// Known-bad R2 fixture: unchecked public mutation of a revisioned type.
+// Analyzed under a spoofed path where `CrfModel` carries the contract.
+
+pub struct CrfModel {
+    revision: u64,
+    cells: Vec<u64>,
+}
+
+impl CrfModel {
+    pub fn apply(&mut self, cell: u64) -> u64 {
+        self.cells.push(cell);
+        self.revision += 1; // evidence: checked
+        self.revision
+    }
+
+    pub fn clobber(&mut self, cell: u64) { // line 16: finding
+        self.cells.push(cell);
+    }
+
+    // rev-ok: scratch-only mutation; lineage state is untouched.
+    pub fn scratch(&mut self) {
+        self.cells.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.cells.len() // &self: not in scope
+    }
+
+    fn internal(&mut self) {
+        self.cells.clear(); // private: not in scope
+    }
+}
+
+pub struct Other {
+    n: u64,
+}
+
+impl Other {
+    pub fn bump(&mut self) {
+        self.n += 1; // type not in scope: no finding
+    }
+}

@@ -1,0 +1,13 @@
+// Known-bad U1 fixture: unsafe outside the allowlist.
+
+pub fn reinterpret(x: &[u8; 8]) -> u64 {
+    unsafe { std::mem::transmute(*x) } // line 4: finding
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unsafe_in_tests_is_still_a_finding() {
+        let _ = unsafe { std::ptr::null::<u8>().as_ref() }; // line 11: finding
+    }
+}
