@@ -50,6 +50,6 @@ pub use graph::{
     Clique, CliqueId, CrfModel, CrfModelBuilder, IdRemap, ModelDelta, ModelEdit, ModelError,
     RetireSet, Revision, Stance, VarId,
 };
-pub use handle::{EditObserver, ModelHandle};
+pub use handle::{EditObserver, FanoutObserver, ModelHandle};
 pub use partition::Partition;
 pub use potentials::{CacheRefresh, ScoreCache, Weights};

@@ -89,12 +89,39 @@ impl Dsu {
 /// `component_of` and component listings — to [`Partition::of_model`] on
 /// the current model. Dead claims belong to no component and must not be
 /// asked for one.
+///
+/// # Representation: stable slots, permuted ranks
+///
+/// Membership lists live in **slots** whose ids are stable across edits;
+/// the canonical numbering is a separate rank ↔ slot permutation. An
+/// update therefore rebuilds membership only for the **dirty** components
+/// (those containing a claim the edit touched — a new edge endpoint, a
+/// retired claim, a retired source's claim) and repairs the numbering
+/// with an integer merge over component ids, never rewriting the
+/// per-claim labels of clean components. Tiny-edit maintenance costs
+/// O(Σ degree(touched sources) + Σ |dirty components| + #components)
+/// instead of the former O(n_claims) full relabel pass per edit.
 #[derive(Debug, Clone)]
 pub struct Partition {
-    /// Component index per claim (`u32::MAX` for tombstoned claims).
+    /// Slot id per claim (`u32::MAX` for tombstoned claims).
     component_of: Vec<u32>,
-    /// Claim indices per component, sorted ascending.
-    components: Vec<Vec<usize>>,
+    /// Claim indices per slot, sorted ascending; an empty vector is a free
+    /// slot awaiting reuse.
+    slots: Vec<Vec<usize>>,
+    /// Free slot ids (their member vectors are empty), unordered between
+    /// updates; sorted before reuse so assignment is deterministic.
+    free: Vec<u32>,
+    /// Canonical component index → slot id, ordered by each slot's lowest
+    /// member.
+    rank_to_slot: Vec<u32>,
+    /// Slot id → canonical component index (`u32::MAX` for free slots).
+    slot_rank: Vec<u32>,
+    /// Claims [`Partition::compact`] relocated into the id space without a
+    /// known component: grown after the snapshot this partition was synced
+    /// to but before the compaction, so the remap covers them while no slot
+    /// does. The next [`Partition::update`] folds them in alongside the
+    /// newly grown suffix.
+    pending: Vec<u32>,
     /// The union–find state the components were derived from; kept so
     /// growth unions only new edges.
     dsu: Dsu,
@@ -116,41 +143,50 @@ impl Partition {
         }
         let mut p = Partition {
             component_of: Vec::new(),
-            components: Vec::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            rank_to_slot: Vec::new(),
+            slot_rank: Vec::new(),
+            pending: Vec::new(),
             dsu,
         };
         p.relabel(model);
         p
     }
 
-    /// Recompute the canonical component numbering from the union–find
-    /// state: components are numbered in order of their lowest live claim
-    /// id, which depends only on the sets — never on union order. Dead
-    /// claims get the [`NO_COMPONENT`] sentinel.
+    /// Recompute every component from the union–find state — the
+    /// from-scratch fallback behind [`Partition::of_model`]. Slots come out
+    /// in canonical order (identity permutation): components are numbered
+    /// in order of their lowest live claim id, which depends only on the
+    /// sets — never on union order. Dead claims get the [`NO_COMPONENT`]
+    /// sentinel.
     fn relabel(&mut self, model: &CrfModel) {
         let n = model.n_claims();
-        // Roots are claim ids, so a flat vector beats a hash map — this
-        // runs once per model edit and dominates small-edit maintenance.
-        let mut root_to_comp = vec![NO_COMPONENT; n];
+        // Roots are claim ids, so a flat vector beats a hash map.
+        let mut root_to_slot = vec![NO_COMPONENT; n];
         self.component_of.clear();
         self.component_of.resize(n, NO_COMPONENT);
-        self.components.clear();
+        self.slots.clear();
+        self.free.clear();
+        self.pending.clear();
         for c in 0..n {
             if !model.claim_live(c) {
                 continue;
             }
             let r = self.dsu.find(c);
-            let comp = if root_to_comp[r] == NO_COMPONENT {
-                let next = self.components.len() as u32;
-                root_to_comp[r] = next;
-                self.components.push(Vec::new());
+            let slot = if root_to_slot[r] == NO_COMPONENT {
+                let next = self.slots.len() as u32;
+                root_to_slot[r] = next;
+                self.slots.push(Vec::new());
                 next
             } else {
-                root_to_comp[r]
+                root_to_slot[r]
             };
-            self.component_of[c] = comp;
-            self.components[comp as usize].push(c);
+            self.component_of[c] = slot;
+            self.slots[slot as usize].push(c);
         }
+        self.rank_to_slot = (0..self.slots.len() as u32).collect();
+        self.slot_rank = (0..self.slots.len() as u32).collect();
     }
 
     /// Maintain the partition after `model` grew: union only the edges of
@@ -179,7 +215,9 @@ impl Partition {
     /// model.
     pub fn update(&mut self, model: &CrfModel, first_new_clique: usize, affected: &[u32]) {
         let n = model.n_claims();
+        let old_n = self.component_of.len();
         self.dsu.extend_to(n);
+        self.component_of.resize(n, NO_COMPONENT);
 
         // All claims of one source are mutually connected. For every source
         // a new clique touches, chain its (sorted, deduplicated, live) claim
@@ -193,21 +231,26 @@ impl Partition {
             .map(|cl| cl.source)
             .collect();
 
-        if !affected.is_empty() {
-            // Components the retirement touched, by their pre-update index.
+        // Slots whose membership this edit may change; seeded with the
+        // retirement-affected components, extended below with every slot a
+        // touched source's row reaches (a union can only merge sets through
+        // row members, so any component that gains, loses, or exchanges
+        // members appears here).
+        let mut dirty: Vec<u32> = affected
+            .iter()
             // Claims beyond the last sync (grown and possibly retired in
             // the same revision gap) belong to no known component; their
             // connectivity comes entirely from the growth unions below.
-            let mut comps: Vec<u32> = affected
-                .iter()
-                .filter(|&&c| (c as usize) < self.component_of.len())
-                .map(|&c| self.component_of[c as usize])
-                .filter(|&comp| comp != NO_COMPONENT)
-                .collect();
-            comps.sort_unstable();
-            comps.dedup();
-            for &comp in &comps {
-                for &m in &self.components[comp as usize] {
+            .filter(|&&c| (c as usize) < old_n)
+            .map(|&c| self.component_of[c as usize])
+            .filter(|&slot| slot != NO_COMPONENT)
+            .collect();
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        if !dirty.is_empty() {
+            for &slot in &dirty {
+                for &m in &self.slots[slot as usize] {
                     // Reset every member (dead ones become permanent
                     // singletons; live ones are re-unioned below).
                     self.dsu.parent[m] = m as u32;
@@ -217,8 +260,8 @@ impl Partition {
             // Re-union the affected components from their live members'
             // sources; rows re-chain only live claims, so a retired bridge
             // splits its component.
-            for &comp in &comps {
-                for &m in &self.components[comp as usize] {
+            for &slot in &dirty {
+                for &m in &self.slots[slot as usize] {
                     if model.claim_live(m) {
                         touched.extend_from_slice(model.sources_of_claim(VarId(m as u32)));
                     }
@@ -228,12 +271,144 @@ impl Partition {
 
         touched.sort_unstable();
         touched.dedup();
-        for s in touched {
+        for &s in &touched {
             if model.source_live(s as usize) {
+                // Every slot a touched row reaches is dirty: its members
+                // may be unioned into another set right below.
+                for &c in model.claims_of_source(s) {
+                    if (c as usize) < old_n {
+                        let slot = self.component_of[c as usize];
+                        if slot != NO_COMPONENT {
+                            dirty.push(slot);
+                        }
+                    }
+                }
                 union_live_row(&mut self.dsu, model, s);
             }
         }
-        self.relabel(model);
+        dirty.sort_unstable();
+        dirty.dedup();
+
+        self.renumber_dirty(model, &dirty, old_n);
+    }
+
+    /// Rebuild membership for the `dirty` slots (plus the claims grown
+    /// since `old_n`) from the settled union–find state and repair the
+    /// canonical numbering — the incremental replacement for a full
+    /// [`Partition::relabel`]. Clean components keep their slots, member
+    /// lists, and per-claim labels untouched; only the rank permutation is
+    /// re-merged (their relative order never changes — a clean component's
+    /// lowest member can move only through an edit that would have marked
+    /// it dirty).
+    fn renumber_dirty(&mut self, model: &CrfModel, dirty: &[u32], old_n: usize) {
+        let n = model.n_claims();
+        // Claims whose grouping may have changed: every member of a dirty
+        // slot plus the new claims. Sets can only merge through touched
+        // rows (whose slots are dirty), so clean components are complete —
+        // no group below ever shares a root with a clean slot.
+        let mut moved: Vec<(usize, usize)> = Vec::new(); // (root, claim)
+        for &slot in dirty {
+            for i in 0..self.slots[slot as usize].len() {
+                let c = self.slots[slot as usize][i];
+                self.component_of[c] = NO_COMPONENT;
+                if model.claim_live(c) {
+                    let r = self.dsu.find(c);
+                    moved.push((r, c));
+                }
+            }
+        }
+        for c in old_n..n {
+            if model.claim_live(c) {
+                let r = self.dsu.find(c);
+                moved.push((r, c));
+            }
+        }
+        // Claims a compaction relocated without a component (grown after
+        // the last sync, before the compaction): fold them in exactly like
+        // the grown suffix. They are `< old_n` and slotless, so neither
+        // collection above sees them.
+        for c in std::mem::take(&mut self.pending) {
+            let c = c as usize;
+            if model.claim_live(c) && self.component_of[c] == NO_COMPONENT {
+                let r = self.dsu.find(c);
+                moved.push((r, c));
+            }
+        }
+        if moved.is_empty() && dirty.is_empty() {
+            return;
+        }
+        // Group by root; within a group claims come out ascending, so each
+        // member list is born sorted and its head is the component minimum.
+        moved.sort_unstable();
+
+        // Dissolve the dirty slots and recycle their ids (smallest first,
+        // for determinism) into the regrouped components.
+        for &slot in dirty {
+            self.slots[slot as usize].clear();
+            self.slot_rank[slot as usize] = NO_COMPONENT;
+            self.free.push(slot);
+        }
+        self.free.sort_unstable();
+        let mut reused = 0usize;
+        let mut fresh: Vec<u32> = Vec::new(); // slots of the regrouped components
+        let mut i = 0;
+        while i < moved.len() {
+            let root = moved[i].0;
+            let slot = if reused < self.free.len() {
+                let s = self.free[reused];
+                reused += 1;
+                s
+            } else {
+                self.slots.push(Vec::new());
+                self.slot_rank.push(NO_COMPONENT);
+                (self.slots.len() - 1) as u32
+            };
+            while i < moved.len() && moved[i].0 == root {
+                let c = moved[i].1;
+                self.slots[slot as usize].push(c);
+                self.component_of[c] = slot;
+                i += 1;
+            }
+            fresh.push(slot);
+        }
+        self.free.drain(..reused);
+
+        // Canonical numbering: merge the surviving ranks (their order by
+        // lowest member is unchanged) with the regrouped components,
+        // ordered by lowest member. An integer merge over component ids —
+        // no per-claim work.
+        fresh.sort_unstable_by_key(|&s| self.slots[s as usize][0]);
+        let old_order = std::mem::take(&mut self.rank_to_slot);
+        let mut merged: Vec<u32> = Vec::with_capacity(old_order.len() + fresh.len());
+        let mut a = old_order
+            .into_iter()
+            .filter(|s| dirty.binary_search(s).is_err())
+            .peekable();
+        let mut b = fresh.into_iter().peekable();
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&x), Some(&y)) => {
+                    if self.slots[x as usize][0] < self.slots[y as usize][0] {
+                        merged.push(x);
+                        a.next();
+                    } else {
+                        merged.push(y);
+                        b.next();
+                    }
+                }
+                (Some(_), None) => {
+                    merged.push(a.next().expect("peeked"));
+                }
+                (None, Some(_)) => {
+                    merged.push(b.next().expect("peeked"));
+                }
+                (None, None) => break,
+            }
+        }
+        self.rank_to_slot = merged;
+        for (rank, &slot) in self.rank_to_slot.iter().enumerate() {
+            self.slot_rank[slot as usize] = rank as u32;
+        }
     }
 
     /// Relocate the partition through the [`IdRemap`] a
@@ -245,19 +420,19 @@ impl Partition {
     /// at relocation cost, without re-scanning any edges.
     pub fn compact(&mut self, remap: &IdRemap) {
         let n_new = remap.n_new_claims();
-        let mut new_components: Vec<Vec<usize>> = Vec::with_capacity(self.components.len());
-        for comp in &self.components {
-            let mapped: Vec<usize> = comp
+        let mut new_slots: Vec<Vec<usize>> = Vec::with_capacity(self.rank_to_slot.len());
+        for &slot in &self.rank_to_slot {
+            let mapped: Vec<usize> = self.slots[slot as usize]
                 .iter()
                 .filter_map(|&c| remap.claim(VarId(c as u32)).map(|v| v.idx()))
                 .collect();
             if !mapped.is_empty() {
-                new_components.push(mapped);
+                new_slots.push(mapped);
             }
         }
         let mut dsu = Dsu::new(n_new);
         let mut component_of = vec![NO_COMPONENT; n_new];
-        for (i, comp) in new_components.iter().enumerate() {
+        for (i, comp) in new_slots.iter().enumerate() {
             for w in comp.windows(2) {
                 dsu.union(w[0], w[1]);
             }
@@ -265,14 +440,27 @@ impl Partition {
                 component_of[c] = i as u32;
             }
         }
-        self.components = new_components;
+        let k = new_slots.len() as u32;
+        // Every post-compaction id is live (compaction drops tombstones);
+        // ids no slot claimed are survivors grown since the last sync —
+        // queue them for the next `update`.
+        self.pending = component_of
+            .iter()
+            .enumerate()
+            .filter(|&(_, &slot)| slot == NO_COMPONENT)
+            .map(|(c, _)| c as u32)
+            .collect();
+        self.slots = new_slots;
         self.component_of = component_of;
+        self.free.clear();
+        self.rank_to_slot = (0..k).collect();
+        self.slot_rank = (0..k).collect();
         self.dsu = dsu;
     }
 
     /// Number of components.
     pub fn len(&self) -> usize {
-        self.components.len()
+        self.rank_to_slot.len()
     }
 
     /// Number of claims the partition covers (the model's claim count).
@@ -282,34 +470,143 @@ impl Partition {
 
     /// Whether there are no components (empty model).
     pub fn is_empty(&self) -> bool {
-        self.components.is_empty()
+        self.rank_to_slot.is_empty()
     }
 
     /// Index of the component containing `claim`. Must not be asked for a
-    /// tombstoned claim (dead claims belong to no component).
+    /// tombstoned claim (dead claims belong to no component) — see
+    /// [`Partition::try_component_of`] for the total variant.
     pub fn component_of(&self, claim: VarId) -> usize {
+        let slot = self.component_of[claim.idx()];
         debug_assert_ne!(
-            self.component_of[claim.idx()],
+            slot,
             NO_COMPONENT,
             "claim {} is retired and belongs to no component",
             claim.idx()
         );
-        self.component_of[claim.idx()] as usize
+        self.slot_rank[slot as usize] as usize
+    }
+
+    /// Index of the component containing `claim`, or `None` when the claim
+    /// is tombstoned or out of range — the total, panic-free lookup a
+    /// query layer grouping arbitrary (possibly stale) claim ids needs.
+    pub fn try_component_of(&self, claim: VarId) -> Option<usize> {
+        let slot = *self.component_of.get(claim.idx())?;
+        if slot == NO_COMPONENT {
+            return None;
+        }
+        Some(self.slot_rank[slot as usize] as usize)
     }
 
     /// The claims of component `i`, ascending.
     pub fn component(&self, i: usize) -> &[usize] {
-        &self.components[i]
+        &self.slots[self.rank_to_slot[i] as usize]
     }
 
-    /// Iterate over all components.
+    /// Iterate over all components in canonical order.
     pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
-        self.components.iter().map(|v| v.as_slice())
+        self.rank_to_slot
+            .iter()
+            .map(|&s| self.slots[s as usize].as_slice())
     }
 
     /// Size of the largest component.
     pub fn max_component_size(&self) -> usize {
-        self.components.iter().map(|c| c.len()).max().unwrap_or(0)
+        self.iter().map(|c| c.len()).max().unwrap_or(0)
+    }
+
+    /// Catch a partition synced to `old` up with `new` — a later state of
+    /// the **same lineage** — patching instead of rebuilding across the
+    /// whole lifecycle, exactly as [`crate::em::Icrf::sync`] does for its
+    /// engine state:
+    ///
+    /// * **growth / retirement** (no compaction elapsed) — derives the
+    ///   affected claims from the liveness diff and calls
+    ///   [`Partition::update`];
+    /// * **one compaction elapsed** — marks the components broken by
+    ///   entities the compaction dropped, relocates through the published
+    ///   [`IdRemap`] ([`Partition::compact`]), then folds in the cliques
+    ///   grown past the old snapshot plus any post-compaction tombstones;
+    /// * **more than one compaction elapsed** — the single retained remap
+    ///   is outrun: falls back to a from-scratch [`Partition::of_model`].
+    ///
+    /// The caller must pass the exact snapshot (`old`) this partition was
+    /// last synced to.
+    pub fn sync_lineage(&mut self, old: &CrfModel, new: &CrfModel) {
+        if new.compactions() == old.compactions() {
+            let mut affected: Vec<u32> = Vec::new();
+            if new.retire_ops() != old.retire_ops() {
+                for c in 0..old.n_claims() {
+                    if old.claim_live(c) && !new.claim_live(c) {
+                        affected.push(c as u32);
+                    }
+                }
+                for s in 0..old.n_sources() {
+                    if old.source_live(s) && !new.source_live(s) {
+                        affected.extend_from_slice(new.claims_of_source(s as u32));
+                    }
+                }
+            }
+            self.update(new, old.cliques().len(), &affected);
+            return;
+        }
+        let relocatable = new.compactions() == old.compactions() + 1
+            && new.last_compaction().is_some_and(|r| {
+                r.n_old_claims() >= old.n_claims() && r.n_old_cliques() >= old.cliques().len()
+            });
+        if !relocatable {
+            *self = Partition::of_model(new);
+            return;
+        }
+        let remap = new.last_compaction().expect("checked above").clone();
+
+        // Components broken by entities the compaction dropped: their
+        // surviving co-members (in new ids) are the markers `update`
+        // recomputes from.
+        let mut broken: Vec<u32> = Vec::new();
+        let mark_old_claim = |part: &Partition, c: usize, out: &mut Vec<u32>| {
+            if c < part.n_claims() && old.claim_live(c) {
+                let comp = part.component_of(VarId(c as u32));
+                for &m in part.component(comp) {
+                    if let Some(nm) = remap.claim(VarId(m as u32)) {
+                        out.push(nm.0);
+                    }
+                }
+            }
+        };
+        for c in 0..old.n_claims() {
+            if old.claim_live(c) && remap.claim(VarId(c as u32)).is_none() {
+                mark_old_claim(self, c, &mut broken);
+            }
+        }
+        for s in 0..old.n_sources() {
+            if old.source_live(s) && remap.source(s as u32).is_none() {
+                for &c in old.claims_of_source(s as u32) {
+                    mark_old_claim(self, c as usize, &mut broken);
+                }
+            }
+        }
+        self.compact(&remap);
+        // Post-compaction retires break components too.
+        for c in 0..new.n_claims() {
+            if !new.claim_live(c) {
+                broken.push(c as u32);
+            }
+        }
+        for s in 0..new.n_sources() {
+            if !new.source_live(s) {
+                broken.extend_from_slice(new.claims_of_source(s as u32));
+            }
+        }
+        broken.sort_unstable();
+        broken.dedup();
+        // Growth since the old snapshot is a suffix in new-id space (the
+        // remap preserves order): fold in the cliques this partition never
+        // saw.
+        let first_unseen = (0..old.cliques().len())
+            .filter(|&i| remap.clique(crate::graph::CliqueId(i as u32)).is_some())
+            .count();
+        self.update(new, first_unseen, &broken);
     }
 }
 
@@ -484,6 +781,31 @@ mod tests {
             assert_eq!(p.component(i), fresh.component(i));
         }
         assert_eq!(p.n_claims(), 2);
+    }
+
+    /// `try_component_of` is total: live claims resolve to the same index
+    /// as `component_of`, tombstoned and out-of-range claims give `None`.
+    #[test]
+    fn try_component_of_is_total() {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s0 = b.add_source(&[0.0]).unwrap();
+        let c0 = b.add_claim();
+        let c1 = b.add_claim();
+        for c in [c0, c1] {
+            let d = b.add_document(&[0.0]).unwrap();
+            b.add_clique(c, d, s0, Stance::Support);
+        }
+        let mut m = b.build().unwrap();
+        let mut p = Partition::of_model(&m);
+        assert_eq!(p.try_component_of(c0), Some(p.component_of(c0)));
+        assert_eq!(p.try_component_of(VarId(99)), None, "out of range");
+
+        let mut set = crate::graph::RetireSet::for_model(&m);
+        set.retire_claim(c1);
+        m.retire(set).unwrap();
+        p.update(&m, m.cliques().len(), &[c1.0]);
+        assert_eq!(p.try_component_of(c1), None, "tombstoned");
+        assert_eq!(p.try_component_of(c0), Some(p.component_of(c0)));
     }
 
     /// A retired *source* can split a component too (its cliques die).
@@ -722,6 +1044,118 @@ mod tests {
             prop_assert_eq!(part.n_claims(), model.n_claims());
             for i in 0..part.len() {
                 prop_assert_eq!(part.component(i), fresh.component(i), "compacted component {}", i);
+            }
+        }
+
+        /// `sync_lineage` spec: catching a stale partition up across an
+        /// arbitrary slice of the lifecycle — multiple accumulated edits,
+        /// possibly spanning one or more compactions — always lands on
+        /// exactly the partition (numbering included) of a from-scratch
+        /// [`Partition::of_model`] on the new snapshot.
+        #[test]
+        fn prop_sync_lineage_matches_batch(
+            seed in 0u64..300,
+            n_ops in 3usize..12,
+            stride in 1usize..4,
+        ) {
+            // Edits are generated against the *current* model (ids stay
+            // valid across mid-script compactions), xorshift-driven.
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+            let mut rng = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+
+            let mut b = CrfModelBuilder::new(1, 1);
+            let s0 = b.add_source(&[0.1]).unwrap();
+            let s1 = b.add_source(&[0.2]).unwrap();
+            let claims: Vec<_> = (0..3).map(|_| b.add_claim()).collect();
+            for (i, &c) in claims.iter().enumerate() {
+                let d = b.add_document(&[0.0]).unwrap();
+                b.add_clique(c, d, if i % 2 == 0 { s0 } else { s1 }, Stance::Support);
+            }
+            let mut model = b.build().unwrap();
+            let mut part = Partition::of_model(&model);
+            let mut old = model.clone();
+
+            for i in 0..n_ops {
+                match rng() % 4 {
+                    0 | 1 => {
+                        let mut delta = crate::graph::ModelDelta::for_model(&model);
+                        let s = delta.add_source(&[(rng() % 7) as f64 / 7.0]).unwrap();
+                        for _ in 0..(1 + rng() % 3) {
+                            let c = delta.add_claim();
+                            let d = delta.add_document(&[0.0]).unwrap();
+                            delta.add_clique(c, d, s, Stance::Support);
+                            if rng() % 2 == 0 {
+                                // Also cite from an existing live source so
+                                // growth can merge old components.
+                                let live: Vec<u32> = (0..model.n_sources() as u32)
+                                    .filter(|&x| model.source_live(x as usize))
+                                    .collect();
+                                if !live.is_empty() {
+                                    let es = live[rng() as usize % live.len()];
+                                    let d2 = delta.add_document(&[0.5]).unwrap();
+                                    delta.add_clique(c, d2, es, Stance::Refute);
+                                }
+                            }
+                        }
+                        model.apply(delta).unwrap();
+                    }
+                    2 => {
+                        let mut set = crate::graph::RetireSet::for_model(&model);
+                        let mut any = false;
+                        let live_claims: Vec<u32> = (0..model.n_claims() as u32)
+                            .filter(|&c| model.claim_live(c as usize))
+                            .collect();
+                        if !live_claims.is_empty() && rng() % 2 == 0 {
+                            set.retire_claim(VarId(
+                                live_claims[rng() as usize % live_claims.len()],
+                            ));
+                            any = true;
+                        }
+                        let live_sources: Vec<u32> = (0..model.n_sources() as u32)
+                            .filter(|&s| model.source_live(s as usize))
+                            .collect();
+                        if live_sources.len() > 1 && rng() % 3 == 0 {
+                            set.retire_source(
+                                live_sources[rng() as usize % live_sources.len()],
+                            );
+                            any = true;
+                        }
+                        if any {
+                            model.retire(set).unwrap();
+                        }
+                    }
+                    _ => {
+                        // With `stride` > 1 two of these can land between
+                        // syncs, exercising the outrun fallback.
+                        model.compact().unwrap();
+                    }
+                }
+                if i % stride == stride - 1 || i == n_ops - 1 {
+                    part.sync_lineage(&old, &model);
+                    old = model.clone();
+                    let fresh = Partition::of_model(&model);
+                    prop_assert_eq!(part.len(), fresh.len());
+                    for j in 0..part.len() {
+                        prop_assert_eq!(
+                            part.component(j), fresh.component(j),
+                            "component {} diverged", j
+                        );
+                    }
+                    for c in 0..model.n_claims() {
+                        if model.claim_live(c) {
+                            prop_assert_eq!(
+                                part.component_of(VarId(c as u32)),
+                                fresh.component_of(VarId(c as u32)),
+                                "claim {} numbering diverged", c
+                            );
+                        }
+                    }
+                }
             }
         }
 

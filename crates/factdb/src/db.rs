@@ -486,10 +486,23 @@ impl SyncMap {
         self.docs_synced
     }
 
+    /// Compaction count of the model state the ids are valid against.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
     /// Re-point every id at the model's current numbering. Fails with
     /// [`ModelError::Remapped`] when more than one compaction elapsed
     /// since the last sync (only the latest remap is retained).
-    fn catch_up(&mut self, model: &CrfModel) -> Result<(), ModelError> {
+    ///
+    /// Public for query-side id resolution: a long-lived external reader
+    /// (a query cursor, a serving front end) holding db-stable ids calls
+    /// this against each model snapshot it pins, then translates through
+    /// [`SyncMap::model_claim`] / [`SyncMap::model_source`]. A `Remapped`
+    /// error means the reader outran the single retained remap and must
+    /// re-resolve its ids from scratch rather than risk addressing a
+    /// renumbered entity.
+    pub fn catch_up(&mut self, model: &CrfModel) -> Result<(), ModelError> {
         if self.compactions == model.compactions() {
             return Ok(());
         }
@@ -833,6 +846,59 @@ mod tests {
         // Nothing re-emits on the next sync.
         let rev = model.revision();
         assert_eq!(db.sync_into_mapped(&mut model, &mut map).unwrap(), rev);
+    }
+
+    /// Query-side id resolution: an external reader holding db-stable ids
+    /// calls `catch_up` directly against each pinned snapshot — ids
+    /// relocate across one compaction, and a two-compaction gap refuses
+    /// with `Remapped` instead of mis-addressing renumbered entities.
+    #[test]
+    fn catch_up_relocates_reader_ids_or_refuses() {
+        let mut db = sample_db();
+        let s = db.add_source(source("c.org"));
+        for i in 0..3 {
+            let c = db.add_claim(claim(&format!("extra {i}"), true));
+            db.add_document(DocumentRecord {
+                source: s,
+                claims: vec![(c, Stance::Support)],
+                tokens: vec!["extra".into()],
+            })
+            .unwrap();
+        }
+        let mut model = db.to_crf_model().unwrap();
+        let mut map = SyncMap::for_built_model(&db, &model).unwrap();
+
+        let mut set = crf::RetireSet::for_model(&model);
+        set.retire_claim(crf::VarId(0));
+        model.retire(set).unwrap();
+        model.compact().unwrap();
+
+        map.catch_up(&model).unwrap();
+        assert_eq!(map.compactions(), model.compactions());
+        assert_eq!(map.model_claim(ClaimId(0)), None, "compacted away");
+        assert_eq!(map.model_claim(ClaimId(1)), Some(crf::VarId(0)));
+        // Idempotent once caught up.
+        map.catch_up(&model).unwrap();
+
+        // Sleep through two more compactions: refuse, don't mis-address.
+        let stale = map.clone();
+        for _ in 0..2 {
+            let mut set = crf::RetireSet::for_model(&model);
+            let victim = (0..model.n_claims())
+                .find(|&c| model.claim_live(c))
+                .unwrap();
+            set.retire_claim(crf::VarId(victim as u32));
+            model.retire(set).unwrap();
+            model.compact().unwrap();
+        }
+        let mut stale = stale;
+        assert!(matches!(
+            stale.catch_up(&model),
+            Err(ModelError::Remapped {
+                model: 3,
+                synced: 1
+            })
+        ));
     }
 
     /// A map that sleeps through two compactions cannot catch up (only the

@@ -1,0 +1,542 @@
+//! The write path: [`TruthServer`] couples an ingest backend with the
+//! publication cell.
+//!
+//! One server owns one ingest backend (a volatile
+//! [`streamcheck::StreamingChecker`] or a crash-safe
+//! [`streamcheck::DurableChecker`]) and is the **single writer** of its
+//! [`PublishCell`]. Arrivals flow through [`TruthServer::ingest`]; after
+//! every [`PublishPolicy::every`]-th arrival the server derives a fresh
+//! [`Published`] state — pinned model snapshot, credibility table, trust
+//! table, component keys — and swaps it in. Readers
+//! ([`TruthServer::reader`]) never block the ingest path and never see a
+//! torn state; the cost is bounded staleness, explicitly tagged on every
+//! answer.
+//!
+//! Component keys are maintained incrementally: the server keeps a
+//! [`crf::Partition`] synced along the model lineage
+//! ([`crf::Partition::sync_lineage`]), so per-publish partition work is
+//! O(touched components), not O(model).
+
+use crate::publish::{PublishCell, Published, NO_COMPONENT};
+use crate::query::QueryHandle;
+use crf::graph::{ModelDelta, ModelError};
+use crf::{CrfModel, Partition, VarId};
+use std::sync::Arc;
+use streamcheck::{ArrivalStats, DurableChecker, DurableError, ExpiryStats, StreamingChecker};
+
+/// An ingest error surfaced through the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The model rejected the edit (stale delta, validation failure).
+    Model(ModelError),
+    /// The durability layer failed (I/O, checkpoint, recovery).
+    Durable(DurableError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Model(e) => write!(f, "model edit rejected: {e}"),
+            ServeError::Durable(e) => write!(f, "durability failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}
+
+impl From<DurableError> for ServeError {
+    fn from(e: DurableError) -> Self {
+        ServeError::Durable(e)
+    }
+}
+
+/// The single write path a [`TruthServer`] drives: ingest plus access to
+/// the underlying [`StreamingChecker`] state the published tables are
+/// derived from. Implemented by the volatile checker and the durable
+/// (WAL-backed) one, so a server is generic over crash safety.
+pub trait IngestBackend {
+    /// Ingest one arrival batch (see [`StreamingChecker::arrive_new`]).
+    fn arrive_new(&mut self, delta: ModelDelta) -> Result<ArrivalStats, ServeError>;
+    /// Run one retention sweep (see [`StreamingChecker::expire_old`]).
+    fn expire_old(&mut self) -> Result<ExpiryStats, ServeError>;
+    /// The checker whose state gets published.
+    fn checker(&self) -> &StreamingChecker;
+}
+
+impl IngestBackend for StreamingChecker {
+    fn arrive_new(&mut self, delta: ModelDelta) -> Result<ArrivalStats, ServeError> {
+        StreamingChecker::arrive_new(self, delta).map_err(ServeError::from)
+    }
+    fn expire_old(&mut self) -> Result<ExpiryStats, ServeError> {
+        StreamingChecker::expire_old(self).map_err(ServeError::from)
+    }
+    fn checker(&self) -> &StreamingChecker {
+        self
+    }
+}
+
+impl IngestBackend for DurableChecker {
+    fn arrive_new(&mut self, delta: ModelDelta) -> Result<ArrivalStats, ServeError> {
+        DurableChecker::arrive_new(self, delta).map_err(ServeError::from)
+    }
+    fn expire_old(&mut self) -> Result<ExpiryStats, ServeError> {
+        DurableChecker::expire_old(self).map_err(ServeError::from)
+    }
+    fn checker(&self) -> &StreamingChecker {
+        DurableChecker::checker(self)
+    }
+}
+
+/// When the server republishes. Publication costs O(n_claims + n_sources)
+/// per swap (table clones; the partition maintenance is incremental), so
+/// the cadence trades write-path overhead against reader staleness: with
+/// `every = k`, an answer's tag lags ingest by at most `k - 1` arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishPolicy {
+    /// Publish after every `every`-th arrival (min 1 = after each).
+    pub every: usize,
+}
+
+impl PublishPolicy {
+    /// Publish after every arrival — freshest reads, costliest ingest.
+    pub fn every_arrival() -> Self {
+        PublishPolicy { every: 1 }
+    }
+
+    /// Publish after every `every`-th arrival (0 is clamped to 1).
+    pub fn batched(every: usize) -> Self {
+        PublishPolicy {
+            every: every.max(1),
+        }
+    }
+}
+
+impl Default for PublishPolicy {
+    fn default() -> Self {
+        PublishPolicy::every_arrival()
+    }
+}
+
+/// A concurrent truth-serving front end: single-writer ingest, many-reader
+/// staleness-tagged queries. See the module docs and `docs/serving.md`.
+pub struct TruthServer<B: IngestBackend> {
+    backend: B,
+    cell: Arc<PublishCell>,
+    /// Component partition synced to `synced` — patched forward along the
+    /// lineage on each publication instead of rebuilt.
+    partition: Partition,
+    /// The snapshot `partition` is synced to.
+    synced: Arc<CrfModel>,
+    policy: PublishPolicy,
+    /// Arrivals since the last publication.
+    unpublished: usize,
+}
+
+impl<B: IngestBackend> TruthServer<B> {
+    /// Serve `backend`, publishing its current state immediately (readers
+    /// never observe an unpublished server) under the default
+    /// [`PublishPolicy::every_arrival`].
+    pub fn new(backend: B) -> Self {
+        let model = backend.checker().model().clone();
+        let partition = Partition::of_model(&model);
+        let initial = Self::derive(backend.checker(), &partition, &model);
+        TruthServer {
+            backend,
+            cell: Arc::new(PublishCell::new(Arc::new(initial))),
+            partition,
+            synced: model,
+            policy: PublishPolicy::default(),
+            unpublished: 0,
+        }
+    }
+
+    /// Replace the publication policy (builder style).
+    pub fn with_policy(mut self, policy: PublishPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Ingest one arrival batch through the backend, then republish when
+    /// the policy's cadence is due. The returned stats are the backend's;
+    /// the published revision advances with the model on each publication.
+    // rev-ok: the revision bookkeeping lives in publish(), which re-syncs
+    // the partition to the backend's model revision before every swap.
+    pub fn ingest(&mut self, delta: ModelDelta) -> Result<ArrivalStats, ServeError> {
+        let stats = self.backend.arrive_new(delta)?;
+        self.unpublished += 1;
+        if self.unpublished >= self.policy.every {
+            self.publish();
+        }
+        Ok(stats)
+    }
+
+    /// Run one retention sweep through the backend, republishing if the
+    /// sweep changed the model (retirement or compaction bump the
+    /// revision; readers must not keep seeing retired claims as live
+    /// longer than the publication cadence implies).
+    pub fn expire_old(&mut self) -> Result<ExpiryStats, ServeError> {
+        let before = self.backend.checker().model().revision();
+        let stats = self.backend.expire_old()?;
+        if self.backend.checker().model().revision() != before {
+            self.publish();
+        }
+        Ok(stats)
+    }
+
+    /// Derive and swap in a fresh [`Published`] state right now,
+    /// regardless of cadence. The partition patches forward to the
+    /// checker's current revision first, so component keys are exact.
+    pub fn publish(&mut self) {
+        let checker = self.backend.checker();
+        let model = checker.model().clone();
+        if model.revision() != self.synced.revision() || model.model_id() != self.synced.model_id()
+        {
+            self.partition.sync_lineage(&self.synced, &model);
+            self.synced = model.clone();
+        }
+        let state = Self::derive(checker, &self.partition, &model);
+        self.cell.publish(Arc::new(state));
+        self.unpublished = 0;
+    }
+
+    /// Build the published tables from one checker state. `partition` must
+    /// be synced to `model`.
+    fn derive(
+        checker: &StreamingChecker,
+        partition: &Partition,
+        model: &Arc<CrfModel>,
+    ) -> Published {
+        let probs = checker.probs().to_vec();
+        let mut trust = Vec::new();
+        checker.source_trust_into(Self::TRUST_PRIOR, &mut trust);
+        let comp_key = (0..model.n_claims())
+            .map(|c| {
+                partition
+                    .try_component_of(VarId(c as u32))
+                    .map_or(NO_COMPONENT, |i| i as u32)
+            })
+            .collect();
+        Published {
+            probs,
+            trust,
+            comp_key,
+            n_components: partition.len(),
+            revision: model.revision(),
+            compactions: model.compactions(),
+            arrivals: checker.arrivals(),
+            model: model.clone(),
+        }
+    }
+
+    /// The Beta prior published trust is computed under — the ingest
+    /// loop's own `(1, 1)` (uniform), so published trust matches the
+    /// trust the checker trains against.
+    pub const TRUST_PRIOR: (f64, f64) = (1.0, 1.0);
+
+    /// A cloneable reader over this server's published state. Readers are
+    /// `Send + Sync` and never block the ingest path.
+    pub fn reader(&self) -> QueryHandle {
+        QueryHandle::new(self.cell.clone())
+    }
+
+    /// The current published state (what a fresh reader would load).
+    pub fn published(&self) -> Arc<Published> {
+        self.cell.load()
+    }
+
+    /// The ingest backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// Mutable access to the ingest backend — for maintenance outside the
+    /// serving loop (checkpointing a durable backend, tuning retention).
+    /// Edits made here are not auto-published; the revision readers see
+    /// advances on the next [`TruthServer::publish`] / cadence point.
+    // rev-ok: deliberately defers the revision swap to publish(), which
+    // re-syncs the partition to the backend's revision before swapping.
+    pub fn backend_mut(&mut self) -> &mut B {
+        &mut self.backend
+    }
+
+    /// Tear down into the backend (e.g. to checkpoint and close a durable
+    /// lineage after serving stops).
+    pub fn into_backend(self) -> B {
+        self.backend
+    }
+}
+
+impl<B: IngestBackend> std::fmt::Debug for TruthServer<B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let p = self.published();
+        f.debug_struct("TruthServer")
+            .field("revision", &p.revision)
+            .field("arrivals", &p.arrivals)
+            .field("n_components", &p.n_components)
+            .finish()
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use crate::query::QueryError;
+    use crf::graph::{CrfModelBuilder, Stance};
+    use crf::ModelHandle;
+    use streamcheck::{OnlineEmConfig, RetentionPolicy};
+
+    fn seed_handle() -> ModelHandle {
+        let mut b = CrfModelBuilder::new(1, 1);
+        let s = b.add_source(&[0.8]).unwrap();
+        let c = b.add_claim();
+        let d = b.add_document(&[0.6]).unwrap();
+        b.add_clique(c, d, s, Stance::Support);
+        ModelHandle::new(b.build().unwrap())
+    }
+
+    fn server() -> TruthServer<StreamingChecker> {
+        TruthServer::new(
+            StreamingChecker::try_new(seed_handle(), OnlineEmConfig::default()).unwrap(),
+        )
+    }
+
+    /// One synthetic arrival: a fresh claim with one document from a fresh
+    /// source (mirrors the stream crate's ingest helper).
+    fn ingest_one(srv: &mut TruthServer<StreamingChecker>, k: usize) {
+        let mut delta = srv.backend().checker().delta();
+        let src = delta.add_source(&[0.1 + (k % 7) as f64 * 0.1]).unwrap();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.2 + (k % 5) as f64 * 0.1]).unwrap();
+        delta.add_clique(c, d, src, Stance::Support);
+        srv.ingest(delta).unwrap();
+    }
+
+    /// The published tables must be bit-identical to an offline
+    /// recomputation from the published snapshot — the serving contract's
+    /// foundation.
+    fn assert_published_consistent(p: &Published) {
+        assert_eq!(p.revision, p.model.revision());
+        assert_eq!(p.compactions, p.model.compactions());
+        assert_eq!(p.probs.len(), p.model.n_claims());
+        let trust = crf::em::source_trust_from_probs(
+            &p.model,
+            &p.probs,
+            TruthServer::<StreamingChecker>::TRUST_PRIOR,
+        );
+        assert_eq!(
+            p.trust, trust,
+            "trust table not derived from published pair"
+        );
+        let part = Partition::of_model(&p.model);
+        assert_eq!(p.n_components, part.len());
+        for c in 0..p.model.n_claims() {
+            let want = part
+                .try_component_of(VarId(c as u32))
+                .map_or(NO_COMPONENT, |i| i as u32);
+            assert_eq!(p.comp_key[c], want, "comp_key diverges at claim {c}");
+        }
+    }
+
+    #[test]
+    fn new_server_publishes_initial_state() {
+        let srv = server();
+        let p = srv.published();
+        assert_eq!(p.revision, crf::Revision(0));
+        assert_eq!(p.arrivals, 0);
+        assert_published_consistent(&p);
+    }
+
+    #[test]
+    fn ingest_publishes_on_cadence() {
+        let mut srv = server().with_policy(PublishPolicy::batched(2));
+        ingest_one(&mut srv, 0);
+        let p = srv.published();
+        assert_eq!(p.revision, crf::Revision(0), "one arrival: cadence not due");
+        ingest_one(&mut srv, 1);
+        let p = srv.published();
+        assert_eq!(p.revision, srv.backend().checker().model().revision());
+        assert_eq!(p.arrivals, 2);
+        assert_published_consistent(&p);
+    }
+
+    #[test]
+    fn published_tables_stay_consistent_across_retire_and_compact() {
+        let mut srv = server();
+        srv.backend_mut().set_retention(RetentionPolicy {
+            window: Some(3),
+            compact_threshold: 0.0,
+            ..RetentionPolicy::unbounded()
+        });
+        for k in 0..10 {
+            ingest_one(&mut srv, k);
+            assert_published_consistent(&srv.published());
+        }
+        assert!(
+            srv.published().compactions > 0,
+            "tight window + zero threshold must have compacted"
+        );
+    }
+
+    #[test]
+    fn expire_old_republishes_only_on_change() {
+        let mut srv = server();
+        let before = srv.cell.epoch();
+        srv.expire_old().unwrap();
+        assert_eq!(srv.cell.epoch(), before, "no-op sweep must not republish");
+        for k in 0..5 {
+            ingest_one(&mut srv, k);
+        }
+        srv.backend_mut()
+            .set_retention(RetentionPolicy::sliding_window(2));
+        let epoch = srv.cell.epoch();
+        let stats = srv.expire_old().unwrap();
+        assert!(stats.retired_claims > 0);
+        assert_eq!(srv.cell.epoch(), epoch + 1);
+        assert_published_consistent(&srv.published());
+    }
+
+    #[test]
+    fn reader_queries_match_offline_recomputation() {
+        let mut srv = server();
+        for k in 0..6 {
+            ingest_one(&mut srv, k);
+        }
+        let reader = srv.reader();
+        let p = srv.published();
+
+        // Point lookups and the batch path agree with raw table reads.
+        let all: Vec<VarId> = (0..p.model.n_claims() as u32).map(VarId).collect();
+        let batch = reader.truth_batch(&all);
+        assert_eq!(batch.at.revision, p.revision);
+        for (i, &claim) in all.iter().enumerate() {
+            let one = reader.truth(claim);
+            assert_eq!(one.value, batch.value[i], "batch diverges from point");
+            assert!(one.value.live);
+            assert_eq!(one.value.probability, p.probs[i]);
+            assert_eq!(one.value.component, Some(p.comp_key[i]));
+        }
+        // Out-of-range claims answer dead, not panic.
+        let oob = reader.truth(VarId(9999));
+        assert!(!oob.value.live);
+        assert_eq!(oob.value.component, None);
+
+        // Top-k is entropy-descending, id-ascending, k-bounded.
+        let top = reader.top_k_uncertain(3).value;
+        assert_eq!(top.len(), 3);
+        for w in top.windows(2) {
+            assert!(
+                w[0].1 > w[1].1 || (w[0].1 == w[1].1 && w[0].0 < w[1].0),
+                "top-k order violated: {w:?}"
+            );
+        }
+        for &(c, h) in &top {
+            assert_eq!(h, crate::query::binary_entropy(p.probs[c.idx()]));
+        }
+
+        // Source trust serves the published table; dead/oob are None.
+        assert_eq!(reader.source_trust(0).value, Some(p.trust[0]));
+        assert_eq!(reader.source_trust(9999).value, None);
+    }
+
+    #[test]
+    fn cursor_relocates_across_one_compaction_and_refuses_two() {
+        let mut srv = server();
+        for k in 0..6 {
+            ingest_one(&mut srv, k);
+        }
+        let reader = srv.reader();
+        let before = reader.snapshot();
+        assert_eq!(before.compactions, 0);
+        let all: Vec<VarId> = (0..before.model.n_claims() as u32).map(VarId).collect();
+        let mut cursor = reader.cursor(all.clone());
+
+        // Serve two answers pre-compaction.
+        for want in &all[..2] {
+            let step = cursor.next(&before).unwrap().unwrap();
+            assert_eq!(step.answer.claim, *want);
+            assert_eq!(step.at.compactions, 0);
+        }
+
+        // Force exactly one retire+compact cycle.
+        srv.backend_mut().set_retention(RetentionPolicy {
+            window: Some(3),
+            compact_threshold: 0.0,
+            ..RetentionPolicy::unbounded()
+        });
+        srv.expire_old().unwrap();
+        let after = reader.snapshot();
+        assert_eq!(after.compactions, 1);
+        let remap = after.model.last_compaction().unwrap();
+
+        // The cursor relocates its *remaining* ids through the published
+        // remap: survivors are served under their new ids, compacted-away
+        // claims are counted as dropped, and ids the creator named are
+        // never silently re-pointed at different claims.
+        let expect: Vec<VarId> = all[2..].iter().filter_map(|&c| remap.claim(c)).collect();
+        let mut served = Vec::new();
+        while let Some(step) = cursor.next(&after).unwrap() {
+            assert_eq!(step.at.compactions, 1);
+            served.push(step.answer.claim);
+        }
+        assert_eq!(served, expect);
+        assert_eq!(cursor.dropped(), all.len() - 2 - expect.len());
+
+        // Two more compactions without revalidating: the remap chain is
+        // gone, so the cursor must refuse rather than guess.
+        let mut stale = reader.cursor(vec![VarId(0)]);
+        for k in 6..14 {
+            ingest_one(&mut srv, k);
+        }
+        let now = reader.snapshot();
+        assert!(now.compactions >= 3, "expected more compactions");
+        assert_eq!(
+            stale.next(&now),
+            Err(QueryError::Remapped {
+                synced: 1,
+                current: now.compactions,
+            })
+        );
+    }
+
+    #[test]
+    fn durable_backend_serves_and_survives_reopen() {
+        use durability::MemFs;
+        use streamcheck::DurabilityConfig;
+
+        let fs = Arc::new(MemFs::new());
+        let backend = DurableChecker::create(
+            fs.clone() as Arc<dyn durability::Storage>,
+            seed_handle(),
+            OnlineEmConfig::default(),
+            RetentionPolicy::unbounded(),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        let mut srv = TruthServer::new(backend);
+        let mut delta = srv.backend().checker().delta();
+        let src = delta.add_source(&[0.3]).unwrap();
+        let c = delta.add_claim();
+        let d = delta.add_document(&[0.2]).unwrap();
+        delta.add_clique(c, d, src, Stance::Support);
+        srv.ingest(delta).unwrap();
+
+        let p = srv.published();
+        assert_eq!(p.model.n_claims(), 2);
+        assert_published_consistent(&p);
+
+        // The durable lineage replays to the same model the server served.
+        drop(srv);
+        let reopened =
+            DurableChecker::recover(fs, OnlineEmConfig::default(), DurabilityConfig::default())
+                .unwrap();
+        let srv2 = TruthServer::new(reopened);
+        assert_eq!(srv2.published().model.n_claims(), 2);
+        assert_eq!(srv2.published().revision, p.revision);
+    }
+}

@@ -321,6 +321,17 @@ impl StreamingChecker {
         &self.probs
     }
 
+    /// Per-source trust under the current credibility estimates, written
+    /// into `out` (resized to the model's source count) — the serving-layer
+    /// accessor: a query front end republishes trust from the same
+    /// `(model, probs)` pair it pins, so answers stay bit-reproducible from
+    /// the published state. Uses the same Beta `prior` convention as
+    /// [`crf::em::source_trust_from_probs`]; the ingest loop's internal
+    /// estimate uses `(1.0, 1.0)`.
+    pub fn source_trust_into(&self, prior: (f64, f64), out: &mut Vec<f64>) {
+        crf::em::source_trust_into(self.model(), &self.probs, prior, out);
+    }
+
     /// Current online parameters.
     pub fn weights(&self) -> &crf::potentials::Weights {
         self.online.weights()

@@ -146,6 +146,7 @@ impl Config {
                 "crates/crf/src/handle.rs",
                 "crates/stream/src/",
                 "crates/durability/src/",
+                "crates/serve/src/",
             ]),
             d2_skip: s(&[
                 "crates/bench/",
@@ -189,6 +190,10 @@ impl Config {
                 R2Scope {
                     path: "crates/crf/src/handle.rs".into(),
                     types: s(&["ModelHandle"]),
+                },
+                R2Scope {
+                    path: "crates/serve/src/server.rs".into(),
+                    types: s(&["TruthServer"]),
                 },
             ],
             unsafe_allow: s(&["crates/shims/"]),

@@ -91,6 +91,28 @@ fn r2_flags_unchecked_pub_mut_methods_on_revisioned_types() {
 }
 
 #[test]
+fn serve_crate_carries_the_d1_and_r2_scopes() {
+    let src = fixture("serve_scope.rs");
+    // server.rs is both determinism-critical (D1) and revision-scoped for
+    // `TruthServer` (R2): the HashMap field and the unchecked pub &mut
+    // method are findings; the checked, justified, &self, and foreign-type
+    // methods all pass.
+    let f = analyze_source("crates/serve/src/server.rs", &src, &Config::workspace());
+    assert_eq!(spans(&f), vec![("D1", 9), ("R2", 18)]);
+    // The rest of serve/src is D1-only: TruthServer's R2 contract is
+    // pinned to server.rs.
+    let f = analyze_source("crates/serve/src/query.rs", &src, &Config::workspace());
+    assert_eq!(spans(&f), vec![("D1", 9)]);
+    // Integration tests are out of scope entirely.
+    let f = analyze_source(
+        "crates/serve/tests/serve_concurrent.rs",
+        &src,
+        &Config::workspace(),
+    );
+    assert_eq!(spans(&f), vec![]);
+}
+
+#[test]
 fn u1_flags_unsafe_everywhere_outside_the_allowlist() {
     let src = fixture("u1_bad.rs");
     let f = analyze_source("crates/core/src/lib.rs", &src, &Config::workspace());

@@ -1,0 +1,40 @@
+// Known-bad fixture for the serving layer's scoping: D1 containers in
+// `crates/serve/src/` and unchecked public mutation of `TruthServer`.
+// Analyzed under spoofed serve paths.
+
+use std::collections::HashMap; // use: never a finding
+
+pub struct TruthServer {
+    revision: u64,
+    by_component: HashMap<u32, Vec<u32>>, // line 9: D1 finding
+}
+
+impl TruthServer {
+    pub fn publish(&mut self) -> u64 {
+        self.revision += 1; // evidence: checked
+        self.revision
+    }
+
+    pub fn clobber(&mut self) { // line 18: R2 finding
+        self.by_component.clear();
+    }
+
+    // rev-ok: read-side cache only; the published revision is untouched.
+    pub fn shed(&mut self) {
+        self.by_component.clear();
+    }
+
+    pub fn len(&self) -> usize {
+        self.by_component.len() // &self: not in scope
+    }
+}
+
+pub struct QueryHandle {
+    pending: Vec<u32>,
+}
+
+impl QueryHandle {
+    pub fn drain(&mut self) {
+        self.pending.clear(); // type not in R2 scope: no finding
+    }
+}
