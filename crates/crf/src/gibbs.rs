@@ -66,11 +66,41 @@
 //! running [`GibbsSampler::run_reference`] on the sub-model induced by that
 //! component (the executable spec of the decomposition).
 //!
+//! # Chromatic sampling inside giant components
+//!
+//! When one component dominates, component packing cannot help — sampling
+//! serialises inside the giant. [`ScheduleMode::Chromatic`] colors the
+//! claim-conflict graph ([`crate::coloring`]: claims sharing a live source
+//! get distinct colors) and sweeps each eligible component **color class
+//! by color class, claim-id order within a class**. Same-color claims
+//! neither read nor write each other's sweep state, so a class can be
+//! evaluated against the frozen pre-class state in parallel stripes after
+//! pre-drawing its uniforms — bit-identical to sweeping it interleaved on
+//! one thread, hence bit-identical at any thread or stripe count. The
+//! per-visit conditional is computed by a folded-constant kernel
+//! (`chromatic_logit`) and decided by `chromatic_accept` against a
+//! piecewise-linear sigmoid table on the clamped logit (no divide or
+//! exponential per visit); their exact arithmetic, together with the
+//! color-major visit order, is the chromatic **executable spec**: it is
+//! *not* sample-compatible with the other modes (those keep theirs), and
+//! the spec-equivalence tests replay it term for term. The full schedule
+//! taxonomy and the determinism contract of each mode live in
+//! [`docs/sampling.md`](../../../docs/sampling.md).
+//!
 //! ## Crossover heuristic
 //!
 //! Two axes of parallelism compete for the same cores: `K` chains and `P`
-//! components. The scheduler picks the task layout as follows:
+//! components. The scheduler ([`GibbsSampler::run_scheduled`]) picks the
+//! task layout from the *measured* per-component sweep cost (clique
+//! incidences of unlabelled claims, `CompSchedule::comp_work`):
 //!
+//! * **a dominating component** (max component work ≥
+//!   [`GibbsConfig::chromatic_min_work`]) — switch to the chromatic
+//!   schedule: one task per chain, eligible components swept color-major
+//!   with `threads / K` stripes per class. This arm compares deterministic
+//!   work against a deterministic threshold — the mode (which changes the
+//!   sample stream) never depends on thread count; the stripe count (which
+//!   does not) may.
 //! * **1 worker thread** (or `K == P == 1`) — run everything inline, no
 //!   tasks spawned: the single-core path pays zero scheduling overhead.
 //! * **many chains (`K ≥` threads)** — chains alone saturate the hardware:
@@ -79,14 +109,16 @@
 //! * **few chains, several components (`K <` threads)** — parallelise
 //!   *inside* each chain: components are packed largest-first (LPT over
 //!   their clique-incidence work, deterministic tie-break on component id)
-//!   into `⌈threads/K⌉` groups per chain, one task per `(chain, group)`
-//!   (the "few big components → parallelise inside" arm). Grouping bounds
-//!   per-task overhead when components are tiny and balances the makespan
-//!   when one component dominates.
+//!   into `⌈threads/K⌉` groups per chain — additionally capped at
+//!   `total_work / max_work` groups, past which every extra group idles
+//!   behind the giant — one task per `(chain, group)` (the "few big
+//!   components → parallelise inside" arm).
 //!
-//! The heuristic affects wall-clock only — never the output.
+//! Below the chromatic threshold the heuristic affects wall-clock only —
+//! never the output.
 
 use crate::bitset::Bitset;
+use crate::coloring::Coloring;
 use crate::graph::{CliqueId, CrfModel, VarId};
 use crate::numerics;
 use crate::partition::Partition;
@@ -116,6 +148,32 @@ pub struct GibbsConfig {
     /// order. `1` (the default) reproduces the single-chain stream exactly;
     /// `0` means "one per available core".
     pub chains: usize,
+    /// Sweep-work threshold (clique incidences of a component's unlabelled
+    /// claims — the same measured cost the LPT packing balances) above
+    /// which the scheduler switches to the **chromatic** schedule
+    /// ([`ScheduleMode::Chromatic`], `docs/sampling.md`). The chromatic
+    /// sampler has its own executable spec (color-major update order), so
+    /// the threshold is part of the determinism contract: it is compared
+    /// against deterministic per-component work only, never against thread
+    /// count. `u64::MAX` (the default) disables chromatic sampling; `0`
+    /// forces it for every component.
+    #[serde(default = "default_chromatic_min_work")]
+    pub chromatic_min_work: u64,
+    /// Minimum same-color claims **per stripe** before a chromatic color
+    /// class is evaluated in parallel stripes; smaller classes are swept
+    /// interleaved on the task thread. Purely a wall-clock knob — striped
+    /// and interleaved execution are bit-identical — sized so one stripe
+    /// amortises a task spawn.
+    #[serde(default = "default_chromatic_stripe_min")]
+    pub chromatic_stripe_min: usize,
+}
+
+fn default_chromatic_min_work() -> u64 {
+    u64::MAX
+}
+
+fn default_chromatic_stripe_min() -> usize {
+    512
 }
 
 impl Default for GibbsConfig {
@@ -128,6 +186,8 @@ impl Default for GibbsConfig {
             trust_prior: (1.0, 1.0),
             anchor: 0.5,
             chains: 1,
+            chromatic_min_work: default_chromatic_min_work(),
+            chromatic_stripe_min: default_chromatic_stripe_min(),
         }
     }
 }
@@ -157,6 +217,13 @@ pub enum ScheduleMode {
     ChainsOuter,
     /// `chains × component-groups` tasks: parallelism inside each chain.
     ComponentsInner,
+    /// Chromatic schedule (`docs/sampling.md`): one task per chain;
+    /// components above [`GibbsConfig::chromatic_min_work`] are swept color
+    /// class by color class with the folded-constant kernel, large classes
+    /// in parallel stripes. **Not** sample-compatible with the other modes:
+    /// the color-major update order is its own executable spec (still
+    /// bit-identical at any thread or stripe count).
+    Chromatic,
 }
 
 /// The outcome of one E-step: the sample sequence `Ω` and the per-claim
@@ -194,6 +261,14 @@ pub struct GibbsScratch {
     /// Per-task chain state for the component-parallel path, reused across
     /// E-steps (one full-width `values` + `credible` pair per worker task).
     tasks: Vec<TaskState>,
+    /// Incrementally maintained greedy coloring of the claim-conflict
+    /// graph, synced lazily when the chromatic schedule is chosen.
+    coloring: Coloring,
+    /// Color-major sweep order and class boundaries per chromatically
+    /// swept component.
+    chrom: ChromLayout,
+    /// Folded per-run constants of the chromatic kernel.
+    fold: FoldedScores,
 }
 
 impl GibbsScratch {
@@ -316,6 +391,284 @@ impl CompSchedule {
     }
 }
 
+/// The chromatic sweep order: per chromatically swept component, its
+/// unlabelled claims re-sorted **color-major, claim-id-minor** — the
+/// executable update order of [`ScheduleMode::Chromatic`] — plus the class
+/// boundaries the striped executor cuts at. Rebuilt per chromatic E-step
+/// from [`CompSchedule`] and the synced [`Coloring`]; allocation-free in
+/// steady state.
+#[derive(Debug, Clone, Default)]
+struct ChromLayout {
+    /// Re-ordered copy of [`CompSchedule::comp_unlabelled`] (same spans).
+    order: Vec<u32>,
+    /// Concatenated per-component class boundaries: absolute indices into
+    /// [`Self::order`], `m + 1` entries for a component with `m` classes.
+    class_offsets: Vec<u32>,
+    /// CSR offsets (`n_components + 1`) into [`Self::class_offsets`]; an
+    /// empty range marks a component the chromatic sweep does not cover.
+    comp_class_offsets: Vec<u32>,
+}
+
+impl ChromLayout {
+    fn build(
+        &mut self,
+        sched: &CompSchedule,
+        coloring: &Coloring,
+        eligible: impl Fn(usize) -> bool,
+    ) {
+        let p = sched.comp_work.len();
+        self.order.clear();
+        self.order.extend_from_slice(&sched.comp_unlabelled);
+        self.class_offsets.clear();
+        self.comp_class_offsets.clear();
+        self.comp_class_offsets.push(0);
+        for comp in 0..p {
+            let lo = sched.comp_unlabelled_offsets[comp] as usize;
+            let hi = sched.comp_unlabelled_offsets[comp + 1] as usize;
+            if lo < hi && eligible(comp) {
+                // Stable sort of an id-ascending span: ties keep claim-id
+                // order, giving the color-major, claim-id-minor spec order.
+                self.order[lo..hi].sort_by_key(|&c| coloring.color(c as usize));
+                self.class_offsets.push(lo as u32);
+                for i in lo + 1..hi {
+                    if coloring.color(self.order[i] as usize)
+                        != coloring.color(self.order[i - 1] as usize)
+                    {
+                        self.class_offsets.push(i as u32);
+                    }
+                }
+                self.class_offsets.push(hi as u32);
+            }
+            self.comp_class_offsets
+                .push(self.class_offsets.len() as u32);
+        }
+    }
+
+    /// Class boundary list of a component (empty when the component is not
+    /// chromatically swept).
+    fn classes_of(&self, comp: usize) -> &[u32] {
+        &self.class_offsets
+            [self.comp_class_offsets[comp] as usize..self.comp_class_offsets[comp + 1] as usize]
+    }
+}
+
+/// Folded per-run constants of the chromatic kernel. Within one E-step the
+/// weights, the anchor terms, and every source's live-claim count are
+/// fixed, so the per-visit conditional logit
+///
+/// ```text
+/// Σ_k statics[k] + τw[k]·(τ_k − ½) + anchor,   τ_k = (a + cred(s_k) − v_c)·recip[s_k]
+/// ```
+///
+/// refactors into `base_a[p] − v_c·t_sum[p] + Σ_k tw[k]·cred(s_k)` with
+/// everything but the per-source credible counts precomputed **once per
+/// run**: the hot visit is one gather and one multiply-add per incident
+/// clique — no divide, no live-count lookup, no exponential (see
+/// [`chromatic_logit`], whose summation order is the chromatic executable
+/// spec). Dead cliques carry exact zeros in the score cache, so their
+/// packed `tw` is `±0.0` and the product is `±0.0` for any finite
+/// credible count — dead evidence contributes nothing and cannot leak
+/// interference between color classes.
+///
+/// Everything except `recip` is laid out in **visit-position order** —
+/// index `p` is a position in [`ChromLayout::order`], the color-major
+/// sweep sequence — so a chromatic sweep streams these lanes strictly
+/// sequentially instead of gathering claim-indexed arrays in color order.
+/// The only non-sequential access left in the hot visit is the gather
+/// from the per-source credible mirror, the smallest array in the sweep.
+#[derive(Debug, Clone, Default)]
+struct FoldedScores {
+    /// Per source: `1 / (a + b + n_live(s) − 1)`, filled for the sources
+    /// of chromatically swept components (other slots are stale and only
+    /// ever multiplied by a `±0.0` trust weight).
+    recip: Vec<f64>,
+    /// Per visit position: `anchor_term[c] + Σ_span (statics[k] −
+    /// ½·signed_τw[k]) + a·t_sum[p]` — the whole value-independent part of
+    /// the logit.
+    base_a: Vec<f64>,
+    /// Per visit position: `Σ_span tw[k]`, subtracted once when the
+    /// claim's current value is `true`.
+    t_sum: Vec<f64>,
+    /// CSR offsets (`positions + 1`) into the packed incidence lanes;
+    /// spans of components that are not chromatically swept are empty.
+    csr: Vec<u32>,
+    /// Packed per-incidence `signed_τw[k] · recip[source_k]`, visit order.
+    tw: Vec<f64>,
+    /// Packed per-incidence source ids, visit order.
+    src: Vec<u32>,
+    /// CSR offsets (`positions + 1`) into [`Self::flip_src`].
+    flip_csr: Vec<u32>,
+    /// Packed per-position **deduplicated** source lists
+    /// ([`CrfModel::sources_of_claim`] of the claim at each position), so
+    /// a flip's credible-count maintenance also streams in visit order.
+    flip_src: Vec<u32>,
+}
+
+impl FoldedScores {
+    fn build(
+        &mut self,
+        model: &CrfModel,
+        cache: &ScoreCache,
+        sched: &CompSchedule,
+        chrom: &ChromLayout,
+        anchor_term: &[f64],
+        prior: (f64, f64),
+    ) {
+        self.recip.resize(model.n_sources(), 0.0);
+        let positions = chrom.order.len();
+        self.base_a.clear();
+        self.base_a.resize(positions, 0.0);
+        self.t_sum.clear();
+        self.t_sum.resize(positions, 0.0);
+        self.csr.clear();
+        self.csr.resize(positions + 1, 0);
+        self.tw.clear();
+        self.src.clear();
+        self.flip_csr.clear();
+        self.flip_csr.resize(positions + 1, 0);
+        self.flip_src.clear();
+        // Component spans of `chrom.order` are contiguous and ascending
+        // (they are `CompSchedule::comp_unlabelled`'s spans), so one pass
+        // in component order fills the lanes position-sequentially.
+        for comp in 0..sched.comp_work.len() {
+            let lo = sched.comp_unlabelled_offsets[comp] as usize;
+            let hi = sched.comp_unlabelled_offsets[comp + 1] as usize;
+            if chrom.classes_of(comp).is_empty() {
+                for p in lo..hi {
+                    self.csr[p + 1] = self.tw.len() as u32;
+                    self.flip_csr[p + 1] = self.flip_src.len() as u32;
+                }
+                continue;
+            }
+            for &s in sched.sources_of(comp) {
+                let n = model.n_live_claims_of_source(s) as f64;
+                self.recip[s as usize] = 1.0 / (prior.0 + prior.1 + n - 1.0);
+            }
+            for p in lo..hi {
+                let c = chrom.order[p] as usize;
+                let (clo, chi) = model.claim_clique_span(c);
+                let (statics, trust_ws) = cache.span(clo, chi);
+                let sources = model.clique_sources_of(VarId(c as u32));
+                let mut base = anchor_term[c];
+                let mut t = 0.0;
+                for k in 0..statics.len() {
+                    base += statics[k] - 0.5 * trust_ws[k];
+                    let tw = trust_ws[k] * self.recip[sources[k] as usize];
+                    self.tw.push(tw);
+                    self.src.push(sources[k]);
+                    t += tw;
+                }
+                self.base_a[p] = base + prior.0 * t;
+                self.t_sum[p] = t;
+                self.csr[p + 1] = self.tw.len() as u32;
+                self.flip_src
+                    .extend_from_slice(model.sources_of_claim(VarId(c as u32)));
+                self.flip_csr[p + 1] = self.flip_src.len() as u32;
+            }
+        }
+    }
+}
+
+/// The chromatic kernel's conditional logit of the claim at visit
+/// position `p` (see [`FoldedScores`]): `(base_a[p] − v_c·t_sum[p]) + Σ_k
+/// tw[k]·credible[s_k]`, the incidence sum accumulated over the claim's
+/// packed span in ascending order and added last. `vt[p]` carries
+/// `v_c·t_sum[p]` (maintained by [`chromatic_flip`]) and `credible` the
+/// exact-integer float mirror of the per-source credible counts, so the
+/// computed value is identical to folding from `values[c]` and integer
+/// counts directly. This exact summation order **is** the chromatic
+/// executable spec — the reference-equivalence tests replay it term for
+/// term.
+#[inline]
+fn chromatic_logit(fold: &FoldedScores, vt: &[f64], credible: &[f64], p: usize) -> f64 {
+    let lo = fold.csr[p] as usize;
+    let hi = fold.csr[p + 1] as usize;
+    let mut acc = 0.0;
+    for (&w, &s) in fold.tw[lo..hi].iter().zip(&fold.src[lo..hi]) {
+        acc += w * credible[s as usize];
+    }
+    (fold.base_a[p] - vt[p]) + acc
+}
+
+/// [`flip`] for the chromatic sweep: reads the claim's deduplicated
+/// source list from the fold's visit-ordered [`FoldedScores::flip_src`]
+/// lane instead of the model's claim-indexed CSR, steps the float mirror
+/// of the credible counts by an exact ±1.0, and refreshes the claim's
+/// `v_c·t_sum[p]` slot — same counters, same arithmetic as [`flip`],
+/// sequential reads.
+#[inline]
+fn chromatic_flip(
+    fold: &FoldedScores,
+    values: &mut [bool],
+    credible: &mut [f64],
+    vt: &mut [f64],
+    p: usize,
+    c: usize,
+    new_value: bool,
+) {
+    if values[c] == new_value {
+        return;
+    }
+    values[c] = new_value;
+    vt[p] = if new_value { fold.t_sum[p] } else { 0.0 };
+    let delta = if new_value { 1.0 } else { -1.0 };
+    let lo = fold.flip_csr[p] as usize;
+    let hi = fold.flip_csr[p + 1] as usize;
+    for &s in &fold.flip_src[lo..hi] {
+        credible[s as usize] += delta;
+    }
+}
+
+/// Bound on the chromatic conditional logit: beyond ±28 the acceptance
+/// probability is within 7e-13 of 0 or 1 and is pinned there — like
+/// [`numerics::clamp_prob`] on the other schedules, the clamp never lets
+/// a conditional become exactly deterministic. It is also the domain of
+/// the chromatic sigmoid table.
+const CHROM_LOGIT_CLAMP: f64 = 28.0;
+
+/// Interval count of the chromatic sigmoid table. 4096 intervals over
+/// `[-28, 28]` put the chord-vs-curve error of linear interpolation below
+/// `max|σ''|·h²/8 ≈ 2.3e-6` — four orders of magnitude under the
+/// Monte-Carlo noise of any sample budget this sampler runs at.
+const SIG_TABLE_N: usize = 4096;
+const SIG_TABLE_INV_STEP: f64 = SIG_TABLE_N as f64 / (2.0 * CHROM_LOGIT_CLAMP);
+
+/// `SIG_TABLE[i] = σ(−28 + i·h)` for `i = 0..=4096`, `h = 56/4096`; built
+/// once on first chromatic sweep. Shared by every thread and stripe, so
+/// the accept rule stays a pure function of `(u, z)`. The fixed-size
+/// array type lets the indexing in [`chromatic_accept`] compile without
+/// bounds checks.
+static SIG_TABLE: std::sync::OnceLock<Box<[f64; SIG_TABLE_N + 1]>> = std::sync::OnceLock::new();
+
+fn sigmoid_table() -> &'static [f64; SIG_TABLE_N + 1] {
+    SIG_TABLE.get_or_init(|| {
+        let mut t = Box::new([0.0; SIG_TABLE_N + 1]);
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = numerics::sigmoid(-CHROM_LOGIT_CLAMP + i as f64 / SIG_TABLE_INV_STEP);
+        }
+        t
+    })
+}
+
+/// The chromatic resample decision for uniform `u` and conditional logit
+/// `z`: accept `v = 1` iff `u < σ̃(z̄)` with `z̄ = clamp(z, ±28)` and `σ̃`
+/// the piecewise-linear interpolant of the sigmoid through the 4097 knots
+/// of `table` (always [`sigmoid_table`]; callers hoist the fetch out of
+/// their sweep loops). Together with [`chromatic_logit`] this is the
+/// chromatic executable spec's decision rule (the reference-equivalence
+/// tests replay it verbatim): no divide, no exponential, no probability
+/// clamp on the hot path — the tail pinning is done once on the logit,
+/// and σ̃ is monotone with `|σ̃ − σ| < 2.3e-6`, far beneath sampling
+/// noise (the marginal-accuracy tests bound the end-to-end effect).
+#[inline]
+fn chromatic_accept(u: f64, z: f64, table: &[f64; SIG_TABLE_N + 1]) -> bool {
+    let t =
+        (z.clamp(-CHROM_LOGIT_CLAMP, CHROM_LOGIT_CLAMP) + CHROM_LOGIT_CLAMP) * SIG_TABLE_INV_STEP;
+    let i = (t as usize).min(SIG_TABLE_N - 1);
+    let frac = t - i as f64;
+    u < table[i] + frac * (table[i + 1] - table[i])
+}
+
 /// One worker task's chain state for the scheduled path: full-width arrays
 /// of which each task only ever reads and writes the slots of the
 /// components assigned to it (components are claim- and source-disjoint).
@@ -327,6 +680,21 @@ struct TaskState {
     values: Vec<bool>,
     credible: Vec<u32>,
     ones: Vec<u64>,
+    /// Chromatic mirror of `credible` as exact-integer `f64`s (counts are
+    /// tiny, so every ±1.0 step is exact and the values equal the `u32`
+    /// counts bit for bit after conversion) — the folded kernel's gather
+    /// then needs no int→float convert per incidence.
+    credible_f: Vec<f64>,
+    /// Per visit position: `v_c · t_sum[p]` of the claim at that position,
+    /// maintained by [`chromatic_flip`] — the folded kernel reads its
+    /// value term sequentially instead of loading `values[c]` at random.
+    vt: Vec<f64>,
+    /// Pre-drawn uniforms of the color class being striped (chromatic
+    /// two-phase execution; claim order within the class).
+    uniforms: Vec<f64>,
+    /// Frozen-state resample decisions of the striped class, applied in
+    /// claim order after the parallel evaluation.
+    decisions: Vec<bool>,
 }
 
 /// A deterministic single-site Gibbs sampler bound to a model.
@@ -783,17 +1151,40 @@ impl<'a> GibbsSampler<'a> {
     }
 
     /// Pick the task layout for the scheduled path (see the module-level
-    /// *Crossover heuristic* section). Returns the mode and the number of
-    /// component groups per chain.
-    fn plan(&self, chains: usize, components: usize) -> (ScheduleMode, usize) {
+    /// *Crossover heuristic* section), driven by the measured per-component
+    /// sweep cost in [`CompSchedule::comp_work`]. Returns the mode and its
+    /// fan-out: component groups per chain for
+    /// [`ScheduleMode::ComponentsInner`], stripes per class for
+    /// [`ScheduleMode::Chromatic`], `1` otherwise.
+    ///
+    /// The chromatic arm compares deterministic work against a
+    /// deterministic threshold, so the *mode* — which changes the sample
+    /// stream — never depends on thread count; only the stripe fan-out
+    /// (which does not change the output) does.
+    fn plan(&self, chains: usize, sched: &CompSchedule) -> (ScheduleMode, usize) {
+        let components = sched.comp_work.len();
         let threads = rayon::current_num_threads();
+        let max_work = sched.comp_work.iter().copied().max().unwrap_or(0);
+        if max_work >= self.config.chromatic_min_work {
+            let stripes = (threads / chains.max(1)).max(1);
+            return (ScheduleMode::Chromatic, stripes);
+        }
         if threads <= 1 || (chains == 1 && components == 1) {
             return (ScheduleMode::Sequential, 1);
         }
         if chains >= threads || components == 1 {
             return (ScheduleMode::ChainsOuter, 1);
         }
-        let groups = threads.div_ceil(chains).clamp(1, components);
+        // Group-count cap from measured cost: once every group holds at
+        // least the giant component's work, further splitting only adds
+        // task overhead while the makespan stays pinned to the giant.
+        let useful = sched
+            .comp_work
+            .iter()
+            .sum::<u64>()
+            .checked_div(max_work)
+            .map_or(1, |g| g.max(1)) as usize;
+        let groups = threads.div_ceil(chains).clamp(1, components).min(useful);
         (ScheduleMode::ComponentsInner, groups)
     }
 
@@ -844,14 +1235,48 @@ impl<'a> GibbsSampler<'a> {
 
         let k = self.config.effective_chains();
         let p = partition.len();
-        let (mode, groups_per_chain) = force.unwrap_or_else(|| self.plan(k, p));
+        let (mode, fanout) = force.unwrap_or_else(|| self.plan(k, &scratch.sched));
         let (base, rem) = (self.config.samples / k, self.config.samples % k);
+
+        // Chromatic prep: sync the conflict-graph coloring, lay the
+        // eligible components out color-major, and fold the per-run kernel
+        // constants. A forced chromatic layout sweeps *every* component
+        // chromatically so tests pin the whole graph to the chromatic spec.
+        let chromatic = mode == ScheduleMode::Chromatic;
+        let stripes = if chromatic { fanout.max(1) } else { 1 };
+        if chromatic {
+            let GibbsScratch {
+                cache,
+                anchor_term,
+                sched,
+                coloring,
+                chrom,
+                fold,
+                ..
+            } = &mut *scratch;
+            coloring.sync(model);
+            let forced = force.is_some();
+            let min_work = self.config.chromatic_min_work;
+            chrom.build(sched, coloring, |comp| {
+                forced || sched.comp_work[comp] >= min_work
+            });
+            fold.build(
+                model,
+                cache,
+                sched,
+                chrom,
+                anchor_term,
+                self.config.trust_prior,
+            );
+        }
 
         // Deterministic LPT packing: components sorted by sweep work,
         // largest first (ties on id), greedily assigned to the least-loaded
         // group (ties on lowest group index). Purely a makespan decision —
-        // assignment never changes the output.
-        let g = groups_per_chain.max(1);
+        // assignment never changes the output. The chromatic mode keeps
+        // every component in its chain's single task (its parallelism is
+        // the stripes *inside* a class, not component groups).
+        let g = if chromatic { 1 } else { fanout.max(1) };
         let mut groups: Vec<Vec<u32>> = vec![Vec::new(); g];
         {
             let mut order: Vec<u32> = (0..p as u32).collect();
@@ -887,29 +1312,55 @@ impl<'a> GibbsSampler<'a> {
         let cache = &scratch.cache;
         let anchor_term = &scratch.anchor_term;
         let sched = &scratch.sched;
+        let chrom = &scratch.chrom;
+        let fold = &scratch.fold;
 
         // Each task fills full-width sample bitsets for its chain: only the
         // bits of its own components are set, so a chain's tasks merge with
         // a word-level OR. These bitsets *are* the output samples (the
         // single-group layouts move them out unmerged) — the sampling phase
-        // allocates nothing else.
+        // allocates nothing else. Under the chromatic mode, components with
+        // a chromatic layout run the color-major kernel; the rest keep the
+        // sequential component chain.
         let run_task = |chain: usize, comps: &[u32], state: &mut TaskState| -> Vec<Bitset> {
             let n_samples = base + usize::from(chain < rem);
             let mut samples = vec![Bitset::zeros(n); n_samples];
             let cseed = chain_seed(self.config.seed, chain);
             for &comp in comps {
-                self.run_component_chain(
-                    cache,
-                    partition.component(comp as usize),
-                    sched.unlabelled_of(comp as usize),
-                    sched.sources_of(comp as usize),
-                    anchor_term,
-                    labels,
-                    prev_probs,
-                    component_seed(cseed, comp as usize),
-                    &mut samples,
-                    state,
-                );
+                let classes: &[u32] = if chromatic {
+                    chrom.classes_of(comp as usize)
+                } else {
+                    &[]
+                };
+                if classes.is_empty() {
+                    self.run_component_chain(
+                        cache,
+                        partition.component(comp as usize),
+                        sched.unlabelled_of(comp as usize),
+                        sched.sources_of(comp as usize),
+                        anchor_term,
+                        labels,
+                        prev_probs,
+                        component_seed(cseed, comp as usize),
+                        &mut samples,
+                        state,
+                    );
+                } else {
+                    self.run_component_chain_chromatic(
+                        partition.component(comp as usize),
+                        sched.unlabelled_of(comp as usize),
+                        sched.sources_of(comp as usize),
+                        classes,
+                        &chrom.order,
+                        fold,
+                        labels,
+                        prev_probs,
+                        component_seed(cseed, comp as usize),
+                        stripes,
+                        &mut samples,
+                        state,
+                    );
+                }
             }
             samples
         };
@@ -1077,6 +1528,204 @@ impl<'a> GibbsSampler<'a> {
                 }
             }
         }
+    }
+
+    /// Chromatic twin of [`Self::run_component_chain`]: identical
+    /// initialisation draws, but every sweep visits the component's
+    /// unlabelled claims **color class by color class** (color-major,
+    /// claim-id-minor — the chromatic executable spec) through the folded
+    /// kernel of [`chromatic_logit`]. Same-color claims share no live
+    /// source, so their single-site updates neither read nor write each
+    /// other's state: a small class is swept interleaved on the task
+    /// thread (draw, decide with [`chromatic_accept`], flip — claim by
+    /// claim), while a class spanning at least
+    /// [`GibbsConfig::chromatic_stripe_min`] claims per stripe runs in two
+    /// phases — uniforms pre-drawn in claim order, conditionals evaluated
+    /// against the frozen pre-class state in parallel stripes, flips
+    /// applied in claim order. One uniform per visit in claim order makes
+    /// both executions consume the same RNG stream and write the same
+    /// values, which is what makes the output invariant to thread and
+    /// stripe count (`docs/sampling.md`).
+    #[allow(clippy::too_many_arguments)] // internal hot-path plumbing; the slices are views of one scratch
+    fn run_component_chain_chromatic(
+        &self,
+        comp_claims: &[usize],
+        comp_unlabelled: &[u32],
+        comp_sources: &[u32],
+        classes: &[u32],
+        order: &[u32],
+        fold: &FoldedScores,
+        labels: &[Option<bool>],
+        prev_probs: &[f64],
+        seed: u64,
+        stripes: usize,
+        samples: &mut [Bitset],
+        state: &mut TaskState,
+    ) {
+        let model = self.model;
+        if comp_unlabelled.is_empty() {
+            // Fully pinned component: no RNG stream, every sample carries
+            // the label projection.
+            for bs in samples.iter_mut() {
+                for &c in comp_claims {
+                    if labels[c] == Some(true) {
+                        bs.set(c, true);
+                        state.ones[c] += 1;
+                    }
+                }
+            }
+            return;
+        }
+
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for &c in comp_claims {
+            state.values[c] = match labels[c] {
+                Some(v) => v,
+                None => rng.gen_bool(numerics::clamp_prob(prev_probs[c])),
+            };
+        }
+        state.credible_f.resize(model.n_sources(), 0.0);
+        for &s in comp_sources {
+            // Tombstoned claims are excluded: they are not members of any
+            // component, so their `values` slots may hold stale bits from
+            // an earlier E-step of this reused task state.
+            state.credible_f[s as usize] = model
+                .claims_of_source(s)
+                .iter()
+                .filter(|&&c| model.claim_live(c as usize) && state.values[c as usize])
+                .count() as f64;
+        }
+        // Seed the value-term lane of this component's visit positions
+        // from the freshly drawn values.
+        state.vt.resize(order.len(), 0.0);
+        let (plo, phi) = (
+            classes[0] as usize,
+            *classes.last().expect("non-empty class list") as usize,
+        );
+        for (p, &c) in order.iter().enumerate().take(phi).skip(plo) {
+            state.vt[p] = if state.values[c as usize] {
+                fold.t_sum[p]
+            } else {
+                0.0
+            };
+        }
+
+        let per_stripe = self.config.chromatic_stripe_min.max(1);
+        let table = sigmoid_table();
+        let sweep = |state: &mut TaskState, rng: &mut SmallRng| {
+            for w in classes.windows(2) {
+                let class = &order[w[0] as usize..w[1] as usize];
+                if stripes > 1 && class.len() >= stripes.saturating_mul(per_stripe) {
+                    // Two-phase striped class: pre-draw the class's
+                    // uniforms in claim order (exactly the draws the
+                    // interleaved path would make), evaluate every
+                    // conditional against the frozen pre-class state in
+                    // parallel stripes (same-color claims neither read nor
+                    // write each other's state, so "frozen" and
+                    // "interleaved" coincide bit for bit), then apply the
+                    // flips in claim order.
+                    state.uniforms.clear();
+                    for _ in 0..class.len() {
+                        state.uniforms.push(rng.gen::<f64>());
+                    }
+                    state.decisions.clear();
+                    state.decisions.resize(class.len(), false);
+                    let chunk = class.len().div_ceil(stripes);
+                    let TaskState {
+                        values,
+                        credible_f,
+                        vt,
+                        uniforms,
+                        decisions,
+                        ..
+                    } = state;
+                    {
+                        let (vt, credible_f) = (&*vt, &*credible_f);
+                        rayon::scope(|s| {
+                            for (ci, (us, ds)) in uniforms
+                                .chunks(chunk)
+                                .zip(decisions.chunks_mut(chunk))
+                                .enumerate()
+                            {
+                                let p0 = w[0] as usize + ci * chunk;
+                                s.spawn(move |_| {
+                                    for (i, &u) in us.iter().enumerate() {
+                                        let logit = chromatic_logit(fold, vt, credible_f, p0 + i);
+                                        ds[i] = chromatic_accept(u, logit, table);
+                                    }
+                                });
+                            }
+                        });
+                    }
+                    for (i, &c) in class.iter().enumerate() {
+                        let p = w[0] as usize + i;
+                        chromatic_flip(fold, values, credible_f, vt, p, c as usize, decisions[i]);
+                    }
+                } else {
+                    for (i, &c) in class.iter().enumerate() {
+                        let c = c as usize;
+                        let p = w[0] as usize + i;
+                        let logit = chromatic_logit(fold, &state.vt, &state.credible_f, p);
+                        let v = chromatic_accept(rng.gen::<f64>(), logit, table);
+                        chromatic_flip(
+                            fold,
+                            &mut state.values,
+                            &mut state.credible_f,
+                            &mut state.vt,
+                            p,
+                            c,
+                            v,
+                        );
+                    }
+                }
+            }
+        };
+
+        for _ in 0..self.config.burn_in {
+            sweep(state, &mut rng);
+        }
+        for bs in samples.iter_mut() {
+            for _ in 0..self.config.thin.max(1) {
+                sweep(state, &mut rng);
+            }
+            for &c in comp_claims {
+                if state.values[c] {
+                    bs.set(c, true);
+                    state.ones[c] += 1;
+                }
+            }
+        }
+    }
+
+    /// Test/bench hook: run the scheduled E-step under an explicit task
+    /// layout instead of the planner's choice. `fanout` is the mode's
+    /// fan-out: component groups per chain for
+    /// [`ScheduleMode::ComponentsInner`], stripes per color class for
+    /// [`ScheduleMode::Chromatic`] (a forced chromatic layout sweeps
+    /// *every* component chromatically), ignored otherwise.
+    ///
+    /// For the layout-invariant modes this produces the exact output of
+    /// [`Self::run_scheduled`]; for [`ScheduleMode::Chromatic`] it
+    /// produces the chromatic spec output, bit-identical at any `fanout`.
+    #[allow(clippy::too_many_arguments)] // test/bench hook mirroring run_scheduled_impl
+    pub fn run_scheduled_forced(
+        &self,
+        weights: &Weights,
+        labels: &[Option<bool>],
+        prev_probs: &[f64],
+        partition: &Partition,
+        scratch: &mut GibbsScratch,
+        mode: ScheduleMode,
+        fanout: usize,
+    ) -> GibbsResult {
+        self.run_scheduled_impl(
+            weights,
+            labels,
+            prev_probs,
+            partition,
+            scratch,
+            Some((mode, fanout)),
+        )
     }
 }
 
@@ -1957,6 +2606,584 @@ mod tests {
         // And with multi-chain pooling.
         lifecycle_inference_spec(0x1234, 5, 3);
     }
+
+    /// "Path" components: within each segment, source `s_i` links claims
+    /// `c_i` and `c_{i+1}`, so the conflict graph is a path and the greedy
+    /// coloring yields exactly two classes per segment (even and odd
+    /// positions) of ~len/2 claims — large enough to engage the two-phase
+    /// striped executor in tests that set `chromatic_stripe_min: 1`.
+    pub(super) fn chained_components_model(segments: &[usize]) -> CrfModel {
+        let mut b = CrfModelBuilder::new(2, 2);
+        let total: usize = segments.iter().sum();
+        for _ in 0..total {
+            b.add_claim();
+        }
+        let mut base = 0usize;
+        for &len in segments {
+            assert!(len >= 2, "a segment needs at least one linking source");
+            for i in 0..len - 1 {
+                let g = (base + i) as f64;
+                let s = b.add_source(&[0.1 * g, 0.5 - 0.02 * g]).unwrap();
+                for (j, c) in [base + i, base + i + 1].into_iter().enumerate() {
+                    let d = b
+                        .add_document(&[0.2 + 0.03 * (g + j as f64), -0.1 * g])
+                        .unwrap();
+                    let stance = if (i + j) % 3 == 0 {
+                        Stance::Refute
+                    } else {
+                        Stance::Support
+                    };
+                    b.add_clique(VarId(c as u32), d, s, stance);
+                }
+            }
+            base += len;
+        }
+        b.build().unwrap()
+    }
+
+    /// Scalar executable spec of [`ScheduleMode::Chromatic`]
+    /// (`docs/sampling.md`): a **from-scratch** greedy coloring, the
+    /// color-major claim-id-minor visit order, the folded kernel constants
+    /// recomputed here term for term in the kernel's exact summation
+    /// order, and the `(chain, component)` seed scheme of the scheduled
+    /// path — all derived independently of the sampler's incremental
+    /// scratch ([`ChromLayout`], [`FoldedScores`], [`Coloring::sync`]).
+    /// Returns `(samples, marginals, sweeps)`.
+    pub(super) fn chromatic_reference(
+        m: &CrfModel,
+        w: &Weights,
+        labels: &[Option<bool>],
+        probs: &[f64],
+        cfg: &GibbsConfig,
+    ) -> (Vec<Bitset>, Vec<f64>, usize) {
+        let coloring = Coloring::of_model(m);
+        let partition = Partition::of_model(m);
+        let mut cache = ScoreCache::new();
+        cache.update(m, w);
+        let sampler = GibbsSampler::new(m, cfg.clone());
+        let mut anchor_term = Vec::new();
+        sampler.fill_anchor_terms(probs, &mut anchor_term);
+
+        let n = m.n_claims();
+        let (pa, pb) = cfg.trust_prior;
+        // Folded per-run constants, recomputed from scratch (full width;
+        // slots of dead cliques only ever meet a ±0.0 trust weight).
+        let mut recip = vec![0.0; m.n_sources()];
+        for (s, r) in recip.iter_mut().enumerate() {
+            let nl = m.n_live_claims_of_source(s as u32) as f64;
+            *r = 1.0 / (pa + pb + nl - 1.0);
+        }
+        let mut tw_recip = vec![0.0; m.n_incidences()];
+        let mut base_a = vec![0.0; n];
+        let mut t_sum = vec![0.0; n];
+        for c in 0..n {
+            if !m.claim_live(c) || labels[c].is_some() {
+                continue;
+            }
+            let (lo, hi) = m.claim_clique_span(c);
+            let (statics, trust_ws) = cache.span(lo, hi);
+            let sources = m.clique_sources_of(VarId(c as u32));
+            let mut base = anchor_term[c];
+            let mut t = 0.0;
+            for k in 0..statics.len() {
+                base += statics[k] - 0.5 * trust_ws[k];
+                let tw = trust_ws[k] * recip[sources[k] as usize];
+                tw_recip[lo + k] = tw;
+                t += tw;
+            }
+            base_a[c] = base + pa * t;
+            t_sum[c] = t;
+        }
+
+        let k = cfg.effective_chains();
+        let (per_chain, rem) = (cfg.samples / k, cfg.samples % k);
+        let table = sigmoid_table();
+        let mut samples = Vec::new();
+        let mut ones = vec![0u64; n];
+        let mut sweeps = 0;
+        for chain in 0..k {
+            let n_samples = per_chain + usize::from(chain < rem);
+            sweeps += cfg.burn_in + n_samples * cfg.thin.max(1);
+            let mut chain_samples = vec![Bitset::zeros(n); n_samples];
+            let mut values = vec![false; n];
+            let mut credible = vec![0u32; m.n_sources()];
+            let cseed = chain_seed(cfg.seed, chain);
+            for (comp_id, comp) in partition.iter().enumerate() {
+                // Color-major, claim-id-minor visit order (stable sort of
+                // an id-ascending list).
+                let mut order: Vec<usize> = comp
+                    .iter()
+                    .copied()
+                    .filter(|&c| labels[c].is_none())
+                    .collect();
+                order.sort_by_key(|&c| coloring.color(c));
+                if order.is_empty() {
+                    // Fully pinned component: no RNG stream.
+                    for bs in chain_samples.iter_mut() {
+                        for &c in comp {
+                            if labels[c] == Some(true) {
+                                bs.set(c, true);
+                                ones[c] += 1;
+                            }
+                        }
+                    }
+                    continue;
+                }
+                let mut rng = SmallRng::seed_from_u64(component_seed(cseed, comp_id));
+                for &c in comp {
+                    values[c] = match labels[c] {
+                        Some(v) => v,
+                        None => rng.gen_bool(numerics::clamp_prob(probs[c])),
+                    };
+                }
+                for s in 0..m.n_sources() as u32 {
+                    // A source belongs to the component of its first live
+                    // claim (the scheduled path's ownership rule).
+                    let owned = m.source_live(s as usize)
+                        && m.claims_of_source(s)
+                            .iter()
+                            .find(|&&c| m.claim_live(c as usize))
+                            .is_some_and(|&c0| partition.component_of(VarId(c0)) == comp_id);
+                    if owned {
+                        credible[s as usize] = m
+                            .claims_of_source(s)
+                            .iter()
+                            .filter(|&&c| m.claim_live(c as usize) && values[c as usize])
+                            .count() as u32;
+                    }
+                }
+                let sweep =
+                    |values: &mut Vec<bool>, credible: &mut Vec<u32>, rng: &mut SmallRng| {
+                        for &c in &order {
+                            let (lo, hi) = m.claim_clique_span(c);
+                            let tw = &tw_recip[lo..hi];
+                            let sources = m.clique_sources_of(VarId(c as u32));
+                            let mut acc = 0.0;
+                            for k in 0..tw.len() {
+                                acc += tw[k] * credible[sources[k] as usize] as f64;
+                            }
+                            let vt = if values[c] { t_sum[c] } else { 0.0 };
+                            let logit = (base_a[c] - vt) + acc;
+                            // One uniform per visit, decided by the spec's
+                            // accept rule. The engine pre-draws a whole
+                            // class before evaluating it, but with one draw
+                            // per claim in claim order the stream is the
+                            // same either way.
+                            let v = chromatic_accept(rng.gen::<f64>(), logit, table);
+                            flip(m, values, credible, c, v);
+                        }
+                    };
+                for _ in 0..cfg.burn_in {
+                    sweep(&mut values, &mut credible, &mut rng);
+                }
+                for bs in chain_samples.iter_mut() {
+                    for _ in 0..cfg.thin.max(1) {
+                        sweep(&mut values, &mut credible, &mut rng);
+                    }
+                    for &c in comp {
+                        if values[c] {
+                            bs.set(c, true);
+                            ones[c] += 1;
+                        }
+                    }
+                }
+            }
+            samples.append(&mut chain_samples);
+        }
+        let total = samples.len().max(1) as f64;
+        let marginals = (0..n)
+            .map(|c| {
+                if !m.claim_live(c) {
+                    return 0.0;
+                }
+                match labels[c] {
+                    Some(true) => 1.0,
+                    Some(false) => 0.0,
+                    None => ones[c] as f64 / total,
+                }
+            })
+            .collect();
+        (samples, marginals, sweeps)
+    }
+
+    /// The chromatic acceptance spec: `run_scheduled_forced(Chromatic, s)`
+    /// is bit-identical to the scalar spec runner above for any stripe
+    /// count — on a striping-friendly path graph (two classes of ~half the
+    /// claims) and on a multi-component synthetic topology, for one and
+    /// two chains.
+    #[test]
+    fn chromatic_matches_scalar_spec() {
+        let models = [
+            chained_components_model(&[24]),
+            crate::graph::synthetic_components_model(3, 8, 3, 2, 2, 2, 4),
+        ];
+        for (mi, m) in models.iter().enumerate() {
+            let p = Partition::of_model(m);
+            let n = m.n_claims();
+            let w = Weights::from_vec(
+                (0..m.feature_dim())
+                    .map(|i| 0.3 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                    .collect(),
+            );
+            let mut labels = vec![None; n];
+            labels[1] = Some(true);
+            labels[n - 2] = Some(false);
+            let probs: Vec<f64> = (0..n).map(|i| 0.3 + 0.4 * ((i % 3) as f64) / 2.0).collect();
+            for chains in [1usize, 2] {
+                let cfg = GibbsConfig {
+                    burn_in: 5,
+                    samples: 9,
+                    thin: 2,
+                    seed: 0xC401 ^ mi as u64,
+                    chains,
+                    chromatic_stripe_min: 1,
+                    ..Default::default()
+                };
+                let sampler = GibbsSampler::new(m, cfg.clone());
+                let (samples, marginals, sweeps) =
+                    chromatic_reference(m, &w, &labels, &probs, &cfg);
+                for stripes in [1usize, 2] {
+                    let r = sampler.run_scheduled_forced(
+                        &w,
+                        &labels,
+                        &probs,
+                        &p,
+                        &mut GibbsScratch::new(),
+                        ScheduleMode::Chromatic,
+                        stripes,
+                    );
+                    assert_eq!(r.samples, samples, "model {mi} chains {chains} s {stripes}");
+                    assert_eq!(
+                        r.marginals, marginals,
+                        "model {mi} chains {chains} s {stripes}"
+                    );
+                    assert_eq!(r.sweeps, sweeps, "model {mi} chains {chains} s {stripes}");
+                    assert_eq!(r.mode, ScheduleMode::Chromatic);
+                }
+            }
+        }
+    }
+
+    /// The chromatic determinism contract at the acceptance thread counts:
+    /// stripe counts {1, 2, 8} produce bit-identical output (stripe 1 runs
+    /// the interleaved path, 2 and 8 the two-phase striped executor —
+    /// `chromatic_stripe_min: 1` makes the ~11-claim classes stripe).
+    #[test]
+    fn chromatic_is_bit_identical_across_stripe_counts() {
+        let m = chained_components_model(&[24]);
+        assert_eq!(
+            Coloring::of_model(&m).n_colors(),
+            2,
+            "path conflict graph must 2-color"
+        );
+        let p = Partition::of_model(&m);
+        let n = m.n_claims();
+        let w = Weights::from_vec(
+            (0..m.feature_dim())
+                .map(|i| 0.25 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                .collect(),
+        );
+        let mut labels = vec![None; n];
+        labels[1] = Some(true);
+        labels[n - 2] = Some(false);
+        let probs: Vec<f64> = (0..n).map(|i| 0.3 + 0.4 * ((i % 3) as f64) / 2.0).collect();
+        for chains in [1usize, 2] {
+            let cfg = GibbsConfig {
+                burn_in: 6,
+                samples: 12,
+                thin: 2,
+                seed: 0x57A1 ^ chains as u64,
+                chains,
+                chromatic_stripe_min: 1,
+                ..Default::default()
+            };
+            let sampler = GibbsSampler::new(&m, cfg);
+            let mut results = Vec::new();
+            for stripes in [1usize, 2, 8] {
+                let mut scratch = GibbsScratch::new();
+                results.push(sampler.run_scheduled_forced(
+                    &w,
+                    &labels,
+                    &probs,
+                    &p,
+                    &mut scratch,
+                    ScheduleMode::Chromatic,
+                    stripes,
+                ));
+            }
+            for (i, r) in results.iter().enumerate().skip(1) {
+                assert_eq!(r.samples, results[0].samples, "chains {chains} layout {i}");
+                assert_eq!(
+                    r.marginals, results[0].marginals,
+                    "chains {chains} layout {i}"
+                );
+                assert_eq!(r.sweeps, results[0].sweeps, "chains {chains} layout {i}");
+            }
+        }
+    }
+
+    /// The planner's chromatic arm (`chromatic_min_work: 0` makes every
+    /// component's work clear the threshold) produces exactly the forced
+    /// chromatic output at any stripe count, and reports the mode; the
+    /// default config (`u64::MAX`) never goes chromatic.
+    #[test]
+    fn chromatic_planned_equals_forced() {
+        let m = chained_components_model(&[20, 7]);
+        let p = Partition::of_model(&m);
+        let n = m.n_claims();
+        let w = Weights::from_vec((0..m.feature_dim()).map(|i| 0.2 * i as f64 - 0.3).collect());
+        let labels = vec![None; n];
+        let probs = vec![0.5; n];
+        let cfg = GibbsConfig {
+            burn_in: 4,
+            samples: 8,
+            thin: 1,
+            seed: 0x91A7,
+            chains: 2,
+            chromatic_min_work: 0,
+            chromatic_stripe_min: 1,
+            ..Default::default()
+        };
+        let sampler = GibbsSampler::new(&m, cfg.clone());
+        let planned = sampler.run_scheduled(&w, &labels, &probs, &p, &mut GibbsScratch::new());
+        assert_eq!(planned.mode, ScheduleMode::Chromatic);
+        for stripes in [1usize, 3] {
+            let forced = sampler.run_scheduled_forced(
+                &w,
+                &labels,
+                &probs,
+                &p,
+                &mut GibbsScratch::new(),
+                ScheduleMode::Chromatic,
+                stripes,
+            );
+            assert_eq!(planned.samples, forced.samples, "stripes {stripes}");
+            assert_eq!(planned.marginals, forced.marginals, "stripes {stripes}");
+        }
+        let default_cfg = GibbsConfig {
+            chromatic_min_work: u64::MAX,
+            ..cfg
+        };
+        let r = GibbsSampler::new(&m, default_cfg).run_scheduled(
+            &w,
+            &labels,
+            &probs,
+            &p,
+            &mut GibbsScratch::new(),
+        );
+        assert_ne!(
+            r.mode,
+            ScheduleMode::Chromatic,
+            "default must not go chromatic"
+        );
+    }
+
+    /// A threshold between the two components' measured work produces a
+    /// *hybrid* chromatic E-step: the big component follows the chromatic
+    /// spec (bit-identical to a forced chromatic run's projection), the
+    /// small one keeps the plain component chain (bit-identical to the
+    /// non-chromatic scheduled run's projection) — same seeds either way.
+    #[test]
+    fn chromatic_threshold_mixes_schedules_per_component() {
+        let m = chained_components_model(&[30, 5]);
+        let p = Partition::of_model(&m);
+        assert_eq!(p.len(), 2);
+        let n = m.n_claims();
+        let w = Weights::from_vec(
+            (0..m.feature_dim())
+                .map(|i| 0.15 * i as f64 - 0.25)
+                .collect(),
+        );
+        let labels = vec![None; n];
+        let probs: Vec<f64> = (0..n).map(|i| 0.3 + 0.4 * ((i % 3) as f64) / 2.0).collect();
+        let base = GibbsConfig {
+            burn_in: 4,
+            samples: 7,
+            thin: 1,
+            seed: 0x111B,
+            chains: 1,
+            ..Default::default()
+        };
+        // Segment works: 2·29 = 58 and 2·4 = 8 clique incidences.
+        let hybrid_cfg = GibbsConfig {
+            chromatic_min_work: 20,
+            ..base.clone()
+        };
+        let hybrid = GibbsSampler::new(&m, hybrid_cfg).run_scheduled(
+            &w,
+            &labels,
+            &probs,
+            &p,
+            &mut GibbsScratch::new(),
+        );
+        assert_eq!(hybrid.mode, ScheduleMode::Chromatic);
+        let sampler = GibbsSampler::new(&m, base);
+        let scheduled = sampler.run_scheduled(&w, &labels, &probs, &p, &mut GibbsScratch::new());
+        let chromatic = sampler.run_scheduled_forced(
+            &w,
+            &labels,
+            &probs,
+            &p,
+            &mut GibbsScratch::new(),
+            ScheduleMode::Chromatic,
+            1,
+        );
+        for (t, s) in hybrid.samples.iter().enumerate() {
+            assert_eq!(
+                s.project(p.component(0)),
+                chromatic.samples[t].project(p.component(0)),
+                "big component must follow the chromatic spec, sample {t}"
+            );
+            assert_eq!(
+                s.project(p.component(1)),
+                scheduled.samples[t].project(p.component(1)),
+                "small component must keep the plain chain, sample {t}"
+            );
+        }
+    }
+
+    /// Long-run agreement across the two executable specs: the chromatic
+    /// stream is legitimately different bits from the component-scheduled
+    /// one, but both sample the same conditional distribution, so their
+    /// marginals converge to the same values. Tolerance as in
+    /// `multi_chain_matches_single_chain_within_tolerance`: ~4σ of the
+    /// Monte-Carlo error at this sample count on these graphs.
+    #[test]
+    fn chromatic_marginals_match_scheduled_within_tolerance() {
+        let m = crate::graph::synthetic_components_model(1, 40, 10, 3, 2, 2, 7);
+        let p = Partition::of_model(&m);
+        let n = m.n_claims();
+        let w = Weights::from_vec((0..m.feature_dim()).map(|i| 0.1 * i as f64 - 0.2).collect());
+        let mut labels = vec![None; n];
+        labels[3] = Some(true);
+        let probs = vec![0.5; n];
+        let cfg = GibbsConfig {
+            burn_in: 50,
+            samples: 12_000,
+            thin: 1,
+            seed: 0xD157,
+            chains: 1,
+            ..Default::default()
+        };
+        let sampler = GibbsSampler::new(&m, cfg);
+        let scheduled = sampler.run_scheduled(&w, &labels, &probs, &p, &mut GibbsScratch::new());
+        let chromatic = sampler.run_scheduled_forced(
+            &w,
+            &labels,
+            &probs,
+            &p,
+            &mut GibbsScratch::new(),
+            ScheduleMode::Chromatic,
+            1,
+        );
+        for c in 0..n {
+            let (a, b) = (scheduled.marginals[c], chromatic.marginals[c]);
+            assert!(
+                (a - b).abs() < 0.03,
+                "claim {c}: scheduled {a} vs chromatic {b}"
+            );
+        }
+    }
+
+    /// Chromatic lifecycle spec (shared with the proptest): apply a random
+    /// grow/retire script op by op to ONE model (preserving the build
+    /// lineage, so the reused scratch's coloring patches incrementally
+    /// instead of rebuilding), run a forced-chromatic E-step after every
+    /// op, and check each run is bit-identical to a fresh-scratch run
+    /// (whose coloring is built from scratch); then compact and check
+    /// again (the coloring relocates through the `IdRemap`).
+    pub(super) fn chromatic_lifecycle_spec(seed: u64, n_ops: usize) {
+        use crate::graph::test_support as ts;
+        use crate::graph::RetireSet;
+        let ops = ts::random_lifecycle_script(seed, n_ops);
+        let ts::LifecycleOp::Grow(first) = &ops[0] else {
+            panic!("script must start with growth");
+        };
+        let mut model = ts::build_batch(std::slice::from_ref(first));
+        let mut reused = GibbsScratch::new();
+        let check = |model: &CrfModel, reused: &mut GibbsScratch, step: usize| {
+            let n = model.n_claims();
+            let w = Weights::from_vec(
+                (0..model.feature_dim())
+                    .map(|i| 0.21 * (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 })
+                    .collect(),
+            );
+            let mut labels = vec![None; n];
+            let mut probs = vec![0.5; n];
+            for c in 0..n {
+                if !model.claim_live(c) {
+                    continue;
+                }
+                if c % 4 == 0 {
+                    labels[c] = Some(c % 8 == 0);
+                }
+                probs[c] = 0.2 + 0.6 * ((c % 5) as f64) / 4.0;
+            }
+            let p = Partition::of_model(model);
+            let cfg = GibbsConfig {
+                burn_in: 3,
+                samples: 5,
+                thin: 1,
+                seed: seed ^ 0xC105 ^ step as u64,
+                chains: 1,
+                chromatic_stripe_min: 1,
+                ..Default::default()
+            };
+            let sampler = GibbsSampler::new(model, cfg);
+            let r = sampler.run_scheduled_forced(
+                &w,
+                &labels,
+                &probs,
+                &p,
+                reused,
+                ScheduleMode::Chromatic,
+                2,
+            );
+            let f = sampler.run_scheduled_forced(
+                &w,
+                &labels,
+                &probs,
+                &p,
+                &mut GibbsScratch::new(),
+                ScheduleMode::Chromatic,
+                2,
+            );
+            assert_eq!(r.samples, f.samples, "seed {seed} step {step}");
+            assert_eq!(r.marginals, f.marginals, "seed {seed} step {step}");
+        };
+        check(&model, &mut reused, 0);
+        for (i, op) in ops[1..].iter().enumerate() {
+            match op {
+                ts::LifecycleOp::Grow(chunk) => {
+                    let delta = ts::chunk_delta(&model, chunk);
+                    model.apply(delta).unwrap();
+                }
+                ts::LifecycleOp::Retire { claims, sources } => {
+                    let mut set = RetireSet::for_model(&model);
+                    for &c in claims {
+                        set.retire_claim(VarId(c));
+                    }
+                    for &s in sources {
+                        set.retire_source(s);
+                    }
+                    model.retire(set).unwrap();
+                }
+            }
+            check(&model, &mut reused, i + 1);
+        }
+        if model.has_tombstones() {
+            model.compact().unwrap();
+            check(&model, &mut reused, ops.len() + 1);
+        }
+    }
+
+    /// Deterministic multi-seed form of the chromatic lifecycle spec.
+    #[test]
+    fn chromatic_lifecycle_reused_scratch_is_bit_identical() {
+        for seed in 0..8u64 {
+            chromatic_lifecycle_spec(seed.wrapping_mul(113) ^ 0xC4A0, 2 + (seed as usize % 5));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -2119,6 +3346,54 @@ mod prop_tests {
             chains in 1usize..3,
         ) {
             super::tests::lifecycle_inference_spec(seed ^ 0x51fe, n_ops, chains);
+        }
+
+        /// Chromatic acceptance spec under proptest: on random graphs and
+        /// label masks, the forced chromatic run — interleaved (1 stripe)
+        /// and two-phase striped (4 stripes, `chromatic_stripe_min: 1`) —
+        /// is bit-identical to the scalar spec runner built from a
+        /// from-scratch coloring.
+        #[test]
+        fn prop_chromatic_equals_scalar_spec(
+            seed in 0u64..40,
+            label_mask in proptest::collection::vec(proptest::option::of(any::<bool>()), 14),
+            chains in 1usize..3,
+        ) {
+            let m = crate::graph::test_support::random_model(14, 6, 2, seed);
+            let p = Partition::of_model(&m);
+            let w = Weights::from_vec(
+                (0..m.feature_dim()).map(|i| (i as f64) * 0.14 - 0.3).collect(),
+            );
+            let probs = vec![0.5; 14];
+            let cfg = GibbsConfig {
+                burn_in: 3, samples: 5, thin: 1, seed, chains,
+                chromatic_stripe_min: 1, ..Default::default()
+            };
+            let sampler = GibbsSampler::new(&m, cfg.clone());
+            let (samples, marginals, sweeps) =
+                super::tests::chromatic_reference(&m, &w, &label_mask, &probs, &cfg);
+            for stripes in [1usize, 4] {
+                let r = sampler.run_scheduled_forced(
+                    &w, &label_mask, &probs, &p, &mut GibbsScratch::new(),
+                    ScheduleMode::Chromatic, stripes,
+                );
+                prop_assert_eq!(&r.samples, &samples, "stripes {}", stripes);
+                prop_assert_eq!(&r.marginals, &marginals, "stripes {}", stripes);
+                prop_assert_eq!(r.sweeps, sweeps, "stripes {}", stripes);
+            }
+        }
+
+        /// Chromatic lifecycle spec under proptest: random interleaved
+        /// grow/retire scripts applied to one model, a forced-chromatic
+        /// E-step after every op with a reused scratch (incrementally
+        /// patched coloring) bit-identical to fresh scratch, through the
+        /// final compaction.
+        #[test]
+        fn prop_chromatic_lifecycle_reused_scratch(
+            seed in 0u64..40,
+            n_ops in 2usize..7,
+        ) {
+            super::tests::chromatic_lifecycle_spec(seed ^ 0xC4A0, n_ops);
         }
 
         /// The optimised sampler equals the reference on random models and

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod coloring;
 pub mod em;
 pub mod entropy;
 pub mod gibbs;
@@ -44,6 +45,7 @@ pub mod potentials;
 pub mod tron;
 
 pub use bitset::Bitset;
+pub use coloring::{ColorRefresh, Coloring, NO_COLOR};
 pub use em::{Icrf, IcrfConfig, IcrfState, IcrfStats};
 pub use gibbs::{GibbsConfig, GibbsResult, GibbsSampler, ScheduleMode};
 pub use graph::{

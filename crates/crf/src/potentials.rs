@@ -113,6 +113,130 @@ fn static_score_slice(model: &CrfModel, beta: &[f64], clique: &Clique) -> f64 {
     acc
 }
 
+/// Lane width of the blocked ("SIMD-style") score kernels: [`ScoreCache`]
+/// stages up to this many live cliques and evaluates their static scores
+/// together over structure-of-arrays lanes. Each lane's addition chain is
+/// exactly the one of [`static_score_slice`] — bias, then the document
+/// features in `t` order, then the source features in `t` order — so the
+/// blocked result is bit-identical to scalar evaluation; only the loop
+/// nest is interchanged (`t`-outer, lane-inner) so the compiler can
+/// vectorise across lanes.
+const LANES: usize = 64;
+
+/// A block of up to [`LANES`] live cliques staged for batched static-score
+/// evaluation: the structure-of-arrays core of [`ScoreCache::rebuild`] and
+/// the incremental weight-diff patch of [`ScoreCache::update`].
+struct ScoreBlock {
+    len: usize,
+    doc: [u32; LANES],
+    src: [u32; LANES],
+    sign: [f64; LANES],
+    /// Claim-major output position of each staged clique.
+    out: [u32; LANES],
+    acc: [f64; LANES],
+}
+
+impl ScoreBlock {
+    fn new() -> Self {
+        ScoreBlock {
+            len: 0,
+            doc: [0; LANES],
+            src: [0; LANES],
+            sign: [0.0; LANES],
+            out: [0; LANES],
+            acc: [0.0; LANES],
+        }
+    }
+
+    /// Stage one live clique; returns `true` when the block is full and
+    /// must be flushed.
+    #[inline]
+    fn push(&mut self, clique: &Clique, pos: u32) -> bool {
+        self.doc[self.len] = clique.doc;
+        self.src[self.len] = clique.source;
+        self.sign[self.len] = match clique.stance {
+            Stance::Support => 1.0,
+            Stance::Refute => -1.0,
+        };
+        self.out[self.len] = pos;
+        self.len += 1;
+        self.len == LANES
+    }
+
+    /// Evaluate the staged cliques' static scores — per lane the exact
+    /// addition chain of [`static_score_slice`] — and scatter the signed
+    /// scores (and signed trust weight) to their claim-major positions.
+    fn flush(&mut self, model: &CrfModel, beta: &[f64], statics: &mut [f64], trust_ws: &mut [f64]) {
+        let n = self.len;
+        if n == 0 {
+            return;
+        }
+        let trust_w = beta[beta.len() - 1];
+        let md = model.m_doc();
+        let ms = model.m_source();
+        self.acc[..n].fill(beta[0]); // bias * 1
+        for t in 0..md {
+            let w = beta[1 + t];
+            for j in 0..n {
+                self.acc[j] += w * model.doc_feature_row(self.doc[j])[t];
+            }
+        }
+        for t in 0..ms {
+            let w = beta[1 + md + t];
+            for j in 0..n {
+                self.acc[j] += w * model.source_feature_row(self.src[j])[t];
+            }
+        }
+        for j in 0..n {
+            let pos = self.out[j] as usize;
+            statics[pos] = self.sign[j] * self.acc[j];
+            trust_ws[pos] = self.sign[j] * trust_w;
+        }
+        self.len = 0;
+    }
+
+    /// Patch the staged cliques for a weight-coordinate diff: per lane
+    /// `Δ = Δβ_0 + Σ_t Δβ_t·f^D_t + Σ_t Δβ_t·f^S_t` in moved-coordinate
+    /// order — the same chain as the scalar patch loop this replaces —
+    /// added into the signed static scores. `trust` carries the new raw
+    /// trust weight when that coordinate moved too.
+    #[allow(clippy::too_many_arguments)] // the staged lanes plus one arg per diff channel
+    fn flush_delta(
+        &mut self,
+        model: &CrfModel,
+        d_bias: f64,
+        moved_doc: &[(usize, f64)],
+        moved_src: &[(usize, f64)],
+        trust: Option<f64>,
+        statics: &mut [f64],
+        trust_ws: &mut [f64],
+    ) {
+        let n = self.len;
+        if n == 0 {
+            return;
+        }
+        self.acc[..n].fill(d_bias);
+        for &(t, dv) in moved_doc {
+            for j in 0..n {
+                self.acc[j] += dv * model.doc_feature_row(self.doc[j])[t];
+            }
+        }
+        for &(t, dv) in moved_src {
+            for j in 0..n {
+                self.acc[j] += dv * model.source_feature_row(self.src[j])[t];
+            }
+        }
+        for j in 0..n {
+            let pos = self.out[j] as usize;
+            statics[pos] += self.sign[j] * self.acc[j];
+            if let Some(tw) = trust {
+                trust_ws[pos] = self.sign[j] * tw;
+            }
+        }
+        self.len = 0;
+    }
+}
+
 /// The raw score `β · x_π` of a clique under the given dynamic trust.
 #[inline]
 pub fn clique_score(model: &CrfModel, weights: &Weights, clique: &Clique, trust: f64) -> f64 {
@@ -291,36 +415,46 @@ impl ScoreCache {
     }
 
     /// Recompute the per-clique constants for a new weight vector, reusing
-    /// the allocations.
+    /// the allocations. The evaluation is blocked: up to `LANES` live
+    /// cliques are staged and scored together over structure-of-arrays
+    /// lanes (`ScoreBlock`), bit-identical to scoring each clique through
+    /// `static_score_slice` (same per-lane addition chain).
     pub fn rebuild(&mut self, model: &CrfModel, weights: &Weights) {
         let n = model.n_incidences();
         self.signed_static.clear();
-        self.signed_static.reserve(n);
+        self.signed_static.resize(n, 0.0);
         self.signed_trust_w.clear();
-        self.signed_trust_w.reserve(n);
+        self.signed_trust_w.resize(n, 0.0);
         self.pos_of_clique.clear();
         self.pos_of_clique.resize(n, 0);
-        let trust_w = weights.as_slice()[1 + model.m_doc() + model.m_source()];
+        let beta = weights.as_slice();
+        let mut block = ScoreBlock::new();
+        let mut pos = 0u32;
         for claim in 0..model.n_claims() as u32 {
             for &ci in model.cliques_of(crate::graph::VarId(claim)) {
-                self.pos_of_clique[ci as usize] = self.signed_static.len() as u32;
-                if !model.clique_live(ci as usize) {
-                    // A tombstoned clique contributes exactly nothing; its
-                    // entry is zero so the sweep needs no liveness branch.
-                    self.signed_static.push(0.0);
-                    self.signed_trust_w.push(0.0);
-                    continue;
+                self.pos_of_clique[ci as usize] = pos;
+                // A tombstoned clique keeps the zero entries from the
+                // resize: it contributes exactly nothing and the sweep
+                // needs no liveness branch.
+                if model.clique_live(ci as usize)
+                    && block.push(model.clique(crate::graph::CliqueId(ci)), pos)
+                {
+                    block.flush(
+                        model,
+                        beta,
+                        &mut self.signed_static,
+                        &mut self.signed_trust_w,
+                    );
                 }
-                let clique = model.clique(crate::graph::CliqueId(ci));
-                let stat = clique_static_score(model, weights, clique);
-                let sign = match clique.stance {
-                    Stance::Support => 1.0,
-                    Stance::Refute => -1.0,
-                };
-                self.signed_static.push(sign * stat);
-                self.signed_trust_w.push(sign * trust_w);
+                pos += 1;
             }
         }
+        block.flush(
+            model,
+            beta,
+            &mut self.signed_static,
+            &mut self.signed_trust_w,
+        );
         self.weights.clear();
         self.weights.extend_from_slice(weights.as_slice());
         self.model_id = model.model_id();
@@ -548,35 +682,54 @@ impl ScoreCache {
         let trust_w = beta[dim - 1];
         let static_moved = d_bias != 0.0 || !moved_doc.is_empty() || !moved_src.is_empty();
 
-        let mut k = 0;
-        for claim in 0..model.n_claims() as u32 {
-            for &ci in model.cliques_of(crate::graph::VarId(claim)) {
-                if !model.clique_live(ci as usize) {
+        let mut k = 0u32;
+        if static_moved {
+            // Blocked patch, same staging as the rebuild: each lane's delta
+            // accumulates in moved-coordinate order, matching the scalar
+            // patch chain bit for bit.
+            let trust = trust_moved.then_some(trust_w);
+            let mut block = ScoreBlock::new();
+            for claim in 0..model.n_claims() as u32 {
+                for &ci in model.cliques_of(crate::graph::VarId(claim)) {
                     // Dead entries stay exactly zero under weight moves.
+                    if model.clique_live(ci as usize)
+                        && block.push(model.clique(crate::graph::CliqueId(ci)), k)
+                    {
+                        block.flush_delta(
+                            model,
+                            d_bias,
+                            &moved_doc,
+                            &moved_src,
+                            trust,
+                            &mut self.signed_static,
+                            &mut self.signed_trust_w,
+                        );
+                    }
                     k += 1;
-                    continue;
                 }
-                let clique = model.clique(crate::graph::CliqueId(ci));
-                let sign = match clique.stance {
-                    Stance::Support => 1.0,
-                    Stance::Refute => -1.0,
-                };
-                if static_moved {
-                    let mut acc = d_bias;
-                    let df = model.doc_feature_row(clique.doc);
-                    for &(t, dv) in &moved_doc {
-                        acc += dv * df[t];
+            }
+            block.flush_delta(
+                model,
+                d_bias,
+                &moved_doc,
+                &moved_src,
+                trust,
+                &mut self.signed_static,
+                &mut self.signed_trust_w,
+            );
+        } else if trust_moved {
+            // Only the trust coordinate moved: no feature work at all.
+            for claim in 0..model.n_claims() as u32 {
+                for &ci in model.cliques_of(crate::graph::VarId(claim)) {
+                    if model.clique_live(ci as usize) {
+                        let sign = match model.clique(crate::graph::CliqueId(ci)).stance {
+                            Stance::Support => 1.0,
+                            Stance::Refute => -1.0,
+                        };
+                        self.signed_trust_w[k as usize] = sign * trust_w;
                     }
-                    let sf = model.source_feature_row(clique.source);
-                    for &(t, dv) in &moved_src {
-                        acc += dv * sf[t];
-                    }
-                    self.signed_static[k] += sign * acc;
+                    k += 1;
                 }
-                if trust_moved {
-                    self.signed_trust_w[k] = sign * trust_w;
-                }
-                k += 1;
             }
         }
         self.weights.copy_from_slice(beta);

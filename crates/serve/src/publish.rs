@@ -60,6 +60,13 @@ pub struct Published {
     pub comp_key: Vec<u32>,
     /// Number of live components behind [`Published::comp_key`].
     pub n_components: usize,
+    /// Greedy conflict-graph color per claim ([`crf::NO_COLOR`] for
+    /// tombstoned claims) — bit-identical to
+    /// `crf::Coloring::of_model(&model).colors()`, so batch consumers can
+    /// run a chromatic sweep over the snapshot without recoloring it.
+    pub colors: Vec<u32>,
+    /// Number of color classes behind [`Published::colors`].
+    pub n_colors: usize,
     /// The revision of `model` — the staleness tag's identity.
     pub revision: Revision,
     /// Compaction count of `model`; cursors compare it to relocate.
@@ -155,6 +162,8 @@ mod tests {
             trust: vec![0.5],
             comp_key: vec![0],
             n_components: 1,
+            colors: vec![0],
+            n_colors: 1,
             revision: Revision(rev),
             compactions: 0,
             arrivals,

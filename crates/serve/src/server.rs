@@ -20,7 +20,7 @@
 use crate::publish::{PublishCell, Published, NO_COMPONENT};
 use crate::query::QueryHandle;
 use crf::graph::{ModelDelta, ModelError};
-use crf::{CrfModel, Partition, VarId};
+use crf::{Coloring, CrfModel, Partition, VarId};
 use std::sync::Arc;
 use streamcheck::{ArrivalStats, DurableChecker, DurableError, ExpiryStats, StreamingChecker};
 
@@ -131,6 +131,10 @@ pub struct TruthServer<B: IngestBackend> {
     /// Component partition synced to `synced` — patched forward along the
     /// lineage on each publication instead of rebuilt.
     partition: Partition,
+    /// Conflict-graph coloring synced along the same lineage (it carries
+    /// its own `(model_id, revision)` guard), published with each state so
+    /// readers can run chromatic sweeps over the snapshot.
+    coloring: Coloring,
     /// The snapshot `partition` is synced to.
     synced: Arc<CrfModel>,
     policy: PublishPolicy,
@@ -145,11 +149,13 @@ impl<B: IngestBackend> TruthServer<B> {
     pub fn new(backend: B) -> Self {
         let model = backend.checker().model().clone();
         let partition = Partition::of_model(&model);
-        let initial = Self::derive(backend.checker(), &partition, &model);
+        let coloring = Coloring::of_model(&model);
+        let initial = Self::derive(backend.checker(), &partition, &coloring, &model);
         TruthServer {
             backend,
             cell: Arc::new(PublishCell::new(Arc::new(initial))),
             partition,
+            coloring,
             synced: model,
             policy: PublishPolicy::default(),
             unpublished: 0,
@@ -200,16 +206,18 @@ impl<B: IngestBackend> TruthServer<B> {
             self.partition.sync_lineage(&self.synced, &model);
             self.synced = model.clone();
         }
-        let state = Self::derive(checker, &self.partition, &model);
+        self.coloring.sync(&model);
+        let state = Self::derive(checker, &self.partition, &self.coloring, &model);
         self.cell.publish(Arc::new(state));
         self.unpublished = 0;
     }
 
-    /// Build the published tables from one checker state. `partition` must
-    /// be synced to `model`.
+    /// Build the published tables from one checker state. `partition` and
+    /// `coloring` must be synced to `model`.
     fn derive(
         checker: &StreamingChecker,
         partition: &Partition,
+        coloring: &Coloring,
         model: &Arc<CrfModel>,
     ) -> Published {
         let probs = checker.probs().to_vec();
@@ -227,6 +235,8 @@ impl<B: IngestBackend> TruthServer<B> {
             trust,
             comp_key,
             n_components: partition.len(),
+            colors: coloring.colors().to_vec(),
+            n_colors: coloring.n_colors(),
             revision: model.revision(),
             compactions: model.compactions(),
             arrivals: checker.arrivals(),
@@ -341,6 +351,13 @@ mod tests {
                 .map_or(NO_COMPONENT, |i| i as u32);
             assert_eq!(p.comp_key[c], want, "comp_key diverges at claim {c}");
         }
+        let coloring = Coloring::of_model(&p.model);
+        assert_eq!(
+            p.colors,
+            coloring.colors(),
+            "published coloring not the from-scratch coloring of the snapshot"
+        );
+        assert_eq!(p.n_colors, coloring.n_colors());
     }
 
     #[test]

@@ -38,6 +38,8 @@ fn published(rev: u64) -> Arc<Published> {
         trust: vec![rev as f64],
         comp_key: vec![0],
         n_components: 1,
+        colors: vec![0],
+        n_colors: 1,
         revision: Revision(rev),
         compactions: 0,
         arrivals: rev as usize,

@@ -221,6 +221,30 @@ mod tests {
         );
     }
 
+    /// The chromatic schedule knob rides the existing config plumbing into
+    /// the streaming arrival path: a run with `chromatic_min_work: 0`
+    /// (every offline E-step chromatic) is reproducible end to end.
+    #[test]
+    fn streaming_sequence_is_deterministic_under_chromatic_schedule() {
+        let ds = factdb::DatasetPreset::WikiMini.generate();
+        let model = Arc::new(ds.db.to_crf_model().unwrap());
+        let mk = || {
+            let mut icrf = quick_icrf();
+            icrf.gibbs.chromatic_min_work = 0;
+            let config = InterleaveConfig {
+                period_fraction: 0.25,
+                validations_per_period: 2,
+                icrf,
+                ig: quick_ig(),
+                ..Default::default()
+            };
+            streaming_sequence(model.clone(), &ds.truth, 6, &config)
+        };
+        let a = mk();
+        assert!(!a.is_empty());
+        assert_eq!(a, mk(), "chromatic streaming run must be reproducible");
+    }
+
     #[test]
     fn longer_periods_allow_larger_pools() {
         // Sanity: both sequences are non-empty and bounded by the corpus.

@@ -17,6 +17,10 @@
 //! `// panic-ok: <why>` (R1). A marker without a justification text does
 //! not count.
 //!
+//! The sibling [`mod@bench`] module implements `cargo xtask bench-record`,
+//! the perf-gate checker and history recorder over the committed
+//! `BENCH_*.json` baselines.
+//!
 //! The pass is a hand-rolled lexer plus a brace-scope walker, not a full
 //! parser — the build environment has no `syn`. It understands comments
 //! (nested block comments included), string/char/raw-string literals,
@@ -29,6 +33,8 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+pub mod bench;
 
 // ---------------------------------------------------------------------------
 // Lints and findings
@@ -141,6 +147,7 @@ impl Config {
         Config {
             d1_paths: s(&[
                 "crates/crf/src/gibbs.rs",
+                "crates/crf/src/coloring.rs",
                 "crates/crf/src/partition.rs",
                 "crates/crf/src/graph.rs",
                 "crates/crf/src/handle.rs",

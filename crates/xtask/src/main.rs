@@ -6,6 +6,12 @@
 //!   (see the library docs and `docs/determinism.md`); exits non-zero on
 //!   any finding, so CI can gate on it.
 //! * `analyze --list-files` — print the files the pass covers.
+//! * `bench-record` — check every perf-gate floor against the committed
+//!   `BENCH_*.json` baselines, compare against the previous history
+//!   entry, and append `{timestamp, commit, benches}` to
+//!   `dev/bench/history.json` (see `xtask::bench`).
+//! * `bench-record --quick` — the same checks with no write; CI runs
+//!   this to assert the committed baselines still hold.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,8 +31,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("analyze") => analyze(args[1..].iter().any(|a| a == "--list-files")),
+        Some("bench-record") => bench_record(args[1..].iter().any(|a| a == "--quick")),
         _ => {
-            eprintln!("usage: cargo xtask analyze [--list-files]");
+            eprintln!("usage: cargo xtask analyze [--list-files] | bench-record [--quick]");
             ExitCode::from(2)
         }
     }
@@ -63,6 +70,33 @@ fn analyze(list_files: bool) -> ExitCode {
         }
         Err(e) => {
             eprintln!("xtask analyze: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn bench_record(quick: bool) -> ExitCode {
+    let root = workspace_root();
+    match xtask::bench::bench_record(&root, quick) {
+        Ok(failures) if failures.is_empty() => {
+            if quick {
+                println!("xtask bench-record: committed baselines hold (quick, nothing written)");
+            } else {
+                println!(
+                    "xtask bench-record: gates hold, entry appended to dev/bench/history.json"
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            for f in &failures {
+                println!("FAIL {f}");
+            }
+            println!("xtask bench-record: {} gate failure(s)", failures.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("xtask bench-record: {e}");
             ExitCode::FAILURE
         }
     }
